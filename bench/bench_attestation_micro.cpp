@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Microbenchmarks of the attestation machinery (google-benchmark):
+ * local attestation handshakes, quote generation/verification, CL
+ * attestation register exchanges, and secure register channel ops.
+ * These underpin the Figure 9 "negligible" phases (836 us local
+ * attestation, 1.3 ms CL attestation).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "fpga/ip.hpp"
+#include "salus/reg_channel.hpp"
+#include "salus/sm_logic.hpp"
+#include "salus/testbed.hpp"
+#include "tee/local_attest.hpp"
+
+using namespace salus;
+using namespace salus::core;
+
+namespace {
+
+class DemoEnclave : public tee::Enclave
+{
+  public:
+    using tee::Enclave::createQuote;
+    using tee::Enclave::Enclave;
+};
+
+tee::EnclaveImage
+img(const char *name)
+{
+    return tee::EnclaveImage{name, "v", 1,
+                             bytesFromString(std::string(name) +
+                                             "-code")};
+}
+
+void
+BM_LocalAttestHandshake(benchmark::State &state)
+{
+    crypto::CtrDrbg rng(uint64_t(1));
+    tee::TeePlatform platform("p", rng);
+    DemoEnclave a(platform, img("a"));
+    DemoEnclave b(platform, img("b"));
+
+    for (auto _ : state) {
+        tee::LocalAttestInitiator init(a, b.measurement());
+        tee::LocalAttestResponder resp(b, a.measurement());
+        Bytes m1 = init.start();
+        auto m2 = resp.answer(m1);
+        auto m3 = init.finish(*m2);
+        benchmark::DoNotOptimize(resp.confirm(*m3));
+    }
+}
+BENCHMARK(BM_LocalAttestHandshake);
+
+void
+BM_QuoteGenerate(benchmark::State &state)
+{
+    crypto::CtrDrbg rng(uint64_t(2));
+    manufacturer::Manufacturer mft(rng);
+    tee::TeePlatform platform("p", rng);
+    mft.provisionPlatform(platform);
+    DemoEnclave e(platform, img("e"));
+
+    for (auto _ : state)
+        benchmark::DoNotOptimize(e.createQuote(Bytes(32, 1)));
+}
+BENCHMARK(BM_QuoteGenerate);
+
+void
+BM_QuoteVerify(benchmark::State &state)
+{
+    crypto::CtrDrbg rng(uint64_t(3));
+    manufacturer::Manufacturer mft(rng);
+    tee::TeePlatform platform("p", rng);
+    mft.provisionPlatform(platform);
+    DemoEnclave e(platform, img("e"));
+    tee::Quote q = e.createQuote(Bytes(32, 1));
+
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mft.verificationService().verify(q));
+}
+BENCHMARK(BM_QuoteVerify);
+
+void
+BM_ClAttestationMacPair(benchmark::State &state)
+{
+    // The pure crypto cost of one Fig. 4a exchange (both MACs).
+    Bytes key(16, 0x5a);
+    uint64_t nonce = 1;
+    for (auto _ : state) {
+        uint64_t req = regchan::attestRequestMac(key, nonce, 42);
+        benchmark::DoNotOptimize(req);
+        benchmark::DoNotOptimize(
+            regchan::attestResponseMac(key, nonce, 42));
+        ++nonce;
+    }
+}
+BENCHMARK(BM_ClAttestationMacPair);
+
+/** Full-system fixture for register-level benchmarks. */
+struct DeployedPlatform
+{
+    std::unique_ptr<Testbed> tb;
+
+    DeployedPlatform()
+    {
+        fpga::ensureBuiltinIps();
+        SmLogic::registerIp();
+        tb = std::make_unique<Testbed>();
+        netlist::Cell accel;
+        accel.path = "engine";
+        accel.kind = netlist::CellKind::Logic;
+        accel.behaviorId = fpga::kIpLoopback;
+        accel.resources = {100, 100, 0, 0};
+        tb->installCl(accel);
+        if (!tb->runDeployment().ok)
+            std::abort();
+    }
+};
+
+void
+BM_SecureRegisterWrite(benchmark::State &state)
+{
+    static DeployedPlatform platform;
+    uint64_t v = 0;
+    for (auto _ : state) {
+        if (!platform.tb->userApp().secureWrite(0x00, ++v))
+            std::abort();
+    }
+}
+BENCHMARK(BM_SecureRegisterWrite);
+
+void
+BM_DirectRegisterWrite(benchmark::State &state)
+{
+    static DeployedPlatform platform;
+    uint64_t v = 0;
+    for (auto _ : state)
+        platform.tb->shell().registerWrite(pcie::Window::Direct, 0x00,
+                                           ++v);
+}
+BENCHMARK(BM_DirectRegisterWrite);
+
+void
+BM_FullSecureBoot(benchmark::State &state)
+{
+    // End-to-end deployment on the (small) test-scale device: every
+    // iteration manufactures a fresh platform and walks all 9 steps.
+    fpga::ensureBuiltinIps();
+    SmLogic::registerIp();
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        TestbedConfig cfg;
+        cfg.rngSeed = ++seed;
+        Testbed tb(cfg);
+        netlist::Cell accel;
+        accel.path = "engine";
+        accel.kind = netlist::CellKind::Logic;
+        accel.behaviorId = fpga::kIpLoopback;
+        accel.resources = {100, 100, 0, 0};
+        tb.installCl(accel);
+        if (!tb.runDeployment().ok)
+            std::abort();
+    }
+}
+BENCHMARK(BM_FullSecureBoot)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

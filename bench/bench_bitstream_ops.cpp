@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Microbenchmarks of the bitstream toolchain (google-benchmark):
+ * compile, digest, manipulate, encrypt, decrypt-load at several
+ * partition sizes — the native numbers behind the Figure 9
+ * model-vs-native discussion in EXPERIMENTS.md.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bitstream/compiler.hpp"
+#include "bitstream/encryptor.hpp"
+#include "bitstream/manipulator.hpp"
+#include "crypto/random.hpp"
+#include "crypto/sha256.hpp"
+#include "fpga/device.hpp"
+#include "salus/cl_builder.hpp"
+#include "salus/secrets.hpp"
+#include "salus/sm_logic.hpp"
+
+using namespace salus;
+using namespace salus::bitstream;
+
+namespace {
+
+/** Partition with frameCount chosen to hit the requested body size. */
+PartitionGeometry
+geometryFor(size_t bodyBytes)
+{
+    PartitionGeometry g;
+    g.partitionId = 0;
+    g.frameStart = 0;
+    g.frameSize = 256;
+    g.frameCount = uint32_t(bodyBytes / g.frameSize);
+    g.capacity = {355040, 710080, 696, 2265};
+    return g;
+}
+
+core::ClDesign
+sampleCl()
+{
+    netlist::Cell accel;
+    accel.path = "engine";
+    accel.kind = netlist::CellKind::Logic;
+    accel.behaviorId = fpga::kIpLoopback;
+    accel.resources = {1000, 1000, 4, 0};
+    return core::buildClDesign("bench_top", accel);
+}
+
+void
+BM_BitstreamCompile(benchmark::State &state)
+{
+    core::ClDesign design = sampleCl();
+    PartitionGeometry geometry = geometryFor(size_t(state.range(0)));
+    Compiler compiler("bench-dev");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            compiler.compile(design.netlist, geometry));
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_BitstreamCompile)->Arg(1 << 20)->Arg(8 << 20);
+
+void
+BM_BitstreamDigest(benchmark::State &state)
+{
+    core::ClDesign design = sampleCl();
+    Compiler compiler("bench-dev");
+    auto compiled = compiler.compile(design.netlist,
+                                     geometryFor(size_t(state.range(0))));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            crypto::Sha256::digest(compiled.file));
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_BitstreamDigest)->Arg(1 << 20)->Arg(8 << 20);
+
+void
+BM_BitstreamManipulate(benchmark::State &state)
+{
+    core::ClDesign design = sampleCl();
+    Compiler compiler("bench-dev");
+    auto compiled = compiler.compile(design.netlist,
+                                     geometryFor(size_t(state.range(0))));
+    Bytes newKey(core::kKeyAttestSize, 0x42);
+    for (auto _ : state) {
+        Manipulator::patchCell(compiled.file, compiled.logicLocations,
+                               design.layout.keyAttestPath, newKey);
+        benchmark::DoNotOptimize(compiled.file.data());
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_BitstreamManipulate)->Arg(1 << 20)->Arg(8 << 20);
+
+void
+BM_BitstreamEncrypt(benchmark::State &state)
+{
+    core::ClDesign design = sampleCl();
+    Compiler compiler("bench-dev");
+    auto compiled = compiler.compile(design.netlist,
+                                     geometryFor(size_t(state.range(0))));
+    crypto::CtrDrbg rng(uint64_t(1));
+    Bytes key = rng.bytes(32);
+    EncryptedHeader header{"bench-dev", 0};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            encryptBitstream(compiled.file, key, header, rng));
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_BitstreamEncrypt)->Arg(1 << 20)->Arg(8 << 20);
+
+void
+BM_DeviceDecryptLoad(benchmark::State &state)
+{
+    // The fabric side: GCM-open + whole-partition configure + design
+    // instantiation.
+    fpga::ensureBuiltinIps();
+    core::SmLogic::registerIp();
+
+    size_t body = size_t(state.range(0));
+    fpga::DeviceModelInfo model;
+    model.name = "bench-dev";
+    model.frameSize = 256;
+    model.totalFrames = uint32_t(body / 256) * 2;
+    model.dramBytes = 1 << 20;
+    PartitionGeometry g = geometryFor(body);
+    g.frameStart = uint32_t(body / 256);
+    model.partitions.push_back(g);
+
+    crypto::CtrDrbg rng(uint64_t(2));
+    fpga::FpgaDevice device(model, fpga::DeviceDna{1234});
+    Bytes key = rng.bytes(32);
+    device.fuseKey(key);
+
+    core::ClDesign design = sampleCl();
+    Compiler compiler("bench-dev");
+    auto compiled = compiler.compile(design.netlist, g);
+    core::ClSecrets secrets = core::ClSecrets::generate(rng);
+    Manipulator::patchCell(compiled.file, compiled.logicLocations,
+                           design.layout.keyAttestPath,
+                           secrets.keyAttest);
+    Manipulator::patchCell(compiled.file, compiled.logicLocations,
+                           design.layout.keySessionPath,
+                           secrets.keySession);
+    Manipulator::patchCell(compiled.file, compiled.logicLocations,
+                           design.layout.ctrSessionPath,
+                           secrets.ctrBytes());
+    Bytes blob = encryptBitstream(compiled.file, key,
+                                  EncryptedHeader{"bench-dev", 0}, rng);
+
+    for (auto _ : state) {
+        if (device.loadEncryptedPartial(blob) != fpga::LoadStatus::Ok)
+            std::abort();
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_DeviceDecryptLoad)->Arg(1 << 20)->Arg(8 << 20);
+
+void
+BM_SeuScrub(benchmark::State &state)
+{
+    // Scrub pass over a clean partition (the periodic SEM-IP duty).
+    fpga::ensureBuiltinIps();
+    core::SmLogic::registerIp();
+
+    size_t body = size_t(state.range(0));
+    fpga::DeviceModelInfo model;
+    model.name = "bench-dev";
+    model.frameSize = 256;
+    model.totalFrames = uint32_t(body / 256) * 2;
+    model.dramBytes = 1 << 20;
+    PartitionGeometry g = geometryFor(body);
+    g.frameStart = uint32_t(body / 256);
+    model.partitions.push_back(g);
+
+    crypto::CtrDrbg rng(uint64_t(5));
+    fpga::FpgaDevice device(model, fpga::DeviceDna{77});
+    Bytes key = rng.bytes(32);
+    device.fuseKey(key);
+    core::ClDesign design = sampleCl();
+    Compiler compiler("bench-dev");
+    auto compiled = compiler.compile(design.netlist, g);
+    Bytes blob = encryptBitstream(compiled.file, key,
+                                  EncryptedHeader{"bench-dev", 0}, rng);
+    if (device.loadEncryptedPartial(blob) != fpga::LoadStatus::Ok)
+        std::abort();
+
+    for (auto _ : state) {
+        auto report = device.scrub(0);
+        if (report.uncorrectable)
+            std::abort();
+        benchmark::DoNotOptimize(report.framesScanned);
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_SeuScrub)->Arg(1 << 20)->Arg(8 << 20);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Microbenchmarks of the crypto substrate (google-benchmark). These
+ * are the primitives on Salus's critical paths: AES-GCM (bitstream
+ * encryption), SHA-256 (digest H), SipHash (SM logic MACs), AES-CTR
+ * (memory/register channel), X25519/Ed25519 (attestation).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes_cmac.hpp"
+#include "crypto/aes_ctr.hpp"
+#include "crypto/aes_gcm.hpp"
+#include "crypto/ed25519.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/random.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+#include "crypto/siphash.hpp"
+#include "crypto/x25519.hpp"
+
+using namespace salus;
+using namespace salus::crypto;
+
+namespace {
+
+Bytes
+testData(size_t n)
+{
+    CtrDrbg rng(uint64_t(n) * 31 + 7);
+    return rng.bytes(n);
+}
+
+void
+BM_Sha256(benchmark::State &state)
+{
+    Bytes data = testData(size_t(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(Sha256::digest(data));
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(1024)->Arg(1 << 20);
+
+void
+BM_Sha512(benchmark::State &state)
+{
+    Bytes data = testData(size_t(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(Sha512::digest(data));
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_Sha512)->Arg(1 << 20);
+
+void
+BM_AesGcmSeal(benchmark::State &state)
+{
+    Bytes data = testData(size_t(state.range(0)));
+    AesGcm gcm(testData(32));
+    Bytes iv = testData(12);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gcm.seal(iv, ByteView(), data));
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_AesGcmSeal)->Arg(1024)->Arg(1 << 20);
+
+void
+BM_AesCtr(benchmark::State &state)
+{
+    Bytes data = testData(size_t(state.range(0)));
+    Bytes key = testData(32);
+    Bytes ctr = testData(16);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(aesCtrCrypt(key, ctr, data));
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_AesCtr)->Arg(1024)->Arg(1 << 20);
+
+void
+BM_AesCmac(benchmark::State &state)
+{
+    Bytes data = testData(size_t(state.range(0)));
+    Bytes key = testData(16);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(aesCmac(key, data));
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_AesCmac)->Arg(1024);
+
+void
+BM_SipHash(benchmark::State &state)
+{
+    Bytes data = testData(size_t(state.range(0)));
+    Bytes key = testData(16);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sipHash24(key, data));
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_SipHash)->Arg(16)->Arg(1024);
+
+void
+BM_HmacSha256(benchmark::State &state)
+{
+    Bytes data = testData(size_t(state.range(0)));
+    Bytes key = testData(32);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hmacSha256(key, data));
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(24)->Arg(1024);
+
+void
+BM_X25519SharedSecret(benchmark::State &state)
+{
+    CtrDrbg rng(uint64_t(1));
+    X25519KeyPair a = x25519Generate(rng);
+    X25519KeyPair b = x25519Generate(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            x25519Shared(a.privateKey, b.publicKey));
+}
+BENCHMARK(BM_X25519SharedSecret);
+
+void
+BM_Ed25519Sign(benchmark::State &state)
+{
+    CtrDrbg rng(uint64_t(2));
+    Ed25519KeyPair kp = ed25519Generate(rng);
+    Bytes msg = testData(256);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ed25519Sign(kp.seed, msg));
+}
+BENCHMARK(BM_Ed25519Sign);
+
+void
+BM_Ed25519Verify(benchmark::State &state)
+{
+    CtrDrbg rng(uint64_t(3));
+    Ed25519KeyPair kp = ed25519Generate(rng);
+    Bytes msg = testData(256);
+    Bytes sig = ed25519Sign(kp.seed, msg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ed25519Verify(kp.publicKey, msg, sig));
+}
+BENCHMARK(BM_Ed25519Verify);
+
+} // namespace
+
+BENCHMARK_MAIN();

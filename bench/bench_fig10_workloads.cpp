@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces paper Figure 10: normalized execution time of the five
+ * realistic workloads on a CPU TEE (SGX) vs the FPGA TEE (Salus).
+ * The paper reports Salus speedups of 1.17x - 15.64x over SGX; the
+ * reproduction must keep the ordering (every workload at least breaks
+ * even, compute-light kernels gain the most relative to their CPU-TEE
+ * penalty).
+ */
+
+#include <cstdio>
+
+#include "accel/accel_ip.hpp"
+#include "accel/runner.hpp"
+#include "bench_util.hpp"
+#include "salus/sm_logic.hpp"
+
+using namespace salus;
+using namespace salus::accel;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 10: workloads on CPU TEE (SGX) vs FPGA TEE (Salus)");
+
+    AccelIp::registerAll();
+    core::SmLogic::registerIp();
+
+    std::printf("%-12s %12s %12s %10s %14s\n", "workload", "SGX (ms)",
+                "Salus (ms)", "speedup", "normalized");
+
+    for (const auto &spec : allWorkloads()) {
+        WorkloadRunner runner(spec.id, 2026, spec.benchScale);
+
+        // Best-of-3 steadies the real CPU-side measurement.
+        RunResult sgx = runner.runCpuTee();
+        for (int rep = 0; rep < 2; ++rep) {
+            RunResult again = runner.runCpuTee();
+            if (again.totalTime < sgx.totalTime)
+                sgx = again;
+        }
+        if (!sgx.outputCorrect) {
+            std::printf("%s: CPU-TEE output mismatch\n", spec.name);
+            return 1;
+        }
+
+        core::TestbedConfig cfg;
+        core::Testbed tb(cfg);
+        tb.installCl(accelCellFor(spec));
+        auto outcome = tb.runDeployment();
+        if (!outcome.ok) {
+            std::printf("%s: deployment failed: %s\n", spec.name,
+                        outcome.failure.c_str());
+            return 1;
+        }
+        RunResult salus = runner.runFpgaTee(tb);
+        if (!salus.outputCorrect) {
+            std::printf("%s: FPGA-TEE output mismatch\n", spec.name);
+            return 1;
+        }
+
+        double speedup =
+            double(sgx.totalTime) / double(salus.totalTime);
+        std::printf("%-12s %12.2f %12.2f %9.2fx %14.3f\n", spec.name,
+                    bench::ms(sgx.totalTime), bench::ms(salus.totalTime),
+                    speedup, 1.0 / speedup);
+    }
+
+    std::printf("\npaper reference: speedups 1.17x (Conv) to 15.64x, "
+                "all workloads favour the FPGA TEE\n");
+    return 0;
+}

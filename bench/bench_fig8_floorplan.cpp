@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces paper Figure 8: the floor planning of shell and CL on
+ * the FPGA — rendered from the device model's actual partition
+ * geometry, plus the multi-RP layout of §4.7.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "fpga/device.hpp"
+
+using namespace salus;
+using namespace salus::fpga;
+
+namespace {
+
+void
+renderDevice(const DeviceModelInfo &model)
+{
+    std::printf("\ndevice %s: %u frames x %u B = %.1f MiB configuration "
+                "memory, %.0f MiB DRAM\n",
+                model.name.c_str(), model.totalFrames, model.frameSize,
+                double(model.totalFrames) * model.frameSize / (1 << 20),
+                double(model.dramBytes) / (1 << 20));
+
+    // Scale the frame space onto an 64-column bar.
+    const int cols = 64;
+    std::string bar(cols, 'S'); // static area (shell) by default
+    for (const auto &rp : model.partitions) {
+        int start = int(int64_t(rp.frameStart) * cols /
+                        model.totalFrames);
+        int end = int(int64_t(rp.frameStart + rp.frameCount) * cols /
+                      model.totalFrames);
+        for (int i = start; i < end && i < cols; ++i)
+            bar[i] = char('0' + rp.partitionId % 10);
+    }
+    std::printf("  [%s]\n", bar.c_str());
+    std::printf("  S = static area (shell: DMA, interconnect, DDR "
+                "controllers)\n");
+    for (const auto &rp : model.partitions) {
+        std::printf("  %u = reconfigurable partition %u: frames "
+                    "%u..%u (%.1f MiB partial bitstream), capacity "
+                    "%u LUT / %u FF / %u BRAM\n",
+                    rp.partitionId, rp.partitionId, rp.frameStart,
+                    rp.frameStart + rp.frameCount - 1,
+                    double(rp.bodyBytes()) / (1 << 20),
+                    rp.capacity.luts, rp.capacity.registers,
+                    rp.capacity.brams);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 8: floor planning of shell and CL");
+
+    std::printf("paper: one of the U200's three super logic regions "
+                "is reserved as the RP (~1/3 of the device), the rest "
+                "hosts the shell.\n");
+    renderDevice(u200ScaledModel());
+
+    std::printf("\n-- multi-RP variant (paper 4.7 extension) --\n");
+    renderDevice(testModelMultiRp(3));
+    return 0;
+}

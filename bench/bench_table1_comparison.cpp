@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Reproduces paper Table 1: comparison with existing FPGA TEE works.
+ * The three schemes this repo implements (Salus, a ShEF-style
+ * standalone TEE, an SGX-FPGA-style PUF scheme) are *executed* and
+ * their distinguishing properties demonstrated live; the MeetGo and
+ * Ambassy rows share ShEF's standalone/extra-hardware profile and are
+ * reported from the paper.
+ */
+
+#include <cstdio>
+
+#include "baseline/sgx_fpga.hpp"
+#include "baseline/shef.hpp"
+#include "bench_util.hpp"
+#include "crypto/sha256.hpp"
+#include "fpga/ip.hpp"
+#include "salus/sm_logic.hpp"
+#include "salus/testbed.hpp"
+
+using namespace salus;
+using namespace salus::core;
+
+int
+main()
+{
+    bench::banner("Table 1: comparison with existing FPGA TEE works");
+
+    fpga::ensureBuiltinIps();
+    SmLogic::registerIp();
+    crypto::CtrDrbg rng(uint64_t(1));
+    sim::CostModel cost;
+
+    // ---- SGX-FPGA-style: heterogeneous, no extra hardware, but
+    // dev/deploy coupled (CRP DB bound to the physical die) and a
+    // multi-stage attestation gap.
+    bool sgxFpgaCoupled;
+    sim::Nanos sgxFpgaGap;
+    {
+        baseline::PufDevice rented(1), other(2);
+        baseline::CrpDatabase db;
+        db.enroll(rented, 8, rng); // developer had to touch `rented`
+        sgxFpgaCoupled = !db.authenticate(other) && db.authenticate(rented);
+
+        baseline::CrpDatabase db2;
+        db2.enroll(rented, 8, rng);
+        sim::VirtualClock clock;
+        auto timeline = baseline::runSgxFpgaFlow(db2, rented, clock, cost);
+        sgxFpgaGap = timeline.gap();
+    }
+
+    // ---- ShEF-style: standalone, needs BootROM-key hardware,
+    // dev/deploy independent (any device of the fleet verifies).
+    double shefAttestMs;
+    {
+        baseline::ShefDevice device("shef-1",
+                                    bytesFromString("shef-root"), rng);
+        Bytes bitstream = rng.bytes(1 << 20);
+        Bytes nonce = rng.bytes(16);
+        sim::VirtualClock clock;
+        auto att = device.loadAndAttest(bitstream, nonce, &clock, cost);
+        baseline::ShefVerifier verifier(
+            baseline::shefManufacturerRoot(bytesFromString("shef-root"))
+                .publicKey,
+            crypto::Sha256::digest(bitstream));
+        bool ok = verifier.verify(att, nonce, &clock, cost);
+        shefAttestMs = ok ? bench::ms(clock.now()) : -1.0;
+    }
+
+    // ---- Salus: heterogeneous, COTS hardware only, independent
+    // dev/deploy (the same CL artifact deploys on any device), and a
+    // zero attestation gap (cascaded report).
+    double salusClAttestMs;
+    bool salusIndependent;
+    {
+        // Deploy the SAME CL artifact on two different devices.
+        netlist::Cell accel;
+        accel.path = "engine";
+        accel.kind = netlist::CellKind::Logic;
+        accel.behaviorId = fpga::kIpLoopback;
+        accel.resources = {100, 100, 0, 0};
+
+        TestbedConfig cfgA;
+        cfgA.rngSeed = 10;
+        Testbed tbA(cfgA);
+        tbA.installCl(accel);
+        bool okA = tbA.runDeployment().ok;
+
+        TestbedConfig cfgB;
+        cfgB.rngSeed = 11; // different device DNA + device key
+        Testbed tbB(cfgB);
+        tbB.installCl(accel);
+        bool okB = tbB.runDeployment().ok;
+        salusIndependent = okA && okB;
+        salusClAttestMs =
+            bench::ms(tbA.clock().totalFor(phases::kClAuth));
+    }
+
+    std::printf("%-12s %-6s %-10s %-13s %s\n", "work", "type",
+                "extra hw", "indep. d/d", "measured property");
+    std::printf("%-12s %-6s %-10s %-13s gap = %.1f ms before CL "
+                "attested; CRP die-coupled: %s\n",
+                "SGX-FPGA", "HE", "no", "NO (coupled)",
+                bench::ms(sgxFpgaGap), sgxFpgaCoupled ? "yes" : "no");
+    std::printf("%-12s %-6s %-10s %-13s CL attestation %.1f ms (PKE + "
+                "CA)\n",
+                "ShEF", "SA", "YES", "yes", shefAttestMs);
+    std::printf("%-12s %-6s %-10s %-13s (paper: same profile as "
+                "ShEF)\n",
+                "MeetGo", "SA", "YES", "yes");
+    std::printf("%-12s %-6s %-10s %-13s (paper: same profile as "
+                "ShEF)\n",
+                "Ambassy", "SA", "YES", "yes");
+    std::printf("%-12s %-6s %-10s %-13s CL attestation %.2f ms "
+                "(symmetric), gap = 0, same artifact on 2 devices: "
+                "%s\n",
+                "Salus", "HE", "no", "yes", salusClAttestMs,
+                salusIndependent ? "ok" : "FAILED");
+    return 0;
+}

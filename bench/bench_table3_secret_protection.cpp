@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Reproduces paper Table 3: protection of secrets in the secure CL
+ * booting flow. For every step ①-⑨ the corresponding attack from the
+ * threat model is executed against a fresh platform, and the row is
+ * "protected" iff the flow detects/neutralizes it (the executable
+ * form of §4.6's security analysis).
+ */
+
+#include <cstdio>
+#include <functional>
+
+#include "bench_util.hpp"
+#include "bitstream/compiler.hpp"
+#include "common/hex.hpp"
+#include "fpga/ip.hpp"
+#include "salus/sm_logic.hpp"
+#include "salus/testbed.hpp"
+
+using namespace salus;
+using namespace salus::core;
+
+namespace {
+
+netlist::Cell
+loopbackAccel()
+{
+    netlist::Cell accel;
+    accel.path = "engine";
+    accel.kind = netlist::CellKind::Logic;
+    accel.behaviorId = fpga::kIpLoopback;
+    accel.resources = {100, 100, 0, 0};
+    return accel;
+}
+
+struct Row
+{
+    const char *steps;
+    const char *operation;
+    const char *secret;
+    const char *attack;
+    std::function<bool()> protectedCheck; ///< true = attack defeated
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 3: protection of secrets in secure CL booting");
+
+    fpga::ensureBuiltinIps();
+    SmLogic::registerIp();
+
+    std::vector<Row> rows;
+
+    rows.push_back({"(1)(2)", "Remote Attest.", "H, Loc",
+                    "MITM corrupts the quote in the RA response",
+                    [] {
+                        Testbed tb;
+                        tb.installCl(loopbackAccel());
+                        tb.network().setInterposer(
+                            [](const std::string &, const std::string &,
+                               const std::string &m, Bytes &p) {
+                                if (m == "raRequest:response" &&
+                                    p.size() > 80)
+                                    p[80] ^= 1;
+                                return true;
+                            });
+                        return !tb.runDeployment().ok;
+                    }});
+
+    rows.push_back({"(3)", "Local Attest.", "H, Loc",
+                    "OS tampers with the metadata crossing the LA "
+                    "channel",
+                    [] {
+                        // Corrupt the digest the user enclave would
+                        // forward: the SM enclave then deploys nothing
+                        // (digest mismatch) and the report says so.
+                        Testbed tb;
+                        tb.installCl(loopbackAccel());
+                        tb.metadata().digestH[5] ^= 1;
+                        return !tb.runDeployment().ok;
+                    }});
+
+    rows.push_back({"(4)", "Remote Attest.", "Key_device",
+                    "OS swaps its own wrap key into the key request",
+                    [] {
+                        // Covered in depth by unit tests; here the
+                        // manufacturer path demonstrates the binding:
+                        // any quote/wrap-key mismatch is refused, so
+                        // the device key never reaches a non-enclave.
+                        Testbed tb;
+                        tb.installCl(loopbackAccel());
+                        manufacturer::KeyRequest req;
+                        req.deviceDna = tb.device().dna().value;
+                        req.quote = Bytes(64, 7); // OS-forged quote
+                        req.wrapPubKey = Bytes(32, 9);
+                        auto resp = tb.mft().handleKeyRequest(req);
+                        return resp.status != 0;
+                    }});
+
+    rows.push_back({"(5)", "Bit. Verification", "Bitstream",
+                    "cloud storage substitutes a trojan bitstream",
+                    [] {
+                        Testbed tb;
+                        tb.installCl(loopbackAccel());
+                        tb.storedBitstream()[2000] ^= 0xff;
+                        auto outcome = tb.runDeployment();
+                        return !outcome.ok &&
+                               outcome.failure.find("digest") !=
+                                   std::string::npos;
+                    }});
+
+    rows.push_back({"(6)(7)", "Bit. Manip. + Enc.", "Key_attest",
+                    "shell records the deployed blob and scans it for "
+                    "the injected key",
+                    [] {
+                        TestbedConfig cfg;
+                        cfg.maliciousShell = true;
+                        Testbed tb(cfg);
+                        tb.installCl(loopbackAccel());
+                        if (!tb.runDeployment().ok)
+                            return false;
+                        tb.device().setReadbackEnabled(true);
+                        Bytes key = bitstream::extractDesign(
+                                        tb.device().readback(0))
+                                        .findCell(tb.layout()
+                                                      .keyAttestPath)
+                                        ->init;
+                        std::string blob = hexEncode(
+                            tb.maliciousShell()->capturedBitstream());
+                        return blob.find(hexEncode(key)) ==
+                               std::string::npos;
+                    }});
+
+    rows.push_back({"(8)", "CL Loading", "Key_attest",
+                    "shell flips bits in the encrypted bitstream",
+                    [] {
+                        TestbedConfig cfg;
+                        cfg.maliciousShell = true;
+                        cfg.attackPlan.tamperBitstream = true;
+                        cfg.attackPlan.tamperOffset = 12345;
+                        Testbed tb(cfg);
+                        tb.installCl(loopbackAccel());
+                        return !tb.runDeployment().ok;
+                    }});
+
+    rows.push_back({"(8)", "CL Loading", "Key_attest",
+                    "shell substitutes its own CL entirely",
+                    [] {
+                        TestbedConfig cfg;
+                        cfg.maliciousShell = true;
+                        Testbed tb(cfg);
+                        tb.installCl(loopbackAccel());
+                        tb.maliciousShell()->plan().substituteBitstream =
+                            tb.storedBitstream(); // plaintext replay
+                        return !tb.runDeployment().ok;
+                    }});
+
+    rows.push_back({"(9)", "CL Attestation", "Key_attest",
+                    "shell forges/corrupts attestation registers",
+                    [] {
+                        TestbedConfig cfg;
+                        cfg.maliciousShell = true;
+                        cfg.attackPlan.smWindowDataTamperMask = 1;
+                        Testbed tb(cfg);
+                        tb.installCl(loopbackAccel());
+                        return !tb.runDeployment().ok;
+                    }});
+
+    rows.push_back({"runtime", "Secure Reg. Channel", "Key_session",
+                    "shell replays recorded register writes",
+                    [] {
+                        TestbedConfig cfg;
+                        cfg.maliciousShell = true;
+                        Testbed tb(cfg);
+                        tb.installCl(loopbackAccel());
+                        if (!tb.runDeployment().ok)
+                            return false;
+                        if (!tb.userApp().secureWrite(0x00, 111))
+                            return false;
+                        if (!tb.userApp().secureWrite(0x00, 222))
+                            return false;
+                        tb.maliciousShell()->replayRecordedSmWrites();
+                        return tb.userApp().secureRead(0x00) == 222u;
+                    }});
+
+    std::printf("%-8s %-22s %-12s protected?  attack\n", "steps",
+                "operation", "secret");
+    bool allProtected = true;
+    for (const auto &row : rows) {
+        bool ok = row.protectedCheck();
+        allProtected = allProtected && ok;
+        std::printf("%-8s %-22s %-12s %-11s %s\n", row.steps,
+                    row.operation, row.secret, ok ? "YES" : "** NO **",
+                    row.attack);
+    }
+    std::printf("\n%s\n", allProtected
+                              ? "all Table 3 protections hold"
+                              : "SOME PROTECTIONS FAILED");
+    return allProtected ? 0 : 1;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries: aligned
+ * table printing and wall-clock measurement.
+ */
+
+#ifndef SALUS_BENCH_BENCH_UTIL_HPP
+#define SALUS_BENCH_BENCH_UTIL_HPP
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "sim/clock.hpp"
+
+namespace salus::bench {
+
+/** Prints a section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/** Milliseconds with 2 decimals from virtual nanos. */
+inline double
+ms(sim::Nanos n)
+{
+    return double(n) / 1e6;
+}
+
+/** Measures a callable's real wall-clock time in seconds. */
+template <typename F>
+double
+wallSeconds(F &&fn)
+{
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(end - start).count();
+}
+
+} // namespace salus::bench
+
+#endif // SALUS_BENCH_BENCH_UTIL_HPP

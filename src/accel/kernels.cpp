@@ -1,0 +1,659 @@
+#include "accel/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "common/serde.hpp"
+
+namespace salus::accel {
+
+namespace {
+
+float
+readF32(BinaryReader &r)
+{
+    uint32_t raw = r.readU32();
+    float f;
+    std::memcpy(&f, &raw, 4);
+    return f;
+}
+
+void
+writeF32(BinaryWriter &w, float f)
+{
+    uint32_t raw;
+    std::memcpy(&raw, &f, 4);
+    w.writeU32(raw);
+}
+
+float
+randUnit(crypto::RandomSource &rng)
+{
+    return float(rng.nextU64() % 1000000) / 1000000.0f;
+}
+
+// ===================================================== Conv =========
+
+struct ConvInput
+{
+    uint32_t width, height, inCh, outCh;
+    std::vector<float> weights; // [outCh][3][3][inCh]
+    std::vector<float> image;   // [height][width][inCh]
+};
+
+ConvInput
+parseConv(ByteView input)
+{
+    BinaryReader r(input);
+    ConvInput c;
+    c.width = r.readU32();
+    c.height = r.readU32();
+    c.inCh = r.readU32();
+    c.outCh = r.readU32();
+    if (c.width == 0 || c.height == 0 || c.inCh == 0 || c.outCh == 0 ||
+        c.width > 4096 || c.height > 4096 || c.inCh > 1024 ||
+        c.outCh > 1024) {
+        throw SalusError("conv: bad dimensions");
+    }
+    size_t wn = size_t(9) * c.inCh * c.outCh;
+    size_t in = size_t(c.width) * c.height * c.inCh;
+    if (r.remaining() != 4 * (wn + in))
+        throw SalusError("conv: buffer size mismatch");
+    c.weights.resize(wn);
+    for (auto &v : c.weights)
+        v = readF32(r);
+    c.image.resize(in);
+    for (auto &v : c.image)
+        v = readF32(r);
+    return c;
+}
+
+Bytes
+runConv(ByteView input)
+{
+    ConvInput c = parseConv(input);
+    const int W = int(c.width), H = int(c.height);
+    const int IC = int(c.inCh), OC = int(c.outCh);
+
+    std::vector<float> out(size_t(W) * H * OC, 0.0f);
+    // 3x3 same-padding convolution, HWC layout.
+    for (int y = 0; y < H; ++y) {
+        for (int x = 0; x < W; ++x) {
+            for (int oc = 0; oc < OC; ++oc) {
+                float acc = 0.0f;
+                for (int ky = -1; ky <= 1; ++ky) {
+                    int sy = y + ky;
+                    if (sy < 0 || sy >= H)
+                        continue;
+                    for (int kx = -1; kx <= 1; ++kx) {
+                        int sx = x + kx;
+                        if (sx < 0 || sx >= W)
+                            continue;
+                        const float *pix =
+                            &c.image[(size_t(sy) * W + sx) * IC];
+                        const float *wt =
+                            &c.weights[((size_t(oc) * 3 + (ky + 1)) * 3 +
+                                        (kx + 1)) *
+                                       IC];
+                        for (int ic = 0; ic < IC; ++ic)
+                            acc += pix[ic] * wt[ic];
+                    }
+                }
+                out[(size_t(y) * W + x) * OC + oc] = acc;
+            }
+        }
+    }
+
+    BinaryWriter w;
+    for (float v : out)
+        writeF32(w, v);
+    return w.take();
+}
+
+Bytes
+genConv(uint64_t seed, double scale)
+{
+    crypto::CtrDrbg rng(seed ^ 0xc0441ull);
+    // The paper's Conv uses a 3x3x256 kernel (Table 4): keep the high
+    // channel count (compute/byte ratio) and scale the spatial dims.
+    uint32_t dim = std::max(8u, uint32_t(24 * scale));
+    uint32_t ch = std::max(8u, uint32_t(256 * scale));
+
+    BinaryWriter w;
+    w.writeU32(dim);
+    w.writeU32(dim);
+    w.writeU32(ch);
+    w.writeU32(ch);
+    size_t wn = size_t(9) * ch * ch;
+    for (size_t i = 0; i < wn; ++i)
+        writeF32(w, randUnit(rng) - 0.5f);
+    size_t in = size_t(dim) * dim * ch;
+    for (size_t i = 0; i < in; ++i)
+        writeF32(w, randUnit(rng));
+    return w.take();
+}
+
+uint64_t
+opsConv(ByteView input)
+{
+    BinaryReader r(input);
+    uint64_t w = r.readU32(), h = r.readU32(), ic = r.readU32(),
+             oc = r.readU32();
+    return w * h * 9 * ic * oc;
+}
+
+// ===================================================== Affine =======
+
+Bytes
+runAffine(ByteView input)
+{
+    BinaryReader r(input);
+    uint32_t width = r.readU32();
+    uint32_t height = r.readU32();
+    if (width == 0 || height == 0 || width > 8192 || height > 8192)
+        throw SalusError("affine: bad dimensions");
+    float m[6];
+    for (auto &v : m)
+        v = readF32(r);
+    if (r.remaining() != size_t(width) * height)
+        throw SalusError("affine: buffer size mismatch");
+    Bytes src = r.readRaw(size_t(width) * height);
+
+    Bytes dst(size_t(width) * height, 0);
+    // Inverse-map each destination pixel and sample bilinearly.
+    for (uint32_t y = 0; y < height; ++y) {
+        for (uint32_t x = 0; x < width; ++x) {
+            float sx = m[0] * float(x) + m[1] * float(y) + m[2];
+            float sy = m[3] * float(x) + m[4] * float(y) + m[5];
+            if (sx < 0 || sy < 0 || sx >= float(width - 1) ||
+                sy >= float(height - 1)) {
+                continue;
+            }
+            int x0 = int(sx), y0 = int(sy);
+            float fx = sx - float(x0), fy = sy - float(y0);
+            auto at = [&](int xx, int yy) {
+                return float(src[size_t(yy) * width + xx]);
+            };
+            float v = at(x0, y0) * (1 - fx) * (1 - fy) +
+                      at(x0 + 1, y0) * fx * (1 - fy) +
+                      at(x0, y0 + 1) * (1 - fx) * fy +
+                      at(x0 + 1, y0 + 1) * fx * fy;
+            dst[size_t(y) * width + x] =
+                uint8_t(std::clamp(v, 0.0f, 255.0f));
+        }
+    }
+    return dst;
+}
+
+Bytes
+genAffine(uint64_t seed, double scale)
+{
+    crypto::CtrDrbg rng(seed ^ 0xaff13ull);
+    uint32_t dim = std::max(32u, uint32_t(512 * scale));
+
+    BinaryWriter w;
+    w.writeU32(dim);
+    w.writeU32(dim);
+    // Rotation + mild scaling + translation.
+    float angle = randUnit(rng) * 3.14159f / 4;
+    float s = 0.8f + 0.4f * randUnit(rng);
+    writeF32(w, std::cos(angle) / s);
+    writeF32(w, -std::sin(angle) / s);
+    writeF32(w, float(dim) * 0.1f);
+    writeF32(w, std::sin(angle) / s);
+    writeF32(w, std::cos(angle) / s);
+    writeF32(w, float(dim) * 0.05f);
+    Bytes pixels(size_t(dim) * dim);
+    crypto::CtrDrbg prng(seed ^ 0x9147ull);
+    prng.fill(pixels.data(), pixels.size());
+    w.writeRaw(pixels);
+    return w.take();
+}
+
+uint64_t
+opsAffine(ByteView input)
+{
+    BinaryReader r(input);
+    uint64_t w = r.readU32(), h = r.readU32();
+    return w * h * 16;
+}
+
+// ==================================================== Rendering =====
+
+Bytes
+runRendering(ByteView input)
+{
+    BinaryReader r(input);
+    uint32_t numTris = r.readU32();
+    uint32_t fbDim = r.readU32();
+    if (fbDim == 0 || fbDim > 2048 || numTris > 1000000)
+        throw SalusError("rendering: bad parameters");
+    if (r.remaining() != size_t(numTris) * 9 * 4)
+        throw SalusError("rendering: buffer size mismatch");
+
+    std::vector<float> zbuf(size_t(fbDim) * fbDim, 1e9f);
+    Bytes fb(size_t(fbDim) * fbDim, 0);
+
+    for (uint32_t t = 0; t < numTris; ++t) {
+        float v[9];
+        for (auto &f : v)
+            f = readF32(r);
+        // Project to screen space (orthographic).
+        float x0 = v[0] * fbDim, y0 = v[1] * fbDim, z0 = v[2];
+        float x1 = v[3] * fbDim, y1 = v[4] * fbDim, z1 = v[5];
+        float x2 = v[6] * fbDim, y2 = v[7] * fbDim, z2 = v[8];
+
+        int minX = std::max(0, int(std::floor(
+                                   std::min({x0, x1, x2}))));
+        int maxX = std::min(int(fbDim) - 1,
+                            int(std::ceil(std::max({x0, x1, x2}))));
+        int minY = std::max(0, int(std::floor(
+                                   std::min({y0, y1, y2}))));
+        int maxY = std::min(int(fbDim) - 1,
+                            int(std::ceil(std::max({y0, y1, y2}))));
+
+        float area = (x1 - x0) * (y2 - y0) - (x2 - x0) * (y1 - y0);
+        if (std::fabs(area) < 1e-6f)
+            continue;
+        for (int py = minY; py <= maxY; ++py) {
+            for (int px = minX; px <= maxX; ++px) {
+                float cx = float(px) + 0.5f, cy = float(py) + 0.5f;
+                float w0 = ((x1 - cx) * (y2 - cy) -
+                            (x2 - cx) * (y1 - cy)) /
+                           area;
+                float w1 = ((x2 - cx) * (y0 - cy) -
+                            (x0 - cx) * (y2 - cy)) /
+                           area;
+                float w2 = 1.0f - w0 - w1;
+                if (w0 < 0 || w1 < 0 || w2 < 0)
+                    continue;
+                float z = w0 * z0 + w1 * z1 + w2 * z2;
+                size_t idx = size_t(py) * fbDim + px;
+                if (z < zbuf[idx]) {
+                    zbuf[idx] = z;
+                    fb[idx] = uint8_t(
+                        std::clamp(255.0f * (1.0f - z), 0.0f, 255.0f));
+                }
+            }
+        }
+    }
+    return fb;
+}
+
+Bytes
+genRendering(uint64_t seed, double scale)
+{
+    crypto::CtrDrbg rng(seed ^ 0x3e4dull);
+    uint32_t numTris = std::max(16u, uint32_t(3192 * scale));
+    uint32_t fbDim = 256;
+
+    BinaryWriter w;
+    w.writeU32(numTris);
+    w.writeU32(fbDim);
+    for (uint32_t t = 0; t < numTris; ++t) {
+        float cx = randUnit(rng), cy = randUnit(rng),
+              cz = randUnit(rng);
+        for (int vtx = 0; vtx < 3; ++vtx) {
+            writeF32(w, std::clamp(cx + 0.05f * (randUnit(rng) - 0.5f),
+                                   0.0f, 1.0f));
+            writeF32(w, std::clamp(cy + 0.05f * (randUnit(rng) - 0.5f),
+                                   0.0f, 1.0f));
+            writeF32(w, std::clamp(cz + 0.02f * (randUnit(rng) - 0.5f),
+                                   0.0f, 1.0f));
+        }
+    }
+    return w.take();
+}
+
+uint64_t
+opsRendering(ByteView input)
+{
+    BinaryReader r(input);
+    uint64_t numTris = r.readU32();
+    uint64_t fbDim = r.readU32();
+    // Average covered bounding box ~ (fb*0.05)^2 pixels, 12 ops each.
+    uint64_t bbox = std::max<uint64_t>(1, (fbDim / 20) * (fbDim / 20));
+    return numTris * bbox * 12;
+}
+
+// =================================================== FaceDetect =====
+
+struct HaarRect
+{
+    int x, y, w, h;
+};
+
+struct HaarFeature
+{
+    HaarRect r1, r2;
+    float w1, w2, threshold, passVal, failVal;
+};
+
+struct CascadeStage
+{
+    float threshold;
+    std::vector<HaarFeature> features;
+};
+
+constexpr int kWindow = 24;
+
+Bytes
+runFaceDetect(ByteView input)
+{
+    BinaryReader r(input);
+    uint32_t width = r.readU32();
+    uint32_t height = r.readU32();
+    if (width < kWindow || height < kWindow || width > 4096 ||
+        height > 4096) {
+        throw SalusError("facedetect: bad dimensions");
+    }
+    uint32_t numStages = r.readU32();
+    if (numStages == 0 || numStages > 64)
+        throw SalusError("facedetect: bad cascade");
+    std::vector<CascadeStage> cascade(numStages);
+    for (auto &stage : cascade) {
+        uint32_t nf = r.readU32();
+        if (nf > 256)
+            throw SalusError("facedetect: bad cascade");
+        stage.threshold = readF32(r);
+        stage.features.resize(nf);
+        for (auto &f : stage.features) {
+            f.r1 = {int(r.readU32() % kWindow), int(r.readU32() % kWindow),
+                    1 + int(r.readU32() % (kWindow / 2)),
+                    1 + int(r.readU32() % (kWindow / 2))};
+            f.r2 = {int(r.readU32() % kWindow), int(r.readU32() % kWindow),
+                    1 + int(r.readU32() % (kWindow / 2)),
+                    1 + int(r.readU32() % (kWindow / 2))};
+            f.w1 = readF32(r);
+            f.w2 = readF32(r);
+            f.threshold = readF32(r);
+            f.passVal = readF32(r);
+            f.failVal = readF32(r);
+        }
+    }
+    if (r.remaining() != size_t(width) * height)
+        throw SalusError("facedetect: buffer size mismatch");
+    Bytes image = r.readRaw(size_t(width) * height);
+
+    // Integral image.
+    std::vector<uint64_t> integral(size_t(width + 1) * (height + 1), 0);
+    auto ii = [&](size_t x, size_t y) -> uint64_t & {
+        return integral[y * (width + 1) + x];
+    };
+    for (uint32_t y = 1; y <= height; ++y) {
+        uint64_t rowSum = 0;
+        for (uint32_t x = 1; x <= width; ++x) {
+            rowSum += image[size_t(y - 1) * width + (x - 1)];
+            ii(x, y) = ii(x, y - 1) + rowSum;
+        }
+    }
+    auto rectSum = [&](int bx, int by, const HaarRect &rect,
+                       float s) -> float {
+        int x0 = bx + int(float(rect.x) * s);
+        int y0 = by + int(float(rect.y) * s);
+        int x1 = std::min<int>(int(width), x0 + int(float(rect.w) * s));
+        int y1 = std::min<int>(int(height), y0 + int(float(rect.h) * s));
+        if (x0 >= x1 || y0 >= y1)
+            return 0.0f;
+        return float(ii(x1, y1) - ii(x0, y1) - ii(x1, y0) + ii(x0, y0));
+    };
+
+    // Multi-scale sliding window.
+    struct Hit
+    {
+        uint16_t x, y, scalePct;
+    };
+    std::vector<Hit> hits;
+    for (float s = 1.0f; float(kWindow) * s <= float(std::min(width,
+                                                              height));
+         s *= 1.5f) {
+        int win = int(float(kWindow) * s);
+        int step = std::max(2, win / 8);
+        float norm = 1.0f / (float(win) * float(win));
+        for (int by = 0; by + win < int(height); by += step) {
+            for (int bx = 0; bx + win < int(width); bx += step) {
+                bool pass = true;
+                for (const auto &stage : cascade) {
+                    float sum = 0.0f;
+                    for (const auto &f : stage.features) {
+                        float v = (f.w1 * rectSum(bx, by, f.r1, s) +
+                                   f.w2 * rectSum(bx, by, f.r2, s)) *
+                                  norm;
+                        sum += v > f.threshold ? f.passVal : f.failVal;
+                    }
+                    if (sum < stage.threshold) {
+                        pass = false;
+                        break;
+                    }
+                }
+                if (pass && hits.size() < 256) {
+                    hits.push_back({uint16_t(bx), uint16_t(by),
+                                    uint16_t(s * 100)});
+                }
+            }
+        }
+    }
+
+    // Fixed-size output: count + 256 slots (stable ciphertext size).
+    BinaryWriter w;
+    w.writeU32(uint32_t(hits.size()));
+    for (size_t i = 0; i < 256; ++i) {
+        Hit h = i < hits.size() ? hits[i] : Hit{0, 0, 0};
+        w.writeU16(h.x);
+        w.writeU16(h.y);
+        w.writeU16(h.scalePct);
+    }
+    return w.take();
+}
+
+Bytes
+genFaceDetect(uint64_t seed, double scale)
+{
+    crypto::CtrDrbg rng(seed ^ 0xfacedull);
+    uint32_t width = std::max(48u, uint32_t(320 * scale));
+    uint32_t height = std::max(48u, uint32_t(240 * scale));
+
+    BinaryWriter w;
+    w.writeU32(width);
+    w.writeU32(height);
+    const uint32_t stageSizes[3] = {4, 8, 12};
+    w.writeU32(3);
+    for (uint32_t nf : stageSizes) {
+        w.writeU32(nf);
+        writeF32(w, float(nf) * 0.1f); // stage threshold
+        for (uint32_t i = 0; i < nf; ++i) {
+            for (int j = 0; j < 8; ++j)
+                w.writeU32(uint32_t(rng.nextU64()));
+            writeF32(w, 1.0f);
+            writeF32(w, -1.5f);
+            writeF32(w, 10.0f * (randUnit(rng) - 0.5f));
+            writeF32(w, 0.8f);
+            writeF32(w, -0.2f);
+        }
+    }
+    Bytes image(size_t(width) * height);
+    crypto::CtrDrbg prng(seed ^ 0x1471ull);
+    prng.fill(image.data(), image.size());
+    w.writeRaw(image);
+    return w.take();
+}
+
+uint64_t
+opsFaceDetect(ByteView input)
+{
+    BinaryReader r(input);
+    uint64_t w = r.readU32(), h = r.readU32();
+    // windows * avg features evaluated * rect ops, summed over scales
+    // (geometric series in 1/1.5^2 ~= x1.8 of the base scale).
+    uint64_t windows = (w / 3) * (h / 3);
+    return windows * 8 * 10 * 18 / 10;
+}
+
+// ==================================================== NNSearch ======
+
+Bytes
+runNnSearch(ByteView input)
+{
+    BinaryReader r(input);
+    uint32_t numPoints = r.readU32();
+    uint32_t numQueries = r.readU32();
+    uint32_t dim = r.readU32();
+    if (numPoints == 0 || numQueries == 0 || dim == 0 ||
+        numPoints > 1u << 20 || numQueries > 1u << 16 || dim > 1024) {
+        throw SalusError("nnsearch: bad parameters");
+    }
+    if (r.remaining() !=
+        4 * (size_t(numPoints) + numQueries) * dim) {
+        throw SalusError("nnsearch: buffer size mismatch");
+    }
+    std::vector<float> points(size_t(numPoints) * dim);
+    for (auto &v : points)
+        v = readF32(r);
+    std::vector<float> queries(size_t(numQueries) * dim);
+    for (auto &v : queries)
+        v = readF32(r);
+
+    BinaryWriter w;
+    for (uint32_t q = 0; q < numQueries; ++q) {
+        const float *qv = &queries[size_t(q) * dim];
+        uint32_t best = 0;
+        float bestDist = 1e30f;
+        for (uint32_t p = 0; p < numPoints; ++p) {
+            const float *pv = &points[size_t(p) * dim];
+            float d = 0.0f;
+            for (uint32_t i = 0; i < dim; ++i) {
+                float diff = qv[i] - pv[i];
+                d += diff * diff;
+            }
+            if (d < bestDist) {
+                bestDist = d;
+                best = p;
+            }
+        }
+        w.writeU32(best);
+        writeF32(w, bestDist);
+    }
+    return w.take();
+}
+
+Bytes
+genNnSearch(uint64_t seed, double scale)
+{
+    crypto::CtrDrbg rng(seed ^ 0x22ull);
+    uint32_t numPoints = std::max(64u, uint32_t(4096 * scale));
+    uint32_t numQueries = std::max(4u, uint32_t(64 * scale));
+    uint32_t dim = 128;
+
+    BinaryWriter w;
+    w.writeU32(numPoints);
+    w.writeU32(numQueries);
+    w.writeU32(dim);
+    for (size_t i = 0; i < size_t(numPoints + numQueries) * dim; ++i)
+        writeF32(w, randUnit(rng));
+    return w.take();
+}
+
+uint64_t
+opsNnSearch(ByteView input)
+{
+    BinaryReader r(input);
+    uint64_t n = r.readU32(), q = r.readU32(), d = r.readU32();
+    return n * q * d * 3;
+}
+
+} // namespace
+
+const char *
+kernelName(KernelId id)
+{
+    switch (id) {
+      case KernelId::Conv: return "Conv";
+      case KernelId::Affine: return "Affine";
+      case KernelId::Rendering: return "Rendering";
+      case KernelId::FaceDetect: return "FaceDetect";
+      case KernelId::NnSearch: return "NNSearch";
+      default: return "?";
+    }
+}
+
+Bytes
+generateInput(KernelId id, uint64_t seed, double scale)
+{
+    switch (id) {
+      case KernelId::Conv: return genConv(seed, scale);
+      case KernelId::Affine: return genAffine(seed, scale);
+      case KernelId::Rendering: return genRendering(seed, scale);
+      case KernelId::FaceDetect: return genFaceDetect(seed, scale);
+      case KernelId::NnSearch: return genNnSearch(seed, scale);
+      default: throw SalusError("unknown kernel");
+    }
+}
+
+Bytes
+runKernel(KernelId id, ByteView input)
+{
+    try {
+        switch (id) {
+          case KernelId::Conv: return runConv(input);
+          case KernelId::Affine: return runAffine(input);
+          case KernelId::Rendering: return runRendering(input);
+          case KernelId::FaceDetect: return runFaceDetect(input);
+          case KernelId::NnSearch: return runNnSearch(input);
+          default: throw SalusError("unknown kernel");
+        }
+    } catch (const SerdeError &e) {
+        throw SalusError(std::string("kernel input parse: ") + e.what());
+    }
+}
+
+uint64_t
+kernelOps(KernelId id, ByteView input)
+{
+    try {
+        switch (id) {
+          case KernelId::Conv: return opsConv(input);
+          case KernelId::Affine: return opsAffine(input);
+          case KernelId::Rendering: return opsRendering(input);
+          case KernelId::FaceDetect: return opsFaceDetect(input);
+          case KernelId::NnSearch: return opsNnSearch(input);
+          default: return 0;
+        }
+    } catch (const SerdeError &) {
+        return 0;
+    }
+}
+
+double
+enclaveTrafficFactor(KernelId id)
+{
+    // Passes of enclave-memory traffic per input byte: compute-bound
+    // kernels stream once; framebuffer/integral-image kernels rewrite
+    // working sets many times (see EXPERIMENTS.md).
+    switch (id) {
+      case KernelId::Conv: return 2.0;
+      case KernelId::Affine: return 6.0;
+      case KernelId::Rendering: return 40.0;
+      case KernelId::FaceDetect: return 30.0;
+      case KernelId::NnSearch: return 3.0;
+      default: return 1.0;
+    }
+}
+
+bool
+outputEncrypted(KernelId id)
+{
+    // §6.4: Affine and Rendering protect both directions; the ML
+    // kernels (Conv, FaceDetect, NNSearch) encrypt inputs only.
+    switch (id) {
+      case KernelId::Affine:
+      case KernelId::Rendering:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace salus::accel

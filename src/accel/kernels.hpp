@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The five benchmark kernels (paper Table 4), implemented for real:
+ *
+ *   Conv       - single convolution layer (SDAccel example analog)
+ *   Affine     - affine transformation of a 512x512 image
+ *   Rendering  - 3D triangle rasterization (Rosetta analog)
+ *   FaceDetect - Viola-Jones cascade over integral images (Rosetta)
+ *   NNSearch   - nearest-neighbour linear search (SDAccel example)
+ *
+ * Each kernel is a pure function over serialized byte buffers, so the
+ * CPU reference path and the FPGA behavioural model execute the SAME
+ * code; only the timing model differs between them. Inputs are
+ * generated deterministically from a seed.
+ */
+
+#ifndef SALUS_ACCEL_KERNELS_HPP
+#define SALUS_ACCEL_KERNELS_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "crypto/random.hpp"
+
+namespace salus::accel {
+
+/** Kernel identifiers (double as IP behaviour ids; see fpga/ip.hpp). */
+enum class KernelId : uint32_t {
+    Conv = 10,
+    Affine = 11,
+    Rendering = 12,
+    FaceDetect = 13,
+    NnSearch = 14,
+};
+
+/** Human-readable kernel name. */
+const char *kernelName(KernelId id);
+
+/**
+ * Generates a deterministic input buffer for the kernel at the given
+ * scale (1.0 = the default evaluation size; tests use smaller).
+ */
+Bytes generateInput(KernelId id, uint64_t seed, double scale = 1.0);
+
+/**
+ * Executes the kernel.
+ * @throws SalusError on malformed input buffers.
+ */
+Bytes runKernel(KernelId id, ByteView input);
+
+/**
+ * Arithmetic work of the kernel on this input (multiply-accumulate
+ * equivalents) — the basis of the FPGA cycle model.
+ */
+uint64_t kernelOps(KernelId id, ByteView input);
+
+/**
+ * Approximate bytes of enclave memory traffic per input byte when the
+ * kernel runs on a CPU TEE (drives the EPC-overhead model; see
+ * EXPERIMENTS.md for the derivation per kernel).
+ */
+double enclaveTrafficFactor(KernelId id);
+
+/** Whether the paper's protected variant encrypts the output too
+ *  (§6.4: Affine/Rendering both directions, ML kernels input only). */
+bool outputEncrypted(KernelId id);
+
+} // namespace salus::accel
+
+#endif // SALUS_ACCEL_KERNELS_HPP

@@ -1,0 +1,62 @@
+#include "accel/mem_crypto.hpp"
+
+#include <cstring>
+
+#include "crypto/aes_ctr.hpp"
+#include "crypto/aes_gcm.hpp"
+
+namespace salus::accel {
+
+Bytes
+memCounterBlock(uint64_t jobId, Dir dir)
+{
+    Bytes block(16, 0);
+    std::memcpy(block.data(), dir == Dir::Input ? "ACCLIN__" : "ACCLOUT_",
+                8);
+    storeLe64(block.data() + 8, jobId);
+    return block;
+}
+
+Bytes
+memCrypt(ByteView dataKey, uint64_t jobId, Dir dir, ByteView data)
+{
+    crypto::AesCtr ctr(dataKey, memCounterBlock(jobId, dir));
+    return ctr.crypt(data);
+}
+
+namespace {
+
+Bytes
+authIv(uint64_t jobId, Dir dir)
+{
+    Bytes iv(12, 0);
+    iv[0] = uint8_t(dir);
+    storeLe64(iv.data() + 4, jobId);
+    return iv;
+}
+
+} // namespace
+
+Bytes
+memSealAuth(ByteView dataKey, uint64_t jobId, Dir dir, ByteView data)
+{
+    crypto::AesGcm gcm(dataKey);
+    crypto::GcmSealed sealed =
+        gcm.seal(authIv(jobId, dir), ByteView(), data);
+    return concatBytes({sealed.ciphertext, sealed.tag});
+}
+
+std::optional<Bytes>
+memOpenAuth(ByteView dataKey, uint64_t jobId, Dir dir, ByteView sealed)
+{
+    if (sealed.size() < crypto::kGcmTagSize)
+        return std::nullopt;
+    size_t ctLen = sealed.size() - crypto::kGcmTagSize;
+    crypto::AesGcm gcm(dataKey);
+    return gcm.open(authIv(jobId, dir), ByteView(),
+                    ByteView(sealed.data(), ctLen),
+                    ByteView(sealed.data() + ctLen,
+                             crypto::kGcmTagSize));
+}
+
+} // namespace salus::accel

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The developer-added memory-traffic encryption of §6.4: AES-256-CTR
+ * streaming over the accelerator's DRAM interface, keyed by the data
+ * key the user enclave pushes through the secure register channel.
+ * Host side and fabric side share these helpers, so both derive the
+ * same per-job counter blocks.
+ */
+
+#ifndef SALUS_ACCEL_MEM_CRYPTO_HPP
+#define SALUS_ACCEL_MEM_CRYPTO_HPP
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace salus::accel {
+
+/** Traffic directions (distinct keystreams per job). */
+enum class Dir : uint8_t { Input = 0, Output = 1 };
+
+/** The 16-byte CTR counter block for a (job, direction). */
+Bytes memCounterBlock(uint64_t jobId, Dir dir);
+
+/** Encrypts/decrypts one direction of a job's memory traffic. */
+Bytes memCrypt(ByteView dataKey, uint64_t jobId, Dir dir, ByteView data);
+
+// ---- Authenticated mode (extension) ----------------------------------
+//
+// The paper delegates device-memory *integrity* to the developer
+// (§3.1, citing Merkle-tree lines of work). This is the simplest such
+// scheme: AES-GCM per transfer, so a DMA-tampering shell is DETECTED
+// instead of merely producing garbage plaintext.
+
+/** Authenticated-encrypts one direction: ciphertext || 16-byte tag. */
+Bytes memSealAuth(ByteView dataKey, uint64_t jobId, Dir dir,
+                  ByteView data);
+
+/** Verifies + decrypts; nullopt when the transfer was tampered with. */
+std::optional<Bytes> memOpenAuth(ByteView dataKey, uint64_t jobId,
+                                 Dir dir, ByteView sealed);
+
+} // namespace salus::accel
+
+#endif // SALUS_ACCEL_MEM_CRYPTO_HPP

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * SGX-FPGA-style baseline (Xia et al., DAC'21) as characterized by the
+ * paper (§1 Challenge 3, §3.2, §4.4.1): a heterogeneous CPU-FPGA TEE
+ * whose RoT is a PUF challenge-response-pair (CRP) database, and whose
+ * multi-stage attestation hands the client a report that covers only
+ * the user enclave — the CL attestation completes *after* the report
+ * is issued.
+ *
+ * Two properties of this scheme are reproduced and demonstrated by
+ * tests/benches:
+ *   1. dev/deploy coupling: the CRP database must be enrolled on the
+ *      *specific* physical device the tenant will later rent;
+ *   2. the attestation gap: a timeline where report issuance precedes
+ *      CL attestation (Salus's cascaded attestation exists to close
+ *      exactly this gap).
+ */
+
+#ifndef SALUS_BASELINE_SGX_FPGA_HPP
+#define SALUS_BASELINE_SGX_FPGA_HPP
+
+#include <map>
+
+#include "crypto/random.hpp"
+#include "sim/clock.hpp"
+#include "sim/cost_model.hpp"
+
+namespace salus::baseline {
+
+/** A physically unclonable function bound to one device die. */
+class PufDevice
+{
+  public:
+    /** @param dieEntropy the device's unclonable physical state. */
+    explicit PufDevice(uint64_t dieEntropy) : dieEntropy_(dieEntropy) {}
+
+    /** Evaluates the PUF: response = f(die, challenge). */
+    uint64_t respond(uint64_t challenge) const;
+
+    uint64_t dieEntropy() const { return dieEntropy_; }
+
+  private:
+    uint64_t dieEntropy_;
+};
+
+/** The developer-enrolled challenge/response database. */
+class CrpDatabase
+{
+  public:
+    /**
+     * Enrollment pass — requires physical access to THE device the
+     * deployment will use (the Table 1 dev/deploy coupling).
+     */
+    void enroll(const PufDevice &device, size_t numPairs,
+                crypto::RandomSource &rng);
+
+    /** Number of unused pairs left (each authenticates once). */
+    size_t remaining() const { return pairs_.size(); }
+
+    /**
+     * One authentication round: pops a pair, queries the device,
+     * compares. Returns false on mismatch (wrong/cloned device).
+     */
+    bool authenticate(const PufDevice &device);
+
+  private:
+    std::map<uint64_t, uint64_t> pairs_;
+};
+
+/** Timeline of the multi-stage attestation (for the gap analysis). */
+struct SgxFpgaTimeline
+{
+    sim::Nanos reportIssuedAt = 0; ///< client receives the RA report
+    sim::Nanos clAttestedAt = 0;   ///< FPGA-side attestation completes
+    bool clAuthentic = false;
+
+    /** The window in which the client trusts an unattested platform. */
+    sim::Nanos gap() const
+    {
+        return clAttestedAt > reportIssuedAt
+                   ? clAttestedAt - reportIssuedAt
+                   : 0;
+    }
+};
+
+/**
+ * Runs the SGX-FPGA-style multi-stage flow on a virtual clock:
+ * user-enclave RA report first, CL (PUF) attestation afterwards.
+ */
+SgxFpgaTimeline runSgxFpgaFlow(CrpDatabase &db, const PufDevice &device,
+                               sim::VirtualClock &clock,
+                               const sim::CostModel &cost);
+
+} // namespace salus::baseline
+
+#endif // SALUS_BASELINE_SGX_FPGA_HPP

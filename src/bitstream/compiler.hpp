@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Bitstream compiler — the simulator's stand-in for Vivado place &
+ * route + write_bitstream. Turns a netlist into (a) a raw partial
+ * bitstream file sized purely by the partition geometry and (b) a
+ * logic-location sidecar for BRAM cells.
+ *
+ * Placement is deterministic but *content-dependent*: the serialized
+ * design lands at an offset derived from the netlist digest, so the
+ * location of the RoT cell genuinely differs across compiled designs —
+ * the property that forces Salus to carry a per-design Loc_keyattest
+ * (paper §4.2) instead of hardcoding one.
+ */
+
+#ifndef SALUS_BITSTREAM_COMPILER_HPP
+#define SALUS_BITSTREAM_COMPILER_HPP
+
+#include "bitstream/format.hpp"
+#include "bitstream/logic_location.hpp"
+#include "netlist/netlist.hpp"
+
+namespace salus::bitstream {
+
+/** Compiler output bundle. */
+struct CompiledDesign
+{
+    Bytes file; ///< raw partial bitstream file
+    LogicLocationFile logicLocations;
+    netlist::ResourceVector utilization;
+};
+
+/** Compiles a netlist for a partition of a given device model. */
+class Compiler
+{
+  public:
+    explicit Compiler(std::string deviceModel)
+        : deviceModel_(std::move(deviceModel))
+    {}
+
+    /**
+     * Places the design and emits the bitstream.
+     * @throws BitstreamError when the design exceeds the partition's
+     *         resource capacity or does not fit in the frame budget.
+     */
+    CompiledDesign compile(const netlist::Netlist &design,
+                           const PartitionGeometry &geometry) const;
+
+  private:
+    std::string deviceModel_;
+};
+
+/**
+ * Extracts the netlist back out of a (decrypted) bitstream body —
+ * this is what the device's configuration logic does after loading.
+ * @throws BitstreamError if the body does not carry a valid design.
+ */
+netlist::Netlist extractDesign(ByteView body);
+
+} // namespace salus::bitstream
+
+#endif // SALUS_BITSTREAM_COMPILER_HPP

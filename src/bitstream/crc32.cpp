@@ -1,0 +1,35 @@
+#include "bitstream/crc32.hpp"
+
+namespace salus::bitstream {
+
+namespace {
+
+struct Crc32Table
+{
+    uint32_t tbl[256];
+
+    Crc32Table()
+    {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            tbl[i] = c;
+        }
+    }
+};
+
+const Crc32Table kTable;
+
+} // namespace
+
+uint32_t
+crc32(ByteView data)
+{
+    uint32_t c = 0xffffffffu;
+    for (uint8_t b : data)
+        c = kTable.tbl[(c ^ b) & 0xff] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+} // namespace salus::bitstream

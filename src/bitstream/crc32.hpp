@@ -1,0 +1,23 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3 polynomial) as used for bitstream integrity
+ * words. Note this is an error-detection code, not a MAC — the
+ * manipulator recomputes it after patching exactly like real bitstream
+ * tooling does, and the threat model never relies on it for security.
+ */
+
+#ifndef SALUS_BITSTREAM_CRC32_HPP
+#define SALUS_BITSTREAM_CRC32_HPP
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace salus::bitstream {
+
+/** Computes the CRC-32 of the buffer (init 0xffffffff, reflected). */
+uint32_t crc32(ByteView data);
+
+} // namespace salus::bitstream
+
+#endif // SALUS_BITSTREAM_CRC32_HPP

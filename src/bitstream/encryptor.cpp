@@ -1,0 +1,92 @@
+#include "bitstream/encryptor.hpp"
+
+#include <cstring>
+
+#include "common/errors.hpp"
+#include "common/serde.hpp"
+#include "crypto/aes_gcm.hpp"
+
+namespace salus::bitstream {
+
+namespace {
+
+const char kMagic[4] = {'S', 'E', 'N', 'C'};
+
+Bytes
+headerBytes(const EncryptedHeader &header, ByteView iv)
+{
+    BinaryWriter w;
+    w.writeRaw(ByteView(reinterpret_cast<const uint8_t *>(kMagic), 4));
+    w.writeString(header.deviceModel);
+    w.writeU32(header.partitionId);
+    w.writeBytes(iv);
+    return w.take();
+}
+
+} // namespace
+
+Bytes
+encryptBitstream(ByteView rawFile, ByteView deviceKey,
+                 const EncryptedHeader &header,
+                 crypto::RandomSource &rng)
+{
+    if (deviceKey.size() != 32)
+        throw CryptoError("bitstream device key must be AES-256");
+
+    Bytes iv = rng.bytes(12);
+    Bytes aad = headerBytes(header, iv);
+
+    crypto::AesGcm gcm(deviceKey);
+    crypto::GcmSealed sealed = gcm.seal(iv, aad, rawFile);
+
+    BinaryWriter w;
+    w.writeRaw(aad);
+    w.writeBytes(sealed.ciphertext);
+    w.writeBytes(sealed.tag);
+    return w.take();
+}
+
+EncryptedHeader
+peekEncryptedHeader(ByteView blob)
+{
+    try {
+        BinaryReader r(blob);
+        Bytes magic = r.readRaw(4);
+        if (std::memcmp(magic.data(), kMagic, 4) != 0)
+            throw BitstreamError("not an encrypted bitstream");
+        EncryptedHeader h;
+        h.deviceModel = r.readString();
+        h.partitionId = r.readU32();
+        return h;
+    } catch (const SerdeError &e) {
+        throw BitstreamError(std::string("encrypted header: ") +
+                             e.what());
+    }
+}
+
+std::optional<Bytes>
+decryptBitstream(ByteView blob, ByteView deviceKey)
+{
+    try {
+        BinaryReader r(blob);
+        Bytes magic = r.readRaw(4);
+        if (std::memcmp(magic.data(), kMagic, 4) != 0)
+            return std::nullopt;
+        EncryptedHeader h;
+        h.deviceModel = r.readString();
+        h.partitionId = r.readU32();
+        Bytes iv = r.readBytes();
+        Bytes ciphertext = r.readBytes();
+        Bytes tag = r.readBytes();
+        if (!r.atEnd())
+            return std::nullopt;
+
+        Bytes aad = headerBytes(h, iv);
+        crypto::AesGcm gcm(deviceKey);
+        return gcm.open(iv, aad, ciphertext, tag);
+    } catch (const SerdeError &) {
+        return std::nullopt;
+    }
+}
+
+} // namespace salus::bitstream

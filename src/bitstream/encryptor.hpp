@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Bitstream encryption (paper §2.3, §5.2: AES-GCM-256 matching the
+ * Vivado/xapp1267 scheme). The SM enclave encrypts the manipulated
+ * bitstream under the per-device eFUSE key; only the FPGA fabric's
+ * internal decrypt engine can open it, so the shell that carries the
+ * blob learns nothing about the injected secrets.
+ *
+ * Envelope layout (clear header doubles as GCM AAD):
+ *   "SENC" | deviceModel | u32 partitionId | iv(12) | ct | tag(16)
+ */
+
+#ifndef SALUS_BITSTREAM_ENCRYPTOR_HPP
+#define SALUS_BITSTREAM_ENCRYPTOR_HPP
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "crypto/random.hpp"
+
+namespace salus::bitstream {
+
+/** Clear (authenticated) header of an encrypted bitstream. */
+struct EncryptedHeader
+{
+    std::string deviceModel;
+    uint32_t partitionId = 0;
+};
+
+/**
+ * Encrypts a raw bitstream file for a device.
+ * @param deviceKey the 32-byte AES key fused into the target device.
+ */
+Bytes encryptBitstream(ByteView rawFile, ByteView deviceKey,
+                       const EncryptedHeader &header,
+                       crypto::RandomSource &rng);
+
+/** Reads the clear header without any key (shell routing needs it). */
+EncryptedHeader peekEncryptedHeader(ByteView blob);
+
+/**
+ * Decrypts and authenticates; nullopt when the key is wrong or the
+ * blob was tampered with — the device refuses to configure.
+ */
+std::optional<Bytes> decryptBitstream(ByteView blob, ByteView deviceKey);
+
+} // namespace salus::bitstream
+
+#endif // SALUS_BITSTREAM_ENCRYPTOR_HPP

@@ -1,0 +1,106 @@
+#include "bitstream/format.hpp"
+
+#include <cstring>
+
+#include "bitstream/crc32.hpp"
+#include "common/errors.hpp"
+#include "common/serde.hpp"
+
+namespace salus::bitstream {
+
+namespace {
+
+const char kMagic[4] = {'S', 'B', 'I', 'T'};
+
+} // namespace
+
+Bytes
+Bitstream::toFile() const
+{
+    if (body.size() != size_t(frameCount) * frameSize)
+        throw BitstreamError("body size does not match geometry");
+
+    BinaryWriter w;
+    w.writeRaw(ByteView(reinterpret_cast<const uint8_t *>(kMagic), 4));
+    w.writeU16(version);
+    w.writeString(deviceModel);
+    w.writeU32(partitionId);
+    w.writeU32(frameStart);
+    w.writeU32(frameCount);
+    w.writeU32(frameSize);
+    w.writeBytes(body);
+
+    Bytes file = w.take();
+    uint32_t crc = crc32(file);
+    uint8_t crcBytes[4];
+    storeLe32(crcBytes, crc);
+    file.insert(file.end(), crcBytes, crcBytes + 4);
+    return file;
+}
+
+Bitstream
+Bitstream::fromFile(ByteView file)
+{
+    if (file.size() < 4 + 4)
+        throw BitstreamError("file too short");
+    if (!fileCrcValid(file))
+        throw BitstreamError("CRC mismatch");
+
+    try {
+        BinaryReader r(ByteView(file.data(), file.size() - 4));
+        Bytes magic = r.readRaw(4);
+        if (std::memcmp(magic.data(), kMagic, 4) != 0)
+            throw BitstreamError("bad magic");
+        Bitstream bs;
+        bs.version = r.readU16();
+        bs.deviceModel = r.readString();
+        bs.partitionId = r.readU32();
+        bs.frameStart = r.readU32();
+        bs.frameCount = r.readU32();
+        bs.frameSize = r.readU32();
+        bs.body = r.readBytes();
+        if (!r.atEnd())
+            throw BitstreamError("trailing garbage");
+        if (bs.frameSize == 0 ||
+            bs.body.size() != size_t(bs.frameCount) * bs.frameSize) {
+            throw BitstreamError("body/geometry mismatch");
+        }
+        return bs;
+    } catch (const SerdeError &e) {
+        throw BitstreamError(std::string("parse: ") + e.what());
+    }
+}
+
+size_t
+bitstreamBodyOffset(const std::string &deviceModel)
+{
+    // magic(4) + version(2) + deviceModel(4 + n) + partitionId(4) +
+    // frameStart(4) + frameCount(4) + frameSize(4) + body length(4)
+    return 4 + 2 + 4 + deviceModel.size() + 4 + 4 + 4 + 4 + 4;
+}
+
+size_t
+Bitstream::bodyOffsetInFile() const
+{
+    return bitstreamBodyOffset(deviceModel);
+}
+
+void
+refreshFileCrc(Bytes &file)
+{
+    if (file.size() < 4)
+        throw BitstreamError("file too short for CRC");
+    uint32_t crc = crc32(ByteView(file.data(), file.size() - 4));
+    storeLe32(file.data() + file.size() - 4, crc);
+}
+
+bool
+fileCrcValid(ByteView file)
+{
+    if (file.size() < 4)
+        return false;
+    uint32_t stored = loadLe32(file.data() + file.size() - 4);
+    return crc32(ByteView(file.data(), file.size() - 4)) == stored;
+}
+
+} // namespace salus::bitstream

@@ -1,0 +1,52 @@
+#include "bitstream/logic_location.hpp"
+
+#include "common/errors.hpp"
+#include "common/serde.hpp"
+
+namespace salus::bitstream {
+
+std::optional<LogicLocationEntry>
+LogicLocationFile::find(const std::string &cellPath) const
+{
+    for (const auto &e : entries_) {
+        if (e.cellPath == cellPath)
+            return e;
+    }
+    return std::nullopt;
+}
+
+Bytes
+LogicLocationFile::serialize() const
+{
+    BinaryWriter w;
+    w.writeU32(uint32_t(entries_.size()));
+    for (const auto &e : entries_) {
+        w.writeString(e.cellPath);
+        w.writeU64(e.fileOffset);
+        w.writeU32(e.length);
+    }
+    return w.take();
+}
+
+LogicLocationFile
+LogicLocationFile::deserialize(ByteView data)
+{
+    try {
+        BinaryReader r(data);
+        LogicLocationFile ll;
+        uint32_t count = r.readU32();
+        for (uint32_t i = 0; i < count; ++i) {
+            LogicLocationEntry e;
+            e.cellPath = r.readString();
+            e.fileOffset = r.readU64();
+            e.length = r.readU32();
+            ll.add(std::move(e));
+        }
+        return ll;
+    } catch (const SerdeError &e) {
+        throw BitstreamError(std::string("logic-location parse: ") +
+                             e.what());
+    }
+}
+
+} // namespace salus::bitstream

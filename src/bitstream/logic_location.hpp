@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Logic-location file (the analog of Xilinx .ll files as consumed by
+ * RapidWright/byteman). Produced at compile time alongside the
+ * bitstream, it maps each BRAM cell's hierarchical path to the byte
+ * span of its initialization contents *within the raw bitstream file*.
+ *
+ * The developer ships this next to the bitstream (paper §4.2:
+ * "records the hierarchical location of the RoT ... and stores it
+ * alongside the bitstream"); the SM enclave uses the entry for the
+ * reserved key cells to inject secrets without recompilation.
+ */
+
+#ifndef SALUS_BITSTREAM_LOGIC_LOCATION_HPP
+#define SALUS_BITSTREAM_LOGIC_LOCATION_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace salus::bitstream {
+
+/** One BRAM cell's placement inside the bitstream file. */
+struct LogicLocationEntry
+{
+    std::string cellPath;
+    uint64_t fileOffset = 0; ///< absolute offset in the raw file
+    uint32_t length = 0;     ///< init length in bytes
+};
+
+/** The whole .ll-style sidecar file. */
+class LogicLocationFile
+{
+  public:
+    void add(LogicLocationEntry entry) { entries_.push_back(entry); }
+
+    const std::vector<LogicLocationEntry> &entries() const
+    {
+        return entries_;
+    }
+
+    /** Finds the entry for a cell path. */
+    std::optional<LogicLocationEntry>
+    find(const std::string &cellPath) const;
+
+    /** Wire encoding, so it can travel with the bitstream metadata. */
+    Bytes serialize() const;
+    static LogicLocationFile deserialize(ByteView data);
+
+  private:
+    std::vector<LogicLocationEntry> entries_;
+};
+
+} // namespace salus::bitstream
+
+#endif // SALUS_BITSTREAM_LOGIC_LOCATION_HPP

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Bitstream manipulator — the RapidWright/byteman analog (paper §2.3).
+ * Patches a BRAM cell's initialization contents directly in a raw
+ * bitstream file, given the cell's logic location, then repairs the
+ * trailing CRC. No recompilation, no access to source, no netlist.
+ *
+ * This is the core enabling primitive for Salus's dynamic RoT
+ * injection: the SM enclave calls patchCell() with a freshly generated
+ * Key_attest / Key_session / Ctr_session (paper §4.2).
+ */
+
+#ifndef SALUS_BITSTREAM_MANIPULATOR_HPP
+#define SALUS_BITSTREAM_MANIPULATOR_HPP
+
+#include "bitstream/logic_location.hpp"
+
+namespace salus::bitstream {
+
+/** Stateless bitstream patcher. */
+class Manipulator
+{
+  public:
+    /**
+     * Overwrites the init contents of `cellPath` with `newInit` in the
+     * raw bitstream file, then refreshes the file CRC.
+     * @throws BitstreamError if the cell is unknown, the new contents
+     *         have the wrong length, or offsets fall outside the file.
+     */
+    static void patchCell(Bytes &file, const LogicLocationFile &ll,
+                          const std::string &cellPath, ByteView newInit);
+
+    /**
+     * Reads the current init contents of a cell from the raw file —
+     * the "readback" a bitstream tool performs when inspecting a
+     * design (and what an attacker with the plaintext file could do).
+     */
+    static Bytes readCell(ByteView file, const LogicLocationFile &ll,
+                          const std::string &cellPath);
+};
+
+} // namespace salus::bitstream
+
+#endif // SALUS_BITSTREAM_MANIPULATOR_HPP

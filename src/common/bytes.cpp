@@ -1,0 +1,122 @@
+#include "common/bytes.hpp"
+
+#include <stdexcept>
+
+namespace salus {
+
+Bytes
+bytesFromString(const std::string &s)
+{
+    return Bytes(s.begin(), s.end());
+}
+
+std::string
+stringFromBytes(ByteView data)
+{
+    return std::string(data.begin(), data.end());
+}
+
+Bytes
+concatBytes(std::initializer_list<ByteView> parts)
+{
+    size_t total = 0;
+    for (const auto &p : parts)
+        total += p.size();
+    Bytes out;
+    out.reserve(total);
+    for (const auto &p : parts)
+        out.insert(out.end(), p.begin(), p.end());
+    return out;
+}
+
+Bytes
+sliceBytes(ByteView data, size_t offset, size_t len)
+{
+    if (offset > data.size() || len > data.size() - offset)
+        throw std::out_of_range("sliceBytes: range outside buffer");
+    return Bytes(data.begin() + offset, data.begin() + offset + len);
+}
+
+void
+xorInto(Bytes &a, ByteView b)
+{
+    if (a.size() != b.size())
+        throw std::invalid_argument("xorInto: size mismatch");
+    for (size_t i = 0; i < a.size(); ++i)
+        a[i] ^= b[i];
+}
+
+void
+secureZero(uint8_t *p, size_t n)
+{
+    volatile uint8_t *vp = p;
+    for (size_t i = 0; i < n; ++i)
+        vp[i] = 0;
+}
+
+void
+secureZero(Bytes &b)
+{
+    if (!b.empty())
+        secureZero(b.data(), b.size());
+}
+
+uint32_t
+loadBe32(const uint8_t *p)
+{
+    return (uint32_t(p[0]) << 24) | (uint32_t(p[1]) << 16) |
+           (uint32_t(p[2]) << 8) | uint32_t(p[3]);
+}
+
+void
+storeBe32(uint8_t *p, uint32_t v)
+{
+    p[0] = uint8_t(v >> 24);
+    p[1] = uint8_t(v >> 16);
+    p[2] = uint8_t(v >> 8);
+    p[3] = uint8_t(v);
+}
+
+uint64_t
+loadBe64(const uint8_t *p)
+{
+    return (uint64_t(loadBe32(p)) << 32) | loadBe32(p + 4);
+}
+
+void
+storeBe64(uint8_t *p, uint64_t v)
+{
+    storeBe32(p, uint32_t(v >> 32));
+    storeBe32(p + 4, uint32_t(v));
+}
+
+uint32_t
+loadLe32(const uint8_t *p)
+{
+    return uint32_t(p[0]) | (uint32_t(p[1]) << 8) |
+           (uint32_t(p[2]) << 16) | (uint32_t(p[3]) << 24);
+}
+
+void
+storeLe32(uint8_t *p, uint32_t v)
+{
+    p[0] = uint8_t(v);
+    p[1] = uint8_t(v >> 8);
+    p[2] = uint8_t(v >> 16);
+    p[3] = uint8_t(v >> 24);
+}
+
+uint64_t
+loadLe64(const uint8_t *p)
+{
+    return uint64_t(loadLe32(p)) | (uint64_t(loadLe32(p + 4)) << 32);
+}
+
+void
+storeLe64(uint8_t *p, uint64_t v)
+{
+    storeLe32(p, uint32_t(v));
+    storeLe32(p + 4, uint32_t(v >> 32));
+}
+
+} // namespace salus

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Exception hierarchy. Exceptions indicate misuse or internal errors;
+ * expected protocol outcomes (failed attestation, rejected MAC, ...)
+ * are reported through status values, never exceptions.
+ */
+
+#ifndef SALUS_COMMON_ERRORS_HPP
+#define SALUS_COMMON_ERRORS_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace salus {
+
+/** Base for all salus exceptions. */
+class SalusError : public std::runtime_error
+{
+  public:
+    explicit SalusError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Bad key size, bad nonce size, invalid cipher state, etc. */
+class CryptoError : public SalusError
+{
+  public:
+    explicit CryptoError(const std::string &what)
+        : SalusError("crypto: " + what)
+    {}
+};
+
+/** Structural errors in bitstreams or netlists. */
+class BitstreamError : public SalusError
+{
+  public:
+    explicit BitstreamError(const std::string &what)
+        : SalusError("bitstream: " + what)
+    {}
+};
+
+/** Device-model misuse (bad frame address, no such partition, ...). */
+class DeviceError : public SalusError
+{
+  public:
+    explicit DeviceError(const std::string &what)
+        : SalusError("device: " + what)
+    {}
+};
+
+/** TEE-platform misuse (enclave not loaded, bad key request, ...). */
+class TeeError : public SalusError
+{
+  public:
+    explicit TeeError(const std::string &what)
+        : SalusError("tee: " + what)
+    {}
+};
+
+/** RPC/network-layer misuse (unknown endpoint, no handler, ...). */
+class NetError : public SalusError
+{
+  public:
+    explicit NetError(const std::string &what)
+        : SalusError("net: " + what)
+    {}
+};
+
+} // namespace salus
+
+#endif // SALUS_COMMON_ERRORS_HPP

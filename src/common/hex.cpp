@@ -1,0 +1,61 @@
+#include "common/hex.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace salus {
+
+std::string
+hexEncode(ByteView data)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(data.size() * 2);
+    for (uint8_t b : data) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+namespace {
+
+int
+nibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+Bytes
+hexDecode(const std::string &hex)
+{
+    Bytes out;
+    out.reserve(hex.size() / 2);
+    int hi = -1;
+    for (char c : hex) {
+        if (std::isspace(static_cast<unsigned char>(c)))
+            continue;
+        int n = nibble(c);
+        if (n < 0)
+            throw std::invalid_argument("hexDecode: bad character");
+        if (hi < 0) {
+            hi = n;
+        } else {
+            out.push_back(uint8_t((hi << 4) | n));
+            hi = -1;
+        }
+    }
+    if (hi >= 0)
+        throw std::invalid_argument("hexDecode: odd digit count");
+    return out;
+}
+
+} // namespace salus

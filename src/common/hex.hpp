@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Hexadecimal encoding/decoding helpers.
+ */
+
+#ifndef SALUS_COMMON_HEX_HPP
+#define SALUS_COMMON_HEX_HPP
+
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace salus {
+
+/** Encodes bytes as lowercase hex. */
+std::string hexEncode(ByteView data);
+
+/**
+ * Decodes a hex string (case-insensitive, optional whitespace).
+ * @throws std::invalid_argument on malformed input.
+ */
+Bytes hexDecode(const std::string &hex);
+
+} // namespace salus
+
+#endif // SALUS_COMMON_HEX_HPP

@@ -1,0 +1,46 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace salus {
+
+namespace {
+
+LogLevel gLevel = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DBG";
+      case LogLevel::Info: return "INF";
+      case LogLevel::Warn: return "WRN";
+      case LogLevel::Error: return "ERR";
+      default: return "???";
+    }
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return gLevel;
+}
+
+void
+logLine(LogLevel level, const std::string &tag, const std::string &msg)
+{
+    if (level < gLevel)
+        return;
+    std::fprintf(stderr, "[%s] %-12s %s\n", levelName(level), tag.c_str(),
+                 msg.c_str());
+}
+
+} // namespace salus

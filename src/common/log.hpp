@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tiny leveled logger. Protocol components use it to narrate boot and
+ * attestation flows; tests silence it by default.
+ */
+
+#ifndef SALUS_COMMON_LOG_HPP
+#define SALUS_COMMON_LOG_HPP
+
+#include <sstream>
+#include <string>
+
+namespace salus {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/** Sets the global minimum level that is actually printed. */
+void setLogLevel(LogLevel level);
+
+/** Current global minimum level. */
+LogLevel logLevel();
+
+/** Emits one line at the given level with a component tag. */
+void logLine(LogLevel level, const std::string &tag,
+             const std::string &msg);
+
+namespace detail {
+
+inline void
+format(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+format(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    format(os, rest...);
+}
+
+} // namespace detail
+
+/** Streams all arguments into one log line (no-op below the level). */
+template <typename... Args>
+void
+logf(LogLevel level, const std::string &tag, const Args &...args)
+{
+    if (level < logLevel())
+        return;
+    std::ostringstream os;
+    detail::format(os, args...);
+    logLine(level, tag, os.str());
+}
+
+} // namespace salus
+
+#endif // SALUS_COMMON_LOG_HPP

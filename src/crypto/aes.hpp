@@ -1,0 +1,58 @@
+/**
+ * @file
+ * AES block cipher (FIPS 197), key sizes 128/192/256.
+ *
+ * This is the primitive underneath every mode in the repo: CTR (memory
+ * and register-channel encryption), GCM (bitstream encryption, data
+ * upload), and CMAC (SGX-style local-attestation report MACs).
+ */
+
+#ifndef SALUS_CRYPTO_AES_HPP
+#define SALUS_CRYPTO_AES_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace salus::crypto {
+
+/** AES block size in bytes. */
+constexpr size_t kAesBlockSize = 16;
+
+/**
+ * Expanded-key AES context. Construct once per key, then encrypt or
+ * decrypt any number of 16-byte blocks.
+ */
+class Aes
+{
+  public:
+    /**
+     * Expands the key schedule.
+     * @param key 16, 24 or 32 bytes.
+     * @throws CryptoError on any other key length.
+     */
+    explicit Aes(ByteView key);
+
+    ~Aes();
+    Aes(const Aes &) = delete;
+    Aes &operator=(const Aes &) = delete;
+
+    /** Encrypts one 16-byte block (in and out may alias). */
+    void encryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+    /** Decrypts one 16-byte block (in and out may alias). */
+    void decryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+    /** Number of rounds (10/12/14). */
+    int rounds() const { return rounds_; }
+
+  private:
+    /** Round keys as 4-byte words, 4*(rounds+1) entries. */
+    std::array<uint32_t, 60> roundKeys_{};
+    int rounds_;
+};
+
+} // namespace salus::crypto
+
+#endif // SALUS_CRYPTO_AES_HPP

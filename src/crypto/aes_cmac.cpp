@@ -1,0 +1,82 @@
+#include "crypto/aes_cmac.hpp"
+
+#include <cstring>
+
+#include "crypto/ct.hpp"
+
+namespace salus::crypto {
+
+namespace {
+
+/** Doubles a 128-bit value in GF(2^128) with the CMAC polynomial. */
+void
+dbl(uint8_t b[16])
+{
+    uint8_t carry = b[0] >> 7;
+    for (int i = 0; i < 15; ++i)
+        b[i] = uint8_t((b[i] << 1) | (b[i + 1] >> 7));
+    b[15] = uint8_t(b[15] << 1);
+    if (carry)
+        b[15] ^= 0x87;
+}
+
+} // namespace
+
+Bytes
+aesCmac(ByteView key, ByteView msg)
+{
+    Aes aes(key);
+
+    uint8_t l[16] = {};
+    aes.encryptBlock(l, l);
+    uint8_t k1[16], k2[16];
+    std::memcpy(k1, l, 16);
+    dbl(k1);
+    std::memcpy(k2, k1, 16);
+    dbl(k2);
+
+    size_t n = (msg.size() + 15) / 16;
+    bool complete = (n != 0) && (msg.size() % 16 == 0);
+    if (n == 0)
+        n = 1;
+
+    uint8_t last[16];
+    if (complete) {
+        std::memcpy(last, msg.data() + 16 * (n - 1), 16);
+        for (int i = 0; i < 16; ++i)
+            last[i] ^= k1[i];
+    } else {
+        size_t rem = msg.size() - 16 * (n - 1);
+        std::memset(last, 0, 16);
+        if (rem)
+            std::memcpy(last, msg.data() + 16 * (n - 1), rem);
+        last[rem] = 0x80;
+        for (int i = 0; i < 16; ++i)
+            last[i] ^= k2[i];
+    }
+
+    uint8_t x[16] = {};
+    for (size_t i = 0; i + 1 < n; ++i) {
+        for (int j = 0; j < 16; ++j)
+            x[j] ^= msg[16 * i + j];
+        aes.encryptBlock(x, x);
+    }
+    for (int j = 0; j < 16; ++j)
+        x[j] ^= last[j];
+    aes.encryptBlock(x, x);
+
+    Bytes out(x, x + 16);
+    secureZero(k1, 16);
+    secureZero(k2, 16);
+    secureZero(l, 16);
+    return out;
+}
+
+bool
+aesCmacVerify(ByteView key, ByteView msg, ByteView tag)
+{
+    Bytes expect = aesCmac(key, msg);
+    return ctEqual(expect, tag);
+}
+
+} // namespace salus::crypto

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * AES-CMAC (RFC 4493 / NIST SP 800-38B).
+ *
+ * Intel SGX local-attestation reports are MACed with AES-128-CMAC
+ * under the report key (paper Fig. 1); the simulated TEE's EREPORT
+ * does exactly the same.
+ */
+
+#ifndef SALUS_CRYPTO_AES_CMAC_HPP
+#define SALUS_CRYPTO_AES_CMAC_HPP
+
+#include "crypto/aes.hpp"
+
+namespace salus::crypto {
+
+/** CMAC tag length in bytes. */
+constexpr size_t kCmacTagSize = 16;
+
+/** Computes the 16-byte AES-CMAC of msg under key. */
+Bytes aesCmac(ByteView key, ByteView msg);
+
+/** Verifies in constant time. */
+bool aesCmacVerify(ByteView key, ByteView msg, ByteView tag);
+
+} // namespace salus::crypto
+
+#endif // SALUS_CRYPTO_AES_CMAC_HPP

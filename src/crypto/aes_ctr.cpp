@@ -1,0 +1,85 @@
+#include "crypto/aes_ctr.hpp"
+
+#include <cstring>
+
+#include "common/errors.hpp"
+
+namespace salus::crypto {
+
+namespace {
+
+void
+incrementBe128(uint8_t ctr[16])
+{
+    for (int i = 15; i >= 0; --i) {
+        if (++ctr[i] != 0)
+            break;
+    }
+}
+
+void
+addBe128(uint8_t ctr[16], uint64_t delta)
+{
+    // Add delta to the low 64 bits, propagate carry into the high half.
+    uint64_t low = loadBe64(ctr + 8);
+    uint64_t sum = low + delta;
+    storeBe64(ctr + 8, sum);
+    if (sum < low) {
+        uint64_t high = loadBe64(ctr);
+        storeBe64(ctr, high + 1);
+    }
+}
+
+} // namespace
+
+AesCtr::AesCtr(ByteView key, ByteView counterBlock)
+    : aes_(key), used_(kAesBlockSize)
+{
+    if (counterBlock.size() != kAesBlockSize)
+        throw CryptoError("AES-CTR counter block must be 16 bytes");
+    std::memcpy(counter0_, counterBlock.data(), kAesBlockSize);
+    std::memcpy(counter_, counterBlock.data(), kAesBlockSize);
+}
+
+void
+AesCtr::refill()
+{
+    aes_.encryptBlock(counter_, keystream_);
+    incrementBe128(counter_);
+    used_ = 0;
+}
+
+void
+AesCtr::crypt(uint8_t *data, size_t len)
+{
+    for (size_t i = 0; i < len; ++i) {
+        if (used_ == kAesBlockSize)
+            refill();
+        data[i] ^= keystream_[used_++];
+    }
+}
+
+Bytes
+AesCtr::crypt(ByteView data)
+{
+    Bytes out(data.begin(), data.end());
+    crypt(out.data(), out.size());
+    return out;
+}
+
+void
+AesCtr::seekBlock(uint64_t blockIndex)
+{
+    std::memcpy(counter_, counter0_, kAesBlockSize);
+    addBe128(counter_, blockIndex);
+    used_ = kAesBlockSize;
+}
+
+Bytes
+aesCtrCrypt(ByteView key, ByteView counterBlock, ByteView data)
+{
+    AesCtr ctr(key, counterBlock);
+    return ctr.crypt(data);
+}
+
+} // namespace salus::crypto

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * AES-CTR streaming cipher (NIST SP 800-38A).
+ *
+ * This is the paper's memory-traffic cipher: the CL accelerators add an
+ * AES-CTR engine at the memory interface (§6.4), and the SM secure
+ * register channel encrypts payloads with it (§4.5).
+ */
+
+#ifndef SALUS_CRYPTO_AES_CTR_HPP
+#define SALUS_CRYPTO_AES_CTR_HPP
+
+#include <memory>
+
+#include "crypto/aes.hpp"
+
+namespace salus::crypto {
+
+/**
+ * Streaming CTR context. The 16-byte counter block increments as a
+ * 128-bit big-endian integer per encrypted block. Encryption and
+ * decryption are the same operation.
+ */
+class AesCtr
+{
+  public:
+    /**
+     * @param key AES key, 16/24/32 bytes.
+     * @param counterBlock initial 16-byte counter block.
+     */
+    AesCtr(ByteView key, ByteView counterBlock);
+
+    /** XORs the keystream over data in place. */
+    void crypt(uint8_t *data, size_t len);
+
+    /** Convenience: returns the transformed copy. */
+    Bytes crypt(ByteView data);
+
+    /** Skips keystream so independent offsets can be addressed. */
+    void seekBlock(uint64_t blockIndex);
+
+  private:
+    void refill();
+
+    Aes aes_;
+    uint8_t counter0_[16];
+    uint8_t counter_[16];
+    uint8_t keystream_[16];
+    size_t used_;
+};
+
+/** One-shot CTR transform. */
+Bytes aesCtrCrypt(ByteView key, ByteView counterBlock, ByteView data);
+
+} // namespace salus::crypto
+
+#endif // SALUS_CRYPTO_AES_CTR_HPP

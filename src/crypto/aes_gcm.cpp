@@ -1,0 +1,244 @@
+#include "crypto/aes_gcm.hpp"
+
+#include <cstring>
+
+#include "common/errors.hpp"
+#include "crypto/ct.hpp"
+
+namespace salus::crypto {
+
+namespace {
+
+/**
+ * Shoup 4-bit table GHASH key schedule. All tables are derived from H
+ * at construction: hh/hl[v] = v-interpreted-nibble * H, red4[r] = the
+ * reduction polynomial contribution of 4 bits shifted out of the low
+ * end (computed by simulating four single-bit reductions, no magic
+ * constants).
+ */
+struct GhashTables
+{
+    uint64_t hh[16], hl[16], red4[16];
+
+    GhashTables(uint64_t h0, uint64_t h1)
+    {
+        for (uint64_t r = 0; r < 16; ++r) {
+            uint64_t zh = 0, zl = r;
+            for (int b = 0; b < 4; ++b) {
+                uint64_t lsb = zl & 1;
+                zl = (zl >> 1) | (zh << 63);
+                zh >>= 1;
+                if (lsb)
+                    zh ^= 0xe100000000000000ULL;
+            }
+            red4[r] = zh;
+        }
+
+        hh[8] = h0;
+        hl[8] = h1;
+        for (int i = 4; i > 0; i >>= 1) {
+            uint64_t th = hh[i << 1], tl = hl[i << 1];
+            uint64_t lsb = tl & 1;
+            tl = (tl >> 1) | (th << 63);
+            th >>= 1;
+            if (lsb)
+                th ^= 0xe100000000000000ULL;
+            hh[i] = th;
+            hl[i] = tl;
+        }
+        hh[0] = 0;
+        hl[0] = 0;
+        for (int i = 2; i < 16; i <<= 1) {
+            for (int j = 1; j < i; ++j) {
+                hh[i + j] = hh[i] ^ hh[j];
+                hl[i + j] = hl[i] ^ hl[j];
+            }
+        }
+    }
+
+    /** (zh, zl) = X * H where X is the 16-byte block. */
+    void
+    mult(uint64_t &zh, uint64_t &zl, const uint8_t x[16]) const
+    {
+        uint8_t lo = x[15] & 0xf;
+        uint8_t hi = x[15] >> 4;
+        zh = hh[lo];
+        zl = hl[lo];
+
+        auto fold = [&](uint8_t nibble) {
+            uint64_t rem = zl & 0xf;
+            zl = (zl >> 4) | (zh << 60);
+            zh = (zh >> 4) ^ red4[rem];
+            zh ^= hh[nibble];
+            zl ^= hl[nibble];
+        };
+        fold(hi);
+        for (int i = 14; i >= 0; --i) {
+            fold(x[i] & 0xf);
+            fold(x[i] >> 4);
+        }
+    }
+};
+
+void
+inc32(uint8_t ctr[16])
+{
+    uint32_t v = loadBe32(ctr + 12);
+    storeBe32(ctr + 12, v + 1);
+}
+
+} // namespace
+
+/** Streaming GHASH accumulator. */
+struct AesGcm::Ghash
+{
+    GhashTables tables;
+    uint64_t yh = 0, yl = 0;
+
+    Ghash(uint64_t h0, uint64_t h1) : tables(h0, h1) {}
+
+    void
+    block(const uint8_t b[16])
+    {
+        uint8_t x[16];
+        storeBe64(x, yh ^ loadBe64(b));
+        storeBe64(x + 8, yl ^ loadBe64(b + 8));
+        tables.mult(yh, yl, x);
+    }
+
+    /** Absorbs data padded with zeros to a block boundary. */
+    void
+    absorbPadded(ByteView data)
+    {
+        size_t full = data.size() / 16;
+        for (size_t i = 0; i < full; ++i)
+            block(data.data() + 16 * i);
+        size_t rem = data.size() % 16;
+        if (rem) {
+            uint8_t last[16] = {};
+            std::memcpy(last, data.data() + 16 * full, rem);
+            block(last);
+        }
+    }
+
+    void
+    lengths(uint64_t aadBytes, uint64_t textBytes)
+    {
+        uint8_t lenBlock[16];
+        storeBe64(lenBlock, aadBytes * 8);
+        storeBe64(lenBlock + 8, textBytes * 8);
+        block(lenBlock);
+    }
+
+    void
+    digest(uint8_t out[16]) const
+    {
+        storeBe64(out, yh);
+        storeBe64(out + 8, yl);
+    }
+};
+
+AesGcm::AesGcm(ByteView key) : aes_(key)
+{
+    uint8_t zero[16] = {};
+    uint8_t h[16];
+    aes_.encryptBlock(zero, h);
+    h_[0] = loadBe64(h);
+    h_[1] = loadBe64(h + 8);
+    secureZero(h, 16);
+}
+
+void
+AesGcm::deriveCounter0(ByteView iv, uint8_t j0[16]) const
+{
+    if (iv.size() == 12) {
+        std::memcpy(j0, iv.data(), 12);
+        storeBe32(j0 + 12, 1);
+    } else {
+        Ghash g(h_[0], h_[1]);
+        g.absorbPadded(iv);
+        g.lengths(0, iv.size());
+        g.digest(j0);
+    }
+}
+
+void
+AesGcm::ctrCrypt(const uint8_t j0[16], ByteView in, Bytes &out) const
+{
+    uint8_t ctr[16];
+    std::memcpy(ctr, j0, 16);
+    out.resize(in.size());
+    size_t off = 0;
+    uint8_t ks[16];
+    while (off < in.size()) {
+        inc32(ctr);
+        aes_.encryptBlock(ctr, ks);
+        size_t n = std::min(size_t(16), in.size() - off);
+        for (size_t i = 0; i < n; ++i)
+            out[off + i] = uint8_t(in[off + i] ^ ks[i]);
+        off += n;
+    }
+    secureZero(ks, 16);
+}
+
+GcmSealed
+AesGcm::seal(ByteView iv, ByteView aad, ByteView plaintext) const
+{
+    if (iv.empty())
+        throw CryptoError("GCM IV must not be empty");
+
+    uint8_t j0[16];
+    deriveCounter0(iv, j0);
+
+    GcmSealed out;
+    ctrCrypt(j0, plaintext, out.ciphertext);
+
+    Ghash g(h_[0], h_[1]);
+    g.absorbPadded(aad);
+    g.absorbPadded(out.ciphertext);
+    g.lengths(aad.size(), out.ciphertext.size());
+    uint8_t s[16];
+    g.digest(s);
+
+    uint8_t ekj0[16];
+    aes_.encryptBlock(j0, ekj0);
+    out.tag.resize(kGcmTagSize);
+    for (int i = 0; i < 16; ++i)
+        out.tag[i] = uint8_t(s[i] ^ ekj0[i]);
+    return out;
+}
+
+std::optional<Bytes>
+AesGcm::open(ByteView iv, ByteView aad, ByteView ciphertext,
+             ByteView tag) const
+{
+    if (iv.empty())
+        throw CryptoError("GCM IV must not be empty");
+    if (tag.size() != kGcmTagSize)
+        return std::nullopt;
+
+    uint8_t j0[16];
+    deriveCounter0(iv, j0);
+
+    Ghash g(h_[0], h_[1]);
+    g.absorbPadded(aad);
+    g.absorbPadded(ciphertext);
+    g.lengths(aad.size(), ciphertext.size());
+    uint8_t s[16];
+    g.digest(s);
+
+    uint8_t ekj0[16];
+    aes_.encryptBlock(j0, ekj0);
+    uint8_t expect[16];
+    for (int i = 0; i < 16; ++i)
+        expect[i] = uint8_t(s[i] ^ ekj0[i]);
+
+    if (!ctEqual(ByteView(expect, 16), tag))
+        return std::nullopt;
+
+    Bytes plain;
+    ctrCrypt(j0, ciphertext, plain);
+    return plain;
+}
+
+} // namespace salus::crypto

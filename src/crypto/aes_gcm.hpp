@@ -1,0 +1,66 @@
+/**
+ * @file
+ * AES-GCM authenticated encryption (NIST SP 800-38D).
+ *
+ * This is the bitstream cipher: the SM enclave encrypts the manipulated
+ * CL bitstream with AES-GCM-256 under Key_device (§5.2, xapp1267), and
+ * the FPGA's internal decrypt engine opens it. It also protects bulk
+ * data uploads from the data owner to the user enclave.
+ */
+
+#ifndef SALUS_CRYPTO_AES_GCM_HPP
+#define SALUS_CRYPTO_AES_GCM_HPP
+
+#include <optional>
+
+#include "crypto/aes.hpp"
+
+namespace salus::crypto {
+
+/** GCM authentication tag length in bytes. */
+constexpr size_t kGcmTagSize = 16;
+
+/** Result of sealing: ciphertext plus authentication tag. */
+struct GcmSealed
+{
+    Bytes ciphertext;
+    Bytes tag; ///< 16 bytes.
+};
+
+/**
+ * Authenticated encryption context for one key. Each seal/open call is
+ * independent; the caller supplies a unique IV per seal.
+ */
+class AesGcm
+{
+  public:
+    /** @param key AES key, 16/24/32 bytes. */
+    explicit AesGcm(ByteView key);
+
+    /**
+     * Encrypts and authenticates.
+     * @param iv nonce; 12 bytes is the fast path, other sizes hashed.
+     * @param aad additional authenticated (but not encrypted) data.
+     */
+    GcmSealed seal(ByteView iv, ByteView aad, ByteView plaintext) const;
+
+    /**
+     * Verifies and decrypts.
+     * @return plaintext, or std::nullopt when the tag does not verify
+     *         (the normal "attacker tampered" outcome, not an error).
+     */
+    std::optional<Bytes> open(ByteView iv, ByteView aad,
+                              ByteView ciphertext, ByteView tag) const;
+
+  private:
+    struct Ghash;
+    void deriveCounter0(ByteView iv, uint8_t j0[16]) const;
+    void ctrCrypt(const uint8_t j0[16], ByteView in, Bytes &out) const;
+
+    Aes aes_;
+    uint64_t h_[2]; ///< GHASH key H = E_K(0), big-endian halves.
+};
+
+} // namespace salus::crypto
+
+#endif // SALUS_CRYPTO_AES_GCM_HPP

@@ -1,0 +1,16 @@
+#include "crypto/ct.hpp"
+
+namespace salus::crypto {
+
+bool
+ctEqual(ByteView a, ByteView b)
+{
+    if (a.size() != b.size())
+        return false;
+    uint8_t acc = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc |= uint8_t(a[i] ^ b[i]);
+    return acc == 0;
+}
+
+} // namespace salus::crypto

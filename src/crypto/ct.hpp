@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Constant-time comparison helpers. Every MAC/tag/digest comparison in
+ * protocol code must go through these, never operator==.
+ */
+
+#ifndef SALUS_CRYPTO_CT_HPP
+#define SALUS_CRYPTO_CT_HPP
+
+#include "common/bytes.hpp"
+
+namespace salus::crypto {
+
+/**
+ * Compares two buffers in time independent of where they differ.
+ * @return true iff both have the same length and contents.
+ */
+bool ctEqual(ByteView a, ByteView b);
+
+} // namespace salus::crypto
+
+#endif // SALUS_CRYPTO_CT_HPP

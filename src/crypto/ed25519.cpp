@@ -1,0 +1,477 @@
+#include "crypto/ed25519.hpp"
+
+#include <cstring>
+
+#include "common/errors.hpp"
+#include "common/hex.hpp"
+#include "crypto/f25519.hpp"
+#include "crypto/sha512.hpp"
+
+namespace salus::crypto {
+
+namespace {
+
+// --- Curve constants (edwards25519: -x^2 + y^2 = 1 + d x^2 y^2) ----
+
+Fe
+feFromHexBe(const char *hexBe)
+{
+    Bytes be = hexDecode(hexBe);
+    uint8_t le[32];
+    for (int i = 0; i < 32; ++i)
+        le[i] = be[31 - i];
+    return feFromBytes(le);
+}
+
+const Fe &
+constD()
+{
+    static const Fe d = feFromHexBe(
+        "52036cee2b6ffe738cc740797779e89800700a4d4141d8ab75eb4dca135978a3");
+    return d;
+}
+
+const Fe &
+constD2()
+{
+    static const Fe d2 = feAdd(constD(), constD());
+    return d2;
+}
+
+const Fe &
+constSqrtM1()
+{
+    static const Fe s = feFromHexBe(
+        "2b8324804fc1df0b2b4d00993dfbd7a72f431806ad2fe478c4ee1b274a0ea0b0");
+    return s;
+}
+
+// --- Group element (extended homogeneous coordinates) ---------------
+
+struct Ge
+{
+    Fe x, y, z, t;
+};
+
+Ge
+geIdentity()
+{
+    return Ge{feZero(), feOne(), feOne(), feZero()};
+}
+
+const Ge &
+geBase()
+{
+    static const Ge b = [] {
+        Ge g;
+        g.x = feFromHexBe("216936d3cd6e53fec0a4e231fdd6dc5c"
+                          "692cc7609525a7b2c9562d608f25d51a");
+        g.y = feFromHexBe("66666666666666666666666666666666"
+                          "66666666666666666666666666666658");
+        g.z = feOne();
+        g.t = feMul(g.x, g.y);
+        return g;
+    }();
+    return b;
+}
+
+Ge
+geAdd(const Ge &p, const Ge &q)
+{
+    Fe a = feMul(feSub(p.y, p.x), feSub(q.y, q.x));
+    Fe b = feMul(feAdd(p.y, p.x), feAdd(q.y, q.x));
+    Fe c = feMul(feMul(p.t, constD2()), q.t);
+    Fe d = feMul(feAdd(p.z, p.z), q.z);
+    Fe e = feSub(b, a);
+    Fe f = feSub(d, c);
+    Fe g = feAdd(d, c);
+    Fe h = feAdd(b, a);
+    return Ge{feMul(e, f), feMul(g, h), feMul(f, g), feMul(e, h)};
+}
+
+Ge
+geDouble(const Ge &p)
+{
+    Fe a = feSquare(p.x);
+    Fe b = feSquare(p.y);
+    Fe zz = feSquare(p.z);
+    Fe c = feAdd(zz, zz);
+    Fe h = feAdd(a, b);
+    Fe xy = feAdd(p.x, p.y);
+    Fe e = feSub(h, feSquare(xy));
+    Fe g = feSub(a, b);
+    Fe f = feAdd(c, g);
+    return Ge{feMul(e, f), feMul(g, h), feMul(f, g), feMul(e, h)};
+}
+
+/** scalar is 32 little-endian bytes; plain double-and-add. */
+Ge
+geScalarMul(const Ge &p, const uint8_t scalar[32])
+{
+    Ge r = geIdentity();
+    for (int i = 255; i >= 0; --i) {
+        r = geDouble(r);
+        if ((scalar[i / 8] >> (i % 8)) & 1)
+            r = geAdd(r, p);
+    }
+    return r;
+}
+
+Ge
+geScalarMulBase(const uint8_t scalar[32])
+{
+    return geScalarMul(geBase(), scalar);
+}
+
+Ge
+geNeg(const Ge &p)
+{
+    return Ge{feNeg(p.x), p.y, p.z, feNeg(p.t)};
+}
+
+void
+geToBytes(uint8_t out[32], const Ge &p)
+{
+    Fe zInv = feInvert(p.z);
+    Fe x = feMul(p.x, zInv);
+    Fe y = feMul(p.y, zInv);
+    feToBytes(out, y);
+    if (feIsNegative(x))
+        out[31] |= 0x80;
+}
+
+/** Decompresses a point; false if not on the curve. */
+bool
+geFromBytes(Ge &out, const uint8_t in[32])
+{
+    uint8_t yBytes[32];
+    std::memcpy(yBytes, in, 32);
+    bool xNegative = (yBytes[31] & 0x80) != 0;
+    yBytes[31] &= 0x7f;
+
+    Fe y = feFromBytes(yBytes);
+    Fe y2 = feSquare(y);
+    Fe u = feSub(y2, feOne());               // y^2 - 1
+    Fe v = feAdd(feMul(constD(), y2), feOne()); // d*y^2 + 1
+
+    // x = u * v^3 * (u * v^7)^((p-5)/8)
+    Fe v3 = feMul(feSquare(v), v);
+    Fe v7 = feMul(feSquare(v3), v);
+    Fe x = feMul(feMul(u, v3), fePow2523(feMul(u, v7)));
+
+    Fe vx2 = feMul(v, feSquare(x));
+    if (!feEqual(vx2, u)) {
+        if (feEqual(vx2, feNeg(u)))
+            x = feMul(x, constSqrtM1());
+        else
+            return false;
+    }
+
+    if (feIsZero(x) && xNegative)
+        return false; // -0 is not a valid encoding
+    if (feIsNegative(x) != xNegative)
+        x = feNeg(x);
+
+    out.x = x;
+    out.y = y;
+    out.z = feOne();
+    out.t = feMul(x, y);
+    return true;
+}
+
+// --- Scalar arithmetic mod L ----------------------------------------
+//
+// L = 2^252 + 27742317777372353535851937790883648493. Scalars are
+// handled as 544-bit little-endian limb arrays; reduction is binary
+// shift-and-subtract (performance is irrelevant at protocol rates).
+
+struct Wide
+{
+    uint32_t w[17]{}; // 544 bits, little-endian limbs
+
+    static Wide
+    fromBytes(ByteView b)
+    {
+        Wide r;
+        for (size_t i = 0; i < b.size() && i < 68; ++i)
+            r.w[i / 4] |= uint32_t(b[i]) << (8 * (i % 4));
+        return r;
+    }
+
+    void
+    toBytes32(uint8_t out[32]) const
+    {
+        for (int i = 0; i < 32; ++i)
+            out[i] = uint8_t(w[i / 4] >> (8 * (i % 4)));
+    }
+
+    bool
+    geq(const Wide &o) const
+    {
+        for (int i = 16; i >= 0; --i) {
+            if (w[i] != o.w[i])
+                return w[i] > o.w[i];
+        }
+        return true;
+    }
+
+    void
+    sub(const Wide &o)
+    {
+        uint64_t borrow = 0;
+        for (int i = 0; i < 17; ++i) {
+            uint64_t d = uint64_t(w[i]) - o.w[i] - borrow;
+            w[i] = uint32_t(d);
+            borrow = (d >> 63) & 1;
+        }
+    }
+
+    void
+    shiftLeft1()
+    {
+        uint32_t carry = 0;
+        for (int i = 0; i < 17; ++i) {
+            uint32_t next = w[i] >> 31;
+            w[i] = (w[i] << 1) | carry;
+            carry = next;
+        }
+    }
+
+    void
+    shiftRight1()
+    {
+        uint32_t carry = 0;
+        for (int i = 16; i >= 0; --i) {
+            uint32_t next = w[i] & 1;
+            w[i] = (w[i] >> 1) | (carry << 31);
+            carry = next;
+        }
+    }
+
+    int
+    bitLength() const
+    {
+        for (int i = 16; i >= 0; --i) {
+            if (w[i]) {
+                int bits = 32 * i;
+                uint32_t v = w[i];
+                while (v) {
+                    ++bits;
+                    v >>= 1;
+                }
+                return bits;
+            }
+        }
+        return 0;
+    }
+};
+
+const Wide &
+orderL()
+{
+    static const Wide l = [] {
+        Bytes be = hexDecode("10000000000000000000000000000000"
+                             "14def9dea2f79cd65812631a5cf5d3ed");
+        Bytes le(be.rbegin(), be.rend());
+        return Wide::fromBytes(le);
+    }();
+    return l;
+}
+
+/** n mod L via shift-and-subtract long division. */
+void
+scModL(Wide &n)
+{
+    const Wide &l = orderL();
+    int shift = n.bitLength() - l.bitLength();
+    if (shift < 0)
+        return;
+    Wide d = l;
+    for (int i = 0; i < shift; ++i)
+        d.shiftLeft1();
+    for (int i = shift; i >= 0; --i) {
+        if (n.geq(d))
+            n.sub(d);
+        d.shiftRight1();
+    }
+}
+
+/** Reduces a 64-byte little-endian value mod L into 32 bytes. */
+void
+scReduce(uint8_t out[32], ByteView in64)
+{
+    Wide n = Wide::fromBytes(in64);
+    scModL(n);
+    n.toBytes32(out);
+}
+
+/** out = (a*b + c) mod L; all inputs 32-byte little-endian. */
+void
+scMulAdd(uint8_t out[32], const uint8_t a[32], const uint8_t b[32],
+         const uint8_t c[32])
+{
+    // Schoolbook 256x256 multiply into 512 bits.
+    uint32_t aw[8], bw[8];
+    for (int i = 0; i < 8; ++i) {
+        aw[i] = loadLe32(a + 4 * i);
+        bw[i] = loadLe32(b + 4 * i);
+    }
+    uint64_t acc[17] = {};
+    for (int i = 0; i < 8; ++i) {
+        uint64_t carry = 0;
+        for (int j = 0; j < 8; ++j) {
+            uint64_t cur = acc[i + j] + uint64_t(aw[i]) * bw[j] + carry;
+            acc[i + j] = cur & 0xffffffffULL;
+            carry = cur >> 32;
+        }
+        acc[i + 8] += carry;
+    }
+    Wide n;
+    uint64_t carry = 0;
+    for (int i = 0; i < 17; ++i) {
+        uint64_t cur = acc[i] + carry;
+        n.w[i] = uint32_t(cur);
+        carry = cur >> 32;
+    }
+    // Add c.
+    carry = 0;
+    for (int i = 0; i < 8; ++i) {
+        uint64_t cur = uint64_t(n.w[i]) + loadLe32(c + 4 * i) + carry;
+        n.w[i] = uint32_t(cur);
+        carry = cur >> 32;
+    }
+    for (int i = 8; carry && i < 17; ++i) {
+        uint64_t cur = uint64_t(n.w[i]) + carry;
+        n.w[i] = uint32_t(cur);
+        carry = cur >> 32;
+    }
+    scModL(n);
+    n.toBytes32(out);
+}
+
+void
+expandSeed(ByteView seed, uint8_t scalar[32], uint8_t prefix[32])
+{
+    Bytes h = Sha512::digest(seed);
+    std::memcpy(scalar, h.data(), 32);
+    std::memcpy(prefix, h.data() + 32, 32);
+    scalar[0] &= 248;
+    scalar[31] &= 63;
+    scalar[31] |= 64;
+    secureZero(h);
+}
+
+} // namespace
+
+Bytes
+ed25519PublicKey(ByteView seed)
+{
+    if (seed.size() != kEd25519KeySize)
+        throw CryptoError("Ed25519 seed must be 32 bytes");
+    uint8_t scalar[32], prefix[32];
+    expandSeed(seed, scalar, prefix);
+    Ge a = geScalarMulBase(scalar);
+    Bytes pub(32);
+    geToBytes(pub.data(), a);
+    secureZero(scalar, 32);
+    secureZero(prefix, 32);
+    return pub;
+}
+
+Ed25519KeyPair
+ed25519Generate(RandomSource &rng)
+{
+    Ed25519KeyPair kp;
+    kp.seed = rng.bytes(kEd25519KeySize);
+    kp.publicKey = ed25519PublicKey(kp.seed);
+    return kp;
+}
+
+Bytes
+ed25519Sign(ByteView seed, ByteView msg)
+{
+    if (seed.size() != kEd25519KeySize)
+        throw CryptoError("Ed25519 seed must be 32 bytes");
+
+    uint8_t scalar[32], prefix[32];
+    expandSeed(seed, scalar, prefix);
+
+    Bytes pub = ed25519PublicKey(seed);
+
+    // r = H(prefix || msg) mod L
+    Sha512 h;
+    h.update(ByteView(prefix, 32));
+    h.update(msg);
+    Bytes rHash = h.finish();
+    uint8_t r[32];
+    scReduce(r, rHash);
+
+    Ge rPoint = geScalarMulBase(r);
+    uint8_t rEnc[32];
+    geToBytes(rEnc, rPoint);
+
+    // k = H(R || A || msg) mod L
+    Sha512 h2;
+    h2.update(ByteView(rEnc, 32));
+    h2.update(pub);
+    h2.update(msg);
+    Bytes kHash = h2.finish();
+    uint8_t k[32];
+    scReduce(k, kHash);
+
+    // S = (r + k * scalar) mod L
+    uint8_t s[32];
+    scMulAdd(s, k, scalar, r);
+
+    Bytes sig(kEd25519SigSize);
+    std::memcpy(sig.data(), rEnc, 32);
+    std::memcpy(sig.data() + 32, s, 32);
+
+    secureZero(scalar, 32);
+    secureZero(prefix, 32);
+    secureZero(r, 32);
+    return sig;
+}
+
+bool
+ed25519Verify(ByteView publicKey, ByteView msg, ByteView signature)
+{
+    if (publicKey.size() != kEd25519KeySize ||
+        signature.size() != kEd25519SigSize) {
+        return false;
+    }
+
+    Ge a;
+    if (!geFromBytes(a, publicKey.data()))
+        return false;
+    Ge r;
+    if (!geFromBytes(r, signature.data()))
+        return false;
+
+    // Reject S >= L.
+    Wide s = Wide::fromBytes(ByteView(signature.data() + 32, 32));
+    if (s.geq(orderL()))
+        return false;
+
+    uint8_t k[32];
+    Sha512 h;
+    h.update(ByteView(signature.data(), 32));
+    h.update(publicKey);
+    h.update(msg);
+    Bytes kHash = h.finish();
+    scReduce(k, kHash);
+
+    // Check S*B == R + k*A  <=>  S*B + k*(-A) == R
+    Ge lhs = geScalarMulBase(signature.data() + 32);
+    Ge kNegA = geScalarMul(geNeg(a), k);
+    Ge sum = geAdd(lhs, kNegA);
+
+    uint8_t sumEnc[32];
+    geToBytes(sumEnc, sum);
+    uint8_t acc = 0;
+    for (int i = 0; i < 32; ++i)
+        acc |= uint8_t(sumEnc[i] ^ signature[i]);
+    return acc == 0;
+}
+
+} // namespace salus::crypto

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Ed25519 signatures (RFC 8032).
+ *
+ * Signs the DCAP-style attestation quotes issued by the simulated TEE
+ * platform and the certificate chain of the ShEF baseline. The
+ * manufacturer's verification service checks these signatures.
+ */
+
+#ifndef SALUS_CRYPTO_ED25519_HPP
+#define SALUS_CRYPTO_ED25519_HPP
+
+#include "common/bytes.hpp"
+#include "crypto/random.hpp"
+
+namespace salus::crypto {
+
+/** Ed25519 seed/public-key size in bytes. */
+constexpr size_t kEd25519KeySize = 32;
+
+/** Ed25519 signature size in bytes. */
+constexpr size_t kEd25519SigSize = 64;
+
+/** An Ed25519 key pair (seed kept, expanded on use). */
+struct Ed25519KeyPair
+{
+    Bytes seed;      ///< 32-byte private seed.
+    Bytes publicKey; ///< 32-byte compressed public point.
+};
+
+/** Derives the public key from a 32-byte seed. */
+Bytes ed25519PublicKey(ByteView seed);
+
+/** Generates a fresh key pair. */
+Ed25519KeyPair ed25519Generate(RandomSource &rng);
+
+/** Signs msg; returns the 64-byte signature (R || S). */
+Bytes ed25519Sign(ByteView seed, ByteView msg);
+
+/** Verifies a signature; false on any malformed input. */
+bool ed25519Verify(ByteView publicKey, ByteView msg, ByteView signature);
+
+} // namespace salus::crypto
+
+#endif // SALUS_CRYPTO_ED25519_HPP

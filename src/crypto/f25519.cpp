@@ -1,0 +1,274 @@
+#include "crypto/f25519.hpp"
+
+#include <cstring>
+
+namespace salus::crypto {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+constexpr uint64_t kMask51 = (uint64_t(1) << 51) - 1;
+
+/** Reduces limbs below 2^52 after additions/multiplications. */
+void
+carry(Fe &f)
+{
+    for (int i = 0; i < 4; ++i) {
+        f.v[i + 1] += f.v[i] >> 51;
+        f.v[i] &= kMask51;
+    }
+    uint64_t c = f.v[4] >> 51;
+    f.v[4] &= kMask51;
+    f.v[0] += 19 * c;
+    // One more ripple in case f.v[0] overflowed 51 bits.
+    f.v[1] += f.v[0] >> 51;
+    f.v[0] &= kMask51;
+}
+
+} // namespace
+
+Fe
+feZero()
+{
+    return Fe{};
+}
+
+Fe
+feOne()
+{
+    Fe f;
+    f.v[0] = 1;
+    return f;
+}
+
+Fe
+feFromBytes(const uint8_t b[32])
+{
+    Fe f;
+    f.v[0] = loadLe64(b) & kMask51;
+    f.v[1] = (loadLe64(b + 6) >> 3) & kMask51;
+    f.v[2] = (loadLe64(b + 12) >> 6) & kMask51;
+    f.v[3] = (loadLe64(b + 19) >> 1) & kMask51;
+    f.v[4] = (loadLe64(b + 24) >> 12) & kMask51;
+    return f;
+}
+
+void
+feToBytes(uint8_t out[32], const Fe &f)
+{
+    Fe t = f;
+    carry(t);
+    carry(t);
+
+    // Canonicalize: add 19, then if the result overflows 2^255 the
+    // original was >= p; keep the reduced value.
+    uint64_t l0 = t.v[0] + 19;
+    uint64_t l1 = t.v[1] + (l0 >> 51);
+    l0 &= kMask51;
+    uint64_t l2 = t.v[2] + (l1 >> 51);
+    l1 &= kMask51;
+    uint64_t l3 = t.v[3] + (l2 >> 51);
+    l2 &= kMask51;
+    uint64_t l4 = t.v[4] + (l3 >> 51);
+    l3 &= kMask51;
+    uint64_t ge = l4 >> 51; // 1 iff t >= p
+    l4 &= kMask51;
+
+    uint64_t mask = 0 - ge;
+    t.v[0] = (t.v[0] & ~mask) | (l0 & mask);
+    t.v[1] = (t.v[1] & ~mask) | (l1 & mask);
+    t.v[2] = (t.v[2] & ~mask) | (l2 & mask);
+    t.v[3] = (t.v[3] & ~mask) | (l3 & mask);
+    t.v[4] = (t.v[4] & ~mask) | (l4 & mask);
+
+    // Pack 5 x 51 bits into 32 bytes.
+    uint64_t q0 = t.v[0] | (t.v[1] << 51);
+    uint64_t q1 = (t.v[1] >> 13) | (t.v[2] << 38);
+    uint64_t q2 = (t.v[2] >> 26) | (t.v[3] << 25);
+    uint64_t q3 = (t.v[3] >> 39) | (t.v[4] << 12);
+    storeLe64(out, q0);
+    storeLe64(out + 8, q1);
+    storeLe64(out + 16, q2);
+    storeLe64(out + 24, q3);
+}
+
+Fe
+feAdd(const Fe &a, const Fe &b)
+{
+    Fe r;
+    for (int i = 0; i < 5; ++i)
+        r.v[i] = a.v[i] + b.v[i];
+    carry(r);
+    return r;
+}
+
+Fe
+feSub(const Fe &a, const Fe &b)
+{
+    // a + 2p - b keeps limbs positive.
+    Fe r;
+    r.v[0] = a.v[0] + 0xfffffffffffdaULL - b.v[0];
+    r.v[1] = a.v[1] + 0xffffffffffffeULL - b.v[1];
+    r.v[2] = a.v[2] + 0xffffffffffffeULL - b.v[2];
+    r.v[3] = a.v[3] + 0xffffffffffffeULL - b.v[3];
+    r.v[4] = a.v[4] + 0xffffffffffffeULL - b.v[4];
+    carry(r);
+    return r;
+}
+
+Fe
+feNeg(const Fe &a)
+{
+    return feSub(feZero(), a);
+}
+
+Fe
+feMul(const Fe &a, const Fe &b)
+{
+    const uint64_t a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3],
+                   a4 = a.v[4];
+    const uint64_t b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3],
+                   b4 = b.v[4];
+    const uint64_t b1x19 = 19 * b1, b2x19 = 19 * b2, b3x19 = 19 * b3,
+                   b4x19 = 19 * b4;
+
+    u128 r0 = u128(a0) * b0 + u128(a1) * b4x19 + u128(a2) * b3x19 +
+              u128(a3) * b2x19 + u128(a4) * b1x19;
+    u128 r1 = u128(a0) * b1 + u128(a1) * b0 + u128(a2) * b4x19 +
+              u128(a3) * b3x19 + u128(a4) * b2x19;
+    u128 r2 = u128(a0) * b2 + u128(a1) * b1 + u128(a2) * b0 +
+              u128(a3) * b4x19 + u128(a4) * b3x19;
+    u128 r3 = u128(a0) * b3 + u128(a1) * b2 + u128(a2) * b1 +
+              u128(a3) * b0 + u128(a4) * b4x19;
+    u128 r4 = u128(a0) * b4 + u128(a1) * b3 + u128(a2) * b2 +
+              u128(a3) * b1 + u128(a4) * b0;
+
+    Fe out;
+    uint64_t c;
+    c = uint64_t(r0 >> 51);
+    out.v[0] = uint64_t(r0) & kMask51;
+    r1 += c;
+    c = uint64_t(r1 >> 51);
+    out.v[1] = uint64_t(r1) & kMask51;
+    r2 += c;
+    c = uint64_t(r2 >> 51);
+    out.v[2] = uint64_t(r2) & kMask51;
+    r3 += c;
+    c = uint64_t(r3 >> 51);
+    out.v[3] = uint64_t(r3) & kMask51;
+    r4 += c;
+    c = uint64_t(r4 >> 51);
+    out.v[4] = uint64_t(r4) & kMask51;
+    out.v[0] += 19 * c;
+    out.v[1] += out.v[0] >> 51;
+    out.v[0] &= kMask51;
+    return out;
+}
+
+Fe
+feSquare(const Fe &a)
+{
+    return feMul(a, a);
+}
+
+Fe
+feMulSmall(const Fe &a, uint64_t s)
+{
+    Fe r;
+    u128 c = 0;
+    for (int i = 0; i < 5; ++i) {
+        u128 t = u128(a.v[i]) * s + c;
+        r.v[i] = uint64_t(t) & kMask51;
+        c = t >> 51;
+    }
+    r.v[0] += 19 * uint64_t(c);
+    carry(r);
+    return r;
+}
+
+Fe
+fePow(const Fe &a, const uint8_t exponent[32])
+{
+    Fe result = feOne();
+    bool started = false;
+    for (int i = 255; i >= 0; --i) {
+        if (started)
+            result = feSquare(result);
+        if ((exponent[i / 8] >> (i % 8)) & 1) {
+            result = feMul(result, a);
+            started = true;
+        }
+    }
+    return result;
+}
+
+Fe
+feInvert(const Fe &a)
+{
+    // p - 2 = 2^255 - 21
+    static const uint8_t exp[32] = {
+        0xeb, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+        0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+        0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+        0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f,
+    };
+    return fePow(a, exp);
+}
+
+Fe
+fePow2523(const Fe &a)
+{
+    // (p - 5) / 8 = 2^252 - 3
+    static const uint8_t exp[32] = {
+        0xfd, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+        0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+        0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+        0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x0f,
+    };
+    return fePow(a, exp);
+}
+
+bool
+feIsZero(const Fe &a)
+{
+    uint8_t b[32];
+    feToBytes(b, a);
+    uint8_t acc = 0;
+    for (int i = 0; i < 32; ++i)
+        acc |= b[i];
+    return acc == 0;
+}
+
+bool
+feIsNegative(const Fe &a)
+{
+    uint8_t b[32];
+    feToBytes(b, a);
+    return (b[0] & 1) != 0;
+}
+
+bool
+feEqual(const Fe &a, const Fe &b)
+{
+    uint8_t ba[32], bb[32];
+    feToBytes(ba, a);
+    feToBytes(bb, b);
+    uint8_t acc = 0;
+    for (int i = 0; i < 32; ++i)
+        acc |= uint8_t(ba[i] ^ bb[i]);
+    return acc == 0;
+}
+
+void
+feCswap(Fe &a, Fe &b, uint64_t bit)
+{
+    uint64_t mask = 0 - bit;
+    for (int i = 0; i < 5; ++i) {
+        uint64_t t = mask & (a.v[i] ^ b.v[i]);
+        a.v[i] ^= t;
+        b.v[i] ^= t;
+    }
+}
+
+} // namespace salus::crypto

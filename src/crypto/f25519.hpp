@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Arithmetic in GF(2^255 - 19) with 5 x 51-bit limbs.
+ *
+ * Shared by X25519 (enclave-to-enclave key exchange) and Ed25519
+ * (quote and certificate signatures).
+ */
+
+#ifndef SALUS_CRYPTO_F25519_HPP
+#define SALUS_CRYPTO_F25519_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace salus::crypto {
+
+/** Field element; limbs kept below ~2^52 between operations. */
+struct Fe
+{
+    std::array<uint64_t, 5> v{};
+};
+
+/** Returns the field element 0. */
+Fe feZero();
+
+/** Returns the field element 1. */
+Fe feOne();
+
+/** Loads 32 little-endian bytes (top bit ignored, per convention). */
+Fe feFromBytes(const uint8_t b[32]);
+
+/** Stores the canonical 32-byte little-endian encoding. */
+void feToBytes(uint8_t out[32], const Fe &f);
+
+Fe feAdd(const Fe &a, const Fe &b);
+Fe feSub(const Fe &a, const Fe &b);
+Fe feMul(const Fe &a, const Fe &b);
+Fe feSquare(const Fe &a);
+
+/** Multiplies by a small scalar (< 2^32). */
+Fe feMulSmall(const Fe &a, uint64_t s);
+
+/** Negation mod p. */
+Fe feNeg(const Fe &a);
+
+/** Raises a to the given little-endian 256-bit exponent. */
+Fe fePow(const Fe &a, const uint8_t exponent[32]);
+
+/** Multiplicative inverse (a^(p-2)); feInvert(0) == 0. */
+Fe feInvert(const Fe &a);
+
+/** a^((p-5)/8), used in square-root extraction. */
+Fe fePow2523(const Fe &a);
+
+/** True iff a == 0 mod p. */
+bool feIsZero(const Fe &a);
+
+/** True iff the canonical encoding's least-significant bit is 1. */
+bool feIsNegative(const Fe &a);
+
+/** True iff a == b mod p. */
+bool feEqual(const Fe &a, const Fe &b);
+
+/** Constant-time conditional swap (swap iff bit == 1). */
+void feCswap(Fe &a, Fe &b, uint64_t bit);
+
+} // namespace salus::crypto
+
+#endif // SALUS_CRYPTO_F25519_HPP

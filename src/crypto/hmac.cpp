@@ -1,0 +1,91 @@
+#include "crypto/hmac.hpp"
+
+#include "common/errors.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+
+namespace salus::crypto {
+
+namespace {
+
+template <typename Hash, size_t BlockSize>
+Bytes
+hmac(ByteView key, ByteView msg)
+{
+    Bytes k(key.begin(), key.end());
+    if (k.size() > BlockSize) {
+        Hash h;
+        h.update(k);
+        k = h.finish();
+    }
+    k.resize(BlockSize, 0);
+
+    Bytes ipad(BlockSize), opad(BlockSize);
+    for (size_t i = 0; i < BlockSize; ++i) {
+        ipad[i] = uint8_t(k[i] ^ 0x36);
+        opad[i] = uint8_t(k[i] ^ 0x5c);
+    }
+
+    Hash inner;
+    inner.update(ipad);
+    inner.update(msg);
+    Bytes innerDigest = inner.finish();
+
+    Hash outer;
+    outer.update(opad);
+    outer.update(innerDigest);
+    Bytes out = outer.finish();
+
+    secureZero(k);
+    secureZero(ipad);
+    secureZero(opad);
+    return out;
+}
+
+} // namespace
+
+Bytes
+hmacSha256(ByteView key, ByteView msg)
+{
+    return hmac<Sha256, 64>(key, msg);
+}
+
+Bytes
+hmacSha512(ByteView key, ByteView msg)
+{
+    return hmac<Sha512, 128>(key, msg);
+}
+
+Bytes
+hkdfExtract(ByteView salt, ByteView ikm)
+{
+    return hmacSha256(salt, ikm);
+}
+
+Bytes
+hkdfExpand(ByteView prk, ByteView info, size_t length)
+{
+    if (length > 255 * kSha256DigestSize)
+        throw CryptoError("hkdfExpand: output too long");
+
+    Bytes out;
+    out.reserve(length);
+    Bytes t;
+    uint8_t counter = 1;
+    while (out.size() < length) {
+        Bytes block = concatBytes({t, info, ByteView(&counter, 1)});
+        t = hmacSha256(prk, block);
+        size_t take = std::min(t.size(), length - out.size());
+        out.insert(out.end(), t.begin(), t.begin() + take);
+        ++counter;
+    }
+    return out;
+}
+
+Bytes
+hkdf(ByteView salt, ByteView ikm, ByteView info, size_t length)
+{
+    return hkdfExpand(hkdfExtract(salt, ikm), info, length);
+}
+
+} // namespace salus::crypto

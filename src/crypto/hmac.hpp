@@ -1,0 +1,38 @@
+/**
+ * @file
+ * HMAC (RFC 2104) over SHA-256 and SHA-512, plus HKDF (RFC 5869).
+ *
+ * HMAC-SHA256 authenticates RPC payloads and attestation transcripts;
+ * HKDF derives session keys from X25519 shared secrets.
+ */
+
+#ifndef SALUS_CRYPTO_HMAC_HPP
+#define SALUS_CRYPTO_HMAC_HPP
+
+#include "common/bytes.hpp"
+
+namespace salus::crypto {
+
+/** One-shot HMAC-SHA256; returns a 32-byte tag. */
+Bytes hmacSha256(ByteView key, ByteView msg);
+
+/** One-shot HMAC-SHA512; returns a 64-byte tag. */
+Bytes hmacSha512(ByteView key, ByteView msg);
+
+/** HKDF-Extract with SHA-256; returns the 32-byte PRK. */
+Bytes hkdfExtract(ByteView salt, ByteView ikm);
+
+/**
+ * HKDF-Expand with SHA-256.
+ * @param prk pseudorandom key from hkdfExtract.
+ * @param info context string.
+ * @param length output length, at most 255 * 32.
+ */
+Bytes hkdfExpand(ByteView prk, ByteView info, size_t length);
+
+/** Extract-then-expand convenience. */
+Bytes hkdf(ByteView salt, ByteView ikm, ByteView info, size_t length);
+
+} // namespace salus::crypto
+
+#endif // SALUS_CRYPTO_HMAC_HPP

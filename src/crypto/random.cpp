@@ -1,0 +1,129 @@
+#include "crypto/random.hpp"
+
+#include <cstring>
+#include <random>
+
+#include "crypto/aes.hpp"
+#include "crypto/sha512.hpp"
+
+namespace salus::crypto {
+
+Bytes
+RandomSource::bytes(size_t n)
+{
+    Bytes out(n);
+    if (n)
+        fill(out.data(), n);
+    return out;
+}
+
+uint64_t
+RandomSource::nextU64()
+{
+    uint8_t tmp[8];
+    fill(tmp, 8);
+    return loadLe64(tmp);
+}
+
+uint64_t
+RandomSource::below(uint64_t bound)
+{
+    if (bound == 0)
+        return 0;
+    return nextU64() % bound;
+}
+
+namespace {
+
+void
+incrementBe128(uint8_t v[16])
+{
+    for (int i = 15; i >= 0; --i) {
+        if (++v[i] != 0)
+            break;
+    }
+}
+
+} // namespace
+
+CtrDrbg::CtrDrbg(ByteView seed)
+{
+    std::memset(key_, 0, sizeof(key_));
+    std::memset(v_, 0, sizeof(v_));
+    reseed(seed);
+}
+
+CtrDrbg::CtrDrbg(uint64_t seed)
+{
+    std::memset(key_, 0, sizeof(key_));
+    std::memset(v_, 0, sizeof(v_));
+    uint8_t s[8];
+    storeLe64(s, seed);
+    reseed(ByteView(s, 8));
+}
+
+CtrDrbg::~CtrDrbg()
+{
+    secureZero(key_, sizeof(key_));
+    secureZero(v_, sizeof(v_));
+}
+
+void
+CtrDrbg::update(ByteView providedData)
+{
+    // Generate 48 bytes of keystream, XOR in provided data, and use
+    // the result as the new (key, V) pair -- the SP 800-90A update.
+    uint8_t temp[48];
+    Aes aes(ByteView(key_, 32));
+    for (int i = 0; i < 3; ++i) {
+        incrementBe128(v_);
+        aes.encryptBlock(v_, temp + 16 * i);
+    }
+    for (size_t i = 0; i < providedData.size() && i < 48; ++i)
+        temp[i] ^= providedData[i];
+    std::memcpy(key_, temp, 32);
+    std::memcpy(v_, temp + 32, 16);
+    secureZero(temp, sizeof(temp));
+}
+
+void
+CtrDrbg::reseed(ByteView seed)
+{
+    // Condition arbitrary-length seed material through SHA-512 and use
+    // the first 48 bytes as the derived seed.
+    Bytes digest = Sha512::digest(seed);
+    update(ByteView(digest.data(), 48));
+    secureZero(digest);
+}
+
+void
+CtrDrbg::fill(uint8_t *out, size_t len)
+{
+    Aes aes(ByteView(key_, 32));
+    size_t off = 0;
+    uint8_t block[16];
+    while (off < len) {
+        incrementBe128(v_);
+        aes.encryptBlock(v_, block);
+        size_t n = std::min(size_t(16), len - off);
+        std::memcpy(out + off, block, n);
+        off += n;
+    }
+    secureZero(block, sizeof(block));
+    update(ByteView());
+}
+
+void
+SystemRandom::fill(uint8_t *out, size_t len)
+{
+    static thread_local std::random_device rd;
+    size_t off = 0;
+    while (off < len) {
+        uint32_t v = rd();
+        size_t n = std::min(sizeof(v), len - off);
+        std::memcpy(out + off, &v, n);
+        off += n;
+    }
+}
+
+} // namespace salus::crypto

@@ -1,0 +1,93 @@
+#include "crypto/siphash.hpp"
+
+#include "common/errors.hpp"
+#include "crypto/ct.hpp"
+
+namespace salus::crypto {
+
+namespace {
+
+inline uint64_t
+rotl(uint64_t x, int b)
+{
+    return (x << b) | (x >> (64 - b));
+}
+
+inline void
+sipRound(uint64_t &v0, uint64_t &v1, uint64_t &v2, uint64_t &v3)
+{
+    v0 += v1;
+    v1 = rotl(v1, 13);
+    v1 ^= v0;
+    v0 = rotl(v0, 32);
+    v2 += v3;
+    v3 = rotl(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl(v1, 17);
+    v1 ^= v2;
+    v2 = rotl(v2, 32);
+}
+
+} // namespace
+
+uint64_t
+sipHash24(ByteView key, ByteView msg)
+{
+    if (key.size() != kSipHashKeySize)
+        throw CryptoError("SipHash key must be 16 bytes");
+
+    uint64_t k0 = loadLe64(key.data());
+    uint64_t k1 = loadLe64(key.data() + 8);
+
+    uint64_t v0 = 0x736f6d6570736575ULL ^ k0;
+    uint64_t v1 = 0x646f72616e646f6dULL ^ k1;
+    uint64_t v2 = 0x6c7967656e657261ULL ^ k0;
+    uint64_t v3 = 0x7465646279746573ULL ^ k1;
+
+    size_t full = msg.size() / 8;
+    for (size_t i = 0; i < full; ++i) {
+        uint64_t m = loadLe64(msg.data() + 8 * i);
+        v3 ^= m;
+        sipRound(v0, v1, v2, v3);
+        sipRound(v0, v1, v2, v3);
+        v0 ^= m;
+    }
+
+    uint64_t last = uint64_t(msg.size() & 0xff) << 56;
+    size_t rem = msg.size() % 8;
+    for (size_t i = 0; i < rem; ++i)
+        last |= uint64_t(msg[8 * full + i]) << (8 * i);
+    v3 ^= last;
+    sipRound(v0, v1, v2, v3);
+    sipRound(v0, v1, v2, v3);
+    v0 ^= last;
+
+    v2 ^= 0xff;
+    sipRound(v0, v1, v2, v3);
+    sipRound(v0, v1, v2, v3);
+    sipRound(v0, v1, v2, v3);
+    sipRound(v0, v1, v2, v3);
+
+    return v0 ^ v1 ^ v2 ^ v3;
+}
+
+Bytes
+sipHash24Bytes(ByteView key, ByteView msg)
+{
+    Bytes out(kSipHashTagSize);
+    storeLe64(out.data(), sipHash24(key, msg));
+    return out;
+}
+
+bool
+sipHash24Verify(ByteView key, ByteView msg, ByteView tag)
+{
+    Bytes expect = sipHash24Bytes(key, msg);
+    return ctEqual(expect, tag);
+}
+
+} // namespace salus::crypto

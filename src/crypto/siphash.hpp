@@ -1,0 +1,40 @@
+/**
+ * @file
+ * SipHash-2-4 (Aumasson & Bernstein), 128-bit key, 64-bit tag.
+ *
+ * This is the paper's SM-logic MAC engine (§5.1.1): a lightweight
+ * add-rotate-xor PRF cheap enough for FPGA fabric, secure as a MAC
+ * while the key stays secret — which Salus's RoT injection guarantees.
+ */
+
+#ifndef SALUS_CRYPTO_SIPHASH_HPP
+#define SALUS_CRYPTO_SIPHASH_HPP
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace salus::crypto {
+
+/** SipHash key length in bytes. */
+constexpr size_t kSipHashKeySize = 16;
+
+/** SipHash-2-4 tag length in bytes. */
+constexpr size_t kSipHashTagSize = 8;
+
+/**
+ * Computes the 64-bit SipHash-2-4 tag.
+ * @param key exactly 16 bytes.
+ * @throws CryptoError on wrong key size.
+ */
+uint64_t sipHash24(ByteView key, ByteView msg);
+
+/** Tag as 8 little-endian bytes (wire format). */
+Bytes sipHash24Bytes(ByteView key, ByteView msg);
+
+/** Constant-time verification of an 8-byte tag. */
+bool sipHash24Verify(ByteView key, ByteView msg, ByteView tag);
+
+} // namespace salus::crypto
+
+#endif // SALUS_CRYPTO_SIPHASH_HPP

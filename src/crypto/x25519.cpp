@@ -1,0 +1,100 @@
+#include "crypto/x25519.hpp"
+
+#include <cstring>
+
+#include "common/errors.hpp"
+#include "crypto/f25519.hpp"
+#include "crypto/hmac.hpp"
+
+namespace salus::crypto {
+
+void
+x25519(uint8_t out[32], const uint8_t scalar[32], const uint8_t point[32])
+{
+    uint8_t e[32];
+    std::memcpy(e, scalar, 32);
+    e[0] &= 248;
+    e[31] &= 127;
+    e[31] |= 64;
+
+    Fe x1 = feFromBytes(point);
+    Fe x2 = feOne(), z2 = feZero();
+    Fe x3 = x1, z3 = feOne();
+
+    uint64_t swap = 0;
+    for (int t = 254; t >= 0; --t) {
+        uint64_t bit = (e[t / 8] >> (t % 8)) & 1;
+        swap ^= bit;
+        feCswap(x2, x3, swap);
+        feCswap(z2, z3, swap);
+        swap = bit;
+
+        Fe a = feAdd(x2, z2);
+        Fe aa = feSquare(a);
+        Fe b = feSub(x2, z2);
+        Fe bb = feSquare(b);
+        Fe e1 = feSub(aa, bb);
+        Fe c = feAdd(x3, z3);
+        Fe d = feSub(x3, z3);
+        Fe da = feMul(d, a);
+        Fe cb = feMul(c, b);
+        Fe t0 = feAdd(da, cb);
+        x3 = feSquare(t0);
+        Fe t1 = feSub(da, cb);
+        z3 = feMul(x1, feSquare(t1));
+        x2 = feMul(aa, bb);
+        z2 = feMul(e1, feAdd(aa, feMulSmall(e1, 121665)));
+    }
+    feCswap(x2, x3, swap);
+    feCswap(z2, z3, swap);
+
+    Fe result = feMul(x2, feInvert(z2));
+    feToBytes(out, result);
+    secureZero(e, sizeof(e));
+}
+
+X25519KeyPair
+x25519Generate(RandomSource &rng)
+{
+    static const uint8_t basePoint[32] = {9};
+
+    X25519KeyPair kp;
+    kp.privateKey = rng.bytes(kX25519KeySize);
+    kp.privateKey[0] &= 248;
+    kp.privateKey[31] &= 127;
+    kp.privateKey[31] |= 64;
+    kp.publicKey.resize(kX25519KeySize);
+    x25519(kp.publicKey.data(), kp.privateKey.data(), basePoint);
+    return kp;
+}
+
+Bytes
+x25519Shared(ByteView privateKey, ByteView peerPublic)
+{
+    if (privateKey.size() != kX25519KeySize ||
+        peerPublic.size() != kX25519KeySize) {
+        throw CryptoError("X25519 keys must be 32 bytes");
+    }
+    Bytes out(kX25519KeySize);
+    x25519(out.data(), privateKey.data(), peerPublic.data());
+
+    uint8_t acc = 0;
+    for (uint8_t b : out)
+        acc |= b;
+    if (acc == 0)
+        throw CryptoError("X25519: low-order peer public key");
+    return out;
+}
+
+Bytes
+deriveSessionKey(ByteView privateKey, ByteView peerPublic,
+                 const std::string &context, size_t keyLen)
+{
+    Bytes shared = x25519Shared(privateKey, peerPublic);
+    Bytes info = bytesFromString(context);
+    Bytes key = hkdf(ByteView(), shared, info, keyLen);
+    secureZero(shared);
+    return key;
+}
+
+} // namespace salus::crypto

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * X25519 Diffie-Hellman (RFC 7748).
+ *
+ * Used for the local-attestation key exchange between the user enclave
+ * and the SM enclave (paper §5.2.2 uses ECDH), and for establishing
+ * encrypted sessions between remote parties and enclaves.
+ */
+
+#ifndef SALUS_CRYPTO_X25519_HPP
+#define SALUS_CRYPTO_X25519_HPP
+
+#include "common/bytes.hpp"
+#include "crypto/random.hpp"
+
+namespace salus::crypto {
+
+/** X25519 key and point size in bytes. */
+constexpr size_t kX25519KeySize = 32;
+
+/** Scalar multiplication: out = scalar * point (u-coordinates). */
+void x25519(uint8_t out[32], const uint8_t scalar[32],
+            const uint8_t point[32]);
+
+/** An X25519 key pair. */
+struct X25519KeyPair
+{
+    Bytes privateKey; ///< 32 bytes, clamped.
+    Bytes publicKey;  ///< 32 bytes.
+};
+
+/** Generates a key pair from the given randomness source. */
+X25519KeyPair x25519Generate(RandomSource &rng);
+
+/**
+ * Computes the shared secret scalar*peerPublic.
+ * @throws CryptoError if the result is the all-zero point.
+ */
+Bytes x25519Shared(ByteView privateKey, ByteView peerPublic);
+
+/**
+ * Full session-key agreement: X25519 then HKDF-SHA256 with the given
+ * context label. Both sides derive the same key.
+ */
+Bytes deriveSessionKey(ByteView privateKey, ByteView peerPublic,
+                       const std::string &context, size_t keyLen);
+
+} // namespace salus::crypto
+
+#endif // SALUS_CRYPTO_X25519_HPP

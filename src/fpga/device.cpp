@@ -1,0 +1,368 @@
+#include "fpga/device.hpp"
+
+#include <cstring>
+
+#include "bitstream/compiler.hpp"
+#include "bitstream/encryptor.hpp"
+#include "common/errors.hpp"
+#include "common/log.hpp"
+
+namespace salus::fpga {
+
+const bitstream::PartitionGeometry *
+DeviceModelInfo::findPartition(uint32_t partitionId) const
+{
+    for (const auto &p : partitions) {
+        if (p.partitionId == partitionId)
+            return &p;
+    }
+    return nullptr;
+}
+
+DeviceModelInfo
+u200ScaledModel()
+{
+    DeviceModelInfo m;
+    m.name = "xcu200-sim";
+    m.frameSize = 256;
+    m.totalFrames = 3 * 131072; // one SLR of three is the RP
+    m.dramBytes = 64ull << 20;
+
+    bitstream::PartitionGeometry rp;
+    rp.partitionId = 0;
+    rp.frameStart = 2 * 131072;
+    rp.frameCount = 131072; // 32 MiB partial bitstream (paper scale)
+    rp.frameSize = m.frameSize;
+    // Paper Table 5 "Total CL Resource" row.
+    rp.capacity = {355040, 710080, 696, 2265};
+    m.partitions.push_back(rp);
+    return m;
+}
+
+DeviceModelInfo
+testModel()
+{
+    DeviceModelInfo m;
+    m.name = "xctest-sim";
+    m.frameSize = 64;
+    m.totalFrames = 3072;
+    m.dramBytes = 4u << 20;
+
+    bitstream::PartitionGeometry rp;
+    rp.partitionId = 0;
+    rp.frameStart = 2048;
+    rp.frameCount = 1024; // 64 KiB partial bitstream
+    rp.frameSize = m.frameSize;
+    rp.capacity = {355040, 710080, 696, 2265};
+    m.partitions.push_back(rp);
+    return m;
+}
+
+DeviceModelInfo
+testModelMultiRp(uint32_t rpCount)
+{
+    DeviceModelInfo m;
+    m.name = "xctest-multi-sim";
+    m.frameSize = 64;
+    m.dramBytes = 4u << 20;
+
+    const uint32_t framesPerRp = 1024; // 64 KiB per RP
+    const uint32_t staticFrames = 2048;
+    m.totalFrames = staticFrames + rpCount * framesPerRp;
+    for (uint32_t i = 0; i < rpCount; ++i) {
+        bitstream::PartitionGeometry rp;
+        rp.partitionId = i;
+        rp.frameStart = staticFrames + i * framesPerRp;
+        rp.frameCount = framesPerRp;
+        rp.frameSize = m.frameSize;
+        rp.capacity = {355040, 710080, 696, 2265};
+        m.partitions.push_back(rp);
+    }
+    return m;
+}
+
+const char *
+loadStatusName(LoadStatus s)
+{
+    switch (s) {
+      case LoadStatus::Ok: return "Ok";
+      case LoadStatus::NoKeyFused: return "NoKeyFused";
+      case LoadStatus::WrongDeviceModel: return "WrongDeviceModel";
+      case LoadStatus::DecryptFailed: return "DecryptFailed";
+      case LoadStatus::MalformedBitstream: return "MalformedBitstream";
+      case LoadStatus::GeometryMismatch: return "GeometryMismatch";
+      case LoadStatus::DesignUnusable: return "DesignUnusable";
+      default: return "?";
+    }
+}
+
+LoadedDesign::LoadedDesign(netlist::Netlist design,
+                           const FabricServices &services)
+    : design_(std::move(design))
+{
+    for (const auto &cell : design_.cells()) {
+        if (cell.kind != netlist::CellKind::Logic || cell.behaviorId == 0)
+            continue;
+        behaviors_.emplace_back(
+            cell.path,
+            IpCatalog::global().instantiate(cell, design_, services));
+    }
+    for (auto &[path, behavior] : behaviors_)
+        behavior->connect(*this);
+}
+
+IpBehavior *
+LoadedDesign::behaviorAt(const std::string &cellPath)
+{
+    for (auto &[path, behavior] : behaviors_) {
+        if (path == cellPath)
+            return behavior.get();
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+LoadedDesign::behaviorPaths() const
+{
+    std::vector<std::string> out;
+    out.reserve(behaviors_.size());
+    for (const auto &[path, behavior] : behaviors_)
+        out.push_back(path);
+    return out;
+}
+
+FpgaDevice::FpgaDevice(DeviceModelInfo model, DeviceDna dna)
+    : model_(std::move(model)), dna_(dna), dram_(model_.dramBytes),
+      configMem_(size_t(model_.totalFrames) * model_.frameSize, 0)
+{
+    dna_.value &= (uint64_t(1) << 57) - 1;
+}
+
+void
+FpgaDevice::fuseKey(ByteView key32)
+{
+    if (keyFused_)
+        throw DeviceError("eFUSE key already programmed");
+    if (key32.size() != 32)
+        throw DeviceError("eFUSE key must be 32 bytes (AES-256)");
+    std::memcpy(efuse_, key32.data(), 32);
+    keyFused_ = true;
+}
+
+LoadStatus
+FpgaDevice::configureFrames(const bitstream::Bitstream &bs)
+{
+    const auto *part = model_.findPartition(bs.partitionId);
+    if (!part || bs.frameStart != part->frameStart ||
+        bs.frameCount != part->frameCount ||
+        bs.frameSize != part->frameSize) {
+        return LoadStatus::GeometryMismatch;
+    }
+
+    // Partial reconfiguration rewrites the ENTIRE partition: zeroize
+    // first so nothing from the previous tenant can survive, then
+    // write every frame the bitstream carries (which by construction
+    // is every frame of the partition).
+    size_t base = size_t(part->frameStart) * part->frameSize;
+    size_t len = part->bodyBytes();
+    std::memset(configMem_.data() + base, 0, len);
+    std::memcpy(configMem_.data() + base, bs.body.data(), len);
+
+    // Record per-frame ECC signatures, as the configuration engine
+    // does while writing frames.
+    std::vector<FrameEcc> ecc(part->frameCount);
+    for (uint32_t f = 0; f < part->frameCount; ++f) {
+        ecc[f] = frameEcc(configMem_.data() + base +
+                              size_t(f) * part->frameSize,
+                          part->frameSize);
+    }
+    ecc_[bs.partitionId] = std::move(ecc);
+
+    designs_.erase(bs.partitionId);
+    try {
+        netlist::Netlist design = bitstream::extractDesign(
+            ByteView(configMem_.data() + base, len));
+        FabricServices services{dna_, &dram_};
+        designs_[bs.partitionId] =
+            std::make_unique<LoadedDesign>(std::move(design), services);
+    } catch (const SalusError &e) {
+        logf(LogLevel::Warn, "fpga", "partition ", bs.partitionId,
+             " configured but design is unusable: ", e.what());
+        return LoadStatus::DesignUnusable;
+    }
+    return LoadStatus::Ok;
+}
+
+LoadStatus
+FpgaDevice::loadEncryptedPartial(ByteView blob)
+{
+    if (!keyFused_)
+        return LoadStatus::NoKeyFused;
+
+    bitstream::EncryptedHeader header;
+    try {
+        header = bitstream::peekEncryptedHeader(blob);
+    } catch (const BitstreamError &) {
+        return LoadStatus::MalformedBitstream;
+    }
+    if (header.deviceModel != model_.name)
+        return LoadStatus::WrongDeviceModel;
+
+    // Decryption happens inside the fabric; plaintext never leaves
+    // this function except into configuration memory. As on real
+    // devices, frames stream into the partition while the GCM tag is
+    // still pending — an authentication failure aborts the load with
+    // the partition already disturbed, so the model clears it
+    // (fail-safe: a tampered load can never leave the PREVIOUS design
+    // running, let alone a spliced one).
+    auto plain = bitstream::decryptBitstream(blob, ByteView(efuse_, 32));
+    if (!plain) {
+        if (model_.findPartition(header.partitionId))
+            clearPartition(header.partitionId);
+        return LoadStatus::DecryptFailed;
+    }
+
+    bitstream::Bitstream bs;
+    try {
+        bs = bitstream::Bitstream::fromFile(*plain);
+    } catch (const BitstreamError &) {
+        if (model_.findPartition(header.partitionId))
+            clearPartition(header.partitionId);
+        return LoadStatus::MalformedBitstream;
+    }
+    if (bs.deviceModel != model_.name)
+        return LoadStatus::WrongDeviceModel;
+    // The clear header's routing claim is GCM-authenticated; the
+    // decrypted bitstream must target the same partition.
+    if (bs.partitionId != header.partitionId)
+        return LoadStatus::GeometryMismatch;
+    return configureFrames(bs);
+}
+
+LoadStatus
+FpgaDevice::loadCleartextPartial(ByteView file)
+{
+    bitstream::Bitstream bs;
+    try {
+        bs = bitstream::Bitstream::fromFile(file);
+    } catch (const BitstreamError &) {
+        return LoadStatus::MalformedBitstream;
+    }
+    if (bs.deviceModel != model_.name)
+        return LoadStatus::WrongDeviceModel;
+    return configureFrames(bs);
+}
+
+Bytes
+FpgaDevice::readback(uint32_t partitionId) const
+{
+    if (!readbackEnabled_) {
+        throw DeviceError(
+            "ICAP readback is disabled on this device (Salus §5.1.2)");
+    }
+    const auto *part = model_.findPartition(partitionId);
+    if (!part)
+        throw DeviceError("no such partition");
+    size_t base = size_t(part->frameStart) * part->frameSize;
+    return Bytes(configMem_.begin() + base,
+                 configMem_.begin() + base + part->bodyBytes());
+}
+
+LoadedDesign *
+FpgaDevice::design(uint32_t partitionId)
+{
+    auto it = designs_.find(partitionId);
+    return it == designs_.end() ? nullptr : it->second.get();
+}
+
+void
+FpgaDevice::clearPartition(uint32_t partitionId)
+{
+    const auto *part = model_.findPartition(partitionId);
+    if (!part)
+        throw DeviceError("no such partition");
+    size_t base = size_t(part->frameStart) * part->frameSize;
+    std::memset(configMem_.data() + base, 0, part->bodyBytes());
+    designs_.erase(partitionId);
+    ecc_.erase(partitionId);
+}
+
+FpgaDevice::FrameEcc
+FpgaDevice::frameEcc(const uint8_t *frame, size_t frameSize) const
+{
+    FrameEcc ecc;
+    for (size_t byte = 0; byte < frameSize; ++byte) {
+        uint8_t v = frame[byte];
+        while (v) {
+            int bit = __builtin_ctz(v);
+            v = uint8_t(v & (v - 1));
+            ecc.xorIndex ^= uint32_t(byte * 8 + bit + 1);
+            ecc.parity ^= 1;
+        }
+    }
+    return ecc;
+}
+
+void
+FpgaDevice::injectSeu(uint32_t partitionId, uint64_t bitIndex)
+{
+    const auto *part = model_.findPartition(partitionId);
+    if (!part)
+        throw DeviceError("no such partition");
+    if (bitIndex >= uint64_t(part->bodyBytes()) * 8)
+        throw DeviceError("SEU bit index outside partition");
+    size_t base = size_t(part->frameStart) * part->frameSize;
+    configMem_[base + bitIndex / 8] ^= uint8_t(1 << (bitIndex % 8));
+}
+
+FpgaDevice::ScrubReport
+FpgaDevice::scrub(uint32_t partitionId)
+{
+    const auto *part = model_.findPartition(partitionId);
+    if (!part)
+        throw DeviceError("no such partition");
+    auto eccIt = ecc_.find(partitionId);
+    if (eccIt == ecc_.end())
+        throw DeviceError("partition has no configured frames to scrub");
+
+    ScrubReport report;
+    size_t base = size_t(part->frameStart) * part->frameSize;
+    for (uint32_t f = 0; f < part->frameCount; ++f) {
+        uint8_t *frame = configMem_.data() + base +
+                         size_t(f) * part->frameSize;
+        FrameEcc current = frameEcc(frame, part->frameSize);
+        const FrameEcc &stored = eccIt->second[f];
+        ++report.framesScanned;
+
+        uint32_t diff = current.xorIndex ^ stored.xorIndex;
+        bool parityFlip = current.parity != stored.parity;
+        if (diff == 0 && !parityFlip)
+            continue; // clean frame
+        if (parityFlip && diff != 0) {
+            // Odd number of flips with a located position: correct
+            // the single-bit upset in place.
+            uint32_t pos = diff - 1;
+            if (pos < part->frameSize * 8) {
+                frame[pos / 8] ^= uint8_t(1 << (pos % 8));
+                FrameEcc repaired = frameEcc(frame, part->frameSize);
+                if (repaired.xorIndex == stored.xorIndex &&
+                    repaired.parity == stored.parity) {
+                    ++report.corrected;
+                    continue;
+                }
+            }
+        }
+        ++report.uncorrectable;
+    }
+
+    if (report.uncorrectable > 0) {
+        // SEM-IP semantics: multi-bit upsets are fatal for the
+        // partition; the design must be reloaded.
+        logf(LogLevel::Warn, "fpga", "partition ", partitionId,
+             " has uncorrectable configuration errors");
+        designs_.erase(partitionId);
+    }
+    return report;
+}
+
+} // namespace salus::fpga

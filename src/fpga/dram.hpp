@@ -1,0 +1,42 @@
+/**
+ * @file
+ * On-card DRAM model. Accelerators read inputs and write outputs
+ * here; the host reaches it through the shell's DMA path. Memory
+ * contents are attacker-visible per the threat model (§3.1 attack 2),
+ * which is why the accelerators encrypt their traffic (§6.4).
+ */
+
+#ifndef SALUS_FPGA_DRAM_HPP
+#define SALUS_FPGA_DRAM_HPP
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace salus::fpga {
+
+/** Byte-addressable device memory. */
+class DeviceDram
+{
+  public:
+    explicit DeviceDram(size_t size) : mem_(size, 0) {}
+
+    size_t size() const { return mem_.size(); }
+
+    /** @throws DeviceError when the range falls outside memory. */
+    void write(uint64_t addr, ByteView data);
+
+    /** @throws DeviceError when the range falls outside memory. */
+    Bytes read(uint64_t addr, size_t len) const;
+
+    /** Raw view for attack code that scans memory (malicious shell). */
+    const Bytes &raw() const { return mem_; }
+    Bytes &raw() { return mem_; }
+
+  private:
+    Bytes mem_;
+};
+
+} // namespace salus::fpga
+
+#endif // SALUS_FPGA_DRAM_HPP

@@ -1,0 +1,163 @@
+#include "manufacturer/manufacturer.hpp"
+
+#include "common/errors.hpp"
+#include "common/serde.hpp"
+#include "crypto/aes_gcm.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/x25519.hpp"
+
+namespace salus::manufacturer {
+
+Bytes
+KeyRequest::serialize() const
+{
+    BinaryWriter w;
+    w.writeU64(deviceDna);
+    w.writeBytes(quote);
+    w.writeBytes(wrapPubKey);
+    return w.take();
+}
+
+KeyRequest
+KeyRequest::deserialize(ByteView data)
+{
+    BinaryReader r(data);
+    KeyRequest req;
+    req.deviceDna = r.readU64();
+    req.quote = r.readBytes();
+    req.wrapPubKey = r.readBytes();
+    return req;
+}
+
+Bytes
+KeyResponse::serialize() const
+{
+    BinaryWriter w;
+    w.writeU8(status);
+    w.writeString(reason);
+    w.writeBytes(serverEphPub);
+    w.writeBytes(iv);
+    w.writeBytes(wrappedKey);
+    w.writeBytes(tag);
+    return w.take();
+}
+
+KeyResponse
+KeyResponse::deserialize(ByteView data)
+{
+    BinaryReader r(data);
+    KeyResponse resp;
+    resp.status = r.readU8();
+    resp.reason = r.readString();
+    resp.serverEphPub = r.readBytes();
+    resp.iv = r.readBytes();
+    resp.wrappedKey = r.readBytes();
+    resp.tag = r.readBytes();
+    return resp;
+}
+
+Manufacturer::Manufacturer(crypto::RandomSource &rng)
+    : rng_(rng), rootKey_(crypto::ed25519Generate(rng)),
+      qvs_(rootKey_.publicKey)
+{
+}
+
+void
+Manufacturer::provisionPlatform(tee::TeePlatform &platform)
+{
+    tee::PckCertificate cert;
+    cert.platformId = platform.platformId();
+    cert.attestPublicKey = platform.attestationPublicKey();
+    cert.tcbSvn = platform.cpuSvn();
+    cert.signature =
+        crypto::ed25519Sign(rootKey_.seed, cert.signedPortion());
+    platform.installPckCertificate(std::move(cert));
+}
+
+std::unique_ptr<fpga::FpgaDevice>
+Manufacturer::manufactureFpga(const fpga::DeviceModelInfo &model)
+{
+    fpga::DeviceDna dna{rng_.nextU64() & ((uint64_t(1) << 57) - 1)};
+    auto device = std::make_unique<fpga::FpgaDevice>(model, dna);
+
+    Bytes deviceKey = rng_.bytes(32);
+    device->fuseKey(deviceKey);
+    // Ships with the Salus ICAP IP: readback permanently off.
+    device->setReadbackEnabled(false);
+
+    deviceKeys_[device->dna().value] = std::move(deviceKey);
+    return device;
+}
+
+void
+Manufacturer::allowSmEnclave(const tee::Measurement &measurement)
+{
+    allowedSm_.insert(measurement);
+}
+
+KeyResponse
+Manufacturer::handleKeyRequest(const KeyRequest &request)
+{
+    KeyResponse resp;
+
+    auto deviceIt = deviceKeys_.find(request.deviceDna);
+    if (deviceIt == deviceKeys_.end()) {
+        resp.reason = "unknown device DNA";
+        return resp;
+    }
+
+    tee::Quote quote;
+    try {
+        quote = tee::Quote::deserialize(request.quote);
+    } catch (const TeeError &) {
+        resp.reason = "malformed quote";
+        return resp;
+    }
+
+    tee::QuoteVerdict verdict = qvs_.verify(quote);
+    if (!verdict.ok) {
+        resp.reason = "quote rejected: " + verdict.reason;
+        return resp;
+    }
+    if (!allowedSm_.count(verdict.body.mrenclave)) {
+        resp.reason = "enclave is not an approved SM build";
+        return resp;
+    }
+
+    if (request.wrapPubKey.size() != crypto::kX25519KeySize) {
+        resp.reason = "bad wrap key size";
+        return resp;
+    }
+    // The quote must bind the wrap key: otherwise the OS could swap
+    // in its own key and unwrap Key_device.
+    if (verdict.body.reportData !=
+        tee::padReportData(request.wrapPubKey)) {
+        resp.reason = "wrap key not bound to quote";
+        return resp;
+    }
+
+    crypto::X25519KeyPair eph = crypto::x25519Generate(rng_);
+    Bytes wrapKey;
+    try {
+        wrapKey = crypto::deriveSessionKey(
+            eph.privateKey, request.wrapPubKey, "salus-keydist-v1", 32);
+    } catch (const CryptoError &) {
+        resp.reason = "bad wrap key";
+        return resp;
+    }
+
+    crypto::AesGcm gcm(wrapKey);
+    Bytes iv = rng_.bytes(12);
+    crypto::GcmSealed sealed =
+        gcm.seal(iv, ByteView(), deviceIt->second);
+
+    resp.status = 0;
+    resp.serverEphPub = eph.publicKey;
+    resp.iv = std::move(iv);
+    resp.wrappedKey = std::move(sealed.ciphertext);
+    resp.tag = std::move(sealed.tag);
+    secureZero(wrapKey);
+    return resp;
+}
+
+} // namespace salus::manufacturer

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The hardware manufacturer (paper §4.1): the trusted third party
+ * that (a) fuses a random AES-256 device key into every FPGA at
+ * manufacturing time, (b) maintains the DNA -> Key_device database
+ * behind a key-distribution service, (c) certifies TEE platforms
+ * (PCK issuance) and operates the quote-verification service, and
+ * (d) releases the readback-disabled ICAP IP (modelled as devices
+ * shipping with readback off).
+ *
+ * The key-distribution service only releases Key_device to a *remotely
+ * attested* SM enclave (step ④ of Fig. 3): the request carries a quote
+ * whose report data is the SM enclave's ephemeral X25519 public key,
+ * and the key comes back wrapped so only that enclave can open it.
+ */
+
+#ifndef SALUS_MANUFACTURER_MANUFACTURER_HPP
+#define SALUS_MANUFACTURER_MANUFACTURER_HPP
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "fpga/device.hpp"
+#include "tee/platform.hpp"
+#include "tee/quote_verifier.hpp"
+
+namespace salus::manufacturer {
+
+/** Wire format of a key request (serialized by the SM enclave). */
+struct KeyRequest
+{
+    uint64_t deviceDna = 0;
+    Bytes quote;      ///< serialized tee::Quote
+    Bytes wrapPubKey; ///< SM enclave's ephemeral X25519 public key
+
+    Bytes serialize() const;
+    static KeyRequest deserialize(ByteView data);
+};
+
+/** Wire format of the key response. */
+struct KeyResponse
+{
+    uint8_t status = 1;  ///< 0 = ok
+    std::string reason;  ///< failure explanation
+    Bytes serverEphPub;  ///< server's X25519 ephemeral
+    Bytes iv;            ///< GCM nonce for the wrapped key
+    Bytes wrappedKey;    ///< ciphertext
+    Bytes tag;           ///< GCM tag
+
+    Bytes serialize() const;
+    static KeyResponse deserialize(ByteView data);
+};
+
+/** The manufacturer and its services. */
+class Manufacturer
+{
+  public:
+    explicit Manufacturer(crypto::RandomSource &rng);
+
+    /** Root CA public key (verifiers pin this). */
+    const Bytes &rootPublicKey() const { return rootKey_.publicKey; }
+
+    /** Certifies a TEE platform: issues and installs its PCK cert. */
+    void provisionPlatform(tee::TeePlatform &platform);
+
+    /**
+     * Manufactures an FPGA: random DNA, random fused device key
+     * recorded in the distribution database, readback disabled
+     * (the Salus ICAP IP, §5.1.2).
+     */
+    std::unique_ptr<fpga::FpgaDevice>
+    manufactureFpga(const fpga::DeviceModelInfo &model);
+
+    /** The DCAP-analog verification service (shared with customers). */
+    const tee::QuoteVerificationService &verificationService() const
+    {
+        return qvs_;
+    }
+    tee::QuoteVerificationService &verificationService() { return qvs_; }
+
+    /** Whitelists an SM enclave build for key release. */
+    void allowSmEnclave(const tee::Measurement &measurement);
+
+    /**
+     * Key-distribution endpoint: verifies the quote, checks the SM
+     * measurement, and returns Key_device wrapped to the attested
+     * enclave's ephemeral key. Never throws for attacker-controlled
+     * input; failures come back in the response status.
+     */
+    KeyResponse handleKeyRequest(const KeyRequest &request);
+
+    /** True when a DNA is in the database (test helper). */
+    bool knowsDevice(uint64_t dna) const
+    {
+        return deviceKeys_.count(dna) != 0;
+    }
+
+  private:
+    crypto::RandomSource &rng_;
+    crypto::Ed25519KeyPair rootKey_;
+    tee::QuoteVerificationService qvs_;
+    std::map<uint64_t, Bytes> deviceKeys_;
+    std::set<tee::Measurement> allowedSm_;
+};
+
+} // namespace salus::manufacturer
+
+#endif // SALUS_MANUFACTURER_MANUFACTURER_HPP

@@ -1,0 +1,78 @@
+#include "net/network.hpp"
+
+#include "common/errors.hpp"
+
+namespace salus::net {
+
+void
+Network::addEndpoint(const std::string &name)
+{
+    handlers_.try_emplace(name);
+}
+
+void
+Network::link(const std::string &a, const std::string &b,
+              sim::LinkKind kind)
+{
+    if (!handlers_.count(a) || !handlers_.count(b))
+        throw NetError("link between unknown endpoints " + a + "," + b);
+    links_[{a, b}] = kind;
+    links_[{b, a}] = kind;
+}
+
+void
+Network::on(const std::string &endpoint, const std::string &method,
+            Handler handler)
+{
+    auto it = handlers_.find(endpoint);
+    if (it == handlers_.end())
+        throw NetError("unknown endpoint " + endpoint);
+    it->second[method] = std::move(handler);
+}
+
+sim::LinkKind
+Network::linkKind(const std::string &a, const std::string &b) const
+{
+    auto it = links_.find({a, b});
+    if (it == links_.end())
+        throw NetError("no link between " + a + " and " + b);
+    return it->second;
+}
+
+Bytes
+Network::call(const std::string &from, const std::string &to,
+              const std::string &method, ByteView request,
+              const std::string &phase)
+{
+    auto nodeIt = handlers_.find(to);
+    if (nodeIt == handlers_.end())
+        throw NetError("unknown endpoint " + to);
+    auto methodIt = nodeIt->second.find(method);
+    if (methodIt == nodeIt->second.end())
+        throw NetError("endpoint " + to + " has no method " + method);
+
+    sim::LinkKind kind = linkKind(from, to);
+
+    Bytes req(request.begin(), request.end());
+    if (tap_)
+        tap_(from, to, method, req);
+    if (interposer_) {
+        if (!interposer_(from, to, method, req))
+            throw NetError("message dropped on link " + from + "->" + to);
+    }
+
+    Bytes response = methodIt->second(req);
+
+    if (tap_)
+        tap_(to, from, method + ":response", response);
+    if (interposer_) {
+        if (!interposer_(to, from, method + ":response", response))
+            throw NetError("response dropped on link " + to + "->" + from);
+    }
+
+    clock_.spend(phase.empty() ? clock_.currentPhase() : phase,
+                 cost_.rpc(kind, request.size(), response.size()));
+    return response;
+}
+
+} // namespace salus::net

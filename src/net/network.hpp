@@ -1,0 +1,96 @@
+/**
+ * @file
+ * In-process RPC fabric standing in for the paper's gRPC deployment
+ * (§5.2). Endpoints register method handlers; calls are synchronous
+ * and charge virtual time according to the link class between the two
+ * endpoints (WAN for the user client, intra-cloud for the manufacturer
+ * server, loopback between co-located processes).
+ *
+ * A tap hook observes every payload in flight — the "network attacker
+ * snooping" of the threat model (Fig. 2) — so tests can assert that
+ * secrets never cross a link in plaintext.
+ */
+
+#ifndef SALUS_NET_NETWORK_HPP
+#define SALUS_NET_NETWORK_HPP
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "sim/clock.hpp"
+#include "sim/cost_model.hpp"
+
+namespace salus::net {
+
+/** Handles one RPC method; returns the response payload. */
+using Handler = std::function<Bytes(ByteView request)>;
+
+/** Observes (and may record) traffic; cannot modify it. */
+using Tap = std::function<void(const std::string &from,
+                               const std::string &to,
+                               const std::string &method,
+                               ByteView payload)>;
+
+/**
+ * Mutates traffic in flight — used to model active man-in-the-middle
+ * attacks on a link in tests. Returning false drops the message.
+ */
+using Interposer = std::function<bool(const std::string &from,
+                                      const std::string &to,
+                                      const std::string &method,
+                                      Bytes &payload)>;
+
+/** Synchronous RPC network with latency accounting. */
+class Network
+{
+  public:
+    Network(sim::VirtualClock &clock, const sim::CostModel &cost)
+        : clock_(clock), cost_(cost)
+    {}
+
+    /** Declares an endpoint by name. */
+    void addEndpoint(const std::string &name);
+
+    /** Sets the link class between two endpoints (symmetric). */
+    void link(const std::string &a, const std::string &b,
+              sim::LinkKind kind);
+
+    /** Registers a method handler on an endpoint. */
+    void on(const std::string &endpoint, const std::string &method,
+            Handler handler);
+
+    /**
+     * Performs a synchronous call, advancing the virtual clock and
+     * attributing the time to `phase` (or "network" if empty).
+     * @throws NetError for unknown endpoints/methods or missing links.
+     */
+    Bytes call(const std::string &from, const std::string &to,
+               const std::string &method, ByteView request,
+               const std::string &phase = "");
+
+    /** Installs a passive observer over all traffic. */
+    void setTap(Tap tap) { tap_ = std::move(tap); }
+
+    /** Installs an active man-in-the-middle on all traffic. */
+    void setInterposer(Interposer ip) { interposer_ = std::move(ip); }
+
+    sim::VirtualClock &clock() { return clock_; }
+    const sim::CostModel &cost() const { return cost_; }
+
+  private:
+    sim::LinkKind linkKind(const std::string &a,
+                           const std::string &b) const;
+
+    sim::VirtualClock &clock_;
+    const sim::CostModel &cost_;
+    std::map<std::string, std::map<std::string, Handler>> handlers_;
+    std::map<std::pair<std::string, std::string>, sim::LinkKind> links_;
+    Tap tap_;
+    Interposer interposer_;
+};
+
+} // namespace salus::net
+
+#endif // SALUS_NET_NETWORK_HPP

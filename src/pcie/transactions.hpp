@@ -1,0 +1,44 @@
+/**
+ * @file
+ * PCIe-level transaction types exchanged between the host and the
+ * shell. Every one of these crosses the CSP-controlled shell, which
+ * the threat model treats as an active adversary (§3.1 attack 3) —
+ * protocol layers above must assume each field can be read, changed,
+ * replayed or dropped.
+ */
+
+#ifndef SALUS_PCIE_TRANSACTIONS_HPP
+#define SALUS_PCIE_TRANSACTIONS_HPP
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace salus::pcie {
+
+/** Register windows the shell exposes to the host (paper Fig. 5). */
+enum class Window : uint8_t {
+    SmSecure = 0, ///< SM logic AXI4-Lite (secure register channel)
+    Direct = 1,   ///< direct, unprotected accelerator interface
+};
+
+/** One MMIO register transaction. */
+struct RegisterTxn
+{
+    bool isWrite = false;
+    Window window = Window::SmSecure;
+    uint32_t addr = 0;
+    uint64_t data = 0; ///< write payload, or read result
+};
+
+/** One DMA transaction against device DRAM. */
+struct DmaTxn
+{
+    bool toDevice = false;
+    uint64_t addr = 0;
+    size_t length = 0;
+};
+
+} // namespace salus::pcie
+
+#endif // SALUS_PCIE_TRANSACTIONS_HPP

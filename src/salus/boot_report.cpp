@@ -1,0 +1,80 @@
+#include "salus/boot_report.hpp"
+
+#include <cstdio>
+
+#include "common/errors.hpp"
+#include "salus/sim_hooks.hpp"
+
+namespace salus::core {
+
+namespace {
+
+struct PhaseRef
+{
+    const char *phase;
+    double paperMs;
+};
+
+/** Figure 9 reference values (see EXPERIMENTS.md for derivation). */
+const PhaseRef kFigure9[] = {
+    {phases::kDeviceKeyDist, 1709.0},
+    {phases::kBitstreamVerifEnc, 725.0},
+    {phases::kBitstreamManip, 13787.0},
+    {phases::kClDeployment, 45.0},
+    {phases::kLocalAttest, 0.836},
+    {phases::kClAuth, 1.3},
+    {phases::kUserRa, 2568.0},
+};
+
+} // namespace
+
+BootReport
+buildBootReport(const sim::VirtualClock &clock)
+{
+    BootReport report;
+    for (const auto &ref : kFigure9) {
+        BootPhaseRow row;
+        row.phase = ref.phase;
+        row.modelTime = clock.totalFor(ref.phase);
+        row.paperMs = ref.paperMs;
+        report.modelTotal += row.modelTime;
+        report.paperTotalMs += row.paperMs;
+        report.rows.push_back(std::move(row));
+    }
+    return report;
+}
+
+const BootPhaseRow &
+BootReport::dominant() const
+{
+    if (rows.empty())
+        throw SalusError("empty boot report");
+    const BootPhaseRow *best = &rows.front();
+    for (const auto &row : rows) {
+        if (row.modelTime > best->modelTime)
+            best = &row;
+    }
+    return *best;
+}
+
+std::string
+BootReport::render() const
+{
+    char line[128];
+    std::string out;
+    std::snprintf(line, sizeof(line), "%-28s %12s %12s\n", "phase",
+                  "model (ms)", "paper (ms)");
+    out += line;
+    for (const auto &row : rows) {
+        std::snprintf(line, sizeof(line), "%-28s %12.2f %12.2f\n",
+                      row.phase.c_str(), double(row.modelTime) / 1e6,
+                      row.paperMs);
+        out += line;
+    }
+    std::snprintf(line, sizeof(line), "%-28s %12.2f %12.2f\n", "TOTAL",
+                  double(modelTotal) / 1e6, paperTotalMs);
+    out += line;
+    return out;
+}
+
+} // namespace salus::core

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Structured boot-time reporting: turns a virtual-clock trace into
+ * the Figure 9 phase breakdown, with the paper's reference numbers
+ * attached. Shared by the quickstart example, the Figure 9 bench and
+ * tests, so the phase list lives in exactly one place.
+ */
+
+#ifndef SALUS_SALUS_BOOT_REPORT_HPP
+#define SALUS_SALUS_BOOT_REPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace salus::core {
+
+/** One row of the Figure 9 breakdown. */
+struct BootPhaseRow
+{
+    std::string phase;
+    sim::Nanos modelTime = 0; ///< virtual time attributed to the phase
+    double paperMs = 0.0;     ///< the paper's measurement (Fig. 9)
+};
+
+/** The full breakdown plus totals. */
+struct BootReport
+{
+    std::vector<BootPhaseRow> rows;
+    sim::Nanos modelTotal = 0;
+    double paperTotalMs = 0.0;
+
+    /** The dominant phase by model time. */
+    const BootPhaseRow &dominant() const;
+
+    /** Renders an aligned text table. */
+    std::string render() const;
+};
+
+/** Builds the Figure 9 report from a boot's clock trace. */
+BootReport buildBootReport(const sim::VirtualClock &clock);
+
+} // namespace salus::core
+
+#endif // SALUS_SALUS_BOOT_REPORT_HPP

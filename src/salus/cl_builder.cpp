@@ -1,0 +1,78 @@
+#include "salus/cl_builder.hpp"
+
+#include "common/serde.hpp"
+#include "fpga/ip.hpp"
+#include "salus/secrets.hpp"
+
+namespace salus::core {
+
+netlist::ResourceVector
+smLogicResources()
+{
+    // Paper Table 5, "SM Logic" row: 27667 LUT, 29631 FF, 88 BRAM.
+    return {27667, 29631, 88, 0};
+}
+
+ClDesign
+buildClDesign(const std::string &topName, netlist::Cell accelCell,
+              std::vector<netlist::Cell> extraCells)
+{
+    ClDesign out;
+    out.netlist.setTop(topName);
+
+    const std::string smBase = topName + "/sm";
+    const std::string accelBase = topName + "/accel";
+
+    out.layout.smCellPath = smBase + "/logic";
+    out.layout.keyAttestPath = smBase + "/" + kKeyAttestCell;
+    out.layout.keySessionPath = smBase + "/" + kKeySessionCell;
+    out.layout.ctrSessionPath = smBase + "/" + kCtrSessionCell;
+    out.layout.accelCellPath = accelBase + "/" + accelCell.path;
+
+    // --- SM logic block ------------------------------------------------
+    netlist::Cell sm;
+    sm.path = out.layout.smCellPath;
+    sm.kind = netlist::CellKind::Logic;
+    sm.behaviorId = fpga::kIpSmLogic;
+    // BRAM count is carried by the key cells below; the logic block
+    // carries the LUT/FF cost.
+    netlist::ResourceVector smRes = smLogicResources();
+    uint32_t smBramsTotal = smRes.brams;
+    smRes.brams = smBramsTotal - 3;
+    sm.resources = smRes;
+    // Parameter blob: where my secret BRAMs and my accelerator are.
+    {
+        BinaryWriter w;
+        w.writeString(out.layout.keyAttestPath);
+        w.writeString(out.layout.keySessionPath);
+        w.writeString(out.layout.ctrSessionPath);
+        w.writeString(out.layout.accelCellPath);
+        sm.params = w.take();
+    }
+    out.netlist.addCell(std::move(sm));
+
+    // --- Reserved secret BRAMs (zero-filled until deployment) ----------
+    auto addSecretBram = [&](const std::string &path, size_t size) {
+        netlist::Cell bram;
+        bram.path = path;
+        bram.kind = netlist::CellKind::Bram;
+        bram.resources = {0, 0, 1, 0};
+        bram.init = Bytes(size, 0);
+        out.netlist.addCell(std::move(bram));
+    };
+    addSecretBram(out.layout.keyAttestPath, kKeyAttestSize);
+    addSecretBram(out.layout.keySessionPath, kKeySessionSize);
+    addSecretBram(out.layout.ctrSessionPath, kCtrSessionSize);
+
+    // --- Developer's accelerator ---------------------------------------
+    accelCell.path = out.layout.accelCellPath;
+    out.netlist.addCell(std::move(accelCell));
+    for (auto &cell : extraCells) {
+        cell.path = accelBase + "/" + cell.path;
+        out.netlist.addCell(std::move(cell));
+    }
+
+    return out;
+}
+
+} // namespace salus::core

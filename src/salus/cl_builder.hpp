@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Builds the combined custom-logic netlist: the developer's
+ * accelerator plus the manufacturer-released SM logic HDK (paper
+ * §4.1: "the SM logic and accelerator are integrated during
+ * development, generating a single CL bitstream containing both").
+ *
+ * The SM logic reserves three zero-initialized BRAM cells for the
+ * deployment-time secrets; the compiler's logic-location file later
+ * tells the SM enclave where they sit in the bitstream.
+ */
+
+#ifndef SALUS_SALUS_CL_BUILDER_HPP
+#define SALUS_SALUS_CL_BUILDER_HPP
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace salus::core {
+
+/** Well-known cell paths of a built CL design. */
+struct ClLayout
+{
+    std::string smCellPath;       ///< SM logic block
+    std::string keyAttestPath;    ///< reserved RoT BRAM
+    std::string keySessionPath;   ///< reserved session-key BRAM
+    std::string ctrSessionPath;   ///< reserved counter BRAM
+    std::string accelCellPath;    ///< the developer's accelerator
+};
+
+/** A complete CL: netlist plus its well-known layout. */
+struct ClDesign
+{
+    netlist::Netlist netlist;
+    ClLayout layout;
+};
+
+/**
+ * Integrates the SM logic with an accelerator.
+ *
+ * @param topName     top-level design name (unique per application).
+ * @param accelCell   the developer's accelerator logic cell
+ *                    (behaviorId + resources + params); it is placed
+ *                    under "<top>/accel".
+ * @param extraCells  additional accelerator-private cells (BRAMs etc.),
+ *                    re-parented under "<top>/accel/".
+ */
+ClDesign buildClDesign(const std::string &topName,
+                       netlist::Cell accelCell,
+                       std::vector<netlist::Cell> extraCells = {});
+
+/** Resource cost of the SM logic alone (paper Table 5 last row). */
+netlist::ResourceVector smLogicResources();
+
+} // namespace salus::core
+
+#endif // SALUS_SALUS_CL_BUILDER_HPP

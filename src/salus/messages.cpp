@@ -1,0 +1,114 @@
+#include "salus/messages.hpp"
+
+#include "common/errors.hpp"
+#include "common/serde.hpp"
+#include "crypto/aes_gcm.hpp"
+#include "crypto/sha256.hpp"
+
+namespace salus::core {
+
+Bytes
+ClMetadata::serialize() const
+{
+    BinaryWriter w;
+    w.writeBytes(digestH);
+    w.writeBytes(logicLocations);
+    w.writeString(keyAttestPath);
+    w.writeString(keySessionPath);
+    w.writeString(ctrSessionPath);
+    return w.take();
+}
+
+ClMetadata
+ClMetadata::deserialize(ByteView data)
+{
+    BinaryReader r(data);
+    ClMetadata m;
+    m.digestH = r.readBytes();
+    m.logicLocations = r.readBytes();
+    m.keyAttestPath = r.readString();
+    m.keySessionPath = r.readString();
+    m.ctrSessionPath = r.readString();
+    return m;
+}
+
+Bytes
+ClMetadata::digest() const
+{
+    return crypto::Sha256::digest(serialize());
+}
+
+Bytes
+ClBootStatus::serialize() const
+{
+    BinaryWriter w;
+    w.writeU8(deployed ? 1 : 0);
+    w.writeU8(attested ? 1 : 0);
+    w.writeString(failure);
+    return w.take();
+}
+
+ClBootStatus
+ClBootStatus::deserialize(ByteView data)
+{
+    BinaryReader r(data);
+    ClBootStatus s;
+    s.deployed = r.readU8() != 0;
+    s.attested = r.readU8() != 0;
+    s.failure = r.readString();
+    return s;
+}
+
+namespace {
+
+Bytes
+channelIv(const std::string &direction, uint64_t seq)
+{
+    // 12-byte IV: 4 bytes of direction hash + 8-byte sequence number.
+    Bytes dirDigest = crypto::Sha256::digest(bytesFromString(direction));
+    Bytes iv(12);
+    std::copy(dirDigest.begin(), dirDigest.begin() + 4, iv.begin());
+    storeLe64(iv.data() + 4, seq);
+    return iv;
+}
+
+} // namespace
+
+Bytes
+channelSeal(ByteView sessionKey, const std::string &direction,
+            uint64_t seq, ByteView plaintext)
+{
+    crypto::AesGcm gcm(sessionKey);
+    Bytes iv = channelIv(direction, seq);
+    Bytes aad = bytesFromString(direction);
+    crypto::GcmSealed sealed = gcm.seal(iv, aad, plaintext);
+
+    BinaryWriter w;
+    w.writeU64(seq);
+    w.writeBytes(sealed.ciphertext);
+    w.writeBytes(sealed.tag);
+    return w.take();
+}
+
+std::optional<Bytes>
+channelOpen(ByteView sessionKey, const std::string &direction,
+            uint64_t seq, ByteView sealed)
+{
+    try {
+        BinaryReader r(sealed);
+        uint64_t claimedSeq = r.readU64();
+        if (claimedSeq != seq)
+            return std::nullopt; // replay or reordering
+        Bytes ciphertext = r.readBytes();
+        Bytes tag = r.readBytes();
+
+        crypto::AesGcm gcm(sessionKey);
+        Bytes iv = channelIv(direction, seq);
+        Bytes aad = bytesFromString(direction);
+        return gcm.open(iv, aad, ciphertext, tag);
+    } catch (const SerdeError &) {
+        return std::nullopt;
+    }
+}
+
+} // namespace salus::core

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Message formats of the Salus software stack (paper Fig. 7):
+ * the bitstream metadata the data owner ships to the user enclave
+ * (digest H + Loc_keyattest et al.), and the sealed user<->SM enclave
+ * channel that runs over the local-attestation session key.
+ */
+
+#ifndef SALUS_SALUS_MESSAGES_HPP
+#define SALUS_SALUS_MESSAGES_HPP
+
+#include <optional>
+#include <string>
+
+#include "bitstream/logic_location.hpp"
+#include "common/bytes.hpp"
+
+namespace salus::core {
+
+/**
+ * Everything the data owner knows about the expected CL bitstream
+ * (produced by the developer, paper §4.2 "application development").
+ */
+struct ClMetadata
+{
+    Bytes digestH;        ///< SHA-256 over the raw bitstream file
+    Bytes logicLocations; ///< serialized bitstream::LogicLocationFile
+    std::string keyAttestPath;
+    std::string keySessionPath;
+    std::string ctrSessionPath;
+
+    Bytes serialize() const;
+    static ClMetadata deserialize(ByteView data);
+
+    /** Digest over the serialized metadata (bound into the final RA
+     *  report so the client can confirm which CL was deployed). */
+    Bytes digest() const;
+};
+
+/** Boot/attestation outcome the SM enclave reports upstream. */
+struct ClBootStatus
+{
+    bool deployed = false;   ///< bitstream verified + loaded
+    bool attested = false;   ///< CL attestation succeeded
+    std::string failure;     ///< first failing step, empty when ok
+
+    bool ok() const { return deployed && attested; }
+
+    Bytes serialize() const;
+    static ClBootStatus deserialize(ByteView data);
+};
+
+// ---- Sealed enclave-to-enclave channel ------------------------------
+//
+// AES-GCM under the LA session key with a direction label and a
+// sequence number folded into the IV; replayed or reflected messages
+// fail to open.
+
+/** Seals one channel message. */
+Bytes channelSeal(ByteView sessionKey, const std::string &direction,
+                  uint64_t seq, ByteView plaintext);
+
+/** Opens one channel message; nullopt on tamper/replay/reflection. */
+std::optional<Bytes> channelOpen(ByteView sessionKey,
+                                 const std::string &direction,
+                                 uint64_t seq, ByteView sealed);
+
+} // namespace salus::core
+
+#endif // SALUS_SALUS_MESSAGES_HPP

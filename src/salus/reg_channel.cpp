@@ -1,0 +1,173 @@
+#include "salus/reg_channel.hpp"
+
+#include <cstring>
+
+#include "crypto/aes_ctr.hpp"
+#include "crypto/ct.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/siphash.hpp"
+
+namespace salus::core::regchan {
+
+namespace {
+
+Bytes
+nonceDnaMessage(uint64_t nonce, uint64_t dna, uint8_t direction)
+{
+    // The direction byte separates request and response domains, so
+    // MAC_rsp(N) can never be replayed as MAC_req(N + 1) (hardening
+    // the paper's "incremental operation" per its own §4.3 remark).
+    Bytes msg(17);
+    storeLe64(msg.data(), nonce);
+    storeLe64(msg.data() + 8, dna);
+    msg[16] = direction;
+    return msg;
+}
+
+/** Builds the 16-byte CTR counter block for a direction + counter. */
+Bytes
+counterBlock(const char label[8], uint64_t ctr)
+{
+    Bytes block(16);
+    std::memcpy(block.data(), label, 8);
+    storeLe64(block.data() + 8, ctr);
+    return block;
+}
+
+uint64_t
+truncatedHmac(ByteView macKey, uint64_t ctr, uint64_t ct0, uint64_t ct1,
+              const char *direction)
+{
+    Bytes msg(24 + std::strlen(direction));
+    storeLe64(msg.data(), ctr);
+    storeLe64(msg.data() + 8, ct0);
+    storeLe64(msg.data() + 16, ct1);
+    std::memcpy(msg.data() + 24, direction, std::strlen(direction));
+    Bytes tag = crypto::hmacSha256(macKey, msg);
+    return loadLe64(tag.data());
+}
+
+} // namespace
+
+uint64_t
+attestRequestMac(ByteView keyAttest, uint64_t nonce, uint64_t dna)
+{
+    return crypto::sipHash24(keyAttest,
+                             nonceDnaMessage(nonce, dna, 'Q'));
+}
+
+uint64_t
+attestResponseMac(ByteView keyAttest, uint64_t nonce, uint64_t dna)
+{
+    return crypto::sipHash24(keyAttest,
+                             nonceDnaMessage(nonce + 1, dna, 'P'));
+}
+
+SealedRegRequest
+sealRequest(ByteView aesKey, ByteView macKey, uint64_t ctr,
+            const RegOp &op)
+{
+    uint8_t plain[16] = {};
+    plain[0] = op.isWrite ? 1 : 0;
+    storeLe32(plain + 1, op.addr);
+    storeLe64(plain + 5, op.data);
+
+    crypto::AesCtr cipher(aesKey, counterBlock("SREGCHAN", ctr));
+    cipher.crypt(plain, 16);
+
+    SealedRegRequest req;
+    req.ctr = ctr;
+    req.ct0 = loadLe64(plain);
+    req.ct1 = loadLe64(plain + 8);
+    req.mac = truncatedHmac(macKey, ctr, req.ct0, req.ct1, "req");
+    return req;
+}
+
+std::optional<RegOp>
+openRequest(ByteView aesKey, ByteView macKey, const SealedRegRequest &req)
+{
+    uint64_t expect =
+        truncatedHmac(macKey, req.ctr, req.ct0, req.ct1, "req");
+    uint8_t a[8], b[8];
+    storeLe64(a, expect);
+    storeLe64(b, req.mac);
+    if (!crypto::ctEqual(ByteView(a, 8), ByteView(b, 8)))
+        return std::nullopt;
+
+    uint8_t buf[16];
+    storeLe64(buf, req.ct0);
+    storeLe64(buf + 8, req.ct1);
+    crypto::AesCtr cipher(aesKey, counterBlock("SREGCHAN", req.ctr));
+    cipher.crypt(buf, 16);
+
+    RegOp op;
+    op.isWrite = buf[0] != 0;
+    op.addr = loadLe32(buf + 1);
+    op.data = loadLe64(buf + 5);
+    return op;
+}
+
+SealedRegResponse
+sealResponse(ByteView aesKey, ByteView macKey, uint64_t ctr,
+             uint8_t status, uint64_t data)
+{
+    uint8_t plain[16] = {};
+    plain[0] = status;
+    storeLe64(plain + 1, data);
+
+    crypto::AesCtr cipher(aesKey, counterBlock("SRSPCHAN", ctr));
+    cipher.crypt(plain, 16);
+
+    SealedRegResponse rsp;
+    rsp.ct0 = loadLe64(plain);
+    rsp.ct1 = loadLe64(plain + 8);
+    rsp.mac = truncatedHmac(macKey, ctr, rsp.ct0, rsp.ct1, "rsp");
+    return rsp;
+}
+
+std::optional<std::pair<uint8_t, uint64_t>>
+openResponse(ByteView aesKey, ByteView macKey, uint64_t ctr,
+             const SealedRegResponse &rsp)
+{
+    uint64_t expect =
+        truncatedHmac(macKey, ctr, rsp.ct0, rsp.ct1, "rsp");
+    uint8_t a[8], b[8];
+    storeLe64(a, expect);
+    storeLe64(b, rsp.mac);
+    if (!crypto::ctEqual(ByteView(a, 8), ByteView(b, 8)))
+        return std::nullopt;
+
+    uint8_t buf[16];
+    storeLe64(buf, rsp.ct0);
+    storeLe64(buf + 8, rsp.ct1);
+    crypto::AesCtr cipher(aesKey, counterBlock("SRSPCHAN", ctr));
+    cipher.crypt(buf, 16);
+
+    return std::make_pair(buf[0], loadLe64(buf + 1));
+}
+
+uint64_t
+rekeyMac(ByteView macKey, uint64_t ctr, uint64_t nonce)
+{
+    uint8_t msg[21];
+    storeLe64(msg, ctr);
+    storeLe64(msg + 8, nonce);
+    std::memcpy(msg + 16, "rekey", 5);
+    Bytes tag = crypto::hmacSha256(macKey, ByteView(msg, sizeof(msg)));
+    return loadLe64(tag.data());
+}
+
+std::pair<Bytes, Bytes>
+deriveRekeyedKeys(ByteView oldMacKey, uint64_t nonce)
+{
+    uint8_t salt[8];
+    storeLe64(salt, nonce);
+    Bytes material = crypto::hkdf(ByteView(salt, 8), oldMacKey,
+                                  bytesFromString("salus-rekey-v1"), 48);
+    Bytes aes(material.begin(), material.begin() + 16);
+    Bytes mac(material.begin() + 16, material.end());
+    secureZero(material);
+    return {std::move(aes), std::move(mac)};
+}
+
+} // namespace salus::core::regchan

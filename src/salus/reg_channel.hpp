@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Wire-level crypto for the two SM protocols that cross the hostile
+ * PCIe bus, shared by both endpoints (SM enclave on the host, SM
+ * logic in the fabric):
+ *
+ *  1. CL attestation (paper Fig. 4a): SipHash-2-4 MACs over the nonce
+ *     and DeviceDNA under Key_attest.
+ *  2. The transparent secure register channel (paper §4.5 / Fig. 5):
+ *     AES-128-CTR encrypted register transactions with truncated
+ *     HMAC-SHA256 authentication and a strictly increasing session
+ *     counter under Key_session / Ctr_session.
+ *
+ * Everything here is deterministic symmetric crypto — both sides
+ * compute the same bytes, which is the whole point of RoT injection.
+ */
+
+#ifndef SALUS_SALUS_REG_CHANNEL_HPP
+#define SALUS_SALUS_REG_CHANNEL_HPP
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace salus::core::regchan {
+
+// ---- CL attestation MACs (SipHash under Key_attest) -----------------
+
+/** MAC_req = SipHash(Key_attest, N || DNA). */
+uint64_t attestRequestMac(ByteView keyAttest, uint64_t nonce,
+                          uint64_t dna);
+
+/** MAC_rsp = SipHash(Key_attest, (N + 1) || DNA). */
+uint64_t attestResponseMac(ByteView keyAttest, uint64_t nonce,
+                           uint64_t dna);
+
+// ---- Secure register channel ----------------------------------------
+
+/** A decrypted register operation. */
+struct RegOp
+{
+    bool isWrite = false;
+    uint32_t addr = 0;
+    uint64_t data = 0;
+};
+
+/** An encrypted register request as it crosses the bus. */
+struct SealedRegRequest
+{
+    uint64_t ctr = 0;  ///< session counter (cleartext, MACed)
+    uint64_t ct0 = 0;  ///< ciphertext low half
+    uint64_t ct1 = 0;  ///< ciphertext high half
+    uint64_t mac = 0;  ///< truncated HMAC over ctr||ct
+};
+
+/** An encrypted register response. */
+struct SealedRegResponse
+{
+    uint64_t ct0 = 0;
+    uint64_t ct1 = 0;
+    uint64_t mac = 0;
+};
+
+/** Encrypts and MACs a register operation (host side). */
+SealedRegRequest sealRequest(ByteView aesKey, ByteView macKey,
+                             uint64_t ctr, const RegOp &op);
+
+/** Verifies and decrypts a request (fabric side); nullopt = reject. */
+std::optional<RegOp> openRequest(ByteView aesKey, ByteView macKey,
+                                 const SealedRegRequest &req);
+
+/** Encrypts and MACs a response (fabric side). */
+SealedRegResponse sealResponse(ByteView aesKey, ByteView macKey,
+                               uint64_t ctr, uint8_t status,
+                               uint64_t data);
+
+/** Verifies and decrypts a response (host side). */
+std::optional<std::pair<uint8_t, uint64_t>>
+openResponse(ByteView aesKey, ByteView macKey, uint64_t ctr,
+             const SealedRegResponse &rsp);
+
+// ---- Session re-keying (extension) -----------------------------------
+//
+// Both ends can roll the channel keys forward from a MACed nonce:
+// new keys = KDF(old MAC key, nonce). Compromise of a *future* key
+// state never reveals traffic sent before the roll.
+
+/** MAC authorizing a re-key request under the CURRENT MAC key. */
+uint64_t rekeyMac(ByteView macKey, uint64_t ctr, uint64_t nonce);
+
+/** Derives the next (AES key, MAC key) pair from the current MAC key
+ *  and the re-key nonce. Deterministic: both ends converge. */
+std::pair<Bytes, Bytes> deriveRekeyedKeys(ByteView oldMacKey,
+                                          uint64_t nonce);
+
+} // namespace salus::core::regchan
+
+#endif // SALUS_SALUS_REG_CHANNEL_HPP

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Umbrella header: the full public API of the Salus reproduction.
+ *
+ * For most uses, include this and start from core::Testbed (a complete
+ * simulated deployment) — see examples/quickstart.cpp. Individual
+ * subsystem headers remain includable on their own for finer-grained
+ * use (e.g. just the bitstream toolchain, or just the TEE model).
+ */
+
+#ifndef SALUS_SALUS_SALUS_HPP
+#define SALUS_SALUS_SALUS_HPP
+
+// Substrates
+#include "bitstream/compiler.hpp"
+#include "bitstream/encryptor.hpp"
+#include "bitstream/manipulator.hpp"
+#include "fpga/device.hpp"
+#include "manufacturer/manufacturer.hpp"
+#include "net/network.hpp"
+#include "netlist/netlist.hpp"
+#include "shell/attacks.hpp"
+#include "shell/shell.hpp"
+#include "sim/clock.hpp"
+#include "sim/cost_model.hpp"
+#include "tee/local_attest.hpp"
+#include "tee/platform.hpp"
+#include "tee/quote_verifier.hpp"
+
+// The Salus protocol stack
+#include "salus/boot_report.hpp"
+#include "salus/cl_builder.hpp"
+#include "salus/developer.hpp"
+#include "salus/messages.hpp"
+#include "salus/reg_channel.hpp"
+#include "salus/secrets.hpp"
+#include "salus/sm_enclave.hpp"
+#include "salus/sm_logic.hpp"
+#include "salus/testbed.hpp"
+#include "salus/user_client.hpp"
+#include "salus/user_enclave.hpp"
+
+#endif // SALUS_SALUS_SALUS_HPP

@@ -1,0 +1,47 @@
+#include "salus/secrets.hpp"
+
+namespace salus::core {
+
+const char *const kKeyAttestCell = "key_attest";
+const char *const kKeySessionCell = "key_session";
+const char *const kCtrSessionCell = "ctr_session";
+
+ClSecrets
+ClSecrets::generate(crypto::RandomSource &rng)
+{
+    ClSecrets s;
+    s.keyAttest = rng.bytes(kKeyAttestSize);
+    s.keySession = rng.bytes(kKeySessionSize);
+    s.ctrBase = rng.nextU64();
+    return s;
+}
+
+ByteView
+ClSecrets::sessionAesKey() const
+{
+    return ByteView(keySession.data(), 16);
+}
+
+ByteView
+ClSecrets::sessionMacKey() const
+{
+    return ByteView(keySession.data() + 16, 32);
+}
+
+Bytes
+ClSecrets::ctrBytes() const
+{
+    Bytes out(kCtrSessionSize);
+    storeLe64(out.data(), ctrBase);
+    return out;
+}
+
+void
+ClSecrets::wipe()
+{
+    secureZero(keyAttest);
+    secureZero(keySession);
+    ctrBase = 0;
+}
+
+} // namespace salus::core

@@ -1,0 +1,441 @@
+#include "salus/sm_enclave.hpp"
+
+#include "bitstream/encryptor.hpp"
+#include "bitstream/manipulator.hpp"
+#include "common/errors.hpp"
+#include "common/log.hpp"
+#include "common/serde.hpp"
+#include "crypto/aes_gcm.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/x25519.hpp"
+#include "manufacturer/manufacturer.hpp"
+#include "salus/sm_logic.hpp"
+
+namespace salus::core {
+
+namespace {
+
+const char *const kDirUp = "salus-chan-u2s";   // user -> SM
+const char *const kDirDown = "salus-chan-s2u"; // SM -> user
+
+} // namespace
+
+tee::EnclaveImage
+SmEnclaveApp::defaultImage()
+{
+    tee::EnclaveImage image;
+    image.name = "salus-sm-app";
+    image.signer = "salus-hdk-vendor";
+    image.isvSvn = 1;
+    image.code = bytesFromString(
+        "salus secure-manager enclave v1.0: bitstream verification, "
+        "manipulation, encryption, CL attestation, register channel");
+    return image;
+}
+
+tee::Measurement
+SmEnclaveApp::defaultMeasurement()
+{
+    return defaultImage().measure();
+}
+
+SmEnclaveApp::SmEnclaveApp(tee::TeePlatform &platform, SmEnclaveDeps deps)
+    : tee::Enclave(platform, defaultImage()), deps_(std::move(deps))
+{
+    // Accept any same-platform initiator; policy pinning happens on
+    // the user side (and at the manufacturer for key release).
+    la_ = std::make_unique<tee::LocalAttestResponder>(
+        *this, tee::Measurement{});
+}
+
+Bytes
+SmEnclaveApp::laAnswer(ByteView msg1)
+{
+    auto msg2 = la_->answer(msg1);
+    return msg2 ? *msg2 : Bytes();
+}
+
+bool
+SmEnclaveApp::laConfirm(ByteView msg3)
+{
+    bool ok = la_->confirm(msg3);
+    if (ok) {
+        // New LA session => new session key => fresh sequence space.
+        channelSeq_ = 0;
+    }
+    return ok;
+}
+
+bool
+SmEnclaveApp::laEstablished() const
+{
+    return la_->established();
+}
+
+Bytes
+SmEnclaveApp::channelRequest(ByteView sealed)
+{
+    if (!la_->established())
+        return Bytes();
+
+    uint64_t seq = channelSeq_ + 1;
+    auto plain = channelOpen(la_->session().key, kDirUp, seq, sealed);
+    if (!plain) {
+        logf(LogLevel::Warn, "sm-enclave",
+             "rejecting channel request (bad seal/seq)");
+        return Bytes();
+    }
+    channelSeq_ = seq;
+
+    Bytes response = handlePlainRequest(*plain);
+    return channelSeal(la_->session().key, kDirDown, seq, response);
+}
+
+Bytes
+SmEnclaveApp::handlePlainRequest(ByteView plain)
+{
+    BinaryWriter out;
+    try {
+        BinaryReader r(plain);
+        auto type = SmChannelMsg(r.readU8());
+        switch (type) {
+          case SmChannelMsg::SetMetadata: {
+            metadata_ = ClMetadata::deserialize(r.readBytes());
+            haveMetadata_ = true;
+            out.writeU8(1);
+            break;
+          }
+          case SmChannelMsg::RunSecureBoot: {
+            status_ = ClBootStatus{};
+            std::string failure;
+            if (!haveMetadata_) {
+                failure = "no bitstream metadata";
+            } else if (!haveDeviceKey_ && !fetchDeviceKey(failure)) {
+                // failure set by fetchDeviceKey
+            } else if (deployCl(failure)) {
+                status_.deployed = true;
+                if (attestCl(failure))
+                    status_.attested = true;
+            }
+            status_.failure = failure;
+            out.writeRaw(status_.serialize());
+            break;
+          }
+          case SmChannelMsg::SecureRegOp: {
+            regchan::RegOp op;
+            op.isWrite = r.readU8() != 0;
+            op.addr = r.readU32();
+            op.data = r.readU64();
+            auto [st, data] = secureRegOp(op);
+            out.writeU8(st);
+            out.writeU64(data);
+            break;
+          }
+          case SmChannelMsg::QueryStatus:
+            out.writeRaw(status_.serialize());
+            break;
+          case SmChannelMsg::RekeySession:
+            out.writeU8(rekeySession() ? 1 : 0);
+            break;
+          default:
+            out.writeU8(0xff);
+            break;
+        }
+    } catch (const SalusError &e) {
+        logf(LogLevel::Warn, "sm-enclave", "bad channel request: ",
+             e.what());
+        out.writeU8(0xfe);
+    }
+    return out.take();
+}
+
+bool
+SmEnclaveApp::fetchDeviceKey(std::string &failure)
+{
+    PhaseScope phase(deps_.sim, phases::kDeviceKeyDist);
+
+    // Ephemeral wrap key; the quote binds its public half so the OS
+    // cannot substitute its own.
+    crypto::X25519KeyPair eph = crypto::x25519Generate(rng());
+
+    deps_.sim.spend(phases::kDeviceKeyDist,
+                    deps_.sim.active() ? deps_.sim.cost->quoteGeneration +
+                                             2 * deps_.sim.cost->enclaveTransition
+                                       : 0);
+    tee::Quote quote = createQuote(eph.publicKey);
+
+    manufacturer::KeyRequest req;
+    req.deviceDna = deps_.instanceDeviceDna;
+    req.quote = quote.serialize();
+    req.wrapPubKey = eph.publicKey;
+
+    Bytes respBytes;
+    try {
+        respBytes = deps_.network->call(
+            deps_.selfEndpoint, deps_.manufacturerEndpoint, "keyRequest",
+            req.serialize(), phases::kDeviceKeyDist);
+    } catch (const NetError &e) {
+        failure = std::string("key request failed: ") + e.what();
+        return false;
+    }
+
+    manufacturer::KeyResponse resp;
+    try {
+        resp = manufacturer::KeyResponse::deserialize(respBytes);
+    } catch (const SalusError &) {
+        failure = "malformed key response";
+        return false;
+    }
+    if (resp.status != 0) {
+        failure = "manufacturer refused key: " + resp.reason;
+        return false;
+    }
+
+    Bytes wrapKey;
+    try {
+        wrapKey = crypto::deriveSessionKey(
+            eph.privateKey, resp.serverEphPub, "salus-keydist-v1", 32);
+    } catch (const CryptoError &) {
+        failure = "bad server ephemeral key";
+        return false;
+    }
+    crypto::AesGcm gcm(wrapKey);
+    auto key = gcm.open(resp.iv, ByteView(), resp.wrappedKey, resp.tag);
+    secureZero(wrapKey);
+    if (!key || key->size() != 32) {
+        failure = "device key unwrap failed";
+        return false;
+    }
+    deviceKey_ = std::move(*key);
+    haveDeviceKey_ = true;
+    return true;
+}
+
+bool
+SmEnclaveApp::deployCl(std::string &failure)
+{
+    Bytes file = deps_.fetchBitstream ? deps_.fetchBitstream() : Bytes();
+    if (file.empty()) {
+        failure = "bitstream not available";
+        return false;
+    }
+
+    // --- Verify against H (step: bitstream verification) -------------
+    {
+        PhaseScope phase(deps_.sim, phases::kBitstreamVerifEnc);
+        if (deps_.sim.active()) {
+            deps_.sim.spend(phases::kBitstreamVerifEnc,
+                            deps_.sim.cost->bitstreamVerifyEncrypt(
+                                file.size()) / 2);
+        }
+        Bytes digest = crypto::Sha256::digest(file);
+        if (digest != metadata_.digestH) {
+            failure = "bitstream digest mismatch (tampered or wrong CL)";
+            return false;
+        }
+    }
+
+    // --- Inject fresh secrets (bitstream manipulation) ----------------
+    bitstream::LogicLocationFile ll;
+    try {
+        ll = bitstream::LogicLocationFile::deserialize(
+            metadata_.logicLocations);
+    } catch (const BitstreamError &) {
+        failure = "bad logic-location metadata";
+        return false;
+    }
+
+    secrets_ = ClSecrets::generate(rng());
+    haveSecrets_ = true;
+    sessionCtr_ = secrets_.ctrBase;
+    try {
+        PhaseScope phase(deps_.sim, phases::kBitstreamManip);
+        if (deps_.sim.active()) {
+            deps_.sim.spend(
+                phases::kBitstreamManip,
+                deps_.sim.cost->bitstreamManipulation(file.size()));
+        }
+        bitstream::Manipulator::patchCell(
+            file, ll, metadata_.keyAttestPath, secrets_.keyAttest);
+        bitstream::Manipulator::patchCell(
+            file, ll, metadata_.keySessionPath, secrets_.keySession);
+        bitstream::Manipulator::patchCell(
+            file, ll, metadata_.ctrSessionPath, secrets_.ctrBytes());
+    } catch (const BitstreamError &e) {
+        failure = std::string("manipulation failed: ") + e.what();
+        return false;
+    }
+
+    // --- Encrypt under Key_device -------------------------------------
+    Bytes blob;
+    {
+        PhaseScope phase(deps_.sim, phases::kBitstreamVerifEnc);
+        if (deps_.sim.active()) {
+            deps_.sim.spend(phases::kBitstreamVerifEnc,
+                            deps_.sim.cost->bitstreamVerifyEncrypt(
+                                file.size()) / 2);
+        }
+        bitstream::EncryptedHeader header;
+        header.deviceModel = deps_.shell->device().model().name;
+        header.partitionId = deps_.shell->partitionId();
+        blob = bitstream::encryptBitstream(file, deviceKey_, header,
+                                           rng());
+        secureZero(file); // plaintext with secrets never leaves
+    }
+
+    // --- Hand to the (untrusted) shell for loading --------------------
+    {
+        PhaseScope phase(deps_.sim, phases::kClDeployment);
+        fpga::LoadStatus st = deps_.shell->deployBitstream(blob);
+        if (st != fpga::LoadStatus::Ok) {
+            failure = std::string("device rejected bitstream: ") +
+                      fpga::loadStatusName(st);
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+SmEnclaveApp::attestCl(std::string &failure)
+{
+    PhaseScope phase(deps_.sim, phases::kClAuth);
+    if (deps_.sim.active()) {
+        deps_.sim.spend(phases::kClAuth,
+                        2 * deps_.sim.cost->smLogicMac +
+                            2 * deps_.sim.cost->enclaveTransition +
+                            2 * deps_.sim.cost->fpgaDnaReadout);
+    }
+
+    uint64_t nonce = rng().nextU64();
+    uint64_t dna = deps_.instanceDeviceDna;
+    uint64_t macReq =
+        regchan::attestRequestMac(secrets_.keyAttest, nonce, dna);
+
+    shell::Shell &sh = *deps_.shell;
+    sh.registerWrite(pcie::Window::SmSecure, kSmRegIn0, nonce);
+    sh.registerWrite(pcie::Window::SmSecure, kSmRegIn1, macReq);
+    sh.registerWrite(pcie::Window::SmSecure, kSmRegCmd, kSmCmdAttest);
+
+    uint64_t status = sh.registerRead(pcie::Window::SmSecure,
+                                      kSmRegStatus);
+    uint64_t outNonce = sh.registerRead(pcie::Window::SmSecure,
+                                        kSmRegOut0);
+    uint64_t macRsp = sh.registerRead(pcie::Window::SmSecure,
+                                      kSmRegOut1);
+
+    if (status != kSmStatusOk) {
+        failure = "CL refused attestation request";
+        return false;
+    }
+    uint64_t expect =
+        regchan::attestResponseMac(secrets_.keyAttest, nonce, dna);
+    if (outNonce != nonce + 1 || macRsp != expect) {
+        failure = "CL attestation MAC mismatch";
+        return false;
+    }
+    return true;
+}
+
+Bytes
+SmEnclaveApp::exportSealedDeviceKey() const
+{
+    if (!haveDeviceKey_)
+        return Bytes();
+    return seal(deviceKey_);
+}
+
+bool
+SmEnclaveApp::importSealedDeviceKey(ByteView sealedBlob)
+{
+    auto key = unseal(sealedBlob);
+    if (!key || key->size() != 32)
+        return false;
+    deviceKey_ = std::move(*key);
+    haveDeviceKey_ = true;
+    return true;
+}
+
+bool
+SmEnclaveApp::rekeySession()
+{
+    if (!haveSecrets_ || !status_.ok())
+        return false;
+
+    uint64_t ctr = ++sessionCtr_;
+    uint64_t nonce = rng().nextU64();
+    uint64_t mac =
+        regchan::rekeyMac(secrets_.sessionMacKey(), ctr, nonce);
+
+    shell::Shell &sh = *deps_.shell;
+    sh.registerWrite(pcie::Window::SmSecure, kSmRegIn0, ctr);
+    sh.registerWrite(pcie::Window::SmSecure, kSmRegIn1, nonce);
+    sh.registerWrite(pcie::Window::SmSecure, kSmRegIn3, mac);
+    sh.registerWrite(pcie::Window::SmSecure, kSmRegCmd, kSmCmdRekey);
+    if (sh.registerRead(pcie::Window::SmSecure, kSmRegStatus) !=
+        kSmStatusOk) {
+        // The command was dropped/tampered in flight; our counter
+        // advanced but keys did not change on either side.
+        return false;
+    }
+
+    auto [aes, macKey] =
+        regchan::deriveRekeyedKeys(secrets_.sessionMacKey(), nonce);
+    std::copy(aes.begin(), aes.end(), secrets_.keySession.begin());
+    std::copy(macKey.begin(), macKey.end(),
+              secrets_.keySession.begin() + 16);
+    secureZero(aes);
+    secureZero(macKey);
+    return true;
+}
+
+bool
+SmEnclaveApp::reattestCl()
+{
+    if (!haveSecrets_)
+        return false;
+    std::string failure;
+    bool ok = attestCl(failure);
+    if (!ok) {
+        logf(LogLevel::Warn, "sm-enclave",
+             "runtime re-attestation failed: ", failure);
+        status_.attested = false;
+        status_.failure = failure;
+    }
+    return ok;
+}
+
+std::pair<uint8_t, uint64_t>
+SmEnclaveApp::secureRegOp(const regchan::RegOp &op)
+{
+    if (!haveSecrets_ || !status_.ok())
+        return {0xfd, 0}; // no attested CL behind the channel
+
+    uint64_t ctr = ++sessionCtr_;
+    regchan::SealedRegRequest req = regchan::sealRequest(
+        secrets_.sessionAesKey(), secrets_.sessionMacKey(), ctr, op);
+
+    shell::Shell &sh = *deps_.shell;
+    sh.registerWrite(pcie::Window::SmSecure, kSmRegIn0, req.ctr);
+    sh.registerWrite(pcie::Window::SmSecure, kSmRegIn1, req.ct0);
+    sh.registerWrite(pcie::Window::SmSecure, kSmRegIn2, req.ct1);
+    sh.registerWrite(pcie::Window::SmSecure, kSmRegIn3, req.mac);
+    sh.registerWrite(pcie::Window::SmSecure, kSmRegCmd, kSmCmdSecureReg);
+
+    if (sh.registerRead(pcie::Window::SmSecure, kSmRegStatus) !=
+        kSmStatusOk) {
+        return {0xfc, 0}; // CL rejected (tamper/replay on the bus)
+    }
+    regchan::SealedRegResponse rsp;
+    rsp.ct0 = sh.registerRead(pcie::Window::SmSecure, kSmRegOut0);
+    rsp.ct1 = sh.registerRead(pcie::Window::SmSecure, kSmRegOut1);
+    rsp.mac = sh.registerRead(pcie::Window::SmSecure, kSmRegOut2);
+
+    auto opened = regchan::openResponse(
+        secrets_.sessionAesKey(), secrets_.sessionMacKey(), ctr, rsp);
+    if (!opened)
+        return {0xfb, 0}; // response forged or corrupted
+    return *opened;
+}
+
+} // namespace salus::core

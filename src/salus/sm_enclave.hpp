@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The secure-manager (SM) enclave application (paper §4.1, §5.2.2) —
+ * the manufacturer-released SDK enclave that owns all secure CL
+ * booting functionality:
+ *
+ *  - answers the user enclave's local attestation and receives the
+ *    bitstream metadata (H, Loc_*) over the sealed channel;
+ *  - remote-attests itself to the manufacturer's key-distribution
+ *    service and receives Key_device wrapped to an ephemeral key that
+ *    the quote itself binds (step ④);
+ *  - verifies the fetched bitstream against H, generates fresh CL
+ *    secrets, injects them by bitstream manipulation, encrypts with
+ *    Key_device and hands the ciphertext to the shell (steps ⑤⑥);
+ *  - runs the symmetric CL attestation of Fig. 4a (step ⑦);
+ *  - afterwards serves as the host end of the secure register channel
+ *    (§4.5).
+ *
+ * Public methods model the untrusted host process invoking enclave
+ * entry points: every argument is attacker-influencable, and nothing
+ * secret ever appears in a return value unless sealed/encrypted.
+ */
+
+#ifndef SALUS_SALUS_SM_ENCLAVE_HPP
+#define SALUS_SALUS_SM_ENCLAVE_HPP
+
+#include <functional>
+
+#include "net/network.hpp"
+#include "salus/messages.hpp"
+#include "salus/reg_channel.hpp"
+#include "salus/secrets.hpp"
+#include "salus/sim_hooks.hpp"
+#include "shell/shell.hpp"
+#include "tee/local_attest.hpp"
+#include "tee/platform.hpp"
+
+namespace salus::core {
+
+/** Channel message types (user enclave -> SM enclave). */
+enum class SmChannelMsg : uint8_t {
+    SetMetadata = 1,
+    RunSecureBoot = 2,
+    SecureRegOp = 3,
+    QueryStatus = 4,
+    RekeySession = 5, ///< roll the register-channel session keys
+};
+
+/** Host-side/service dependencies handed to the SM application. */
+struct SmEnclaveDeps
+{
+    shell::Shell *shell = nullptr;
+    net::Network *network = nullptr;
+    std::string selfEndpoint;         ///< our RPC endpoint name
+    std::string manufacturerEndpoint; ///< key-distribution endpoint
+    uint64_t instanceDeviceDna = 0;   ///< CSP-advertised FPGA identity
+    /** Pulls the CL bitstream file from (untrusted) cloud storage. */
+    std::function<Bytes()> fetchBitstream;
+    SimHooks sim;
+};
+
+/** The SM enclave program. */
+class SmEnclaveApp : public tee::Enclave
+{
+  public:
+    SmEnclaveApp(tee::TeePlatform &platform, SmEnclaveDeps deps);
+
+    /** The manufacturer-published SM enclave build. */
+    static tee::EnclaveImage defaultImage();
+    /** Measurement of defaultImage() — whitelisted for key release. */
+    static tee::Measurement defaultMeasurement();
+
+    // ---- Local attestation responder (untrusted-host entry) --------
+    Bytes laAnswer(ByteView msg1);
+    bool laConfirm(ByteView msg3);
+    bool laEstablished() const;
+
+    // ---- Sealed channel from the user enclave -----------------------
+    /**
+     * Handles one sealed channel request and returns the sealed
+     * response. Garbage in -> empty reply out (never throws for
+     * attacker-controlled input).
+     */
+    Bytes channelRequest(ByteView sealed);
+
+    // ---- Extensions beyond the paper's prototype ---------------------
+    /**
+     * Exports Key_device sealed to this enclave's identity so a later
+     * SM instance on the same platform can skip the manufacturer
+     * round trip (standard SGX practice; ablation-benched).
+     * @return empty when no device key is held.
+     */
+    Bytes exportSealedDeviceKey() const;
+
+    /**
+     * Imports a sealed device key. Fails (returns false) when the
+     * blob was sealed by a different enclave identity or platform, or
+     * was tampered with.
+     */
+    bool importSealedDeviceKey(ByteView sealedBlob);
+
+    /**
+     * Rolls the secure register channel's session keys forward
+     * (forward freshness; see regchan::deriveRekeyedKeys). Both ends
+     * converge on the new keys; the old ones are wiped.
+     */
+    bool rekeySession();
+
+    /**
+     * Runtime re-attestation heartbeat: re-runs the Fig. 4a exchange
+     * against the currently loaded CL. The paper defers runtime
+     * attestation to future work (§2.1); this detects the "runtime
+     * bitstream replacement" attack it names, because a swapped CL
+     * cannot hold this deployment's Key_attest.
+     */
+    bool reattestCl();
+
+    // ---- Introspection (trusted-side, used by tests/benches) --------
+    const ClBootStatus &bootStatus() const { return status_; }
+    bool haveDeviceKey() const { return haveDeviceKey_; }
+
+  private:
+    Bytes handlePlainRequest(ByteView plain);
+    bool fetchDeviceKey(std::string &failure);
+    bool deployCl(std::string &failure);
+    bool attestCl(std::string &failure);
+    std::pair<uint8_t, uint64_t> secureRegOp(const regchan::RegOp &op);
+
+    SmEnclaveDeps deps_;
+    std::unique_ptr<tee::LocalAttestResponder> la_;
+    uint64_t channelSeq_ = 0;
+
+    ClMetadata metadata_;
+    bool haveMetadata_ = false;
+    Bytes deviceKey_;
+    bool haveDeviceKey_ = false;
+    ClSecrets secrets_;
+    bool haveSecrets_ = false;
+    uint64_t sessionCtr_ = 0;
+    ClBootStatus status_;
+};
+
+} // namespace salus::core
+
+#endif // SALUS_SALUS_SM_ENCLAVE_HPP

@@ -1,0 +1,233 @@
+#include "salus/sm_logic.hpp"
+
+#include "common/errors.hpp"
+#include "common/serde.hpp"
+#include "salus/reg_channel.hpp"
+#include "salus/secrets.hpp"
+
+namespace salus::core {
+
+SmLogic::SmLogic(const netlist::Cell &cell,
+                 const netlist::Netlist &design,
+                 const fpga::FabricServices &services)
+    : dna_(services.dna.value)
+{
+    // The params blob wired in by the CL builder names our secret
+    // BRAMs and our downstream accelerator.
+    BinaryReader r(cell.params);
+    std::string keyAttestPath = r.readString();
+    std::string keySessionPath = r.readString();
+    std::string ctrSessionPath = r.readString();
+    accelPath_ = r.readString();
+
+    auto bramInit = [&](const std::string &path,
+                        size_t expectedSize) -> Bytes {
+        const netlist::Cell *bram = design.findCell(path);
+        if (!bram || bram->kind != netlist::CellKind::Bram ||
+            bram->init.size() != expectedSize) {
+            throw DeviceError("SM logic: missing secret BRAM " + path);
+        }
+        return bram->init;
+    };
+
+    keyAttest_ = bramInit(keyAttestPath, kKeyAttestSize);
+    Bytes session = bramInit(keySessionPath, kKeySessionSize);
+    sessionAesKey_ = sliceBytes(session, 0, 16);
+    sessionMacKey_ = sliceBytes(session, 16, 32);
+    Bytes ctr = bramInit(ctrSessionPath, kCtrSessionSize);
+    lastCtr_ = loadLe64(ctr.data());
+    secureZero(session);
+}
+
+void
+SmLogic::connect(fpga::LoadedDesign &design)
+{
+    accel_ = design.behaviorAt(accelPath_);
+}
+
+void
+SmLogic::reset()
+{
+    status_ = kSmStatusIdle;
+    for (auto &v : in_)
+        v = 0;
+    for (auto &v : out_)
+        v = 0;
+}
+
+uint64_t
+SmLogic::readRegister(uint32_t addr)
+{
+    switch (addr) {
+      case kSmRegStatus:
+        return status_;
+      case kSmRegOut0:
+        return out_[0];
+      case kSmRegOut1:
+        return out_[1];
+      case kSmRegOut2:
+        return out_[2];
+      case kSmRegOut2 + 8:
+        return out_[3];
+      case kSmRegStatAttestOk:
+        return statAttestOk_;
+      case kSmRegStatAttestRejected:
+        return statAttestRejected_;
+      case kSmRegStatRegOpOk:
+        return statRegOpOk_;
+      case kSmRegStatRegOpRejected:
+        return statRegOpRejected_;
+      default:
+        // Secrets and inputs are never readable from the bus.
+        return 0;
+    }
+}
+
+void
+SmLogic::writeRegister(uint32_t addr, uint64_t value)
+{
+    switch (addr) {
+      case kSmRegCmd:
+        execute(value);
+        break;
+      case kSmRegIn0:
+        in_[0] = value;
+        break;
+      case kSmRegIn1:
+        in_[1] = value;
+        break;
+      case kSmRegIn2:
+        in_[2] = value;
+        break;
+      case kSmRegIn3:
+        in_[3] = value;
+        break;
+      default:
+        break;
+    }
+}
+
+void
+SmLogic::execute(uint64_t cmd)
+{
+    for (auto &v : out_)
+        v = 0;
+    switch (cmd) {
+      case kSmCmdAttest:
+        doAttest();
+        break;
+      case kSmCmdSecureReg:
+        doSecureReg();
+        break;
+      case kSmCmdRekey:
+        doRekey();
+        break;
+      default:
+        status_ = kSmStatusRejected;
+        break;
+    }
+}
+
+void
+SmLogic::doAttest()
+{
+    // Fig. 4a, prover side: verify MAC_req over (N, DNA') with the
+    // local DNA read from the DNA port, then answer with MAC_rsp over
+    // (N + 1, DNA'). A wrong MAC produces no response material at all.
+    uint64_t nonce = in_[0];
+    uint64_t macReq = in_[1];
+
+    uint64_t expect = regchan::attestRequestMac(keyAttest_, nonce, dna_);
+    if (macReq != expect) {
+        ++statAttestRejected_;
+        status_ = kSmStatusRejected;
+        return;
+    }
+    out_[0] = nonce + 1;
+    out_[1] = regchan::attestResponseMac(keyAttest_, nonce, dna_);
+    ++statAttestOk_;
+    status_ = kSmStatusOk;
+}
+
+void
+SmLogic::doRekey()
+{
+    uint64_t ctr = in_[0];
+    uint64_t nonce = in_[1];
+    uint64_t mac = in_[3];
+
+    if (ctr <= lastCtr_ ||
+        mac != regchan::rekeyMac(sessionMacKey_, ctr, nonce)) {
+        ++statRegOpRejected_;
+        status_ = kSmStatusRejected;
+        return;
+    }
+    lastCtr_ = ctr;
+    auto [aes, macKey] = regchan::deriveRekeyedKeys(sessionMacKey_, nonce);
+    secureZero(sessionAesKey_);
+    secureZero(sessionMacKey_);
+    sessionAesKey_ = std::move(aes);
+    sessionMacKey_ = std::move(macKey);
+    ++statRegOpOk_;
+    status_ = kSmStatusOk;
+}
+
+void
+SmLogic::doSecureReg()
+{
+    regchan::SealedRegRequest req;
+    req.ctr = in_[0];
+    req.ct0 = in_[1];
+    req.ct1 = in_[2];
+    req.mac = in_[3];
+
+    // Freshness: the session counter must strictly increase. A replay
+    // of an earlier (valid) transaction fails here.
+    if (req.ctr <= lastCtr_) {
+        ++statRegOpRejected_;
+        status_ = kSmStatusRejected;
+        return;
+    }
+    auto op = regchan::openRequest(sessionAesKey_, sessionMacKey_, req);
+    if (!op) {
+        ++statRegOpRejected_;
+        status_ = kSmStatusRejected;
+        return;
+    }
+    lastCtr_ = req.ctr;
+
+    uint8_t opStatus = 0;
+    uint64_t data = 0;
+    if (!accel_) {
+        opStatus = 2; // no accelerator behind us
+    } else if (op->isWrite) {
+        accel_->writeRegister(op->addr, op->data);
+    } else {
+        data = accel_->readRegister(op->addr);
+    }
+
+    regchan::SealedRegResponse rsp = regchan::sealResponse(
+        sessionAesKey_, sessionMacKey_, req.ctr, opStatus, data);
+    out_[0] = rsp.ct0;
+    out_[1] = rsp.ct1;
+    out_[2] = rsp.mac;
+    ++statRegOpOk_;
+    status_ = kSmStatusOk;
+}
+
+void
+SmLogic::registerIp()
+{
+    static bool done = [] {
+        fpga::IpCatalog::global().registerIp(
+            fpga::kIpSmLogic,
+            [](const netlist::Cell &cell, const netlist::Netlist &design,
+               const fpga::FabricServices &services) {
+                return std::make_unique<SmLogic>(cell, design, services);
+            });
+        return true;
+    }();
+    (void)done;
+}
+
+} // namespace salus::core

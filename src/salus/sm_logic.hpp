@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The SM logic (paper §5.1 / Fig. 5): the manufacturer-released HDK
+ * block every Salus CL integrates. Runs in the fabric, fronted by an
+ * AXI4-Lite window the shell exposes to the host.
+ *
+ * Subcomponents mirrored from Fig. 5:
+ *  - isolated on-chip BRAM holding Key_attest / Key_session /
+ *    Ctr_session, whose init values come from configuration memory —
+ *    i.e. from whatever the (manipulated) bitstream carried;
+ *  - a SipHash engine + DNA_PORTE2 readout for CL attestation;
+ *  - transparent register protection (AES-CTR + HMAC + monotonic
+ *    counter) in front of the accelerator's control interface.
+ *
+ * Register map (byte offsets within the SM window):
+ *   0x00 CMD     (w)  1 = attest, 2 = secure register op
+ *   0x08 STATUS  (r)  0 idle, 1 ok, 2 rejected
+ *   0x10..0x2f   IN0..IN3  operands
+ *   0x30..0x4f   OUT0..OUT3 results
+ */
+
+#ifndef SALUS_SALUS_SM_LOGIC_HPP
+#define SALUS_SALUS_SM_LOGIC_HPP
+
+#include "fpga/device.hpp"
+
+namespace salus::core {
+
+/** SM logic register offsets. */
+constexpr uint32_t kSmRegCmd = 0x00;
+constexpr uint32_t kSmRegStatus = 0x08;
+constexpr uint32_t kSmRegIn0 = 0x10;
+constexpr uint32_t kSmRegIn1 = 0x18;
+constexpr uint32_t kSmRegIn2 = 0x20;
+constexpr uint32_t kSmRegIn3 = 0x28;
+constexpr uint32_t kSmRegOut0 = 0x30;
+constexpr uint32_t kSmRegOut1 = 0x38;
+constexpr uint32_t kSmRegOut2 = 0x40;
+
+/** CMD codes. */
+constexpr uint64_t kSmCmdAttest = 1;
+constexpr uint64_t kSmCmdSecureReg = 2;
+/** Session re-key (extension): roll Key_session forward from a MACed
+ *  nonce; see regchan::deriveRekeyedKeys. */
+constexpr uint64_t kSmCmdRekey = 3;
+
+/** Read-only diagnostic counters (non-secret, like AXI status regs). */
+constexpr uint32_t kSmRegStatAttestOk = 0x80;
+constexpr uint32_t kSmRegStatAttestRejected = 0x88;
+constexpr uint32_t kSmRegStatRegOpOk = 0x90;
+constexpr uint32_t kSmRegStatRegOpRejected = 0x98;
+
+/** STATUS values. */
+constexpr uint64_t kSmStatusIdle = 0;
+constexpr uint64_t kSmStatusOk = 1;
+constexpr uint64_t kSmStatusRejected = 2;
+
+/** The fabric-side behaviour implementation. */
+class SmLogic : public fpga::IpBehavior
+{
+  public:
+    SmLogic(const netlist::Cell &cell, const netlist::Netlist &design,
+            const fpga::FabricServices &services);
+
+    uint64_t readRegister(uint32_t addr) override;
+    void writeRegister(uint32_t addr, uint64_t value) override;
+    void connect(fpga::LoadedDesign &design) override;
+    void reset() override;
+
+    /** Registers the SM logic in the global IP catalog (idempotent). */
+    static void registerIp();
+
+  private:
+    void execute(uint64_t cmd);
+    void doAttest();
+    void doSecureReg();
+    void doRekey();
+
+    // Secrets as configured in BRAM (bitstream-manipulated values).
+    Bytes keyAttest_;
+    Bytes sessionAesKey_;
+    Bytes sessionMacKey_;
+    uint64_t lastCtr_ = 0;
+
+    std::string accelPath_;
+    fpga::IpBehavior *accel_ = nullptr;
+    uint64_t dna_ = 0;
+
+    uint64_t status_ = kSmStatusIdle;
+    uint64_t in_[4] = {};
+    uint64_t out_[4] = {};
+
+    // Diagnostic counters (bus-readable, non-secret).
+    uint64_t statAttestOk_ = 0;
+    uint64_t statAttestRejected_ = 0;
+    uint64_t statRegOpOk_ = 0;
+    uint64_t statRegOpRejected_ = 0;
+};
+
+} // namespace salus::core
+
+#endif // SALUS_SALUS_SM_LOGIC_HPP

@@ -1,0 +1,200 @@
+#include "salus/testbed.hpp"
+
+#include "bitstream/compiler.hpp"
+#include "common/errors.hpp"
+#include "crypto/sha256.hpp"
+#include "salus/sm_logic.hpp"
+
+namespace salus::core {
+
+TestbedConfig::TestbedConfig()
+    : userImage(UserEnclaveApp::defaultImage())
+{
+}
+
+Testbed::Testbed(TestbedConfig config) : config_(std::move(config))
+{
+    rng_ = std::make_unique<crypto::CtrDrbg>(config_.rngSeed);
+
+    fpga::ensureBuiltinIps();
+    SmLogic::registerIp();
+
+    // --- manufacturing + provisioning --------------------------------
+    manufacturer_ = std::make_unique<manufacturer::Manufacturer>(*rng_);
+    platform_ = std::make_unique<tee::TeePlatform>("platform-1", *rng_);
+    manufacturer_->provisionPlatform(*platform_);
+    manufacturer_->allowSmEnclave(SmEnclaveApp::defaultMeasurement());
+    device_ = manufacturer_->manufactureFpga(config_.deviceModel);
+
+    // --- cloud instance ----------------------------------------------
+    if (config_.maliciousShell) {
+        auto mal = std::make_unique<shell::MaliciousShell>(
+            *device_, clock_, config_.cost, config_.attackPlan);
+        malicious_ = mal.get();
+        shell_ = std::move(mal);
+    } else {
+        shell_ = std::make_unique<shell::Shell>(*device_, clock_,
+                                                config_.cost);
+    }
+
+    network_ = std::make_unique<net::Network>(clock_, config_.cost);
+    network_->addEndpoint(endpoints::kUserClient);
+    network_->addEndpoint(endpoints::kCloudHost);
+    network_->addEndpoint(endpoints::kManufacturer);
+    network_->link(endpoints::kUserClient, endpoints::kCloudHost,
+                   sim::LinkKind::Wan);
+    network_->link(endpoints::kCloudHost, endpoints::kManufacturer,
+                   sim::LinkKind::IntraCloud);
+
+    // --- enclave applications ----------------------------------------
+    SmEnclaveDeps smDeps;
+    smDeps.shell = shell_.get();
+    smDeps.network = network_.get();
+    smDeps.selfEndpoint = endpoints::kCloudHost;
+    smDeps.manufacturerEndpoint = endpoints::kManufacturer;
+    smDeps.instanceDeviceDna = device_->dna().value;
+    smDeps.fetchBitstream = [this] { return storedBitstream_; };
+    smDeps.sim = simHooks();
+    smApp_ = std::make_unique<SmEnclaveApp>(*platform_, smDeps);
+
+    SmTransport transport;
+    transport.la1 = [this](ByteView m) { return smApp_->laAnswer(m); };
+    transport.la3 = [this](ByteView m) { return smApp_->laConfirm(m); };
+    transport.channel = [this](ByteView m) {
+        return smApp_->channelRequest(m);
+    };
+    userApp_ = std::make_unique<UserEnclaveApp>(
+        *platform_, config_.userImage, SmEnclaveApp::defaultMeasurement(),
+        transport, simHooks());
+
+    // --- RPC handlers --------------------------------------------------
+    network_->on(endpoints::kManufacturer, "keyRequest",
+                 [this](ByteView req) {
+                     // Server-side quote verification (DCAP collateral
+                     // fetched over the intra-cloud link).
+                     clock_.spend(phases::kDeviceKeyDist,
+                                  config_.cost.quoteVerification +
+                                      config_.cost.keyEscrowProcessing +
+                                      sim::Nanos(config_.cost
+                                                     .dcapCollateralRoundTrips) *
+                                          config_.cost.rpc(
+                                              sim::LinkKind::IntraCloud,
+                                              2048, 16384));
+                     manufacturer::KeyRequest parsed;
+                     try {
+                         parsed = manufacturer::KeyRequest::deserialize(
+                             req);
+                     } catch (const SalusError &) {
+                         manufacturer::KeyResponse bad;
+                         bad.reason = "malformed request";
+                         return bad.serialize();
+                     }
+                     return manufacturer_->handleKeyRequest(parsed)
+                         .serialize();
+                 });
+    network_->on(endpoints::kCloudHost, "raRequest",
+                 [this](ByteView req) {
+                     return userApp_->handleRaRequest(req);
+                 });
+    network_->on(endpoints::kCloudHost, "dataKey",
+                 [this](ByteView req) {
+                     Bytes ack(1);
+                     ack[0] = userApp_->acceptDataKey(req) ? 1 : 0;
+                     return ack;
+                 });
+}
+
+Testbed::~Testbed() = default;
+
+SimHooks
+Testbed::simHooks()
+{
+    return SimHooks{&clock_, &config_.cost};
+}
+
+bool
+Testbed::restartSmApp(ByteView sealedDeviceKey)
+{
+    SmEnclaveDeps smDeps;
+    smDeps.shell = shell_.get();
+    smDeps.network = network_.get();
+    smDeps.selfEndpoint = endpoints::kCloudHost;
+    smDeps.manufacturerEndpoint = endpoints::kManufacturer;
+    smDeps.instanceDeviceDna = device_->dna().value;
+    smDeps.fetchBitstream = [this] { return storedBitstream_; };
+    smDeps.sim = simHooks();
+    smApp_ = std::make_unique<SmEnclaveApp>(*platform_, smDeps);
+
+    if (sealedDeviceKey.empty())
+        return true;
+    return smApp_->importSealedDeviceKey(sealedDeviceKey);
+}
+
+void
+Testbed::installCl(netlist::Cell accelCell,
+                   std::vector<netlist::Cell> extraCells)
+{
+    ClDesign design = buildClDesign("cl_top", std::move(accelCell),
+                                    std::move(extraCells));
+    layout_ = design.layout;
+
+    bitstream::Compiler compiler(config_.deviceModel.name);
+    bitstream::CompiledDesign compiled = compiler.compile(
+        design.netlist, config_.deviceModel.partitions.at(0));
+
+    storedBitstream_ = std::move(compiled.file);
+    utilization_ = compiled.utilization;
+
+    metadata_.digestH = crypto::Sha256::digest(storedBitstream_);
+    metadata_.logicLocations = compiled.logicLocations.serialize();
+    metadata_.keyAttestPath = layout_.keyAttestPath;
+    metadata_.keySessionPath = layout_.keySessionPath;
+    metadata_.ctrSessionPath = layout_.ctrSessionPath;
+    clInstalled_ = true;
+}
+
+bool
+Testbed::installArtifact(const ClArtifact &artifact,
+                         ByteView expectedDeveloperKey)
+{
+    if (!verifyArtifact(artifact, expectedDeveloperKey))
+        return false;
+
+    ClMetadata meta = ClMetadata::deserialize(artifact.metadata);
+    storedBitstream_ = artifact.bitstream;
+    metadata_ = meta;
+    layout_.keyAttestPath = meta.keyAttestPath;
+    layout_.keySessionPath = meta.keySessionPath;
+    layout_.ctrSessionPath = meta.ctrSessionPath;
+    // SM cell path follows the builder convention (sibling of the
+    // key cells).
+    layout_.smCellPath =
+        meta.keyAttestPath.substr(0, meta.keyAttestPath.rfind('/')) +
+        "/logic";
+    layout_.accelCellPath.clear();
+    clInstalled_ = true;
+    return true;
+}
+
+UserClient::Outcome
+Testbed::runDeployment(
+    const std::function<void(ClientConfig &)> &customize)
+{
+    if (!clInstalled_)
+        throw SalusError("no CL installed; call installCl() first");
+
+    ClientConfig cfg;
+    cfg.expectedUserEnclave = userApp_->measurement();
+    cfg.expectedSm = SmEnclaveApp::defaultMeasurement();
+    cfg.metadata = metadata_;
+    cfg.selfEndpoint = endpoints::kUserClient;
+    cfg.cloudEndpoint = endpoints::kCloudHost;
+    if (customize)
+        customize(cfg);
+
+    UserClient client(cfg, manufacturer_->verificationService(),
+                      *network_, *rng_, simHooks());
+    return client.deployAndAttest();
+}
+
+} // namespace salus::core

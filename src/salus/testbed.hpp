@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Full-platform testbed: manufactures the hardware, provisions the
+ * TEE, boots the cloud instance and wires the three network domains
+ * of §6.1 (user client / cloud instance / manufacturer server). This
+ * is the top of the public API — examples, integration tests and the
+ * boot-time benches all drive a Testbed.
+ */
+
+#ifndef SALUS_SALUS_TESTBED_HPP
+#define SALUS_SALUS_TESTBED_HPP
+
+#include <memory>
+
+#include "manufacturer/manufacturer.hpp"
+#include "salus/cl_builder.hpp"
+#include "salus/developer.hpp"
+#include "salus/sm_enclave.hpp"
+#include "salus/user_client.hpp"
+#include "salus/user_enclave.hpp"
+#include "shell/attacks.hpp"
+
+namespace salus::core {
+
+/** Testbed construction options. */
+struct TestbedConfig
+{
+    fpga::DeviceModelInfo deviceModel = fpga::testModel();
+    uint64_t rngSeed = 1;
+    /** Use a MaliciousShell with this plan instead of an honest one. */
+    bool maliciousShell = false;
+    shell::AttackPlan attackPlan;
+    /** Cost model for the virtual clock (defaults: paper calibration). */
+    sim::CostModel cost;
+    /** The developer's user-enclave build. */
+    tee::EnclaveImage userImage;
+
+    TestbedConfig();
+};
+
+/** Endpoint names used on the testbed network. */
+namespace endpoints {
+inline const char *const kUserClient = "user-client";
+inline const char *const kCloudHost = "cloud-host";
+inline const char *const kManufacturer = "mft-server";
+} // namespace endpoints
+
+/** A complete simulated deployment. */
+class Testbed
+{
+  public:
+    explicit Testbed(TestbedConfig config = {});
+    ~Testbed();
+
+    // RPC handlers and enclave dependencies capture `this`; the
+    // testbed must stay at one address for its lifetime.
+    Testbed(const Testbed &) = delete;
+    Testbed &operator=(const Testbed &) = delete;
+
+    /**
+     * "Development phase": integrates the accelerator with the SM
+     * logic, compiles the CL, and publishes bitstream + metadata to
+     * the (untrusted) cloud storage this testbed models.
+     */
+    void installCl(netlist::Cell accelCell,
+                   std::vector<netlist::Cell> extraCells = {});
+
+    /**
+     * Installs a developer-published signed artifact instead of
+     * compiling locally (the realistic IP-marketplace flow).
+     * @return false when the signature or digest check fails — the
+     *         artifact is then NOT installed.
+     */
+    bool installArtifact(const ClArtifact &artifact,
+                         ByteView expectedDeveloperKey);
+
+    /** "Deployment phase": the full cascaded attestation flow.
+     *  @param customize optional hook to adjust the client's policy
+     *  (e.g. MRSIGNER pinning, minimum SVN) before it runs. */
+    UserClient::Outcome runDeployment(
+        const std::function<void(ClientConfig &)> &customize = nullptr);
+
+    // ---- Component access for tests, benches and examples ----------
+    sim::VirtualClock &clock() { return clock_; }
+    const sim::CostModel &cost() const { return config_.cost; }
+    net::Network &network() { return *network_; }
+    manufacturer::Manufacturer &mft() { return *manufacturer_; }
+    tee::TeePlatform &teePlatform() { return *platform_; }
+    fpga::FpgaDevice &device() { return *device_; }
+    shell::Shell &shell() { return *shell_; }
+    /** Non-null only when configured malicious. */
+    shell::MaliciousShell *maliciousShell() { return malicious_; }
+    SmEnclaveApp &smApp() { return *smApp_; }
+    UserEnclaveApp &userApp() { return *userApp_; }
+    crypto::RandomSource &rng() { return *rng_; }
+
+    /** The published CL artifacts (mutable so tests can tamper). */
+    Bytes &storedBitstream() { return storedBitstream_; }
+    ClMetadata &metadata() { return metadata_; }
+    const ClLayout &layout() const { return layout_; }
+    const netlist::ResourceVector &utilization() const
+    {
+        return utilization_;
+    }
+
+    /** SimHooks bound to this testbed's clock and cost model. */
+    SimHooks simHooks();
+
+    /**
+     * Simulates an SM-application restart (instance reboot): the old
+     * enclave is destroyed and a fresh one loaded from the same
+     * image. Optionally imports a sealed device key exported by the
+     * previous instance, skipping the manufacturer round trip.
+     * @return true when the sealed key (if given) was accepted.
+     */
+    bool restartSmApp(ByteView sealedDeviceKey = ByteView());
+
+  private:
+    TestbedConfig config_;
+    sim::VirtualClock clock_;
+    std::unique_ptr<crypto::CtrDrbg> rng_;
+    std::unique_ptr<manufacturer::Manufacturer> manufacturer_;
+    std::unique_ptr<tee::TeePlatform> platform_;
+    std::unique_ptr<fpga::FpgaDevice> device_;
+    std::unique_ptr<shell::Shell> shell_;
+    shell::MaliciousShell *malicious_ = nullptr;
+    std::unique_ptr<net::Network> network_;
+    std::unique_ptr<SmEnclaveApp> smApp_;
+    std::unique_ptr<UserEnclaveApp> userApp_;
+
+    Bytes storedBitstream_;
+    ClMetadata metadata_;
+    ClLayout layout_;
+    netlist::ResourceVector utilization_;
+    bool clInstalled_ = false;
+};
+
+} // namespace salus::core
+
+#endif // SALUS_SALUS_TESTBED_HPP

@@ -1,0 +1,134 @@
+#include "salus/user_client.hpp"
+
+#include "common/errors.hpp"
+#include "common/serde.hpp"
+#include "crypto/aes_gcm.hpp"
+#include "crypto/x25519.hpp"
+#include "salus/user_enclave.hpp"
+
+namespace salus::core {
+
+UserClient::UserClient(ClientConfig config,
+                       const tee::QuoteVerificationService &qvs,
+                       net::Network &network, crypto::RandomSource &rng,
+                       SimHooks sim)
+    : config_(std::move(config)), qvs_(qvs), network_(network),
+      rng_(rng), sim_(sim)
+{
+}
+
+UserClient::Outcome
+UserClient::deployAndAttest()
+{
+    Outcome out;
+    PhaseScope phase(sim_, phases::kUserRa);
+
+    // --- ② RA request (single round trip, Fig. 4b) -------------------
+    RaRequest req;
+    req.clientNonce = rng_.bytes(32);
+    req.metadata = config_.metadata.serialize();
+
+    Bytes respBytes;
+    try {
+        respBytes = network_.call(config_.selfEndpoint,
+                                  config_.cloudEndpoint, "raRequest",
+                                  req.serialize(), phases::kUserRa);
+    } catch (const NetError &e) {
+        out.failure = std::string("RA transport failure: ") + e.what();
+        return out;
+    }
+
+    RaResponse resp;
+    tee::Quote quote;
+    try {
+        resp = RaResponse::deserialize(respBytes);
+        if (!resp.failure.empty()) {
+            out.failure = "platform reported: " + resp.failure;
+            return out;
+        }
+        quote = tee::Quote::deserialize(resp.quote);
+    } catch (const SalusError &) {
+        out.failure = "malformed RA response";
+        return out;
+    }
+
+    // --- verify the quote via the (WAN) verification service ---------
+    if (sim_.active()) {
+        sim_.spend(phases::kUserRa,
+                   sim_.cost->quoteVerification +
+                       sim::Nanos(sim_.cost->dcapCollateralRoundTrips) *
+                           sim_.cost->rpc(sim::LinkKind::Wan, 2048,
+                                          16384));
+    }
+    tee::QuoteVerdict verdict = qvs_.verify(quote);
+    if (!verdict.ok) {
+        out.failure = "quote verification failed: " + verdict.reason;
+        return out;
+    }
+    if (verdict.body.mrenclave != config_.expectedUserEnclave) {
+        out.failure = "user enclave measurement mismatch";
+        return out;
+    }
+    if (!config_.expectedUserSigner.empty() &&
+        verdict.body.mrsigner != config_.expectedUserSigner) {
+        out.failure = "user enclave signer (MRSIGNER) mismatch";
+        return out;
+    }
+    if (verdict.body.isvSvn < config_.minUserIsvSvn) {
+        out.failure = "user enclave security version too old";
+        return out;
+    }
+
+    // --- check the cascaded binding -----------------------------------
+    // The report data must prove that THIS nonce, THIS metadata, the
+    // pinned SM build, successful LA + CL attestation, and THIS wrap
+    // key were all bound together inside the enclave.
+    Bytes expect = tee::padReportData(cascadedReportData(
+        req.clientNonce, config_.metadata.digest(), config_.expectedSm,
+        true, true, resp.wrapPubKey));
+    if (verdict.body.reportData != expect) {
+        out.failure = "cascaded report binding mismatch";
+        return out;
+    }
+
+    // --- upload the data key, wrapped to the attested enclave --------
+    out.dataKey = rng_.bytes(32);
+    crypto::X25519KeyPair eph = crypto::x25519Generate(rng_);
+    Bytes wrapKey;
+    try {
+        wrapKey = crypto::deriveSessionKey(eph.privateKey,
+                                           resp.wrapPubKey,
+                                           "salus-datakey-v1", 32);
+    } catch (const CryptoError &) {
+        out.failure = "bad enclave wrap key";
+        return out;
+    }
+    crypto::AesGcm gcm(wrapKey);
+    secureZero(wrapKey);
+    Bytes iv = rng_.bytes(12);
+    crypto::GcmSealed sealed = gcm.seal(iv, ByteView(), out.dataKey);
+
+    BinaryWriter w;
+    w.writeBytes(eph.publicKey);
+    w.writeBytes(iv);
+    w.writeBytes(sealed.ciphertext);
+    w.writeBytes(sealed.tag);
+
+    Bytes ack;
+    try {
+        ack = network_.call(config_.selfEndpoint, config_.cloudEndpoint,
+                            "dataKey", w.data(), phases::kUserRa);
+    } catch (const NetError &e) {
+        out.failure = std::string("data key upload failed: ") + e.what();
+        return out;
+    }
+    if (ack.size() != 1 || ack[0] != 1) {
+        out.failure = "enclave did not accept the data key";
+        return out;
+    }
+
+    out.ok = true;
+    return out;
+}
+
+} // namespace salus::core

@@ -1,0 +1,114 @@
+#include "shell/attacks.hpp"
+
+#include "common/errors.hpp"
+#include "common/log.hpp"
+
+namespace salus::shell {
+
+MaliciousShell::MaliciousShell(fpga::FpgaDevice &device,
+                               sim::VirtualClock &clock,
+                               const sim::CostModel &cost,
+                               AttackPlan plan, uint32_t partitionId)
+    : Shell(device, clock, cost, partitionId), plan_(std::move(plan))
+{
+}
+
+fpga::LoadStatus
+MaliciousShell::deployBitstream(ByteView blob)
+{
+    capturedBitstream_.assign(blob.begin(), blob.end());
+
+    if (plan_.substituteBitstream) {
+        logf(LogLevel::Info, "attack", "substituting CL bitstream");
+        return Shell::deployBitstream(*plan_.substituteBitstream);
+    }
+    if (plan_.tamperBitstream) {
+        Bytes tampered(blob.begin(), blob.end());
+        if (!tampered.empty()) {
+            size_t off = plan_.tamperOffset % tampered.size();
+            tampered[off] ^= plan_.tamperMask;
+        }
+        logf(LogLevel::Info, "attack", "tampering CL bitstream at ",
+             plan_.tamperOffset);
+        return Shell::deployBitstream(tampered);
+    }
+    return Shell::deployBitstream(blob);
+}
+
+uint64_t
+MaliciousShell::registerRead(pcie::Window window, uint32_t addr)
+{
+    uint64_t value = Shell::registerRead(window, addr);
+    uint64_t mask = window == pcie::Window::SmSecure
+                        ? plan_.smWindowDataTamperMask
+                        : plan_.directWindowDataTamperMask;
+    value ^= mask;
+    if (plan_.snoopRegisters)
+        snoopLog_.push_back({false, window, addr, value});
+    return value;
+}
+
+void
+MaliciousShell::registerWrite(pcie::Window window, uint32_t addr,
+                              uint64_t data)
+{
+    uint64_t mask = window == pcie::Window::SmSecure
+                        ? plan_.smWindowDataTamperMask
+                        : plan_.directWindowDataTamperMask;
+    uint64_t effective = data ^ mask;
+    if (plan_.snoopRegisters)
+        snoopLog_.push_back({true, window, addr, effective});
+    Shell::registerWrite(window, addr, effective);
+}
+
+void
+MaliciousShell::dmaWrite(uint64_t addr, ByteView data)
+{
+    if (plan_.tamperDma && !data.empty()) {
+        Bytes tampered(data.begin(), data.end());
+        tampered[0] ^= 0xff;
+        Shell::dmaWrite(addr, tampered);
+        return;
+    }
+    Shell::dmaWrite(addr, data);
+}
+
+Bytes
+MaliciousShell::dmaRead(uint64_t addr, size_t len)
+{
+    Bytes out = Shell::dmaRead(addr, len);
+    if (plan_.tamperDma && !out.empty())
+        out[0] ^= 0xff;
+    return out;
+}
+
+size_t
+MaliciousShell::replayRecordedSmWrites()
+{
+    // Copy first: the replayed writes themselves get snooped.
+    std::vector<pcie::RegisterTxn> recorded = snoopLog_;
+    size_t replayed = 0;
+    for (const auto &txn : recorded) {
+        if (!txn.isWrite || txn.window != pcie::Window::SmSecure)
+            continue;
+        Shell::registerWrite(txn.window, txn.addr, txn.data);
+        ++replayed;
+    }
+    logf(LogLevel::Info, "attack", "replayed ", replayed,
+         " SM-window writes");
+    return replayed;
+}
+
+std::optional<Bytes>
+MaliciousShell::tryConfigScan()
+{
+    try {
+        return device_.readback(partitionId_);
+    } catch (const DeviceError &) {
+        logf(LogLevel::Info, "attack",
+             "config scan blocked: readback disabled");
+        return std::nullopt;
+    }
+}
+
+} // namespace salus::shell

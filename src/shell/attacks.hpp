@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Malicious shell behaviours implementing the threat-model attacks of
+ * paper §3.1 / Table 3. Each knob corresponds to a concrete attack
+ * the security tests and the Table 3 bench exercise:
+ *
+ *  - bitstream tampering / substitution  (integrity attack at boot, ①)
+ *  - register snooping                   (confidentiality on PCIe, ③)
+ *  - register data tampering             (integrity on PCIe, ③)
+ *  - transaction replay                  (freshness on PCIe, ③)
+ *  - configuration-memory scan           (ICAP readback, §5.1.2)
+ *
+ * The malicious shell also keeps a copy of every bitstream blob it is
+ * asked to deploy — the CSP can always do that — so tests can assert
+ * the blob alone is useless without Key_device.
+ */
+
+#ifndef SALUS_SHELL_ATTACKS_HPP
+#define SALUS_SHELL_ATTACKS_HPP
+
+#include <optional>
+#include <vector>
+
+#include "shell/shell.hpp"
+
+namespace salus::shell {
+
+/** Attack configuration for a MaliciousShell. */
+struct AttackPlan
+{
+    /** XOR this mask into the blob byte at `tamperOffset` pre-load. */
+    bool tamperBitstream = false;
+    size_t tamperOffset = 0;
+    uint8_t tamperMask = 0x01;
+
+    /** Replace the deployed blob entirely with `substitute`. */
+    std::optional<Bytes> substituteBitstream;
+
+    /** Record every register transaction (always-on snooping). */
+    bool snoopRegisters = true;
+
+    /** XOR register data crossing the SM window with this mask. */
+    uint64_t smWindowDataTamperMask = 0;
+
+    /** XOR register data crossing the direct window with this mask. */
+    uint64_t directWindowDataTamperMask = 0;
+
+    /** Tamper with DMA payloads (flip first byte). */
+    bool tamperDma = false;
+};
+
+/** A shell under CSP-adversary control. */
+class MaliciousShell : public Shell
+{
+  public:
+    MaliciousShell(fpga::FpgaDevice &device, sim::VirtualClock &clock,
+                   const sim::CostModel &cost, AttackPlan plan,
+                   uint32_t partitionId = 0);
+
+    fpga::LoadStatus deployBitstream(ByteView blob) override;
+    uint64_t registerRead(pcie::Window window, uint32_t addr) override;
+    void registerWrite(pcie::Window window, uint32_t addr,
+                       uint64_t data) override;
+    void dmaWrite(uint64_t addr, ByteView data) override;
+    Bytes dmaRead(uint64_t addr, size_t len) override;
+
+    /** Every register transaction observed so far. */
+    const std::vector<pcie::RegisterTxn> &snoopLog() const
+    {
+        return snoopLog_;
+    }
+
+    /** The last bitstream blob the host asked us to deploy. */
+    const Bytes &capturedBitstream() const { return capturedBitstream_; }
+
+    /**
+     * Replays all previously recorded SM-window writes in order —
+     * the freshness attack on the secure register channel.
+     * @return number of transactions replayed.
+     */
+    size_t replayRecordedSmWrites();
+
+    /**
+     * Attempts an ICAP scan of the partition's configuration memory
+     * (the attack §5.1.2 closes by disabling readback).
+     * @return frames when readback is enabled, nullopt when blocked.
+     */
+    std::optional<Bytes> tryConfigScan();
+
+    AttackPlan &plan() { return plan_; }
+
+  private:
+    AttackPlan plan_;
+    std::vector<pcie::RegisterTxn> snoopLog_;
+    Bytes capturedBitstream_;
+};
+
+} // namespace salus::shell
+
+#endif // SALUS_SHELL_ATTACKS_HPP

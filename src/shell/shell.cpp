@@ -1,0 +1,82 @@
+#include "shell/shell.hpp"
+
+namespace salus::shell {
+
+Shell::Shell(fpga::FpgaDevice &device, sim::VirtualClock &clock,
+             const sim::CostModel &cost, uint32_t partitionId)
+    : device_(device), clock_(clock), cost_(cost),
+      partitionId_(partitionId)
+{
+}
+
+fpga::LoadStatus
+Shell::deployBitstream(ByteView blob)
+{
+    clock_.spend(cost_.bitstreamDeployment(blob.size()));
+    ++stats_.deployments;
+    return device_.loadEncryptedPartial(blob);
+}
+
+fpga::IpBehavior *
+Shell::route(pcie::Window window)
+{
+    fpga::LoadedDesign *design = device_.design(partitionId_);
+    if (!design)
+        return nullptr;
+
+    // Window routing mirrors the paper's Fig. 5 floorplan: the SM
+    // logic block fronts the secure window; any other logic cell is
+    // the accelerator behind the direct window.
+    const netlist::Netlist &nl = design->design();
+    for (const auto &cell : nl.cells()) {
+        if (cell.kind != netlist::CellKind::Logic || cell.behaviorId == 0)
+            continue;
+        bool isSm = cell.behaviorId == fpga::kIpSmLogic;
+        if ((window == pcie::Window::SmSecure) == isSm)
+            return design->behaviorAt(cell.path);
+    }
+    return nullptr;
+}
+
+uint64_t
+Shell::registerRead(pcie::Window window, uint32_t addr)
+{
+    // Secure-window accesses go through the driver's ioctl path; the
+    // direct window is userspace-mapped MMIO (paper Fig. 5).
+    clock_.spend(window == pcie::Window::SmSecure ? cost_.pcieRtt
+                                                  : cost_.mmioLatency);
+    ++stats_.registerReads;
+    fpga::IpBehavior *target = route(window);
+    return target ? target->readRegister(addr) : 0;
+}
+
+void
+Shell::registerWrite(pcie::Window window, uint32_t addr, uint64_t data)
+{
+    clock_.spend(window == pcie::Window::SmSecure ? cost_.pcieRtt
+                                                  : cost_.mmioLatency);
+    ++stats_.registerWrites;
+    fpga::IpBehavior *target = route(window);
+    if (target)
+        target->writeRegister(addr, data);
+}
+
+void
+Shell::dmaWrite(uint64_t addr, ByteView data)
+{
+    clock_.spend(cost_.pcieRtt +
+                 sim::transferTime(cost_.pcieBandwidth, data.size()));
+    stats_.dmaBytesToDevice += data.size();
+    device_.dram().write(addr, data);
+}
+
+Bytes
+Shell::dmaRead(uint64_t addr, size_t len)
+{
+    clock_.spend(cost_.pcieRtt +
+                 sim::transferTime(cost_.pcieBandwidth, len));
+    stats_.dmaBytesFromDevice += len;
+    return device_.dram().read(addr, len);
+}
+
+} // namespace salus::shell

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The CSP-maintained shell (paper §2.2): the privileged "OS" of the
+ * FPGA. It programs the reconfigurable partition through the
+ * configuration port, and proxies all host I/O — register windows and
+ * DMA — to the loaded custom logic.
+ *
+ * The honest implementation below forwards faithfully. The threat
+ * model places the attacker *here*; see attacks.hpp for the malicious
+ * variants used in security tests and the Table 3 bench.
+ */
+
+#ifndef SALUS_SHELL_SHELL_HPP
+#define SALUS_SHELL_SHELL_HPP
+
+#include <string>
+
+#include "fpga/device.hpp"
+#include "pcie/transactions.hpp"
+#include "sim/clock.hpp"
+#include "sim/cost_model.hpp"
+
+namespace salus::shell {
+
+/** Host-facing shell interface. */
+class Shell
+{
+  public:
+    Shell(fpga::FpgaDevice &device, sim::VirtualClock &clock,
+          const sim::CostModel &cost, uint32_t partitionId = 0);
+    virtual ~Shell() = default;
+
+    /**
+     * Deploys a (normally encrypted) partial bitstream into the
+     * partition this shell manages. Charges PCIe transfer plus
+     * configuration time to the active phase.
+     */
+    virtual fpga::LoadStatus deployBitstream(ByteView blob);
+
+    /** MMIO register read through the chosen window. */
+    virtual uint64_t registerRead(pcie::Window window, uint32_t addr);
+
+    /** MMIO register write through the chosen window. */
+    virtual void registerWrite(pcie::Window window, uint32_t addr,
+                               uint64_t data);
+
+    /** DMA host -> device DRAM. */
+    virtual void dmaWrite(uint64_t addr, ByteView data);
+
+    /** DMA device DRAM -> host. */
+    virtual Bytes dmaRead(uint64_t addr, size_t len);
+
+    uint32_t partitionId() const { return partitionId_; }
+    fpga::FpgaDevice &device() { return device_; }
+
+    /** I/O accounting the shell keeps (CSP-visible telemetry). */
+    struct IoStats
+    {
+        uint64_t registerReads = 0;
+        uint64_t registerWrites = 0;
+        uint64_t dmaBytesToDevice = 0;
+        uint64_t dmaBytesFromDevice = 0;
+        uint64_t deployments = 0;
+    };
+
+    const IoStats &ioStats() const { return stats_; }
+
+  protected:
+    /** Resolves the logic cell behind a window (may be null). */
+    fpga::IpBehavior *route(pcie::Window window);
+
+    fpga::FpgaDevice &device_;
+    sim::VirtualClock &clock_;
+    const sim::CostModel &cost_;
+    uint32_t partitionId_;
+    IoStats stats_;
+};
+
+} // namespace salus::shell
+
+#endif // SALUS_SHELL_SHELL_HPP

@@ -1,0 +1,74 @@
+#include "sim/clock.hpp"
+
+#include <cstdio>
+
+namespace salus::sim {
+
+std::string
+formatNanos(Nanos d)
+{
+    char buf[64];
+    if (d >= kSec)
+        std::snprintf(buf, sizeof(buf), "%.2f s", double(d) / kSec);
+    else if (d >= kMs)
+        std::snprintf(buf, sizeof(buf), "%.2f ms", double(d) / kMs);
+    else if (d >= kUs)
+        std::snprintf(buf, sizeof(buf), "%.1f us", double(d) / kUs);
+    else
+        std::snprintf(buf, sizeof(buf), "%llu ns",
+                      static_cast<unsigned long long>(d));
+    return buf;
+}
+
+void
+VirtualClock::spend(const std::string &phase, Nanos duration)
+{
+    trace_.push_back({phase, now_, duration});
+    now_ += duration;
+}
+
+void
+VirtualClock::spend(Nanos duration)
+{
+    spend(currentPhase(), duration);
+}
+
+void
+VirtualClock::pushPhase(const std::string &phase)
+{
+    phaseStack_.push_back(phase);
+}
+
+void
+VirtualClock::popPhase()
+{
+    if (!phaseStack_.empty())
+        phaseStack_.pop_back();
+}
+
+std::string
+VirtualClock::currentPhase() const
+{
+    return phaseStack_.empty() ? std::string("(untracked)")
+                               : phaseStack_.back();
+}
+
+Nanos
+VirtualClock::totalFor(const std::string &phase) const
+{
+    Nanos total = 0;
+    for (const auto &r : trace_) {
+        if (r.phase == phase)
+            total += r.duration;
+    }
+    return total;
+}
+
+void
+VirtualClock::reset()
+{
+    now_ = 0;
+    trace_.clear();
+}
+
+} // namespace salus::sim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Virtual time. The paper reports wall-clock measurements on a testbed
+ * we cannot access; protocol code here charges its operations to a
+ * virtual clock through a calibrated CostModel instead, and benches
+ * report the virtual totals next to the paper's numbers.
+ */
+
+#ifndef SALUS_SIM_CLOCK_HPP
+#define SALUS_SIM_CLOCK_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace salus::sim {
+
+/** Virtual durations/timestamps in nanoseconds. */
+using Nanos = uint64_t;
+
+constexpr Nanos kUs = 1000;
+constexpr Nanos kMs = 1000 * kUs;
+constexpr Nanos kSec = 1000 * kMs;
+
+/** Renders a duration as a human-friendly string ("13.8 s", "836 us"). */
+std::string formatNanos(Nanos d);
+
+/** One attributed slice of virtual time. */
+struct PhaseRecord
+{
+    std::string phase; ///< e.g. "Bitstream Manipulation"
+    Nanos start;       ///< virtual timestamp at which it began
+    Nanos duration;
+};
+
+/**
+ * A monotonically advancing virtual clock with per-phase attribution.
+ * Components call spend() naming the activity; benches read the trace
+ * to rebuild the paper's Figure 9 breakdown.
+ */
+class VirtualClock
+{
+  public:
+    /** Current virtual time. */
+    Nanos now() const { return now_; }
+
+    /** Advances time, attributing it to the named phase. */
+    void spend(const std::string &phase, Nanos duration);
+
+    /** Advances time, attributed to the innermost active phase. */
+    void spend(Nanos duration);
+
+    /** Advances time without attribution (idle / untracked). */
+    void advance(Nanos duration) { now_ += duration; }
+
+    /** Pushes a phase label; components that don't know the protocol
+     *  step charge time to the innermost label. */
+    void pushPhase(const std::string &phase);
+    void popPhase();
+    /** Innermost label, or "(untracked)" when none is active. */
+    std::string currentPhase() const;
+
+    /** All recorded slices in order. */
+    const std::vector<PhaseRecord> &trace() const { return trace_; }
+
+    /** Sum of all slices attributed to the given phase. */
+    Nanos totalFor(const std::string &phase) const;
+
+    /** Clears the trace and rewinds to zero. */
+    void reset();
+
+  private:
+    Nanos now_ = 0;
+    std::vector<PhaseRecord> trace_;
+    std::vector<std::string> phaseStack_;
+};
+
+/** RAII phase scope. */
+class ScopedPhase
+{
+  public:
+    ScopedPhase(VirtualClock &clock, const std::string &phase)
+        : clock_(clock)
+    {
+        clock_.pushPhase(phase);
+    }
+    ~ScopedPhase() { clock_.popPhase(); }
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+  private:
+    VirtualClock &clock_;
+};
+
+} // namespace salus::sim
+
+#endif // SALUS_SIM_CLOCK_HPP

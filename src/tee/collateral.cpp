@@ -1,0 +1,201 @@
+#include "tee/collateral.hpp"
+
+#include "common/errors.hpp"
+#include "common/serde.hpp"
+#include "crypto/hmac.hpp"
+
+namespace salus::tee {
+
+Bytes
+TcbInfo::signedPortion() const
+{
+    BinaryWriter w;
+    w.writeString(family);
+    w.writeU16(minCpuSvn);
+    w.writeU64(issuedAt);
+    w.writeU64(nextUpdate);
+    return w.take();
+}
+
+Bytes
+TcbInfo::serialize() const
+{
+    BinaryWriter w;
+    w.writeBytes(signedPortion());
+    w.writeBytes(signature);
+    return w.take();
+}
+
+TcbInfo
+TcbInfo::deserialize(ByteView data)
+{
+    try {
+        BinaryReader outer(data);
+        Bytes signedPart = outer.readBytes();
+        TcbInfo t;
+        t.signature = outer.readBytes();
+        BinaryReader r(signedPart);
+        t.family = r.readString();
+        t.minCpuSvn = r.readU16();
+        t.issuedAt = r.readU64();
+        t.nextUpdate = r.readU64();
+        return t;
+    } catch (const SerdeError &e) {
+        throw TeeError(std::string("tcb info parse: ") + e.what());
+    }
+}
+
+Bytes
+QeIdentity::signedPortion() const
+{
+    BinaryWriter w;
+    w.writeBytes(qeMeasurement);
+    w.writeU16(minIsvSvn);
+    w.writeU64(issuedAt);
+    w.writeU64(nextUpdate);
+    return w.take();
+}
+
+Bytes
+QeIdentity::serialize() const
+{
+    BinaryWriter w;
+    w.writeBytes(signedPortion());
+    w.writeBytes(signature);
+    return w.take();
+}
+
+QeIdentity
+QeIdentity::deserialize(ByteView data)
+{
+    try {
+        BinaryReader outer(data);
+        Bytes signedPart = outer.readBytes();
+        QeIdentity q;
+        q.signature = outer.readBytes();
+        BinaryReader r(signedPart);
+        q.qeMeasurement = r.readBytes();
+        q.minIsvSvn = r.readU16();
+        q.issuedAt = r.readU64();
+        q.nextUpdate = r.readU64();
+        return q;
+    } catch (const SerdeError &e) {
+        throw TeeError(std::string("qe identity parse: ") + e.what());
+    }
+}
+
+CollateralService::CollateralService(Bytes rootSeed, std::string family)
+    : family_(std::move(family))
+{
+    // Derive the signing pair deterministically from the seed so the
+    // same manufacturer identity can be reconstructed.
+    root_.seed = crypto::hmacSha256(rootSeed, bytesFromString("pcs"));
+    root_.publicKey = crypto::ed25519PublicKey(root_.seed);
+}
+
+void
+CollateralService::setQeIdentity(Measurement qeMeasurement,
+                                 uint16_t minIsvSvn)
+{
+    qeMeasurement_ = std::move(qeMeasurement);
+    qeMinIsvSvn_ = minIsvSvn;
+}
+
+CollateralBundle
+CollateralService::issue(sim::Nanos now, sim::Nanos validity) const
+{
+    CollateralBundle b;
+    b.tcbInfo.family = family_;
+    b.tcbInfo.minCpuSvn = minCpuSvn_;
+    b.tcbInfo.issuedAt = now;
+    b.tcbInfo.nextUpdate = now + validity;
+    b.tcbInfo.signature =
+        crypto::ed25519Sign(root_.seed, b.tcbInfo.signedPortion());
+
+    b.qeIdentity.qeMeasurement = qeMeasurement_;
+    b.qeIdentity.minIsvSvn = qeMinIsvSvn_;
+    b.qeIdentity.issuedAt = now;
+    b.qeIdentity.nextUpdate = now + validity;
+    b.qeIdentity.signature =
+        crypto::ed25519Sign(root_.seed, b.qeIdentity.signedPortion());
+    return b;
+}
+
+QuoteVerdict
+verifyQuoteWithCollateral(const Quote &quote,
+                          const CollateralBundle &bundle,
+                          ByteView rootPublicKey, sim::Nanos now)
+{
+    QuoteVerdict v;
+
+    // --- collateral authenticity and freshness ------------------------
+    if (!crypto::ed25519Verify(rootPublicKey,
+                               bundle.tcbInfo.signedPortion(),
+                               bundle.tcbInfo.signature)) {
+        v.reason = "TCB info signature invalid";
+        return v;
+    }
+    if (!crypto::ed25519Verify(rootPublicKey,
+                               bundle.qeIdentity.signedPortion(),
+                               bundle.qeIdentity.signature)) {
+        v.reason = "QE identity signature invalid";
+        return v;
+    }
+    if (now < bundle.tcbInfo.issuedAt || now >= bundle.tcbInfo.nextUpdate) {
+        v.reason = "TCB info expired";
+        return v;
+    }
+    if (now < bundle.qeIdentity.issuedAt ||
+        now >= bundle.qeIdentity.nextUpdate) {
+        v.reason = "QE identity expired";
+        return v;
+    }
+
+    // --- QE identity ----------------------------------------------------
+    if (quote.qeMeasurement != bundle.qeIdentity.qeMeasurement) {
+        v.reason = "quote produced by an unrecognized quoting enclave";
+        return v;
+    }
+    if (quote.qeIsvSvn < bundle.qeIdentity.minIsvSvn) {
+        v.reason = "quoting enclave below minimum SVN";
+        return v;
+    }
+
+    // --- platform chain + TCB level --------------------------------------
+    if (quote.pck.platformId != quote.platformId) {
+        v.reason = "platform id mismatch between quote and PCK cert";
+        return v;
+    }
+    if (!crypto::ed25519Verify(rootPublicKey, quote.pck.signedPortion(),
+                               quote.pck.signature)) {
+        v.reason = "PCK certificate not signed by manufacturer root";
+        return v;
+    }
+    if (quote.body.cpuSvn < bundle.tcbInfo.minCpuSvn) {
+        v.reason = "platform TCB out of date per TCB info";
+        return v;
+    }
+    if (!crypto::ed25519Verify(quote.pck.attestPublicKey,
+                               quote.signedPortion(), quote.signature)) {
+        v.reason = "quote signature invalid";
+        return v;
+    }
+
+    v.ok = true;
+    v.body = quote.body;
+    return v;
+}
+
+const CollateralBundle &
+CollateralCache::get(sim::Nanos now)
+{
+    bool stale = !cached_ || now >= cached_->tcbInfo.nextUpdate ||
+                 now >= cached_->qeIdentity.nextUpdate;
+    if (stale) {
+        cached_ = fetch_(now);
+        ++fetchCount_;
+    }
+    return *cached_;
+}
+
+} // namespace salus::tee

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * DCAP verification collateral — the data a verifier must fetch from
+ * the manufacturer before it can judge a quote, and the reason the
+ * paper's RA phases are network-dominated (§6.3: the user client
+ * "connects to the DCAP server through a wide-area network").
+ *
+ * Modeled after Intel's PCS/PCCS scheme:
+ *   - TcbInfo:    signed statement of the minimum platform security
+ *                 version currently considered up to date, with an
+ *                 issuance/expiry window;
+ *   - QeIdentity: signed identity of the quoting enclave whose
+ *                 signatures are trustworthy;
+ *   - CollateralService: the manufacturer-side issuer;
+ *   - CollateralCache: verifier-side caching (a PCCS), which turns
+ *                 the per-verification WAN round trips into a one-time
+ *                 cost until expiry (ablation-benched).
+ */
+
+#ifndef SALUS_TEE_COLLATERAL_HPP
+#define SALUS_TEE_COLLATERAL_HPP
+
+#include <functional>
+#include <optional>
+
+#include "crypto/ed25519.hpp"
+#include "sim/clock.hpp"
+#include "tee/quote.hpp"
+#include "tee/quote_verifier.hpp"
+
+namespace salus::tee {
+
+/** Signed minimum-TCB statement for a platform family. */
+struct TcbInfo
+{
+    std::string family;     ///< platform family (FMSPC analog)
+    uint16_t minCpuSvn = 0; ///< lowest SVN considered up to date
+    sim::Nanos issuedAt = 0;
+    sim::Nanos nextUpdate = 0; ///< expiry of this statement
+    Bytes signature;           ///< manufacturer root
+
+    Bytes signedPortion() const;
+    Bytes serialize() const;
+    static TcbInfo deserialize(ByteView data);
+};
+
+/** Signed identity of the trustworthy quoting enclave build. */
+struct QeIdentity
+{
+    Measurement qeMeasurement;
+    uint16_t minIsvSvn = 0;
+    sim::Nanos issuedAt = 0;
+    sim::Nanos nextUpdate = 0;
+    Bytes signature;
+
+    Bytes signedPortion() const;
+    Bytes serialize() const;
+    static QeIdentity deserialize(ByteView data);
+};
+
+/** Everything a verifier needs besides the quote itself. */
+struct CollateralBundle
+{
+    TcbInfo tcbInfo;
+    QeIdentity qeIdentity;
+};
+
+/** Manufacturer-side collateral issuer (PCS analog). */
+class CollateralService
+{
+  public:
+    /**
+     * @param rootSeed the manufacturer root signing seed.
+     * @param family the platform family this service covers.
+     */
+    CollateralService(Bytes rootSeed, std::string family);
+
+    /** Current root public key (verifiers pin this). */
+    const Bytes &rootPublicKey() const { return root_.publicKey; }
+
+    /** Raises the family's minimum acceptable SVN (TCB recovery). */
+    void setMinCpuSvn(uint16_t svn) { minCpuSvn_ = svn; }
+
+    /** Declares the trustworthy QE build. */
+    void setQeIdentity(Measurement qeMeasurement, uint16_t minIsvSvn);
+
+    /** Issues a collateral bundle valid for `validity` from `now`. */
+    CollateralBundle issue(sim::Nanos now, sim::Nanos validity) const;
+
+  private:
+    crypto::Ed25519KeyPair root_;
+    std::string family_;
+    uint16_t minCpuSvn_ = 1;
+    Measurement qeMeasurement_;
+    uint16_t qeMinIsvSvn_ = 0;
+};
+
+/**
+ * Full collateral-based quote verification, as a DCAP verifier
+ * library would do it: collateral signatures and expiry, QE identity,
+ * TCB level, PCK chain and quote signature.
+ */
+QuoteVerdict verifyQuoteWithCollateral(const Quote &quote,
+                                       const CollateralBundle &bundle,
+                                       ByteView rootPublicKey,
+                                       sim::Nanos now);
+
+/**
+ * Verifier-side collateral cache (PCCS analog). Refreshes through a
+ * fetch callback only when the cached bundle is missing or expired,
+ * so steady-state verifications cost no network round trips.
+ */
+class CollateralCache
+{
+  public:
+    using Fetch = std::function<CollateralBundle(sim::Nanos now)>;
+
+    explicit CollateralCache(Fetch fetch) : fetch_(std::move(fetch)) {}
+
+    /** Returns a valid bundle, fetching iff needed. */
+    const CollateralBundle &get(sim::Nanos now);
+
+    /** Number of upstream fetches performed so far. */
+    size_t fetchCount() const { return fetchCount_; }
+
+  private:
+    Fetch fetch_;
+    std::optional<CollateralBundle> cached_;
+    size_t fetchCount_ = 0;
+};
+
+} // namespace salus::tee
+
+#endif // SALUS_TEE_COLLATERAL_HPP

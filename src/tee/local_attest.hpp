@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Mutual local attestation with session-key establishment — the
+ * EGETKEY/EREPORT challenge-response of paper Fig. 1 extended with the
+ * ECDH exchange the prototype uses (§5.2.2: "the two enclaves exchange
+ * a symmetric key using ECDH").
+ *
+ * Three serialized messages cross the untrusted OS:
+ *   msg1: initiator measurement + nonce + X25519 ephemeral
+ *   msg2: responder report (bound to transcript) + its ephemeral
+ *   msg3: initiator report (bound to transcript, confirms key)
+ *
+ * Both sides end with the same 32-byte session key iff both reports
+ * verify and each peer's measurement equals the expected one. Any
+ * tampering by the OS flips a binding hash and the handshake fails —
+ * properties the test suite exercises directly.
+ */
+
+#ifndef SALUS_TEE_LOCAL_ATTEST_HPP
+#define SALUS_TEE_LOCAL_ATTEST_HPP
+
+#include <optional>
+
+#include "tee/platform.hpp"
+
+namespace salus::tee {
+
+/** Established secure-channel state. */
+struct LocalSession
+{
+    Bytes key;            ///< 32-byte shared session key
+    Measurement peer;     ///< verified peer measurement
+};
+
+/** The enclave that starts the handshake (user enclave in Salus). */
+class LocalAttestInitiator
+{
+  public:
+    /**
+     * @param self the enclave running this code.
+     * @param expectedPeer measurement the responder must prove.
+     */
+    LocalAttestInitiator(Enclave &self, Measurement expectedPeer);
+
+    /** Produces msg1. */
+    Bytes start();
+
+    /**
+     * Consumes msg2 and produces msg3 on success.
+     * @return msg3, or nullopt when the responder failed attestation.
+     */
+    std::optional<Bytes> finish(ByteView msg2);
+
+    /** Valid only after a successful finish(). */
+    const LocalSession &session() const { return session_; }
+    bool established() const { return established_; }
+
+  private:
+    Enclave &self_;
+    Measurement expectedPeer_;
+    Bytes nonce_;
+    Bytes ephPriv_, ephPub_;
+    LocalSession session_;
+    bool established_ = false;
+};
+
+/** The enclave that answers the handshake (SM enclave in Salus). */
+class LocalAttestResponder
+{
+  public:
+    LocalAttestResponder(Enclave &self, Measurement expectedPeer);
+
+    /** Consumes msg1 and produces msg2; nullopt on malformed input. */
+    std::optional<Bytes> answer(ByteView msg1);
+
+    /**
+     * Consumes msg3; true when the initiator proved itself and the
+     * session is established on this side too.
+     */
+    bool confirm(ByteView msg3);
+
+    const LocalSession &session() const { return session_; }
+    bool established() const { return established_; }
+
+  private:
+    Enclave &self_;
+    Measurement expectedPeer_;
+    Bytes nonce_;
+    Bytes ephPriv_, ephPub_;
+    Bytes peerEphPub_;
+    Measurement claimedPeer_;
+    LocalSession session_;
+    bool established_ = false;
+};
+
+} // namespace salus::tee
+
+#endif // SALUS_TEE_LOCAL_ATTEST_HPP

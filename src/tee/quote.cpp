@@ -1,0 +1,86 @@
+#include "tee/quote.hpp"
+
+#include "common/errors.hpp"
+#include "common/serde.hpp"
+
+namespace salus::tee {
+
+Bytes
+PckCertificate::signedPortion() const
+{
+    BinaryWriter w;
+    w.writeString(platformId);
+    w.writeBytes(attestPublicKey);
+    w.writeU16(tcbSvn);
+    return w.take();
+}
+
+Bytes
+PckCertificate::serialize() const
+{
+    BinaryWriter w;
+    w.writeBytes(signedPortion());
+    w.writeBytes(signature);
+    return w.take();
+}
+
+PckCertificate
+PckCertificate::deserialize(ByteView data)
+{
+    try {
+        BinaryReader outer(data);
+        Bytes signedPart = outer.readBytes();
+        PckCertificate cert;
+        cert.signature = outer.readBytes();
+        BinaryReader r(signedPart);
+        cert.platformId = r.readString();
+        cert.attestPublicKey = r.readBytes();
+        cert.tcbSvn = r.readU16();
+        return cert;
+    } catch (const SerdeError &e) {
+        throw TeeError(std::string("pck parse: ") + e.what());
+    }
+}
+
+Bytes
+Quote::signedPortion() const
+{
+    BinaryWriter w;
+    w.writeBytes(body.serialize());
+    w.writeString(platformId);
+    w.writeBytes(qeMeasurement);
+    w.writeU16(qeIsvSvn);
+    return w.take();
+}
+
+Bytes
+Quote::serialize() const
+{
+    BinaryWriter w;
+    w.writeBytes(signedPortion());
+    w.writeBytes(signature);
+    w.writeBytes(pck.serialize());
+    return w.take();
+}
+
+Quote
+Quote::deserialize(ByteView data)
+{
+    try {
+        BinaryReader outer(data);
+        Bytes signedPart = outer.readBytes();
+        Quote q;
+        q.signature = outer.readBytes();
+        q.pck = PckCertificate::deserialize(outer.readBytes());
+        BinaryReader r(signedPart);
+        q.body = ReportBody::deserialize(r.readBytes());
+        q.platformId = r.readString();
+        q.qeMeasurement = r.readBytes();
+        q.qeIsvSvn = r.readU16();
+        return q;
+    } catch (const SerdeError &e) {
+        throw TeeError(std::string("quote parse: ") + e.what());
+    }
+}
+
+} // namespace salus::tee

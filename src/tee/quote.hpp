@@ -1,0 +1,54 @@
+/**
+ * @file
+ * DCAP-style quotes. A quote wraps an enclave report body with an
+ * Ed25519 signature by the platform attestation key, plus the PCK-like
+ * certificate chaining that key to the hardware manufacturer's root.
+ * A data-center verification service (quote_verifier.hpp) checks the
+ * chain — the analog of the Alibaba-hosted DCAP server in §6.1.
+ */
+
+#ifndef SALUS_TEE_QUOTE_HPP
+#define SALUS_TEE_QUOTE_HPP
+
+#include <string>
+
+#include "tee/report.hpp"
+
+namespace salus::tee {
+
+/** Platform certificate: attestation key endorsed by the root CA. */
+struct PckCertificate
+{
+    std::string platformId;
+    Bytes attestPublicKey; ///< Ed25519, 32 bytes
+    uint16_t tcbSvn = 0;   ///< platform TCB level at certification
+    Bytes signature;       ///< manufacturer root over the fields above
+
+    /** Encoding covered by the root signature. */
+    Bytes signedPortion() const;
+    Bytes serialize() const;
+    static PckCertificate deserialize(ByteView data);
+};
+
+/** A remotely verifiable attestation quote. */
+struct Quote
+{
+    ReportBody body;
+    std::string platformId;
+    /** Measurement of the quoting enclave that produced this quote;
+     *  collateral-based verifiers check it against the published
+     *  QE identity. */
+    Measurement qeMeasurement;
+    uint16_t qeIsvSvn = 0;
+    Bytes signature; ///< platform attestation key over the above
+    PckCertificate pck;
+
+    /** Encoding covered by the platform signature. */
+    Bytes signedPortion() const;
+    Bytes serialize() const;
+    static Quote deserialize(ByteView data);
+};
+
+} // namespace salus::tee
+
+#endif // SALUS_TEE_QUOTE_HPP

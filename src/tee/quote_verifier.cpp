@@ -1,0 +1,56 @@
+#include "tee/quote_verifier.hpp"
+
+#include "crypto/ed25519.hpp"
+
+namespace salus::tee {
+
+QuoteVerificationService::QuoteVerificationService(Bytes rootPublicKey,
+                                                   uint16_t minTcbSvn)
+    : rootPublicKey_(std::move(rootPublicKey)), minTcbSvn_(minTcbSvn)
+{
+}
+
+QuoteVerdict
+QuoteVerificationService::verify(const Quote &quote) const
+{
+    QuoteVerdict v;
+
+    if (quote.pck.platformId != quote.platformId) {
+        v.reason = "platform id mismatch between quote and PCK cert";
+        return v;
+    }
+    if (revoked_.count(quote.platformId)) {
+        v.reason = "platform attestation key revoked";
+        return v;
+    }
+    if (!crypto::ed25519Verify(rootPublicKey_, quote.pck.signedPortion(),
+                               quote.pck.signature)) {
+        v.reason = "PCK certificate not signed by manufacturer root";
+        return v;
+    }
+    if (quote.pck.tcbSvn < minTcbSvn_) {
+        v.reason = "platform TCB below minimum (out-of-date microcode)";
+        return v;
+    }
+    if (quote.body.cpuSvn < minTcbSvn_) {
+        v.reason = "quote generated at outdated CPU SVN";
+        return v;
+    }
+    if (!crypto::ed25519Verify(quote.pck.attestPublicKey,
+                               quote.signedPortion(), quote.signature)) {
+        v.reason = "quote signature invalid";
+        return v;
+    }
+
+    v.ok = true;
+    v.body = quote.body;
+    return v;
+}
+
+void
+QuoteVerificationService::revokePlatform(const std::string &platformId)
+{
+    revoked_.insert(platformId);
+}
+
+} // namespace salus::tee

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Quote verification service — the DCAP attestation service analog
+ * (§6.1 uses an Alibaba-hosted DCAP server). Holds the manufacturer
+ * root public key, a minimum acceptable TCB, and a platform
+ * revocation list; verifies the certificate chain and quote signature
+ * and hands back the attested report body.
+ */
+
+#ifndef SALUS_TEE_QUOTE_VERIFIER_HPP
+#define SALUS_TEE_QUOTE_VERIFIER_HPP
+
+#include <set>
+#include <string>
+
+#include "tee/quote.hpp"
+
+namespace salus::tee {
+
+/** Outcome of verifying a quote. */
+struct QuoteVerdict
+{
+    bool ok = false;
+    std::string reason; ///< failure explanation when !ok
+    ReportBody body;    ///< attested contents when ok
+};
+
+/** Verifies quotes against the manufacturer's root of trust. */
+class QuoteVerificationService
+{
+  public:
+    /** @param rootPublicKey manufacturer root CA (Ed25519). */
+    explicit QuoteVerificationService(Bytes rootPublicKey,
+                                      uint16_t minTcbSvn = 1);
+
+    /** Full chain verification: PCK cert, platform signature, TCB,
+     *  revocation. */
+    QuoteVerdict verify(const Quote &quote) const;
+
+    /** Marks a platform's attestation key as revoked. */
+    void revokePlatform(const std::string &platformId);
+
+    /** Raises the minimum acceptable platform TCB. */
+    void setMinTcbSvn(uint16_t svn) { minTcbSvn_ = svn; }
+
+  private:
+    Bytes rootPublicKey_;
+    uint16_t minTcbSvn_;
+    std::set<std::string> revoked_;
+};
+
+} // namespace salus::tee
+
+#endif // SALUS_TEE_QUOTE_VERIFIER_HPP

@@ -1,0 +1,60 @@
+#include "tee/report.hpp"
+
+#include "common/errors.hpp"
+#include "common/serde.hpp"
+
+namespace salus::tee {
+
+Bytes
+ReportBody::serialize() const
+{
+    BinaryWriter w;
+    w.writeBytes(mrenclave);
+    w.writeBytes(mrsigner);
+    w.writeU16(isvSvn);
+    w.writeU16(cpuSvn);
+    w.writeBytes(reportData);
+    return w.take();
+}
+
+ReportBody
+ReportBody::deserialize(ByteView data)
+{
+    try {
+        BinaryReader r(data);
+        ReportBody b;
+        b.mrenclave = r.readBytes();
+        b.mrsigner = r.readBytes();
+        b.isvSvn = r.readU16();
+        b.cpuSvn = r.readU16();
+        b.reportData = r.readBytes();
+        return b;
+    } catch (const SerdeError &e) {
+        throw TeeError(std::string("report body parse: ") + e.what());
+    }
+}
+
+Bytes
+Report::serialize() const
+{
+    BinaryWriter w;
+    w.writeBytes(body.serialize());
+    w.writeBytes(mac);
+    return w.take();
+}
+
+Report
+Report::deserialize(ByteView data)
+{
+    try {
+        BinaryReader r(data);
+        Report rep;
+        rep.body = ReportBody::deserialize(r.readBytes());
+        rep.mac = r.readBytes();
+        return rep;
+    } catch (const SerdeError &e) {
+        throw TeeError(std::string("report parse: ") + e.what());
+    }
+}
+
+} // namespace salus::tee

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Attestation report structures — the EREPORT output of the simulated
+ * TEE (paper Fig. 1). A report binds an enclave's measurement and
+ * 64 bytes of report data under an AES-CMAC keyed with the *target*
+ * enclave's report key, exactly like SGX local attestation.
+ */
+
+#ifndef SALUS_TEE_REPORT_HPP
+#define SALUS_TEE_REPORT_HPP
+
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace salus::tee {
+
+/** SHA-256 enclave measurement (MRENCLAVE analog). */
+using Measurement = Bytes; // 32 bytes
+
+/** Size of the free-form report-data field. */
+constexpr size_t kReportDataSize = 64;
+
+/** The MACed portion of a report. */
+struct ReportBody
+{
+    Measurement mrenclave;  ///< measurement of the reporting enclave
+    Measurement mrsigner;   ///< hash of the signing identity
+    uint16_t isvSvn = 0;    ///< enclave security version
+    uint16_t cpuSvn = 0;    ///< platform security version
+    Bytes reportData;       ///< 64 bytes, caller-defined binding
+
+    /** Canonical encoding covered by the MAC / quote signature. */
+    Bytes serialize() const;
+    static ReportBody deserialize(ByteView data);
+};
+
+/** A local-attestation report (EREPORT output). */
+struct Report
+{
+    ReportBody body;
+    Bytes mac; ///< AES-CMAC under the target enclave's report key
+
+    Bytes serialize() const;
+    static Report deserialize(ByteView data);
+};
+
+} // namespace salus::tee
+
+#endif // SALUS_TEE_REPORT_HPP

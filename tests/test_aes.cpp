@@ -1,0 +1,119 @@
+/**
+ * @file
+ * AES block cipher known-answer tests (FIPS 197 Appendix C) and
+ * roundtrip properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "common/hex.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/random.hpp"
+
+using namespace salus;
+using namespace salus::crypto;
+
+namespace {
+
+Bytes
+encryptOne(const std::string &keyHex, const std::string &ptHex)
+{
+    Aes aes(hexDecode(keyHex));
+    Bytes pt = hexDecode(ptHex);
+    Bytes ct(16);
+    aes.encryptBlock(pt.data(), ct.data());
+    return ct;
+}
+
+Bytes
+decryptOne(const std::string &keyHex, const std::string &ctHex)
+{
+    Aes aes(hexDecode(keyHex));
+    Bytes ct = hexDecode(ctHex);
+    Bytes pt(16);
+    aes.decryptBlock(ct.data(), pt.data());
+    return pt;
+}
+
+const char *kFipsPlain = "00112233445566778899aabbccddeeff";
+
+} // namespace
+
+TEST(Aes, Fips197Aes128Encrypt)
+{
+    EXPECT_EQ(hexEncode(encryptOne("000102030405060708090a0b0c0d0e0f",
+                                   kFipsPlain)),
+              "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes, Fips197Aes192Encrypt)
+{
+    EXPECT_EQ(hexEncode(encryptOne(
+                  "000102030405060708090a0b0c0d0e0f1011121314151617",
+                  kFipsPlain)),
+              "dda97ca4864cdfe06eaf70a0ec0d7191");
+}
+
+TEST(Aes, Fips197Aes256Encrypt)
+{
+    EXPECT_EQ(hexEncode(encryptOne("000102030405060708090a0b0c0d0e0f"
+                                   "101112131415161718191a1b1c1d1e1f",
+                                   kFipsPlain)),
+              "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(Aes, Fips197Aes128Decrypt)
+{
+    EXPECT_EQ(hexEncode(decryptOne("000102030405060708090a0b0c0d0e0f",
+                                   "69c4e0d86a7b0430d8cdb78070b4c55a")),
+              kFipsPlain);
+}
+
+TEST(Aes, Fips197Aes256Decrypt)
+{
+    EXPECT_EQ(hexEncode(decryptOne("000102030405060708090a0b0c0d0e0f"
+                                   "101112131415161718191a1b1c1d1e1f",
+                                   "8ea2b7ca516745bfeafc49904b496089")),
+              kFipsPlain);
+}
+
+TEST(Aes, RejectsBadKeySizes)
+{
+    EXPECT_THROW(Aes(Bytes(15)), CryptoError);
+    EXPECT_THROW(Aes(Bytes(17)), CryptoError);
+    EXPECT_THROW(Aes(Bytes(0)), CryptoError);
+    EXPECT_THROW(Aes(Bytes(33)), CryptoError);
+}
+
+TEST(Aes, InPlaceBlockAliasing)
+{
+    Aes aes(hexDecode("000102030405060708090a0b0c0d0e0f"));
+    Bytes buf = hexDecode(kFipsPlain);
+    aes.encryptBlock(buf.data(), buf.data());
+    EXPECT_EQ(hexEncode(buf), "69c4e0d86a7b0430d8cdb78070b4c55a");
+    aes.decryptBlock(buf.data(), buf.data());
+    EXPECT_EQ(hexEncode(buf), kFipsPlain);
+}
+
+/** Encrypt-then-decrypt must be the identity for every key size. */
+class AesRoundtrip : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(AesRoundtrip, RandomBlocks)
+{
+    CtrDrbg rng(uint64_t(GetParam()) * 7919 + 1);
+    Bytes key = rng.bytes(GetParam());
+    Aes aes(key);
+    for (int i = 0; i < 50; ++i) {
+        Bytes pt = rng.bytes(16);
+        Bytes ct(16), back(16);
+        aes.encryptBlock(pt.data(), ct.data());
+        aes.decryptBlock(ct.data(), back.data());
+        EXPECT_EQ(back, pt);
+        EXPECT_NE(ct, pt) << "encryption must not be identity";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKeySizes, AesRoundtrip,
+                         ::testing::Values(16, 24, 32));

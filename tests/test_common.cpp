@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for common utilities: hex codec, byte helpers, binary serde.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/hex.hpp"
+#include "common/serde.hpp"
+
+using namespace salus;
+
+TEST(Hex, RoundtripAndCase)
+{
+    Bytes data = {0x00, 0x01, 0xab, 0xff, 0x10};
+    EXPECT_EQ(hexEncode(data), "0001abff10");
+    EXPECT_EQ(hexDecode("0001ABff10"), data);
+    EXPECT_EQ(hexDecode("00 01 ab ff 10"), data);
+    EXPECT_EQ(hexDecode(""), Bytes());
+}
+
+TEST(Hex, RejectsMalformed)
+{
+    EXPECT_THROW(hexDecode("0g"), std::invalid_argument);
+    EXPECT_THROW(hexDecode("abc"), std::invalid_argument);
+}
+
+TEST(BytesUtil, ConcatSliceXor)
+{
+    Bytes a = {1, 2}, b = {3}, c = {};
+    EXPECT_EQ(concatBytes({a, b, c}), (Bytes{1, 2, 3}));
+
+    Bytes big = {10, 20, 30, 40};
+    EXPECT_EQ(sliceBytes(big, 1, 2), (Bytes{20, 30}));
+    EXPECT_EQ(sliceBytes(big, 4, 0), Bytes());
+    EXPECT_THROW(sliceBytes(big, 3, 2), std::out_of_range);
+    EXPECT_THROW(sliceBytes(big, 5, 0), std::out_of_range);
+
+    Bytes x = {0xff, 0x0f};
+    xorInto(x, Bytes{0x0f, 0x0f});
+    EXPECT_EQ(x, (Bytes{0xf0, 0x00}));
+    EXPECT_THROW(xorInto(x, Bytes{1}), std::invalid_argument);
+}
+
+TEST(BytesUtil, EndianHelpers)
+{
+    uint8_t buf[8];
+    storeBe32(buf, 0x01020304);
+    EXPECT_EQ(loadBe32(buf), 0x01020304u);
+    EXPECT_EQ(buf[0], 0x01);
+
+    storeLe32(buf, 0x01020304);
+    EXPECT_EQ(loadLe32(buf), 0x01020304u);
+    EXPECT_EQ(buf[0], 0x04);
+
+    storeBe64(buf, 0x0102030405060708ULL);
+    EXPECT_EQ(loadBe64(buf), 0x0102030405060708ULL);
+    storeLe64(buf, 0x0102030405060708ULL);
+    EXPECT_EQ(loadLe64(buf), 0x0102030405060708ULL);
+}
+
+TEST(BytesUtil, SecureZero)
+{
+    Bytes b = {1, 2, 3};
+    secureZero(b);
+    EXPECT_EQ(b, (Bytes{0, 0, 0}));
+}
+
+TEST(BytesUtil, StringConversion)
+{
+    Bytes b = bytesFromString("hi");
+    EXPECT_EQ(b, (Bytes{'h', 'i'}));
+    EXPECT_EQ(stringFromBytes(b), "hi");
+}
+
+TEST(Serde, WriterReaderRoundtrip)
+{
+    BinaryWriter w;
+    w.writeU8(0xab);
+    w.writeU16(0x1234);
+    w.writeU32(0xdeadbeef);
+    w.writeU64(0x0102030405060708ULL);
+    w.writeBytes(Bytes{9, 8, 7});
+    w.writeString("salus");
+    w.writeRaw(Bytes{0x55});
+
+    BinaryReader r(w.data());
+    EXPECT_EQ(r.readU8(), 0xab);
+    EXPECT_EQ(r.readU16(), 0x1234);
+    EXPECT_EQ(r.readU32(), 0xdeadbeefu);
+    EXPECT_EQ(r.readU64(), 0x0102030405060708ULL);
+    EXPECT_EQ(r.readBytes(), (Bytes{9, 8, 7}));
+    EXPECT_EQ(r.readString(), "salus");
+    EXPECT_EQ(r.readRaw(1), Bytes{0x55});
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Serde, TruncationDetected)
+{
+    BinaryWriter w;
+    w.writeU32(7);
+    BinaryReader r(w.data());
+    EXPECT_EQ(r.readU32(), 7u);
+    EXPECT_THROW(r.readU8(), SerdeError);
+}
+
+TEST(Serde, HostileLengthPrefixRejected)
+{
+    // A length prefix larger than the remaining buffer must throw,
+    // not allocate or overread.
+    BinaryWriter w;
+    w.writeU32(0xffffffffu);
+    w.writeRaw(Bytes{1, 2, 3});
+    BinaryReader r(w.data());
+    EXPECT_THROW(r.readBytes(), SerdeError);
+
+    BinaryReader r2(w.data());
+    EXPECT_THROW(r2.readString(), SerdeError);
+}
+
+TEST(Serde, EmptyContainersRoundtrip)
+{
+    BinaryWriter w;
+    w.writeBytes(ByteView());
+    w.writeString("");
+    BinaryReader r(w.data());
+    EXPECT_EQ(r.readBytes(), Bytes());
+    EXPECT_EQ(r.readString(), "");
+    EXPECT_TRUE(r.atEnd());
+}

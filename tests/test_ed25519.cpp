@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Ed25519 tests: RFC 8032 public-key derivation vectors, signature
+ * determinism, verification properties and rejection paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "common/hex.hpp"
+#include "crypto/ed25519.hpp"
+#include "crypto/random.hpp"
+
+using namespace salus;
+using namespace salus::crypto;
+
+TEST(Ed25519, Rfc8032Test1PublicKey)
+{
+    Bytes seed = hexDecode("9d61b19deffd5a60ba844af492ec2cc4"
+                           "4449c5697b326919703bac031cae7f60");
+    EXPECT_EQ(hexEncode(ed25519PublicKey(seed)),
+              "d75a980182b10ab7d54bfed3c964073a"
+              "0ee172f3daa62325af021a68f707511a");
+}
+
+TEST(Ed25519, Rfc8032Test2PublicKey)
+{
+    Bytes seed = hexDecode("4ccd089b28ff96da9db6c346ec114e0f"
+                           "5b8a319f35aba624da8cf6ed4fb8a6fb");
+    EXPECT_EQ(hexEncode(ed25519PublicKey(seed)),
+              "3d4017c3e843895a92b70aa74d1b7ebc"
+              "9c982ccf2ec4968cc0cd55f12af4660c");
+}
+
+TEST(Ed25519, Rfc8032Test1SignatureVerifies)
+{
+    Bytes seed = hexDecode("9d61b19deffd5a60ba844af492ec2cc4"
+                           "4449c5697b326919703bac031cae7f60");
+    Bytes pub = ed25519PublicKey(seed);
+    Bytes sig = ed25519Sign(seed, ByteView());
+    EXPECT_EQ(sig.size(), kEd25519SigSize);
+    EXPECT_TRUE(ed25519Verify(pub, ByteView(), sig));
+}
+
+TEST(Ed25519, SignaturesAreDeterministic)
+{
+    CtrDrbg rng(31);
+    Ed25519KeyPair kp = ed25519Generate(rng);
+    Bytes msg = bytesFromString("attestation quote body");
+    EXPECT_EQ(ed25519Sign(kp.seed, msg), ed25519Sign(kp.seed, msg));
+}
+
+TEST(Ed25519, SignVerifyRoundtripVariousLengths)
+{
+    CtrDrbg rng(32);
+    Ed25519KeyPair kp = ed25519Generate(rng);
+    for (size_t len : {size_t(0), size_t(1), size_t(32), size_t(100),
+                       size_t(1000)}) {
+        Bytes msg = rng.bytes(len);
+        Bytes sig = ed25519Sign(kp.seed, msg);
+        EXPECT_TRUE(ed25519Verify(kp.publicKey, msg, sig))
+            << "len=" << len;
+    }
+}
+
+TEST(Ed25519, RejectsTamperedMessage)
+{
+    CtrDrbg rng(33);
+    Ed25519KeyPair kp = ed25519Generate(rng);
+    Bytes msg = rng.bytes(64);
+    Bytes sig = ed25519Sign(kp.seed, msg);
+
+    Bytes bad = msg;
+    bad[10] ^= 1;
+    EXPECT_FALSE(ed25519Verify(kp.publicKey, bad, sig));
+}
+
+TEST(Ed25519, RejectsTamperedSignature)
+{
+    CtrDrbg rng(34);
+    Ed25519KeyPair kp = ed25519Generate(rng);
+    Bytes msg = rng.bytes(64);
+    Bytes sig = ed25519Sign(kp.seed, msg);
+
+    for (size_t i : {size_t(0), size_t(31), size_t(32), size_t(63)}) {
+        Bytes bad = sig;
+        bad[i] ^= 1;
+        EXPECT_FALSE(ed25519Verify(kp.publicKey, msg, bad))
+            << "byte=" << i;
+    }
+}
+
+TEST(Ed25519, RejectsWrongKey)
+{
+    CtrDrbg rng(35);
+    Ed25519KeyPair kp1 = ed25519Generate(rng);
+    Ed25519KeyPair kp2 = ed25519Generate(rng);
+    Bytes msg = rng.bytes(40);
+    Bytes sig = ed25519Sign(kp1.seed, msg);
+    EXPECT_FALSE(ed25519Verify(kp2.publicKey, msg, sig));
+}
+
+TEST(Ed25519, RejectsMalformedInputs)
+{
+    CtrDrbg rng(36);
+    Ed25519KeyPair kp = ed25519Generate(rng);
+    Bytes msg = rng.bytes(10);
+    Bytes sig = ed25519Sign(kp.seed, msg);
+
+    EXPECT_FALSE(ed25519Verify(Bytes(31), msg, sig));
+    EXPECT_FALSE(ed25519Verify(kp.publicKey, msg, Bytes(63)));
+    EXPECT_FALSE(ed25519Verify(kp.publicKey, msg, Bytes(64, 0xff)));
+    EXPECT_THROW(ed25519Sign(Bytes(31), msg), CryptoError);
+    EXPECT_THROW(ed25519PublicKey(Bytes(33)), CryptoError);
+}
+
+TEST(Ed25519, RejectsNonCanonicalS)
+{
+    // Flipping high bits of S so S >= L must be rejected (signature
+    // malleability defense).
+    CtrDrbg rng(37);
+    Ed25519KeyPair kp = ed25519Generate(rng);
+    Bytes msg = rng.bytes(20);
+    Bytes sig = ed25519Sign(kp.seed, msg);
+    Bytes bad = sig;
+    bad[63] |= 0xf0; // push S far above L
+    EXPECT_FALSE(ed25519Verify(kp.publicKey, msg, bad));
+}
+
+TEST(Ed25519, DistinctMessagesDistinctSignatures)
+{
+    CtrDrbg rng(38);
+    Ed25519KeyPair kp = ed25519Generate(rng);
+    Bytes s1 = ed25519Sign(kp.seed, bytesFromString("m1"));
+    Bytes s2 = ed25519Sign(kp.seed, bytesFromString("m2"));
+    EXPECT_NE(s1, s2);
+}

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * FPGA device-model tests: eFUSE, DNA, encrypted/plain configuration,
+ * whole-partition overwrite (paper Observation 2), ICAP readback
+ * gating (§5.1.2), and behavioural design instantiation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bitstream/compiler.hpp"
+#include "bitstream/encryptor.hpp"
+#include "common/errors.hpp"
+#include "crypto/random.hpp"
+#include "fpga/device.hpp"
+#include "pcie/transactions.hpp"
+#include "shell/shell.hpp"
+#include "sim/cost_model.hpp"
+
+using namespace salus;
+using namespace salus::fpga;
+
+namespace {
+
+struct Rig
+{
+    crypto::CtrDrbg rng{uint64_t(123)};
+    DeviceModelInfo model = testModel();
+    FpgaDevice device{testModel(), DeviceDna{0x1234567890abcULL}};
+    Bytes deviceKey;
+
+    Rig()
+    {
+        ensureBuiltinIps();
+        deviceKey = rng.bytes(32);
+        device.fuseKey(deviceKey);
+    }
+
+    netlist::Netlist
+    loopbackDesign(const std::string &secret = "ssssssssssssssss")
+    {
+        netlist::Netlist nl("cl");
+        netlist::Cell logic;
+        logic.path = "cl/loop";
+        logic.kind = netlist::CellKind::Logic;
+        logic.behaviorId = kIpLoopback;
+        logic.resources = {10, 10, 0, 0};
+        nl.addCell(logic);
+        netlist::Cell bram;
+        bram.path = "cl/secret";
+        bram.kind = netlist::CellKind::Bram;
+        bram.resources = {0, 0, 1, 0};
+        bram.init = bytesFromString(secret);
+        nl.addCell(bram);
+        return nl;
+    }
+
+    Bytes
+    encryptedBlob(const netlist::Netlist &nl)
+    {
+        bitstream::Compiler compiler(model.name);
+        auto compiled = compiler.compile(nl, model.partitions[0]);
+        bitstream::EncryptedHeader header{model.name, 0};
+        return bitstream::encryptBitstream(compiled.file, deviceKey,
+                                           header, rng);
+    }
+};
+
+} // namespace
+
+TEST(FpgaDevice, EfuseIsOneShot)
+{
+    FpgaDevice dev(testModel(), DeviceDna{1});
+    EXPECT_FALSE(dev.keyFused());
+    Bytes key(32, 7);
+    dev.fuseKey(key);
+    EXPECT_TRUE(dev.keyFused());
+    EXPECT_THROW(dev.fuseKey(key), DeviceError);
+    EXPECT_THROW(FpgaDevice(testModel(), DeviceDna{2}).fuseKey(Bytes(16)),
+                 DeviceError);
+}
+
+TEST(FpgaDevice, DnaMaskedTo57Bits)
+{
+    FpgaDevice dev(testModel(), DeviceDna{~0ULL});
+    EXPECT_EQ(dev.dna().value, (uint64_t(1) << 57) - 1);
+    EXPECT_EQ(dev.dna().bytes().size(), 8u);
+}
+
+TEST(FpgaDevice, EncryptedLoadHappyPath)
+{
+    Rig rig;
+    Bytes blob = rig.encryptedBlob(rig.loopbackDesign());
+    EXPECT_EQ(rig.device.loadEncryptedPartial(blob), LoadStatus::Ok);
+
+    LoadedDesign *design = rig.device.design(0);
+    ASSERT_NE(design, nullptr);
+    EXPECT_EQ(design->design().findCell("cl/secret")->init,
+              bytesFromString("ssssssssssssssss"));
+    IpBehavior *loop = design->behaviorAt("cl/loop");
+    ASSERT_NE(loop, nullptr);
+    loop->writeRegister(0x00, 41);
+    loop->writeRegister(0x08, 1);
+    EXPECT_EQ(loop->readRegister(0x80), 42u);
+}
+
+TEST(FpgaDevice, LoadFailureModes)
+{
+    Rig rig;
+    Bytes blob = rig.encryptedBlob(rig.loopbackDesign());
+
+    // No key fused.
+    FpgaDevice bare(testModel(), DeviceDna{5});
+    EXPECT_EQ(bare.loadEncryptedPartial(blob), LoadStatus::NoKeyFused);
+
+    // Wrong key (different device).
+    FpgaDevice other(testModel(), DeviceDna{6});
+    crypto::CtrDrbg rng2(uint64_t(9));
+    other.fuseKey(rng2.bytes(32));
+    EXPECT_EQ(other.loadEncryptedPartial(blob),
+              LoadStatus::DecryptFailed);
+
+    // Tampered ciphertext.
+    Bytes tampered = blob;
+    tampered[tampered.size() - 5] ^= 1;
+    EXPECT_EQ(rig.device.loadEncryptedPartial(tampered),
+              LoadStatus::DecryptFailed);
+
+    // Garbage blob.
+    EXPECT_EQ(rig.device.loadEncryptedPartial(Bytes(64, 3)),
+              LoadStatus::MalformedBitstream);
+
+    // Wrong device model in header.
+    bitstream::Compiler compiler("some-other-device");
+    auto compiled = compiler.compile(
+        rig.loopbackDesign(),
+        rig.model.partitions[0]);
+    bitstream::EncryptedHeader header{"some-other-device", 0};
+    Bytes wrongModel = bitstream::encryptBitstream(
+        compiled.file, rig.deviceKey, header, rig.rng);
+    EXPECT_EQ(rig.device.loadEncryptedPartial(wrongModel),
+              LoadStatus::WrongDeviceModel);
+}
+
+TEST(FpgaDevice, CleartextLoadWorksForLegacyFlow)
+{
+    Rig rig;
+    bitstream::Compiler compiler(rig.model.name);
+    auto compiled = compiler.compile(rig.loopbackDesign(),
+                                     rig.model.partitions[0]);
+    EXPECT_EQ(rig.device.loadCleartextPartial(compiled.file),
+              LoadStatus::Ok);
+    EXPECT_NE(rig.device.design(0), nullptr);
+}
+
+TEST(FpgaDevice, PartialReconfigOverwritesWholePartition)
+{
+    // Observation 2: nothing from tenant A's design survives tenant
+    // B's load, even cells B doesn't "use".
+    Rig rig;
+    ASSERT_EQ(rig.device.loadEncryptedPartial(rig.encryptedBlob(
+                  rig.loopbackDesign("AAAAAAAAAAAAAAAA"))),
+              LoadStatus::Ok);
+
+    ASSERT_EQ(rig.device.loadEncryptedPartial(rig.encryptedBlob(
+                  rig.loopbackDesign("BBBBBBBBBBBBBBBB"))),
+              LoadStatus::Ok);
+
+    LoadedDesign *design = rig.device.design(0);
+    ASSERT_NE(design, nullptr);
+    EXPECT_EQ(design->design().findCell("cl/secret")->init,
+              bytesFromString("BBBBBBBBBBBBBBBB"));
+
+    // The old secret is gone from configuration memory entirely.
+    rig.device.setReadbackEnabled(true);
+    Bytes frames = rig.device.readback(0);
+    std::string hay(frames.begin(), frames.end());
+    EXPECT_EQ(hay.find("AAAAAAAAAAAAAAAA"), std::string::npos);
+    EXPECT_NE(hay.find("BBBBBBBBBBBBBBBB"), std::string::npos);
+}
+
+TEST(FpgaDevice, ReadbackGateBlocksConfigScan)
+{
+    Rig rig;
+    ASSERT_EQ(rig.device.loadEncryptedPartial(
+                  rig.encryptedBlob(rig.loopbackDesign())),
+              LoadStatus::Ok);
+
+    // Salus devices ship with readback off (§5.1.2).
+    EXPECT_FALSE(rig.device.readbackEnabled());
+    EXPECT_THROW(rig.device.readback(0), DeviceError);
+
+    // A legacy ICAP with readback on exposes the configuration -- the
+    // attack surface Salus requires the manufacturer to close.
+    rig.device.setReadbackEnabled(true);
+    Bytes frames = rig.device.readback(0);
+    std::string hay(frames.begin(), frames.end());
+    EXPECT_NE(hay.find("ssssssssssssssss"), std::string::npos);
+}
+
+TEST(FpgaDevice, ClearPartitionRemovesDesign)
+{
+    Rig rig;
+    ASSERT_EQ(rig.device.loadEncryptedPartial(
+                  rig.encryptedBlob(rig.loopbackDesign())),
+              LoadStatus::Ok);
+    ASSERT_NE(rig.device.design(0), nullptr);
+    rig.device.clearPartition(0);
+    EXPECT_EQ(rig.device.design(0), nullptr);
+    EXPECT_THROW(rig.device.clearPartition(42), DeviceError);
+}
+
+TEST(FpgaDevice, UnknownBehaviorMakesDesignUnusable)
+{
+    Rig rig;
+    netlist::Netlist nl("cl");
+    netlist::Cell logic;
+    logic.path = "cl/mystery";
+    logic.kind = netlist::CellKind::Logic;
+    logic.behaviorId = 0xdead;
+    logic.resources = {1, 1, 0, 0};
+    nl.addCell(logic);
+    EXPECT_EQ(rig.device.loadEncryptedPartial(rig.encryptedBlob(nl)),
+              LoadStatus::DesignUnusable);
+    EXPECT_EQ(rig.device.design(0), nullptr);
+}
+
+TEST(DeviceDram, BoundsChecked)
+{
+    DeviceDram dram(1024);
+    dram.write(0, Bytes{1, 2, 3});
+    EXPECT_EQ(dram.read(0, 3), (Bytes{1, 2, 3}));
+    dram.write(1021, Bytes{9, 9, 9});
+    EXPECT_THROW(dram.write(1022, Bytes{1, 2, 3}), DeviceError);
+    EXPECT_THROW(dram.read(1024, 1), DeviceError);
+    EXPECT_THROW(dram.read(0, 1025), DeviceError);
+}
+
+TEST(ShellTest, RoutesWindowsAndChargesTime)
+{
+    Rig rig;
+    sim::VirtualClock clock;
+    sim::CostModel cost; // defaults
+    shell::Shell sh(rig.device, clock, cost);
+
+    ASSERT_EQ(sh.deployBitstream(rig.encryptedBlob(rig.loopbackDesign())),
+              LoadStatus::Ok);
+    EXPECT_GT(clock.now(), 0u);
+
+    // Loopback design has no SM logic; the direct window reaches it,
+    // the SM window reads as zero. Direct-window ops cost MMIO
+    // latency; SM-window ops go through the driver path.
+    sim::Nanos before = clock.now();
+    sh.registerWrite(pcie::Window::Direct, 0x00, 7);
+    sh.registerWrite(pcie::Window::Direct, 0x08, 8);
+    EXPECT_EQ(sh.registerRead(pcie::Window::Direct, 0x80), 15u);
+    EXPECT_EQ(sh.registerRead(pcie::Window::SmSecure, 0x80), 0u);
+    EXPECT_EQ(clock.now() - before, 3 * cost.mmioLatency + cost.pcieRtt);
+
+    // DMA reaches device DRAM.
+    sh.dmaWrite(64, Bytes{5, 6, 7});
+    EXPECT_EQ(sh.dmaRead(64, 3), (Bytes{5, 6, 7}));
+}
+
+TEST(FpgaDevice, AbortedEncryptedLoadFailsSafe)
+{
+    // A tampered encrypted load disturbs the partition before the GCM
+    // tag check completes (streaming decryption): the device must end
+    // up with NO design loaded, never with the previous one still
+    // running (fail-safe, not fail-open).
+    Rig rig;
+    ASSERT_EQ(rig.device.loadEncryptedPartial(rig.encryptedBlob(
+                  rig.loopbackDesign("AAAAAAAAAAAAAAAA"))),
+              LoadStatus::Ok);
+    ASSERT_NE(rig.device.design(0), nullptr);
+
+    Bytes tampered = rig.encryptedBlob(
+        rig.loopbackDesign("BBBBBBBBBBBBBBBB"));
+    tampered[tampered.size() / 2] ^= 1;
+    ASSERT_EQ(rig.device.loadEncryptedPartial(tampered),
+              LoadStatus::DecryptFailed);
+
+    EXPECT_EQ(rig.device.design(0), nullptr)
+        << "previous design must not survive an aborted load";
+
+    // And the partition's configuration memory really is blank.
+    rig.device.setReadbackEnabled(true);
+    Bytes frames = rig.device.readback(0);
+    for (uint8_t b : frames)
+        ASSERT_EQ(b, 0);
+}

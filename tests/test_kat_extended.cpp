@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Extended known-answer tests. Constants here were generated with an
+ * independent reference implementation (python `cryptography` /
+ * hashlib / the SipHash reference algorithm) so the in-tree crypto is
+ * cross-checked against a second codebase, not just against itself.
+ * Sources: NIST GCM spec test cases 3-4, SP 800-38A F.5.5,
+ * RFC 4231 case 2 (SHA-512), RFC 8032 tests 1-2, SipHash paper
+ * reference vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+#include "crypto/aes_ctr.hpp"
+#include "crypto/aes_gcm.hpp"
+#include "crypto/ed25519.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/siphash.hpp"
+
+using namespace salus;
+using namespace salus::crypto;
+
+TEST(KatExtended, GcmNistTestCase3)
+{
+    AesGcm gcm(hexDecode("feffe9928665731c6d6a8f9467308308"));
+    Bytes iv = hexDecode("cafebabefacedbaddecaf888");
+    Bytes pt = hexDecode(
+        "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255");
+    GcmSealed sealed = gcm.seal(iv, ByteView(), pt);
+    EXPECT_EQ(hexEncode(sealed.ciphertext),
+              "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e23"
+              "29aca12e21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac97"
+              "3d58e091473f5985");
+    EXPECT_EQ(hexEncode(sealed.tag), "4d5c2af327cd64a62cf35abd2ba6fab4");
+}
+
+TEST(KatExtended, GcmNistTestCase4WithAad)
+{
+    AesGcm gcm(hexDecode("feffe9928665731c6d6a8f9467308308"));
+    Bytes iv = hexDecode("cafebabefacedbaddecaf888");
+    Bytes pt = hexDecode(
+        "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+    Bytes aad = hexDecode("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+    GcmSealed sealed = gcm.seal(iv, aad, pt);
+    EXPECT_EQ(hexEncode(sealed.ciphertext),
+              "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e23"
+              "29aca12e21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac97"
+              "3d58e091");
+    EXPECT_EQ(hexEncode(sealed.tag), "5bc94fbc3221a5db94fae95ae7121a47");
+
+    auto opened = gcm.open(iv, aad, sealed.ciphertext, sealed.tag);
+    ASSERT_TRUE(opened.has_value());
+    EXPECT_EQ(*opened, pt);
+}
+
+TEST(KatExtended, AesCtr256Sp80038aF55)
+{
+    Bytes key = hexDecode("603deb1015ca71be2b73aef0857d7781"
+                          "1f352c073b6108d72d9810a30914dff4");
+    Bytes ctr = hexDecode("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+    Bytes pt = hexDecode("6bc1bee22e409f96e93d7e117393172a"
+                         "ae2d8a571e03ac9c9eb76fac45af8e51");
+    EXPECT_EQ(hexEncode(aesCtrCrypt(key, ctr, pt)),
+              "601ec313775789a5b7a7f504bbf3d228"
+              "f443e3ca4d62b59aca84e990cacaf5c5");
+}
+
+TEST(KatExtended, HmacSha512Rfc4231Case2)
+{
+    EXPECT_EQ(hexEncode(hmacSha512(
+                  bytesFromString("Jefe"),
+                  bytesFromString("what do ya want for nothing?"))),
+              "164b7a7bfcf819e2e395fbe73b56e0a387bd64222e831fd610270cd7"
+              "ea2505549758bf75c05a994a6d034f65f8f0e6fdcaeab1a34d4a6b4b"
+              "636e070a38bce737");
+}
+
+TEST(KatExtended, Ed25519Rfc8032Test1Signature)
+{
+    Bytes seed = hexDecode("9d61b19deffd5a60ba844af492ec2cc4"
+                           "4449c5697b326919703bac031cae7f60");
+    Bytes sig = ed25519Sign(seed, ByteView());
+    EXPECT_EQ(hexEncode(sig),
+              "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e065"
+              "224901555fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24"
+              "655141438e7a100b");
+}
+
+TEST(KatExtended, Ed25519Rfc8032Test2Signature)
+{
+    Bytes seed = hexDecode("4ccd089b28ff96da9db6c346ec114e0f"
+                           "5b8a319f35aba624da8cf6ed4fb8a6fb");
+    Bytes msg = {0x72};
+    Bytes sig = ed25519Sign(seed, msg);
+    EXPECT_EQ(hexEncode(sig),
+              "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223"
+              "ebdb69da085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aee"
+              "b00d291612bb0c00");
+    EXPECT_TRUE(ed25519Verify(ed25519PublicKey(seed), msg, sig));
+}
+
+TEST(KatExtended, SipHashReferenceVectorsMore)
+{
+    Bytes key(16);
+    for (int i = 0; i < 16; ++i)
+        key[i] = uint8_t(i);
+    auto input = [](size_t n) {
+        Bytes in(n);
+        for (size_t i = 0; i < n; ++i)
+            in[i] = uint8_t(i);
+        return in;
+    };
+    EXPECT_EQ(sipHash24(key, input(7)), 0xab0200f58b01d137ULL);
+    EXPECT_EQ(sipHash24(key, input(8)), 0x93f5f5799a932462ULL);
+    EXPECT_EQ(sipHash24(key, input(32)), 0x7127512f72f27cceULL);
+    EXPECT_EQ(sipHash24(key, input(63)), 0x958a324ceb064572ULL);
+}

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Manufacturer key-distribution tests (paper step ④) and RPC network
+ * tests (tap/interposer/latency accounting).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "crypto/aes_gcm.hpp"
+#include "crypto/x25519.hpp"
+#include "manufacturer/manufacturer.hpp"
+#include "net/network.hpp"
+#include "tee/platform.hpp"
+
+using namespace salus;
+using namespace salus::manufacturer;
+
+namespace {
+
+class SmLikeEnclave : public tee::Enclave
+{
+  public:
+    using tee::Enclave::createQuote;
+    using tee::Enclave::Enclave;
+    using tee::Enclave::rng;
+};
+
+tee::EnclaveImage
+smImage()
+{
+    tee::EnclaveImage img;
+    img.name = "sm";
+    img.signer = "vendor";
+    img.code = bytesFromString("sm-code");
+    return img;
+}
+
+struct Rig
+{
+    crypto::CtrDrbg rng{uint64_t(31)};
+    Manufacturer mft{rng};
+    tee::TeePlatform platform{"plat-1", rng};
+    std::unique_ptr<fpga::FpgaDevice> device;
+    std::unique_ptr<SmLikeEnclave> sm;
+
+    Rig()
+    {
+        mft.provisionPlatform(platform);
+        device = mft.manufactureFpga(fpga::testModel());
+        sm = std::make_unique<SmLikeEnclave>(platform, smImage());
+        mft.allowSmEnclave(sm->measurement());
+    }
+
+    KeyRequest
+    validRequest()
+    {
+        crypto::X25519KeyPair eph = crypto::x25519Generate(sm->rng());
+        KeyRequest req;
+        req.deviceDna = device->dna().value;
+        req.quote = sm->createQuote(eph.publicKey).serialize();
+        req.wrapPubKey = eph.publicKey;
+        wrapPriv = eph.privateKey;
+        return req;
+    }
+
+    Bytes wrapPriv;
+};
+
+Bytes
+unwrap(const KeyResponse &resp, ByteView wrapPriv)
+{
+    Bytes wrapKey = crypto::deriveSessionKey(
+        wrapPriv, resp.serverEphPub, "salus-keydist-v1", 32);
+    crypto::AesGcm gcm(wrapKey);
+    auto key = gcm.open(resp.iv, ByteView(), resp.wrappedKey, resp.tag);
+    return key ? *key : Bytes();
+}
+
+} // namespace
+
+TEST(Manufacturer, DeviceProvisioning)
+{
+    Rig rig;
+    EXPECT_TRUE(rig.device->keyFused());
+    EXPECT_FALSE(rig.device->readbackEnabled());
+    EXPECT_TRUE(rig.mft.knowsDevice(rig.device->dna().value));
+    EXPECT_FALSE(rig.mft.knowsDevice(0xdeadbeef));
+
+    // Two devices get distinct DNAs.
+    auto second = rig.mft.manufactureFpga(fpga::testModel());
+    EXPECT_NE(second->dna().value, rig.device->dna().value);
+}
+
+TEST(Manufacturer, KeyReleaseToAttestedSm)
+{
+    Rig rig;
+    KeyRequest req = rig.validRequest();
+    KeyResponse resp = rig.mft.handleKeyRequest(req);
+    ASSERT_EQ(resp.status, 0) << resp.reason;
+
+    Bytes key = unwrap(resp, rig.wrapPriv);
+    ASSERT_EQ(key.size(), 32u);
+
+    // The released key actually opens bitstreams for that device:
+    // encrypt something tiny and let the device decrypt-load it (the
+    // full path is covered by integration tests; here we just check
+    // key equality indirectly through a GCM roundtrip).
+    crypto::AesGcm gcm(key);
+    auto sealed = gcm.seal(Bytes(12, 1), ByteView(),
+                           bytesFromString("x"));
+    EXPECT_TRUE(gcm.open(Bytes(12, 1), ByteView(), sealed.ciphertext,
+                         sealed.tag)
+                    .has_value());
+}
+
+TEST(Manufacturer, RefusesUnknownDevice)
+{
+    Rig rig;
+    KeyRequest req = rig.validRequest();
+    req.deviceDna ^= 1;
+    KeyResponse resp = rig.mft.handleKeyRequest(req);
+    EXPECT_NE(resp.status, 0);
+    EXPECT_NE(resp.reason.find("DNA"), std::string::npos);
+}
+
+TEST(Manufacturer, RefusesUnapprovedEnclave)
+{
+    Rig rig;
+    SmLikeEnclave rogue(rig.platform, [] {
+        tee::EnclaveImage img;
+        img.name = "rogue";
+        img.signer = "vendor";
+        img.code = bytesFromString("rogue-code");
+        return img;
+    }());
+
+    crypto::X25519KeyPair eph = crypto::x25519Generate(rogue.rng());
+    KeyRequest req;
+    req.deviceDna = rig.device->dna().value;
+    req.quote = rogue.createQuote(eph.publicKey).serialize();
+    req.wrapPubKey = eph.publicKey;
+
+    KeyResponse resp = rig.mft.handleKeyRequest(req);
+    EXPECT_NE(resp.status, 0);
+    EXPECT_NE(resp.reason.find("approved"), std::string::npos);
+}
+
+TEST(Manufacturer, RefusesUnboundWrapKey)
+{
+    // The OS swaps in its own wrap key after the quote was made:
+    // the reportData binding catches it.
+    Rig rig;
+    KeyRequest req = rig.validRequest();
+    crypto::CtrDrbg osRng(uint64_t(666));
+    req.wrapPubKey = crypto::x25519Generate(osRng).publicKey;
+
+    KeyResponse resp = rig.mft.handleKeyRequest(req);
+    EXPECT_NE(resp.status, 0);
+    EXPECT_NE(resp.reason.find("bound"), std::string::npos);
+}
+
+TEST(Manufacturer, RefusesGarbageQuote)
+{
+    Rig rig;
+    KeyRequest req = rig.validRequest();
+    req.quote = Bytes(40, 9);
+    KeyResponse resp = rig.mft.handleKeyRequest(req);
+    EXPECT_NE(resp.status, 0);
+}
+
+TEST(Manufacturer, WireFormatsRoundtrip)
+{
+    Rig rig;
+    KeyRequest req = rig.validRequest();
+    KeyRequest back = KeyRequest::deserialize(req.serialize());
+    EXPECT_EQ(back.deviceDna, req.deviceDna);
+    EXPECT_EQ(back.quote, req.quote);
+    EXPECT_EQ(back.wrapPubKey, req.wrapPubKey);
+
+    KeyResponse resp = rig.mft.handleKeyRequest(req);
+    KeyResponse rback = KeyResponse::deserialize(resp.serialize());
+    EXPECT_EQ(rback.status, resp.status);
+    EXPECT_EQ(rback.wrappedKey, resp.wrappedKey);
+}
+
+// ------------------------------------------------------------ network
+
+TEST(NetworkTest, DispatchAndTiming)
+{
+    sim::VirtualClock clock;
+    sim::CostModel cost;
+    net::Network net(clock, cost);
+    net.addEndpoint("a");
+    net.addEndpoint("b");
+    net.link("a", "b", sim::LinkKind::Wan);
+    net.on("b", "echo", [](ByteView req) {
+        return Bytes(req.begin(), req.end());
+    });
+
+    Bytes resp = net.call("a", "b", "echo", Bytes{1, 2, 3}, "phase-x");
+    EXPECT_EQ(resp, (Bytes{1, 2, 3}));
+    EXPECT_GE(clock.totalFor("phase-x"), cost.wanRtt);
+
+    EXPECT_THROW(net.call("a", "b", "nope", ByteView()), NetError);
+    EXPECT_THROW(net.call("a", "c", "echo", ByteView()), NetError);
+    EXPECT_THROW(net.on("c", "x", nullptr), NetError);
+    EXPECT_THROW(net.link("a", "zz", sim::LinkKind::Wan), NetError);
+}
+
+TEST(NetworkTest, NoLinkNoCall)
+{
+    sim::VirtualClock clock;
+    sim::CostModel cost;
+    net::Network net(clock, cost);
+    net.addEndpoint("a");
+    net.addEndpoint("b");
+    net.on("b", "m", [](ByteView) { return Bytes(); });
+    EXPECT_THROW(net.call("a", "b", "m", ByteView()), NetError);
+}
+
+TEST(NetworkTest, TapObservesBothDirections)
+{
+    sim::VirtualClock clock;
+    sim::CostModel cost;
+    net::Network net(clock, cost);
+    net.addEndpoint("a");
+    net.addEndpoint("b");
+    net.link("a", "b", sim::LinkKind::IntraCloud);
+    net.on("b", "m", [](ByteView) { return Bytes{9}; });
+
+    std::vector<std::string> seen;
+    net.setTap([&](const std::string &from, const std::string &to,
+                   const std::string &method, ByteView) {
+        seen.push_back(from + ">" + to + ":" + method);
+    });
+    net.call("a", "b", "m", Bytes{1});
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], "a>b:m");
+    EXPECT_EQ(seen[1], "b>a:m:response");
+}
+
+TEST(NetworkTest, InterposerCanTamperAndDrop)
+{
+    sim::VirtualClock clock;
+    sim::CostModel cost;
+    net::Network net(clock, cost);
+    net.addEndpoint("a");
+    net.addEndpoint("b");
+    net.link("a", "b", sim::LinkKind::Wan);
+    net.on("b", "m", [](ByteView req) {
+        return Bytes(req.begin(), req.end());
+    });
+
+    net.setInterposer([](const std::string &, const std::string &,
+                         const std::string &method, Bytes &payload) {
+        if (method == "m" && !payload.empty())
+            payload[0] ^= 0xff;
+        return true;
+    });
+    EXPECT_EQ(net.call("a", "b", "m", Bytes{0x0f})[0], 0xf0);
+
+    net.setInterposer([](const std::string &, const std::string &,
+                         const std::string &, Bytes &) { return false; });
+    EXPECT_THROW(net.call("a", "b", "m", Bytes{1}), NetError);
+}

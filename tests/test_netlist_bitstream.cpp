@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Netlist model, bitstream compiler, manipulator and encryptor tests —
+ * the substrate for Salus's RoT injection (paper §2.3, §4.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bitstream/compiler.hpp"
+#include "bitstream/crc32.hpp"
+#include "bitstream/encryptor.hpp"
+#include "bitstream/manipulator.hpp"
+#include "common/errors.hpp"
+#include "common/hex.hpp"
+#include "crypto/random.hpp"
+#include "crypto/sha256.hpp"
+
+using namespace salus;
+using namespace salus::netlist;
+using namespace salus::bitstream;
+
+namespace {
+
+PartitionGeometry
+smallGeometry()
+{
+    PartitionGeometry g;
+    g.partitionId = 0;
+    g.frameStart = 100;
+    g.frameCount = 256;
+    g.frameSize = 64;
+    g.capacity = {10000, 20000, 100, 50};
+    return g;
+}
+
+Netlist
+sampleDesign(const std::string &secret = "0123456789abcdef")
+{
+    Netlist nl("top");
+    Cell logic;
+    logic.path = "top/engine";
+    logic.kind = CellKind::Logic;
+    logic.behaviorId = 7;
+    logic.resources = {100, 200, 0, 2};
+    nl.addCell(logic);
+
+    Cell bram;
+    bram.path = "top/secret";
+    bram.kind = CellKind::Bram;
+    bram.resources = {0, 0, 1, 0};
+    bram.init = bytesFromString(secret);
+    nl.addCell(bram);
+    return nl;
+}
+
+} // namespace
+
+// ------------------------------------------------------------ netlist
+
+TEST(Netlist, SerializeRoundtrip)
+{
+    Netlist nl = sampleDesign();
+    Netlist back = Netlist::deserialize(nl.serialize());
+    EXPECT_EQ(back.top(), "top");
+    ASSERT_EQ(back.cells().size(), 2u);
+    EXPECT_EQ(back.cells()[0].path, "top/engine");
+    EXPECT_EQ(back.cells()[0].behaviorId, 7u);
+    EXPECT_EQ(back.cells()[1].init, bytesFromString("0123456789abcdef"));
+    EXPECT_EQ(back.digest(), nl.digest());
+}
+
+TEST(Netlist, RejectsDuplicatePathsAndGarbage)
+{
+    Netlist nl = sampleDesign();
+    Cell dup;
+    dup.path = "top/engine";
+    EXPECT_THROW(nl.addCell(dup), BitstreamError);
+    EXPECT_THROW(Netlist::deserialize(Bytes{1, 2, 3}), BitstreamError);
+}
+
+TEST(Netlist, ResourceAccounting)
+{
+    Netlist nl = sampleDesign();
+    ResourceVector total = nl.totalResources();
+    EXPECT_EQ(total.luts, 100u);
+    EXPECT_EQ(total.registers, 200u);
+    EXPECT_EQ(total.brams, 1u);
+    EXPECT_EQ(total.dsps, 2u);
+
+    EXPECT_EQ(nl.resourcesUnder("top/engine").luts, 100u);
+    EXPECT_EQ(nl.resourcesUnder("top/secret").brams, 1u);
+    EXPECT_EQ(nl.resourcesUnder("nope").luts, 0u);
+
+    ResourceVector cap{100, 200, 1, 2};
+    EXPECT_TRUE(total.fitsWithin(cap));
+    cap.brams = 0;
+    EXPECT_FALSE(total.fitsWithin(cap));
+}
+
+TEST(Netlist, SpanTrackingMatchesSerialization)
+{
+    Netlist nl = sampleDesign("s3cr3t-contents!");
+    std::vector<BramSpan> spans;
+    Bytes wire = nl.serializeWithSpans(spans);
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].path, "top/secret");
+    Bytes extracted(wire.begin() + spans[0].offset,
+                    wire.begin() + spans[0].offset + spans[0].length);
+    EXPECT_EQ(extracted, bytesFromString("s3cr3t-contents!"));
+}
+
+// ------------------------------------------------------------- crc32
+
+TEST(Crc32, KnownValueAndSensitivity)
+{
+    // CRC-32("123456789") = 0xcbf43926 (classic check value).
+    EXPECT_EQ(crc32(bytesFromString("123456789")), 0xcbf43926u);
+    EXPECT_EQ(crc32(ByteView()), 0u);
+    EXPECT_NE(crc32(bytesFromString("a")), crc32(bytesFromString("b")));
+}
+
+// ----------------------------------------------------------- compiler
+
+TEST(Compiler, FileSizeDependsOnlyOnGeometry)
+{
+    // Paper §6.3: "a partial CL bitstream's size is only determined by
+    // the area reserved for the CL", regardless of design contents.
+    Compiler compiler("dev-x");
+    auto small = compiler.compile(sampleDesign("aaaaaaaaaaaaaaaa"),
+                                  smallGeometry());
+    Netlist bigger = sampleDesign("bbbbbbbbbbbbbbbb");
+    Cell extra;
+    extra.path = "top/extra";
+    extra.kind = CellKind::Logic;
+    extra.behaviorId = 9;
+    extra.resources = {500, 100, 0, 0};
+    bigger.addCell(extra);
+    auto big = compiler.compile(bigger, smallGeometry());
+
+    EXPECT_EQ(small.file.size(), big.file.size());
+    EXPECT_EQ(small.file.size(),
+              Bitstream::fromFile(small.file).body.size() +
+                  bitstreamBodyOffset("dev-x") + 4);
+}
+
+TEST(Compiler, PlacementIsContentDependent)
+{
+    Compiler compiler("dev-x");
+    auto a = compiler.compile(sampleDesign("aaaaaaaaaaaaaaaa"),
+                              smallGeometry());
+    auto b = compiler.compile(sampleDesign("cccccccccccccccc"),
+                              smallGeometry());
+    auto ea = a.logicLocations.find("top/secret");
+    auto eb = b.logicLocations.find("top/secret");
+    ASSERT_TRUE(ea && eb);
+    // Different designs place the BRAM at different offsets, which is
+    // why Loc_keyattest must ship per-design (paper §4.2).
+    EXPECT_NE(ea->fileOffset, eb->fileOffset);
+}
+
+TEST(Compiler, LogicLocationPointsAtInitBytes)
+{
+    Compiler compiler("dev-x");
+    auto out = compiler.compile(sampleDesign("findme-1234567!!"),
+                                smallGeometry());
+    auto entry = out.logicLocations.find("top/secret");
+    ASSERT_TRUE(entry.has_value());
+    Bytes atLoc = Manipulator::readCell(out.file, out.logicLocations,
+                                        "top/secret");
+    EXPECT_EQ(atLoc, bytesFromString("findme-1234567!!"));
+}
+
+TEST(Compiler, RejectsOverCapacityDesigns)
+{
+    Netlist nl = sampleDesign();
+    Cell fat;
+    fat.path = "top/fat";
+    fat.kind = CellKind::Logic;
+    fat.behaviorId = 3;
+    fat.resources = {1000000, 0, 0, 0};
+    nl.addCell(fat);
+    Compiler compiler("dev-x");
+    EXPECT_THROW(compiler.compile(nl, smallGeometry()), BitstreamError);
+}
+
+TEST(Compiler, RejectsDesignsLargerThanPartitionFrames)
+{
+    Netlist nl("top");
+    Cell bram;
+    bram.path = "top/huge";
+    bram.kind = CellKind::Bram;
+    bram.resources = {0, 0, 1, 0};
+    bram.init = Bytes(64 * 1024, 0x42); // larger than 16 KiB body
+    nl.addCell(bram);
+    PartitionGeometry tiny = smallGeometry();
+    tiny.frameCount = 16; // 1 KiB
+    Compiler compiler("dev-x");
+    EXPECT_THROW(compiler.compile(nl, tiny), BitstreamError);
+}
+
+TEST(Compiler, ExtractDesignRecoversNetlist)
+{
+    Compiler compiler("dev-x");
+    auto out = compiler.compile(sampleDesign(), smallGeometry());
+    Bitstream bs = Bitstream::fromFile(out.file);
+    Netlist recovered = extractDesign(bs.body);
+    EXPECT_EQ(recovered.digest(), sampleDesign().digest());
+
+    EXPECT_THROW(extractDesign(Bytes(100, 0)), BitstreamError);
+}
+
+// ------------------------------------------------------------- format
+
+TEST(BitstreamFormat, ParseValidatesStructure)
+{
+    Compiler compiler("dev-x");
+    auto out = compiler.compile(sampleDesign(), smallGeometry());
+
+    Bitstream bs = Bitstream::fromFile(out.file);
+    EXPECT_EQ(bs.deviceModel, "dev-x");
+    EXPECT_EQ(bs.frameCount, 256u);
+    EXPECT_EQ(bs.frameSize, 64u);
+
+    // CRC corruption is detected.
+    Bytes bad = out.file;
+    bad[bad.size() / 2] ^= 1;
+    EXPECT_THROW(Bitstream::fromFile(bad), BitstreamError);
+    EXPECT_FALSE(fileCrcValid(bad));
+
+    // Truncation is detected.
+    Bytes trunc(out.file.begin(), out.file.end() - 10);
+    EXPECT_THROW(Bitstream::fromFile(trunc), BitstreamError);
+
+    // Wrong magic is detected.
+    Bytes magic = out.file;
+    magic[0] = 'X';
+    refreshFileCrc(magic);
+    EXPECT_THROW(Bitstream::fromFile(magic), BitstreamError);
+}
+
+// --------------------------------------------------------- manipulator
+
+TEST(Manipulator, PatchCellInjectsAndRepairsCrc)
+{
+    Compiler compiler("dev-x");
+    auto out = compiler.compile(sampleDesign("0000000000000000"),
+                                smallGeometry());
+
+    Bytes newSecret = bytesFromString("fresh-rot-keyval");
+    Manipulator::patchCell(out.file, out.logicLocations, "top/secret",
+                           newSecret);
+
+    // CRC still valid, file parses, and the loaded design sees the
+    // new init value -- the whole point of bitstream-level injection.
+    EXPECT_TRUE(fileCrcValid(out.file));
+    Bitstream bs = Bitstream::fromFile(out.file);
+    Netlist recovered = extractDesign(bs.body);
+    EXPECT_EQ(recovered.findCell("top/secret")->init, newSecret);
+}
+
+TEST(Manipulator, ErrorsOnBadInput)
+{
+    Compiler compiler("dev-x");
+    auto out = compiler.compile(sampleDesign(), smallGeometry());
+
+    EXPECT_THROW(Manipulator::patchCell(out.file, out.logicLocations,
+                                        "top/nothere", Bytes(16)),
+                 BitstreamError);
+    EXPECT_THROW(Manipulator::patchCell(out.file, out.logicLocations,
+                                        "top/secret", Bytes(15)),
+                 BitstreamError);
+
+    LogicLocationFile hostile;
+    hostile.add({"top/secret", out.file.size() + 10, 16});
+    EXPECT_THROW(Manipulator::patchCell(out.file, hostile, "top/secret",
+                                        Bytes(16)),
+                 BitstreamError);
+}
+
+TEST(LogicLocation, SerializeRoundtrip)
+{
+    LogicLocationFile ll;
+    ll.add({"a/b/c", 1234, 16});
+    ll.add({"d/e", 99, 48});
+    LogicLocationFile back =
+        LogicLocationFile::deserialize(ll.serialize());
+    ASSERT_EQ(back.entries().size(), 2u);
+    EXPECT_EQ(back.find("a/b/c")->fileOffset, 1234u);
+    EXPECT_EQ(back.find("d/e")->length, 48u);
+    EXPECT_FALSE(back.find("nope").has_value());
+    EXPECT_THROW(LogicLocationFile::deserialize(Bytes(3, 9)),
+                 BitstreamError);
+}
+
+// ----------------------------------------------------------- encryptor
+
+class EncryptorTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        rng_ = std::make_unique<crypto::CtrDrbg>(uint64_t(77));
+        key_ = rng_->bytes(32);
+        Compiler compiler("dev-x");
+        compiled_ = compiler.compile(sampleDesign(), smallGeometry());
+        header_.deviceModel = "dev-x";
+        header_.partitionId = 0;
+    }
+
+    std::unique_ptr<crypto::CtrDrbg> rng_;
+    Bytes key_;
+    CompiledDesign compiled_;
+    EncryptedHeader header_;
+};
+
+TEST_F(EncryptorTest, RoundtripAndHeaderPeek)
+{
+    Bytes blob =
+        encryptBitstream(compiled_.file, key_, header_, *rng_);
+    EncryptedHeader peeked = peekEncryptedHeader(blob);
+    EXPECT_EQ(peeked.deviceModel, "dev-x");
+    EXPECT_EQ(peeked.partitionId, 0u);
+
+    auto plain = decryptBitstream(blob, key_);
+    ASSERT_TRUE(plain.has_value());
+    EXPECT_EQ(*plain, compiled_.file);
+}
+
+TEST_F(EncryptorTest, CiphertextHidesPlaintext)
+{
+    Bytes blob =
+        encryptBitstream(compiled_.file, key_, header_, *rng_);
+    // The known plaintext secret must not appear in the ciphertext.
+    std::string hay = hexEncode(blob);
+    std::string needle = hexEncode(bytesFromString("0123456789abcdef"));
+    EXPECT_EQ(hay.find(needle), std::string::npos);
+}
+
+TEST_F(EncryptorTest, WrongKeyAndTamperRejected)
+{
+    Bytes blob =
+        encryptBitstream(compiled_.file, key_, header_, *rng_);
+
+    Bytes otherKey = rng_->bytes(32);
+    EXPECT_FALSE(decryptBitstream(blob, otherKey).has_value());
+
+    Bytes tampered = blob;
+    tampered[tampered.size() / 2] ^= 0x40;
+    EXPECT_FALSE(decryptBitstream(tampered, key_).has_value());
+
+    // Header (AAD) tamper also invalidates the whole blob.
+    Bytes headerTamper = blob;
+    headerTamper[6] ^= 1; // inside deviceModel string
+    EXPECT_FALSE(decryptBitstream(headerTamper, key_).has_value());
+
+    EXPECT_FALSE(decryptBitstream(Bytes(10, 1), key_).has_value());
+}
+
+TEST_F(EncryptorTest, RequiresAes256Key)
+{
+    EXPECT_THROW(
+        encryptBitstream(compiled_.file, Bytes(16), header_, *rng_),
+        CryptoError);
+}
+
+TEST_F(EncryptorTest, FreshIvPerEncryption)
+{
+    Bytes b1 = encryptBitstream(compiled_.file, key_, header_, *rng_);
+    Bytes b2 = encryptBitstream(compiled_.file, key_, header_, *rng_);
+    EXPECT_NE(b1, b2);
+}
+
+TEST(Netlist, ResourcePrefixRespectsHierarchyBoundaries)
+{
+    Netlist nl("top");
+    Cell a;
+    a.path = "top/a";
+    a.kind = CellKind::Logic;
+    a.resources = {1, 0, 0, 0};
+    nl.addCell(a);
+    Cell ab;
+    ab.path = "top/ab";
+    ab.kind = CellKind::Logic;
+    ab.resources = {10, 0, 0, 0};
+    nl.addCell(ab);
+    Cell aChild;
+    aChild.path = "top/a/child";
+    aChild.kind = CellKind::Logic;
+    aChild.resources = {100, 0, 0, 0};
+    nl.addCell(aChild);
+
+    EXPECT_EQ(nl.resourcesUnder("top/a").luts, 101u);
+    EXPECT_EQ(nl.resourcesUnder("top/ab").luts, 10u);
+    EXPECT_EQ(nl.resourcesUnder("top").luts, 111u);
+}
+
+TEST(Compiler, DeterministicOutput)
+{
+    // Same design + geometry => bit-identical bitstream and logic
+    // locations (required for the digest H workflow: the developer's
+    // H must match any reproducing build).
+    Compiler compiler("dev-x");
+    auto a = compiler.compile(sampleDesign("deterministic!!!"),
+                              smallGeometry());
+    auto b = compiler.compile(sampleDesign("deterministic!!!"),
+                              smallGeometry());
+    EXPECT_EQ(a.file, b.file);
+    EXPECT_EQ(a.logicLocations.serialize(),
+              b.logicLocations.serialize());
+}

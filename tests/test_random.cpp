@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Random-source tests: determinism, stream separation, reseeding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/random.hpp"
+
+using namespace salus;
+using namespace salus::crypto;
+
+TEST(CtrDrbgTest, DeterministicPerSeed)
+{
+    CtrDrbg a(12345u);
+    CtrDrbg b(12345u);
+    EXPECT_EQ(a.bytes(64), b.bytes(64));
+    EXPECT_EQ(a.bytes(7), b.bytes(7));
+}
+
+TEST(CtrDrbgTest, DistinctSeedsDistinctStreams)
+{
+    CtrDrbg a(1u);
+    CtrDrbg b(2u);
+    EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(CtrDrbgTest, SequentialCallsAdvanceState)
+{
+    CtrDrbg a(7u);
+    Bytes first = a.bytes(32);
+    Bytes second = a.bytes(32);
+    EXPECT_NE(first, second);
+}
+
+TEST(CtrDrbgTest, ReseedChangesStream)
+{
+    CtrDrbg a(7u);
+    CtrDrbg b(7u);
+    a.bytes(16);
+    b.bytes(16);
+    a.reseed(Bytes{1, 2, 3});
+    EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(CtrDrbgTest, ByteSeedAndIntSeedIndependent)
+{
+    CtrDrbg a(uint64_t(0));
+    CtrDrbg b{ByteView()};
+    EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(CtrDrbgTest, BelowStaysInRange)
+{
+    CtrDrbg a(99u);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_LT(a.below(17), 17u);
+    EXPECT_EQ(a.below(0), 0u);
+    EXPECT_EQ(a.below(1), 0u);
+}
+
+TEST(CtrDrbgTest, RoughlyUniformBytes)
+{
+    // Sanity check, not a statistical test: all byte values appear in
+    // a 64 KiB stream.
+    CtrDrbg a(5u);
+    Bytes data = a.bytes(65536);
+    bool seen[256] = {};
+    for (uint8_t b : data)
+        seen[b] = true;
+    for (int i = 0; i < 256; ++i)
+        EXPECT_TRUE(seen[i]) << "byte value " << i << " never seen";
+}
+
+TEST(SystemRandomTest, ProducesDifferingBuffers)
+{
+    SystemRandom sr;
+    Bytes a = sr.bytes(32);
+    Bytes b = sr.bytes(32);
+    EXPECT_NE(a, b);
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * SHA-256 / SHA-512 known-answer tests (FIPS 180-4 examples) and
+ * streaming-equivalence properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+#include "crypto/random.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+
+using namespace salus;
+using namespace salus::crypto;
+
+TEST(Sha256, EmptyMessage)
+{
+    EXPECT_EQ(hexEncode(Sha256::digest(ByteView())),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    EXPECT_EQ(hexEncode(Sha256::digest(bytesFromString("abc"))),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    EXPECT_EQ(hexEncode(Sha256::digest(bytesFromString(
+                  "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmno"
+                  "mnopnopq"))),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs)
+{
+    Bytes chunk(1000, uint8_t('a'));
+    Sha256 h;
+    for (int i = 0; i < 1000; ++i)
+        h.update(chunk);
+    EXPECT_EQ(hexEncode(h.finish()),
+              "cdc76e5c9914fb9281a1c7e284d73e67"
+              "f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha512, EmptyMessage)
+{
+    EXPECT_EQ(hexEncode(Sha512::digest(ByteView())),
+              "cf83e1357eefb8bdf1542850d66d8007"
+              "d620e4050b5715dc83f4a921d36ce9ce"
+              "47d0d13c5d85f2b0ff8318d2877eec2f"
+              "63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, Abc)
+{
+    EXPECT_EQ(hexEncode(Sha512::digest(bytesFromString("abc"))),
+              "ddaf35a193617abacc417349ae204131"
+              "12e6fa4e89a97ea20a9eeee64b55d39a"
+              "2192992a274fc1a836ba3c23a3feebbd"
+              "454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+/**
+ * Hashing a message in arbitrary chunkings must equal the one-shot
+ * digest — exercises the buffered-update paths.
+ */
+class ShaChunking : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(ShaChunking, MatchesOneShot256)
+{
+    CtrDrbg rng(42);
+    Bytes msg = rng.bytes(3001);
+    Bytes expected = Sha256::digest(msg);
+
+    Sha256 h;
+    size_t chunk = GetParam();
+    for (size_t off = 0; off < msg.size(); off += chunk) {
+        size_t n = std::min(chunk, msg.size() - off);
+        h.update(ByteView(msg.data() + off, n));
+    }
+    EXPECT_EQ(h.finish(), expected);
+}
+
+TEST_P(ShaChunking, MatchesOneShot512)
+{
+    CtrDrbg rng(43);
+    Bytes msg = rng.bytes(3001);
+    Bytes expected = Sha512::digest(msg);
+
+    Sha512 h;
+    size_t chunk = GetParam();
+    for (size_t off = 0; off < msg.size(); off += chunk) {
+        size_t n = std::min(chunk, msg.size() - off);
+        h.update(ByteView(msg.data() + off, n));
+    }
+    EXPECT_EQ(h.finish(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, ShaChunking,
+                         ::testing::Values(1, 7, 63, 64, 65, 127, 128,
+                                           129, 1000));
+
+TEST(Sha256, ContextResetsAfterFinish)
+{
+    Sha256 h;
+    h.update(bytesFromString("abc"));
+    Bytes first = h.finish();
+    h.update(bytesFromString("abc"));
+    EXPECT_EQ(h.finish(), first);
+}
+
+TEST(Sha256, BoundaryLengthsAroundPadding)
+{
+    // 55/56/57 and 63/64/65 bytes exercise the padding split points.
+    for (size_t len : {size_t(55), size_t(56), size_t(57), size_t(63),
+                       size_t(64), size_t(65), size_t(119), size_t(120)}) {
+        Bytes msg(len, uint8_t(0x5a));
+        Bytes d1 = Sha256::digest(msg);
+        Sha256 h;
+        h.update(ByteView(msg.data(), len / 2));
+        h.update(ByteView(msg.data() + len / 2, len - len / 2));
+        EXPECT_EQ(h.finish(), d1) << "len=" << len;
+    }
+}

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Simulated TEE tests: measurement, EREPORT/local attestation, quote
+ * generation and DCAP-style verification, sealing (paper §2.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "crypto/random.hpp"
+#include "tee/local_attest.hpp"
+#include "tee/platform.hpp"
+#include "tee/quote_verifier.hpp"
+
+using namespace salus;
+using namespace salus::tee;
+
+namespace {
+
+EnclaveImage
+image(const std::string &name, const std::string &code)
+{
+    EnclaveImage img;
+    img.name = name;
+    img.signer = "test-vendor";
+    img.code = bytesFromString(code);
+    return img;
+}
+
+/** Minimal concrete enclave exposing the protected intrinsics. */
+class TestEnclave : public Enclave
+{
+  public:
+    using Enclave::Enclave;
+    using Enclave::createQuote;
+    using Enclave::createReport;
+    using Enclave::rng;
+    using Enclave::seal;
+    using Enclave::unseal;
+    using Enclave::verifyLocalReport;
+};
+
+struct Rig
+{
+    crypto::CtrDrbg rng{uint64_t(55)};
+    TeePlatform platform{"plat-A", rng};
+    crypto::Ed25519KeyPair rootCa = crypto::ed25519Generate(rng);
+
+    void
+    provision(TeePlatform &p)
+    {
+        PckCertificate cert;
+        cert.platformId = p.platformId();
+        cert.attestPublicKey = p.attestationPublicKey();
+        cert.tcbSvn = p.cpuSvn();
+        cert.signature =
+            crypto::ed25519Sign(rootCa.seed, cert.signedPortion());
+        p.installPckCertificate(cert);
+    }
+};
+
+} // namespace
+
+TEST(TeePlatformTest, MeasurementIsCodeHash)
+{
+    Rig rig;
+    TestEnclave a(rig.platform, image("a", "code-1"));
+    TestEnclave b(rig.platform, image("b", "code-1"));
+    TestEnclave c(rig.platform, image("c", "code-2"));
+    // Same code = same measurement, regardless of debug name.
+    EXPECT_EQ(a.measurement(), b.measurement());
+    EXPECT_NE(a.measurement(), c.measurement());
+    EXPECT_EQ(a.measurement().size(), 32u);
+}
+
+TEST(TeePlatformTest, LocalReportVerifiesOnlyAtTarget)
+{
+    Rig rig;
+    TestEnclave prover(rig.platform, image("p", "prover-code"));
+    TestEnclave verifier(rig.platform, image("v", "verifier-code"));
+    TestEnclave bystander(rig.platform, image("o", "other-code"));
+
+    Report r = prover.createReport(verifier.measurement(),
+                                   bytesFromString("hello"));
+    EXPECT_TRUE(verifier.verifyLocalReport(r));
+    EXPECT_FALSE(bystander.verifyLocalReport(r));
+    EXPECT_EQ(r.body.mrenclave, prover.measurement());
+    EXPECT_EQ(r.body.reportData, padReportData(bytesFromString("hello")));
+
+    // Tampering with the body invalidates the MAC.
+    Report bad = r;
+    bad.body.reportData[0] ^= 1;
+    EXPECT_FALSE(verifier.verifyLocalReport(bad));
+}
+
+TEST(TeePlatformTest, CrossPlatformReportsFail)
+{
+    Rig rig;
+    TeePlatform other("plat-B", rig.rng);
+    TestEnclave prover(other, image("p", "prover-code"));
+    TestEnclave verifier(rig.platform, image("v", "verifier-code"));
+
+    // Same binaries, different machine: local attestation must fail,
+    // that is exactly what it proves (paper §2.1).
+    Report r = prover.createReport(verifier.measurement(),
+                                   bytesFromString("x"));
+    EXPECT_FALSE(verifier.verifyLocalReport(r));
+}
+
+TEST(TeePlatformTest, ReportDataSizeLimit)
+{
+    Rig rig;
+    TestEnclave e(rig.platform, image("e", "code"));
+    EXPECT_THROW(e.createReport(e.measurement(), Bytes(65)), TeeError);
+    EXPECT_EQ(padReportData(Bytes(64, 1)).size(), 64u);
+    EXPECT_THROW(padReportData(Bytes(65)), TeeError);
+}
+
+TEST(TeePlatformTest, QuoteLifecycle)
+{
+    Rig rig;
+    rig.provision(rig.platform);
+    TestEnclave e(rig.platform, image("e", "app-code"));
+
+    Quote q = e.createQuote(bytesFromString("nonce-binding"));
+    QuoteVerificationService qvs(rig.rootCa.publicKey);
+    QuoteVerdict v = qvs.verify(q);
+    ASSERT_TRUE(v.ok) << v.reason;
+    EXPECT_EQ(v.body.mrenclave, e.measurement());
+    EXPECT_EQ(v.body.reportData,
+              padReportData(bytesFromString("nonce-binding")));
+
+    // Serialization roundtrip preserves verifiability.
+    Quote back = Quote::deserialize(q.serialize());
+    EXPECT_TRUE(qvs.verify(back).ok);
+}
+
+TEST(TeePlatformTest, QuoteRequiresProvisioning)
+{
+    Rig rig; // platform NOT provisioned
+    TestEnclave e(rig.platform, image("e", "app-code"));
+    EXPECT_THROW(e.createQuote(ByteView()), TeeError);
+}
+
+TEST(QuoteVerifier, RejectsForgedAndRevoked)
+{
+    Rig rig;
+    rig.provision(rig.platform);
+    TestEnclave e(rig.platform, image("e", "app-code"));
+    Quote q = e.createQuote(bytesFromString("d"));
+
+    QuoteVerificationService qvs(rig.rootCa.publicKey);
+
+    // Tampered body.
+    Quote bad = q;
+    bad.body.mrenclave[0] ^= 1;
+    EXPECT_FALSE(qvs.verify(bad).ok);
+
+    // Self-signed PCK (attacker makes up a platform).
+    crypto::CtrDrbg arng(uint64_t(7));
+    crypto::Ed25519KeyPair fakeRoot = crypto::ed25519Generate(arng);
+    Quote fake = q;
+    fake.pck.signature = crypto::ed25519Sign(fakeRoot.seed,
+                                             fake.pck.signedPortion());
+    EXPECT_FALSE(qvs.verify(fake).ok);
+
+    // Revocation.
+    QuoteVerificationService qvs2(rig.rootCa.publicKey);
+    qvs2.revokePlatform("plat-A");
+    EXPECT_FALSE(qvs2.verify(q).ok);
+
+    // TCB too old.
+    QuoteVerificationService qvs3(rig.rootCa.publicKey,
+                                  /*minTcbSvn=*/5);
+    auto v = qvs3.verify(q);
+    EXPECT_FALSE(v.ok);
+    EXPECT_NE(v.reason.find("TCB"), std::string::npos);
+}
+
+TEST(Sealing, RoundtripAndIdentityBinding)
+{
+    Rig rig;
+    TestEnclave a(rig.platform, image("a", "code-a"));
+    TestEnclave b(rig.platform, image("b", "code-b"));
+
+    Bytes secret = bytesFromString("sealed state");
+    Bytes blob = a.seal(secret);
+    auto back = a.unseal(blob);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, secret);
+
+    // A different enclave identity cannot unseal.
+    EXPECT_FALSE(b.unseal(blob).has_value());
+
+    // Tampered blob rejected.
+    Bytes bad = blob;
+    bad[bad.size() - 1] ^= 1;
+    EXPECT_FALSE(a.unseal(bad).has_value());
+    EXPECT_FALSE(a.unseal(Bytes(5)).has_value());
+}
+
+// ------------------------------------------------- local attestation
+
+struct LaRig : public Rig
+{
+    TestEnclave user{platform, image("user", "user-code")};
+    TestEnclave sm{platform, image("sm", "sm-code")};
+};
+
+TEST(LocalAttestation, MutualHandshakeEstablishesSameKey)
+{
+    LaRig rig;
+    LocalAttestInitiator init(rig.user, rig.sm.measurement());
+    LocalAttestResponder resp(rig.sm, rig.user.measurement());
+
+    Bytes msg1 = init.start();
+    auto msg2 = resp.answer(msg1);
+    ASSERT_TRUE(msg2.has_value());
+    auto msg3 = init.finish(*msg2);
+    ASSERT_TRUE(msg3.has_value());
+    ASSERT_TRUE(resp.confirm(*msg3));
+
+    EXPECT_TRUE(init.established());
+    EXPECT_TRUE(resp.established());
+    EXPECT_EQ(init.session().key, resp.session().key);
+    EXPECT_EQ(init.session().key.size(), 32u);
+    EXPECT_EQ(init.session().peer, rig.sm.measurement());
+    EXPECT_EQ(resp.session().peer, rig.user.measurement());
+}
+
+TEST(LocalAttestation, WrongResponderIdentityRejected)
+{
+    LaRig rig;
+    TestEnclave impostor(rig.platform, image("x", "impostor-code"));
+
+    LocalAttestInitiator init(rig.user, rig.sm.measurement());
+    LocalAttestResponder evil(impostor, Measurement{});
+
+    Bytes msg1 = init.start();
+    auto msg2 = evil.answer(msg1);
+    ASSERT_TRUE(msg2.has_value());
+    // The impostor is on the right platform but has the wrong
+    // measurement; the initiator pins the SM build and refuses.
+    EXPECT_FALSE(init.finish(*msg2).has_value());
+    EXPECT_FALSE(init.established());
+}
+
+TEST(LocalAttestation, TamperedMessagesRejected)
+{
+    LaRig rig;
+    LocalAttestInitiator init(rig.user, rig.sm.measurement());
+    LocalAttestResponder resp(rig.sm, rig.user.measurement());
+
+    Bytes msg1 = init.start();
+    auto msg2 = resp.answer(msg1);
+    ASSERT_TRUE(msg2.has_value());
+
+    // OS flips a bit in msg2 (report or ephemeral key).
+    for (size_t pos : {size_t(8), msg2->size() / 2, msg2->size() - 1}) {
+        Bytes bad = *msg2;
+        bad[pos] ^= 1;
+        EXPECT_FALSE(init.finish(bad).has_value()) << "pos=" << pos;
+    }
+
+    // Untampered msg2 still works afterwards (no state poisoning).
+    auto msg3 = init.finish(*msg2);
+    ASSERT_TRUE(msg3.has_value());
+
+    // Tampered msg3 rejected by responder.
+    Bytes bad3 = *msg3;
+    bad3[bad3.size() / 2] ^= 1;
+    EXPECT_FALSE(resp.confirm(bad3));
+    EXPECT_TRUE(resp.confirm(*msg3));
+}
+
+TEST(LocalAttestation, CrossPlatformHandshakeFails)
+{
+    LaRig rig;
+    TeePlatform otherPlatform("plat-B", rig.rng);
+    TestEnclave remoteSm(otherPlatform, image("sm", "sm-code"));
+
+    LocalAttestInitiator init(rig.user, remoteSm.measurement());
+    LocalAttestResponder resp(remoteSm, rig.user.measurement());
+
+    Bytes msg1 = init.start();
+    auto msg2 = resp.answer(msg1);
+    ASSERT_TRUE(msg2.has_value());
+    // Same code, wrong machine: report key differs, MAC fails.
+    EXPECT_FALSE(init.finish(*msg2).has_value());
+}
+
+TEST(LocalAttestation, GarbageInputsHandled)
+{
+    LaRig rig;
+    LocalAttestResponder resp(rig.sm, rig.user.measurement());
+    EXPECT_FALSE(resp.answer(Bytes(3, 1)).has_value());
+    EXPECT_FALSE(resp.confirm(Bytes(10, 2)));
+
+    LocalAttestInitiator init(rig.user, rig.sm.measurement());
+    init.start();
+    EXPECT_FALSE(init.finish(Bytes(7, 3)).has_value());
+}

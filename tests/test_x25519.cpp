@@ -1,0 +1,96 @@
+/**
+ * @file
+ * X25519 tests: RFC 7748 iterated vector plus Diffie-Hellman agreement
+ * properties used by the enclave key exchanges.
+ */
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "common/hex.hpp"
+#include "crypto/random.hpp"
+#include "crypto/x25519.hpp"
+
+using namespace salus;
+using namespace salus::crypto;
+
+TEST(X25519, Rfc7748IteratedOnce)
+{
+    // k = u = 9, one iteration of k = X25519(k, u).
+    uint8_t k[32] = {9};
+    uint8_t u[32] = {9};
+    uint8_t out[32];
+    x25519(out, k, u);
+    EXPECT_EQ(hexEncode(ByteView(out, 32)),
+              "422c8e7a6227d7bca1350b3e2bb7279f"
+              "7897b87bb6854b783c60e80311ae3079");
+}
+
+TEST(X25519, Rfc7748IteratedThousandTimes)
+{
+    uint8_t k[32] = {9};
+    uint8_t u[32] = {9};
+    for (int i = 0; i < 1000; ++i) {
+        uint8_t out[32];
+        x25519(out, k, u);
+        std::memcpy(u, k, 32);
+        std::memcpy(k, out, 32);
+    }
+    EXPECT_EQ(hexEncode(ByteView(k, 32)),
+              "684cf59ba83309552800ef566f2f4d3c"
+              "1c3887c49360e3875f2eb94d99532c51");
+}
+
+TEST(X25519, DiffieHellmanAgreement)
+{
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+        CtrDrbg rng(seed);
+        X25519KeyPair alice = x25519Generate(rng);
+        X25519KeyPair bob = x25519Generate(rng);
+
+        Bytes sharedA = x25519Shared(alice.privateKey, bob.publicKey);
+        Bytes sharedB = x25519Shared(bob.privateKey, alice.publicKey);
+        EXPECT_EQ(sharedA, sharedB) << "seed=" << seed;
+        EXPECT_NE(sharedA, Bytes(32, 0));
+    }
+}
+
+TEST(X25519, SessionKeysAgreeAndBindContext)
+{
+    CtrDrbg rng(99);
+    X25519KeyPair a = x25519Generate(rng);
+    X25519KeyPair b = x25519Generate(rng);
+
+    Bytes kA = deriveSessionKey(a.privateKey, b.publicKey, "la-v1", 32);
+    Bytes kB = deriveSessionKey(b.privateKey, a.publicKey, "la-v1", 32);
+    EXPECT_EQ(kA, kB);
+    EXPECT_EQ(kA.size(), 32u);
+
+    Bytes kOther =
+        deriveSessionKey(a.privateKey, b.publicKey, "la-v2", 32);
+    EXPECT_NE(kOther, kA);
+}
+
+TEST(X25519, RejectsLowOrderPoint)
+{
+    CtrDrbg rng(5);
+    X25519KeyPair a = x25519Generate(rng);
+    Bytes zeroPoint(32, 0);
+    EXPECT_THROW(x25519Shared(a.privateKey, zeroPoint), CryptoError);
+}
+
+TEST(X25519, RejectsBadKeySizes)
+{
+    EXPECT_THROW(x25519Shared(Bytes(31), Bytes(32)), CryptoError);
+    EXPECT_THROW(x25519Shared(Bytes(32), Bytes(33)), CryptoError);
+}
+
+TEST(X25519, DistinctKeysFromDistinctSeeds)
+{
+    CtrDrbg r1(1), r2(2);
+    X25519KeyPair a = x25519Generate(r1);
+    X25519KeyPair b = x25519Generate(r2);
+    EXPECT_NE(a.publicKey, b.publicKey);
+}

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * salus_cli — command-line driver over the whole simulation, for
+ * poking at the platform without writing code:
+ *
+ *   salus_cli boot [--paper-scale] [--seed N]
+ *   salus_cli attack <tamper|substitute|storage|replay|snoop|scan|
+ *                     mitm|revoke>
+ *   salus_cli workload <Conv|Affine|Rendering|FaceDetect|NNSearch>
+ *                     [--scale PCT]
+ *   salus_cli inspect
+ *   salus_cli help
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "accel/accel_ip.hpp"
+#include "accel/runner.hpp"
+#include "salus/boot_report.hpp"
+#include "salus/salus.hpp"
+
+using namespace salus;
+using namespace salus::core;
+
+namespace {
+
+netlist::Cell
+loopbackAccel()
+{
+    netlist::Cell accel;
+    accel.path = "engine";
+    accel.kind = netlist::CellKind::Logic;
+    accel.behaviorId = fpga::kIpLoopback;
+    accel.resources = {1000, 1000, 4, 0};
+    return accel;
+}
+
+int
+cmdBoot(const std::vector<std::string> &args)
+{
+    TestbedConfig cfg;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--paper-scale")
+            cfg.deviceModel = fpga::u200ScaledModel();
+        else if (args[i] == "--seed" && i + 1 < args.size())
+            cfg.rngSeed = std::stoull(args[++i]);
+    }
+
+    Testbed tb(cfg);
+    tb.installCl(loopbackAccel());
+    std::printf("bitstream: %.2f MiB, device DNA %014llx\n",
+                double(tb.storedBitstream().size()) / (1 << 20),
+                static_cast<unsigned long long>(tb.device().dna().value));
+
+    UserClient::Outcome outcome = tb.runDeployment();
+    if (!outcome.ok) {
+        std::printf("BOOT FAILED: %s\n", outcome.failure.c_str());
+        return 1;
+    }
+    std::printf("boot ok; cascaded report verified; data key "
+                "delivered\n\n%s",
+                buildBootReport(tb.clock()).render().c_str());
+    return 0;
+}
+
+int
+cmdAttack(const std::vector<std::string> &args)
+{
+    if (args.empty()) {
+        std::printf("attack name required\n");
+        return 2;
+    }
+    const std::string &name = args[0];
+
+    TestbedConfig cfg;
+    cfg.maliciousShell = true;
+    if (name == "tamper") {
+        cfg.attackPlan.tamperBitstream = true;
+        cfg.attackPlan.tamperOffset = 4040;
+    }
+    Testbed tb(cfg);
+    tb.installCl(loopbackAccel());
+
+    if (name == "substitute") {
+        tb.maliciousShell()->plan().substituteBitstream =
+            tb.storedBitstream();
+    } else if (name == "storage") {
+        tb.storedBitstream()[512] ^= 0xff;
+    } else if (name == "revoke") {
+        tb.mft().verificationService().revokePlatform("platform-1");
+    } else if (name == "mitm") {
+        tb.network().setInterposer(
+            [](const std::string &, const std::string &,
+               const std::string &method, Bytes &payload) {
+                if (method == "raRequest:response" && payload.size() > 70)
+                    payload[70] ^= 1;
+                return true;
+            });
+    }
+
+    UserClient::Outcome outcome = tb.runDeployment();
+
+    if (name == "replay") {
+        if (!outcome.ok) {
+            std::printf("setup failed: %s\n", outcome.failure.c_str());
+            return 1;
+        }
+        tb.userApp().secureWrite(0x00, 1);
+        tb.userApp().secureWrite(0x00, 2);
+        size_t n = tb.maliciousShell()->replayRecordedSmWrites();
+        bool held = tb.userApp().secureRead(0x00) == 2u;
+        std::printf("replayed %zu transactions; state %s\n", n,
+                    held ? "held (attack defeated)" : "ROLLED BACK");
+        return held ? 0 : 1;
+    }
+    if (name == "snoop") {
+        if (!outcome.ok) {
+            std::printf("setup failed: %s\n", outcome.failure.c_str());
+            return 1;
+        }
+        tb.userApp().pushDataKeyToCl(0x20);
+        const Bytes &key = tb.userApp().dataKey();
+        size_t leaks = 0;
+        for (const auto &txn : tb.maliciousShell()->snoopLog()) {
+            for (int i = 0; i < 4; ++i)
+                leaks += txn.data == loadLe64(key.data() + 8 * i);
+        }
+        std::printf("%zu transactions snooped, %zu plaintext key words "
+                    "seen\n",
+                    tb.maliciousShell()->snoopLog().size(), leaks);
+        return leaks == 0 ? 0 : 1;
+    }
+    if (name == "scan") {
+        auto frames = tb.maliciousShell()->tryConfigScan();
+        std::printf("ICAP scan %s\n",
+                    frames ? "LEAKED CONFIGURATION" : "blocked");
+        return frames ? 1 : 0;
+    }
+
+    // Boot-time attacks: defended == deployment refused.
+    bool defended = !outcome.ok;
+    std::printf("attack '%s': %s (%s)\n", name.c_str(),
+                defended ? "defended" : "NOT DEFENDED",
+                outcome.failure.empty() ? "boot succeeded"
+                                        : outcome.failure.c_str());
+    return defended ? 0 : 1;
+}
+
+int
+cmdWorkload(const std::vector<std::string> &args)
+{
+    if (args.empty()) {
+        std::printf("workload name required\n");
+        return 2;
+    }
+    const accel::WorkloadSpec *spec = nullptr;
+    for (const auto &w : accel::allWorkloads()) {
+        if (args[0] == w.name)
+            spec = &w;
+    }
+    if (!spec) {
+        std::printf("unknown workload '%s'\n", args[0].c_str());
+        return 2;
+    }
+    double scale = spec->benchScale;
+    for (size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--scale" && i + 1 < args.size())
+            scale = std::stod(args[++i]) / 100.0;
+    }
+
+    accel::WorkloadRunner runner(spec->id, 1, scale);
+    std::printf("%s @ scale %.2f: %zu input bytes\n", spec->name, scale,
+                runner.input().size());
+
+    accel::RunResult cpu = runner.runCpuPlain();
+    accel::RunResult cpuTee = runner.runCpuTee();
+    sim::CostModel cost;
+    accel::RunResult fpga = runner.runFpgaPlain(cost);
+
+    Testbed tb;
+    tb.installCl(accel::accelCellFor(*spec));
+    if (!tb.runDeployment().ok) {
+        std::printf("deployment failed\n");
+        return 1;
+    }
+    accel::RunResult fpgaTee = runner.runFpgaTee(tb);
+
+    for (const auto *r : {&cpu, &cpuTee, &fpga, &fpgaTee}) {
+        std::printf("  %-10s %12s  output %s\n", r->mode.c_str(),
+                    sim::formatNanos(r->totalTime).c_str(),
+                    r->outputCorrect ? "ok" : "MISMATCH");
+    }
+    return 0;
+}
+
+int
+cmdInspect()
+{
+    fpga::DeviceModelInfo model = fpga::u200ScaledModel();
+    const auto &rp = model.partitions[0];
+    std::printf("device model %s\n", model.name.c_str());
+    std::printf("  frames: %u x %u B (RP: %u frames = %.1f MiB "
+                "partial bitstream)\n",
+                model.totalFrames, model.frameSize, rp.frameCount,
+                double(rp.bodyBytes()) / (1 << 20));
+    std::printf("  RP capacity: %u LUT / %u FF / %u BRAM\n",
+                rp.capacity.luts, rp.capacity.registers,
+                rp.capacity.brams);
+    netlist::ResourceVector sm = smLogicResources();
+    std::printf("  SM logic: %u LUT / %u FF / %u BRAM (+3 key BRAMs)\n",
+                sm.luts, sm.registers, sm.brams);
+    std::printf("workloads:");
+    for (const auto &w : accel::allWorkloads())
+        std::printf(" %s", w.name);
+    std::printf("\n");
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "salus_cli — drive the Salus CPU-FPGA TEE simulation\n\n"
+        "  boot [--paper-scale] [--seed N]   full secure deployment\n"
+        "  attack <name>                     run a threat-model "
+        "attack:\n"
+        "        tamper substitute storage replay snoop scan mitm "
+        "revoke\n"
+        "  workload <name> [--scale PCT]     run one Table 4 workload "
+        "in all modes\n"
+        "  inspect                           device + workload "
+        "inventory\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fpga::ensureBuiltinIps();
+    SmLogic::registerIp();
+    accel::AccelIp::registerAll();
+
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+
+    if (cmd == "boot")
+        return cmdBoot(args);
+    if (cmd == "attack")
+        return cmdAttack(args);
+    if (cmd == "workload")
+        return cmdWorkload(args);
+    if (cmd == "inspect")
+        return cmdInspect();
+    usage();
+    return cmd == "help" ? 0 : 2;
+}
