@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Robustness sweep for the fault-injection fabric: deployment success
+ * rate and virtual-time cost as a function of message-loss rate, with
+ * the self-healing retry schedule on vs. off. Also reports the cost
+ * of healing through the combined acceptance scenario (lossy links +
+ * one failed bitstream load + one configuration upset).
+ *
+ * Everything runs on the virtual clock with seeded fault plans, so
+ * the table is deterministic across machines and runs.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "fpga/ip.hpp"
+#include "salus/sm_logic.hpp"
+#include "salus/testbed.hpp"
+
+using namespace salus;
+using namespace salus::core;
+
+namespace {
+
+netlist::Cell
+loopbackAccel()
+{
+    netlist::Cell accel;
+    accel.path = "engine";
+    accel.kind = netlist::CellKind::Logic;
+    accel.behaviorId = fpga::kIpLoopback;
+    accel.resources = {10, 10, 0, 0};
+    return accel;
+}
+
+struct TrialResult
+{
+    bool ok = false;
+    int attempts = 0;
+    sim::Nanos bootTime = 0;
+    sim::Nanos backoffTime = 0;
+    uint64_t faults = 0;
+};
+
+TrialResult
+runTrial(double dropRate, uint64_t seed, const net::RetryPolicy &retry)
+{
+    TestbedConfig cfg;
+    cfg.rngSeed = seed;
+    cfg.retry = retry;
+    cfg.faultPlan.seed = seed;
+    if (dropRate > 0)
+        cfg.faultPlan.add(sim::FaultRule::dropRpc(dropRate));
+
+    Testbed tb(cfg);
+    tb.installCl(loopbackAccel());
+
+    auto outcome = tb.runDeployment();
+    TrialResult r;
+    r.ok = outcome.ok;
+    r.attempts = outcome.attempts;
+    r.bootTime = tb.clock().now();
+    r.backoffTime = tb.clock().totalFor(net::kRetryBackoffPhase);
+    r.faults = tb.faultInjector().stats().total();
+    return r;
+}
+
+void
+sweep(const char *label, const net::RetryPolicy &retry)
+{
+    const double rates[] = {0.0, 0.05, 0.10, 0.20, 0.30};
+    const int kTrials = 25;
+
+    std::printf("\n%s (maxAttempts=%d, %d seeds per point)\n", label,
+                retry.maxAttempts, kTrials);
+    std::printf("%-10s %-10s %-10s %-14s %-14s %s\n", "drop-rate",
+                "success", "attempts", "boot (ms)", "backoff (ms)",
+                "faults");
+    for (double rate : rates) {
+        int ok = 0, attempts = 0;
+        sim::Nanos boot = 0, backoff = 0;
+        uint64_t faults = 0;
+        for (int t = 0; t < kTrials; ++t) {
+            TrialResult r = runTrial(rate, 1000 + t, retry);
+            ok += r.ok ? 1 : 0;
+            attempts += r.attempts;
+            boot += r.bootTime;
+            backoff += r.backoffTime;
+            faults += r.faults;
+        }
+        std::printf("%-10.0f %3d/%-6d %-10.2f %-14.2f %-14.2f %.1f\n",
+                    rate * 100, ok, kTrials,
+                    double(attempts) / kTrials,
+                    bench::ms(boot) / kTrials,
+                    bench::ms(backoff) / kTrials,
+                    double(faults) / kTrials);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fault recovery: deployment under lossy links");
+    fpga::ensureBuiltinIps();
+    SmLogic::registerIp();
+
+    sweep("self-healing retries", net::RetryPolicy::standard());
+    sweep("retries disabled (fail-closed)", net::RetryPolicy::none());
+
+    // ---- combined acceptance scenario -------------------------------
+    bench::banner(
+        "Combined scenario: 10% loss + failed load + one SEU");
+    {
+        TestbedConfig cfg;
+        cfg.faultPlan.seed = 7;
+        cfg.faultPlan.add(sim::FaultRule::dropRpc(0.10));
+        cfg.faultPlan.add(sim::FaultRule::bitstreamLoadFail(1));
+        cfg.faultPlan.add(sim::FaultRule::seu(0, 2 * 64 * 8 + 7));
+        Testbed tb(cfg);
+        tb.installCl(loopbackAccel());
+
+        auto outcome = tb.runDeployment();
+        const sim::FaultStats &stats = tb.faultInjector().stats();
+        std::printf("deployment: %s after %d attempt(s)\n",
+                    outcome.ok ? "recovered" : "FAILED",
+                    outcome.attempts);
+        std::printf("injected faults: %llu rpc drops, %llu load "
+                    "failures, %llu SEUs\n",
+                    (unsigned long long)stats.rpcDropped,
+                    (unsigned long long)stats.loadFailures,
+                    (unsigned long long)stats.seusInjected);
+        std::printf("virtual boot time: %.2f ms (%.2f ms of it retry "
+                    "backoff)\n",
+                    bench::ms(tb.clock().now()),
+                    bench::ms(tb.clock().totalFor(
+                        net::kRetryBackoffPhase)));
+        std::printf("fault journal:\n");
+        for (const std::string &line : tb.faultInjector().journal())
+            std::printf("  %s\n", line.c_str());
+        if (!outcome.ok)
+            return 1;
+    }
+    return 0;
+}

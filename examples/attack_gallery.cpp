@@ -164,6 +164,40 @@ main()
                outcome.failure);
     }
 
+    std::printf("\n8. Flaky network: 10%% of all messages vanish in "
+                "flight (not an attack -- yet):\n");
+    {
+        TestbedConfig cfg;
+        cfg.faultPlan.seed = 17;
+        cfg.faultPlan.add(sim::FaultRule::dropRpc(0.10));
+        Testbed tb(cfg);
+        tb.installCl(loopbackAccel());
+        auto outcome = tb.runDeployment();
+        report("10% message loss (transient)", outcome.ok,
+               "recovered: " +
+                   std::to_string(
+                       tb.faultInjector().stats().rpcDropped) +
+                   " message(s) lost, " +
+                   std::to_string(outcome.attempts) +
+                   " deployment attempt(s)");
+
+        // The same retry machinery must NOT help an adversary who
+        // corrupts every attestation response: security rejections
+        // are terminal, so the deployment fails closed instead of
+        // retrying the tamper into acceptance.
+        TestbedConfig evil;
+        evil.faultPlan.seed = 11;
+        evil.faultPlan.add(sim::FaultRule::corruptRpc(1.0).on(
+            endpoints::kCloudHost, endpoints::kUserClient,
+            "raRequest:response"));
+        Testbed tb2(evil);
+        tb2.installCl(loopbackAccel());
+        auto tampered = tb2.runDeployment();
+        report("persistent response tampering", !tampered.ok,
+               tampered.failure + " [" +
+                   net::failureClassName(tampered.failureClass) + "]");
+    }
+
     std::printf("\n%s\n", failures == 0
                               ? "All attacks defended."
                               : "SOME ATTACKS SUCCEEDED -- see above.");

@@ -58,12 +58,72 @@ class TeeError : public SalusError
     {}
 };
 
-/** RPC/network-layer misuse (unknown endpoint, no handler, ...). */
+/**
+ * Structured context a transport error carries: which link and method
+ * failed, and on which attempt — so retry layers and logs never have
+ * to parse it back out of the message string.
+ */
+struct ErrorContext
+{
+    std::string from;
+    std::string to;
+    std::string method;
+    int attempt = 0;
+
+    bool empty() const
+    {
+        return from.empty() && to.empty() && method.empty();
+    }
+
+    std::string describe() const
+    {
+        if (empty())
+            return "";
+        std::string s = " [" + from + "->" + to;
+        if (!method.empty())
+            s += " " + method;
+        if (attempt > 0)
+            s += " attempt " + std::to_string(attempt);
+        return s + "]";
+    }
+};
+
+/** RPC/network-layer failures (unknown endpoint, dropped message, ...). */
 class NetError : public SalusError
 {
   public:
     explicit NetError(const std::string &what)
         : SalusError("net: " + what)
+    {}
+
+    NetError(const std::string &what, ErrorContext context)
+        : SalusError("net: " + what + context.describe()),
+          context_(std::move(context))
+    {}
+
+    const ErrorContext &context() const { return context_; }
+
+  protected:
+    // For subclasses that build their own prefix.
+    NetError(const std::string &rendered, ErrorContext context, int)
+        : SalusError(rendered), context_(std::move(context))
+    {}
+
+  private:
+    ErrorContext context_;
+};
+
+/**
+ * A call exceeded its virtual-time deadline. Derives from NetError so
+ * existing transport-failure handlers keep working; retry layers that
+ * care can catch it first (timeouts re-run with a fresh nonce).
+ */
+class TimeoutError : public NetError
+{
+  public:
+    TimeoutError(const std::string &what, ErrorContext context = {})
+        : NetError("net: timeout: " + what + context.describe(),
+                   std::move(context), 0)
     {}
 };
 

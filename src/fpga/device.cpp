@@ -6,6 +6,7 @@
 #include "bitstream/encryptor.hpp"
 #include "common/errors.hpp"
 #include "common/log.hpp"
+#include "sim/fault.hpp"
 
 namespace salus::fpga {
 
@@ -208,6 +209,15 @@ FpgaDevice::loadEncryptedPartial(ByteView blob)
     if (header.deviceModel != model_.name)
         return LoadStatus::WrongDeviceModel;
 
+    // A scheduled load fault models a bit flipped in flight: the GCM
+    // tag check fails mid-stream, which (as below) leaves the
+    // partition disturbed and therefore cleared.
+    if (fault_ && fault_->onBitstreamLoad()) {
+        if (model_.findPartition(header.partitionId))
+            clearPartition(header.partitionId);
+        return LoadStatus::DecryptFailed;
+    }
+
     // Decryption happens inside the fabric; plaintext never leaves
     // this function except into configuration memory. As on real
     // devices, frames stream into the partition while the GCM tag is
@@ -271,8 +281,24 @@ FpgaDevice::readback(uint32_t partitionId) const
 LoadedDesign *
 FpgaDevice::design(uint32_t partitionId)
 {
+    applyPendingSeus();
     auto it = designs_.find(partitionId);
     return it == designs_.end() ? nullptr : it->second.get();
+}
+
+void
+FpgaDevice::applyPendingSeus()
+{
+    if (!fault_)
+        return;
+    for (const auto &event : fault_->takePendingSeus()) {
+        try {
+            injectSeu(event.partition, event.bitIndex);
+        } catch (const DeviceError &e) {
+            logf(LogLevel::Warn, "fpga",
+                 "scheduled SEU not applicable: ", e.what());
+        }
+    }
 }
 
 void

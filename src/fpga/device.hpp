@@ -26,6 +26,10 @@
 #include "fpga/dram.hpp"
 #include "fpga/ip.hpp"
 
+namespace salus::sim {
+class FaultInjector;
+}
+
 namespace salus::fpga {
 
 /** Static description of a device model (geometry + partitions). */
@@ -170,7 +174,20 @@ class FpgaDevice
      */
     ScrubReport scrub(uint32_t partitionId);
 
+    /**
+     * Wires the deterministic fault fabric: scheduled radiation upsets
+     * land in configuration memory, and bitstream loads can fail their
+     * GCM check mid-stream (a bit flipped in flight).
+     */
+    void setFaultInjector(sim::FaultInjector *injector)
+    {
+        fault_ = injector;
+    }
+
   private:
+    /** Drains scheduled SEUs from the fault plan into config memory. */
+    void applyPendingSeus();
+
     /** Per-frame SECDED signature. */
     struct FrameEcc
     {
@@ -190,6 +207,7 @@ class FpgaDevice
     bool readbackEnabled_ = false;
     std::map<uint32_t, std::unique_ptr<LoadedDesign>> designs_;
     std::map<uint32_t, std::vector<FrameEcc>> ecc_;
+    sim::FaultInjector *fault_ = nullptr;
 };
 
 } // namespace salus::fpga

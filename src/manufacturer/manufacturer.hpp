@@ -41,7 +41,9 @@ struct KeyRequest
 /** Wire format of the key response. */
 struct KeyResponse
 {
-    uint8_t status = 1;  ///< 0 = ok
+    /** 0 = ok; 1 = refused (policy/verification — terminal);
+     *  2 = request unparseable (transport-class — safe to retry). */
+    uint8_t status = 1;
     std::string reason;  ///< failure explanation
     Bytes serverEphPub;  ///< server's X25519 ephemeral
     Bytes iv;            ///< GCM nonce for the wrapped key

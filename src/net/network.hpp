@@ -17,10 +17,13 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
+#include "net/retry.hpp"
 #include "sim/clock.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/fault.hpp"
 
 namespace salus::net {
 
@@ -64,11 +67,30 @@ class Network
     /**
      * Performs a synchronous call, advancing the virtual clock and
      * attributing the time to `phase` (or "network" if empty).
-     * @throws NetError for unknown endpoints/methods or missing links.
+     * @param deadline optional per-call virtual-time budget; when
+     *        nonzero and exceeded (e.g. by injected delay faults) the
+     *        call throws TimeoutError after charging the time.
+     * @throws NetError for unknown endpoints/methods, missing links,
+     *         or injected drops; TimeoutError past the deadline. Both
+     *         carry an ErrorContext naming the link and method.
      */
     Bytes call(const std::string &from, const std::string &to,
                const std::string &method, ByteView request,
-               const std::string &phase = "");
+               const std::string &phase = "", sim::Nanos deadline = 0);
+
+    /**
+     * call() wrapped in a RetryPolicy: transport faults and timeouts
+     * are retried with exponential backoff charged to the virtual
+     * clock; the typed outcome reports the final failure class and
+     * attempt count. Only use for idempotent or fresh-per-attempt
+     * requests — security rejections never reach this layer (they are
+     * responses, not transport errors).
+     */
+    CallOutcome callWithRetry(const std::string &from,
+                              const std::string &to,
+                              const std::string &method, ByteView request,
+                              const RetryPolicy &policy,
+                              const std::string &phase = "");
 
     /** Installs a passive observer over all traffic. */
     void setTap(Tap tap) { tap_ = std::move(tap); }
@@ -76,12 +98,28 @@ class Network
     /** Installs an active man-in-the-middle on all traffic. */
     void setInterposer(Interposer ip) { interposer_ = std::move(ip); }
 
+    /** Wires the deterministic fault fabric (nullptr = fault-free).
+     *  Injected drops surface as NetError exactly like interposer
+     *  drops, so honest and malicious paths share one mechanism. */
+    void setFaultInjector(sim::FaultInjector *injector)
+    {
+        fault_ = injector;
+    }
+
     sim::VirtualClock &clock() { return clock_; }
     const sim::CostModel &cost() const { return cost_; }
 
   private:
+    /** A message held back by a reorder fault, delivered stale. */
+    struct HeldMessage
+    {
+        std::string from, to, method;
+        Bytes payload;
+    };
+
     sim::LinkKind linkKind(const std::string &a,
                            const std::string &b) const;
+    void deliverHeld();
 
     sim::VirtualClock &clock_;
     const sim::CostModel &cost_;
@@ -89,6 +127,9 @@ class Network
     std::map<std::pair<std::string, std::string>, sim::LinkKind> links_;
     Tap tap_;
     Interposer interposer_;
+    sim::FaultInjector *fault_ = nullptr;
+    std::vector<HeldMessage> held_;
+    bool delivering_ = false;
 };
 
 } // namespace salus::net

@@ -1,0 +1,65 @@
+#include "net/retry.hpp"
+
+#include "sim/fault.hpp"
+
+namespace salus::net {
+
+const char *
+failureClassName(FailureClass f)
+{
+    switch (f) {
+      case FailureClass::None:
+        return "none";
+      case FailureClass::Transport:
+        return "transport";
+      case FailureClass::Timeout:
+        return "timeout";
+      case FailureClass::Security:
+        return "security";
+    }
+    return "?";
+}
+
+sim::Nanos
+RetryPolicy::backoffBefore(int attempt) const
+{
+    if (attempt <= 1)
+        return 0;
+    double base = double(initialBackoff);
+    for (int i = 2; i < attempt; ++i)
+        base *= backoffMultiplier;
+    if (base > double(maxBackoff))
+        base = double(maxBackoff);
+    // Deterministic jitter in [1 - j, 1 + j): same seed, same schedule.
+    uint64_t state = jitterSeed ^ (uint64_t(attempt) * 0x9e3779b9ull);
+    double unit = double(sim::splitmix64(state) >> 11) * 0x1.0p-53;
+    double factor = 1.0 + jitterFraction * (2.0 * unit - 1.0);
+    double jittered = base * factor;
+    if (jittered < 0)
+        jittered = 0;
+    return sim::Nanos(jittered);
+}
+
+RetryPolicy
+RetryPolicy::none()
+{
+    RetryPolicy p;
+    p.maxAttempts = 1;
+    p.deadline = 0;
+    return p;
+}
+
+RetryPolicy
+RetryPolicy::standard()
+{
+    RetryPolicy p;
+    p.maxAttempts = 4;
+    p.initialBackoff = 50 * sim::kMs;
+    p.backoffMultiplier = 2.0;
+    p.maxBackoff = 2 * sim::kSec;
+    p.jitterFraction = 0.25;
+    p.deadline = 0;
+    return p;
+}
+
+} // namespace salus::net

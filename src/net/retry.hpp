@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Bounded retry with exponential backoff for the RPC fabric and the
+ * protocol drivers built on it. Backoff and jitter are charged to the
+ * VIRTUAL clock, and jitter comes from a seeded splitmix64 stream, so
+ * a retried run is exactly as reproducible as a fault-free one.
+ *
+ * Typed outcomes keep the crucial distinction the threat model
+ * demands: transport faults (drops, timeouts) are retryable, security
+ * rejections (bad MAC, failed attestation, refused key release) are
+ * terminal and must never be silently retried into acceptance.
+ */
+
+#ifndef SALUS_NET_RETRY_HPP
+#define SALUS_NET_RETRY_HPP
+
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/errors.hpp"
+#include "sim/clock.hpp"
+
+namespace salus::net {
+
+/** Why an operation ultimately failed. */
+enum class FailureClass : uint8_t {
+    None = 0,  ///< succeeded
+    Transport, ///< message lost/garbled in flight — retryable
+    Timeout,   ///< per-call deadline exceeded — retryable, new nonce
+    Security,  ///< verification/policy rejection — NEVER retried
+};
+
+const char *failureClassName(FailureClass f);
+
+/** Retry schedule: bounded attempts, exponential backoff + jitter. */
+struct RetryPolicy
+{
+    /** Total attempts including the first; 1 disables retries. */
+    int maxAttempts = 1;
+    sim::Nanos initialBackoff = 50 * sim::kMs;
+    double backoffMultiplier = 2.0;
+    sim::Nanos maxBackoff = 2 * sim::kSec;
+    /** +/- fraction of deterministic jitter applied to each backoff. */
+    double jitterFraction = 0.25;
+    /** Per-call virtual-time deadline; 0 disables the check. */
+    sim::Nanos deadline = 0;
+    /** Seed for the jitter stream (mixed with the attempt number). */
+    uint64_t jitterSeed = 0x5a105f4b;
+
+    bool enabled() const { return maxAttempts > 1; }
+
+    /** Backoff charged before attempt N (N >= 2); deterministic. */
+    sim::Nanos backoffBefore(int attempt) const;
+
+    /** No retries, no deadline — the seed repo's behaviour. */
+    static RetryPolicy none();
+
+    /** Default self-healing schedule: 4 attempts, 50 ms..2 s. */
+    static RetryPolicy standard();
+};
+
+/** Phase label retry backoff is charged to on the virtual clock. */
+inline const char *const kRetryBackoffPhase = "Retry Backoff";
+
+/** Typed result of a (possibly retried) call. */
+struct CallOutcome
+{
+    FailureClass failure = FailureClass::Transport;
+    Bytes response;
+    std::string error;
+    int attempts = 0;
+    /** Structured context of the last failure (empty on success). */
+    ErrorContext context;
+
+    bool ok() const { return failure == FailureClass::None; }
+};
+
+} // namespace salus::net
+
+#endif // SALUS_NET_RETRY_HPP

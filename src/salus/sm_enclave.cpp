@@ -1,5 +1,7 @@
 #include "salus/sm_enclave.hpp"
 
+#include <algorithm>
+
 #include "bitstream/encryptor.hpp"
 #include "bitstream/manipulator.hpp"
 #include "common/errors.hpp"
@@ -106,18 +108,7 @@ SmEnclaveApp::handlePlainRequest(ByteView plain)
             break;
           }
           case SmChannelMsg::RunSecureBoot: {
-            status_ = ClBootStatus{};
-            std::string failure;
-            if (!haveMetadata_) {
-                failure = "no bitstream metadata";
-            } else if (!haveDeviceKey_ && !fetchDeviceKey(failure)) {
-                // failure set by fetchDeviceKey
-            } else if (deployCl(failure)) {
-                status_.deployed = true;
-                if (attestCl(failure))
-                    status_.attested = true;
-            }
-            status_.failure = failure;
+            runSecureBoot();
             out.writeRaw(status_.serialize());
             break;
           }
@@ -149,8 +140,80 @@ SmEnclaveApp::handlePlainRequest(ByteView plain)
     return out.take();
 }
 
+void
+SmEnclaveApp::runSecureBoot()
+{
+    status_ = ClBootStatus{};
+    if (!haveMetadata_) {
+        status_.failure = "no bitstream metadata";
+        return;
+    }
+
+    int maxAttempts = std::max(1, deps_.retry.maxAttempts);
+    for (int attempt = 1; attempt <= maxAttempts; ++attempt) {
+        if (attempt > 1) {
+            deps_.sim.spend(net::kRetryBackoffPhase,
+                            deps_.retry.backoffBefore(attempt));
+            logf(LogLevel::Info, "sm-enclave", "secure boot attempt ",
+                 attempt, " after: ", status_.failure);
+        }
+        std::string failure;
+        bool retryable = false;
+        status_.deployed = false;
+        status_.attested = false;
+        if (attemptSecureBoot(failure, retryable)) {
+            status_.failure.clear();
+            return;
+        }
+        status_.failure = failure;
+        if (!retryable)
+            return; // security rejection — never retried
+    }
+}
+
 bool
-SmEnclaveApp::fetchDeviceKey(std::string &failure)
+SmEnclaveApp::attemptSecureBoot(std::string &failure, bool &retryable)
+{
+    if (!haveDeviceKey_ && !fetchDeviceKey(failure, retryable))
+        return false;
+    if (!deployCl(failure, retryable))
+        return false;
+    status_.deployed = true;
+    if (!attestCl(failure)) {
+        // Transient bus faults and configuration upsets both land
+        // here. A forged MAC can never pass by retrying, so a bounded
+        // redeploy-and-reattest loop is safe; probe with a scrub pass
+        // first in case a correctable SEU is the culprit.
+        retryable = true;
+        if (!tryScrubRecovery(failure))
+            return false;
+    }
+    status_.attested = true;
+    return true;
+}
+
+bool
+SmEnclaveApp::tryScrubRecovery(std::string &failure)
+{
+    fpga::FpgaDevice::ScrubReport report;
+    try {
+        report = deps_.shell->scrubPartition();
+    } catch (const SalusError &) {
+        return false; // nothing configured to scrub
+    }
+    if (report.uncorrectable > 0) {
+        failure += " (uncorrectable configuration upsets)";
+        return false; // partition is down; the boot loop redeploys
+    }
+    if (report.corrected == 0)
+        return false;
+    logf(LogLevel::Info, "sm-enclave", "scrub corrected ",
+         report.corrected, " upset(s); re-attesting CL");
+    return attestCl(failure);
+}
+
+bool
+SmEnclaveApp::fetchDeviceKey(std::string &failure, bool &retryable)
 {
     PhaseScope phase(deps_.sim, phases::kDeviceKeyDist);
 
@@ -169,25 +232,29 @@ SmEnclaveApp::fetchDeviceKey(std::string &failure)
     req.quote = quote.serialize();
     req.wrapPubKey = eph.publicKey;
 
-    Bytes respBytes;
-    try {
-        respBytes = deps_.network->call(
-            deps_.selfEndpoint, deps_.manufacturerEndpoint, "keyRequest",
-            req.serialize(), phases::kDeviceKeyDist);
-    } catch (const NetError &e) {
-        failure = std::string("key request failed: ") + e.what();
+    net::CallOutcome call = deps_.network->callWithRetry(
+        deps_.selfEndpoint, deps_.manufacturerEndpoint, "keyRequest",
+        req.serialize(), deps_.retry, phases::kDeviceKeyDist);
+    if (!call.ok()) {
+        failure = "key request failed: " + call.error;
+        retryable = true; // transport-class; a fresh quote may get through
         return false;
     }
 
     manufacturer::KeyResponse resp;
     try {
-        resp = manufacturer::KeyResponse::deserialize(respBytes);
+        resp = manufacturer::KeyResponse::deserialize(call.response);
     } catch (const SalusError &) {
         failure = "malformed key response";
+        retryable = true; // corrupted in flight
         return false;
     }
     if (resp.status != 0) {
         failure = "manufacturer refused key: " + resp.reason;
+        // Status 2 means the server could not even parse the request
+        // (corrupted in flight); a policy refusal (status 1, e.g. a
+        // revoked DNA) is terminal and must not be retried.
+        retryable = resp.status == 2;
         return false;
     }
 
@@ -197,13 +264,17 @@ SmEnclaveApp::fetchDeviceKey(std::string &failure)
             eph.privateKey, resp.serverEphPub, "salus-keydist-v1", 32);
     } catch (const CryptoError &) {
         failure = "bad server ephemeral key";
+        retryable = true;
         return false;
     }
     crypto::AesGcm gcm(wrapKey);
     auto key = gcm.open(resp.iv, ByteView(), resp.wrappedKey, resp.tag);
     secureZero(wrapKey);
     if (!key || key->size() != 32) {
+        // GCM authentication failure: a tampered or garbled wrap. The
+        // key itself is never accepted, so re-fetching is safe.
         failure = "device key unwrap failed";
+        retryable = true;
         return false;
     }
     deviceKey_ = std::move(*key);
@@ -212,11 +283,12 @@ SmEnclaveApp::fetchDeviceKey(std::string &failure)
 }
 
 bool
-SmEnclaveApp::deployCl(std::string &failure)
+SmEnclaveApp::deployCl(std::string &failure, bool &retryable)
 {
     Bytes file = deps_.fetchBitstream ? deps_.fetchBitstream() : Bytes();
     if (file.empty()) {
         failure = "bitstream not available";
+        retryable = true;
         return false;
     }
 
@@ -290,6 +362,11 @@ SmEnclaveApp::deployCl(std::string &failure)
         if (st != fpga::LoadStatus::Ok) {
             failure = std::string("device rejected bitstream: ") +
                       fpga::loadStatusName(st);
+            // A failed load (e.g. bad CRC from a bit flipped in
+            // flight) leaves the partition cleared; re-encrypting and
+            // reloading is always safe, and persistent tampering just
+            // exhausts the attempt budget.
+            retryable = true;
             return false;
         }
     }
@@ -374,11 +451,18 @@ SmEnclaveApp::rekeySession()
     sh.registerWrite(pcie::Window::SmSecure, kSmRegCmd, kSmCmdRekey);
     if (sh.registerRead(pcie::Window::SmSecure, kSmRegStatus) !=
         kSmStatusOk) {
-        // The command was dropped/tampered in flight; our counter
-        // advanced but keys did not change on either side.
+        // Either the command never reached the fabric (keys unchanged
+        // on both sides) or only the completion was lost (the fabric
+        // already rolled). Keep what we need to converge on the
+        // rolled keys if the channel starts rejecting us.
+        ByteView current = secrets_.sessionMacKey();
+        pendingRekeyMacKey_.assign(current.begin(), current.end());
+        pendingRekeyNonce_ = nonce;
+        havePendingRekey_ = true;
         return false;
     }
 
+    clearPendingRekey();
     auto [aes, macKey] =
         regchan::deriveRekeyedKeys(secrets_.sessionMacKey(), nonce);
     std::copy(aes.begin(), aes.end(), secrets_.keySession.begin());
@@ -387,6 +471,27 @@ SmEnclaveApp::rekeySession()
     secureZero(aes);
     secureZero(macKey);
     return true;
+}
+
+void
+SmEnclaveApp::adoptPendingRekey()
+{
+    auto [aes, macKey] = regchan::deriveRekeyedKeys(pendingRekeyMacKey_,
+                                                    pendingRekeyNonce_);
+    std::copy(aes.begin(), aes.end(), secrets_.keySession.begin());
+    std::copy(macKey.begin(), macKey.end(),
+              secrets_.keySession.begin() + 16);
+    secureZero(aes);
+    secureZero(macKey);
+}
+
+void
+SmEnclaveApp::clearPendingRekey()
+{
+    secureZero(pendingRekeyMacKey_);
+    pendingRekeyMacKey_.clear();
+    pendingRekeyNonce_ = 0;
+    havePendingRekey_ = false;
 }
 
 bool
@@ -411,6 +516,44 @@ SmEnclaveApp::secureRegOp(const regchan::RegOp &op)
     if (!haveSecrets_ || !status_.ok())
         return {0xfd, 0}; // no attested CL behind the channel
 
+    int maxAttempts = std::max(1, deps_.retry.maxAttempts);
+    std::pair<uint8_t, uint64_t> result{0xfc, 0};
+    Bytes preAdoptSession;
+    bool usingPendingKeys = false;
+    for (int attempt = 1; attempt <= maxAttempts; ++attempt) {
+        if (attempt > 1) {
+            deps_.sim.spend(net::kRetryBackoffPhase,
+                            deps_.retry.backoffBefore(attempt));
+        }
+        result = secureRegOpOnce(op);
+        if (result.first != 0xfc && result.first != 0xfb) {
+            if (usingPendingKeys)
+                clearPendingRekey(); // converged on the rolled keys
+            return result;
+        }
+        // Each retry reseals under a fresh counter, so a lost or
+        // garbled transaction cannot be replayed into acceptance. A
+        // rejection right after a failed re-key may mean the fabric
+        // DID roll its keys and only the completion was lost: try the
+        // rolled keys; if the channel still rejects, the roll never
+        // happened — revert.
+        if (havePendingRekey_ && !usingPendingKeys) {
+            preAdoptSession = secrets_.keySession;
+            adoptPendingRekey();
+            usingPendingKeys = true;
+        } else if (usingPendingKeys) {
+            secrets_.keySession = preAdoptSession;
+            secureZero(preAdoptSession);
+            usingPendingKeys = false;
+            clearPendingRekey();
+        }
+    }
+    return result;
+}
+
+std::pair<uint8_t, uint64_t>
+SmEnclaveApp::secureRegOpOnce(const regchan::RegOp &op)
+{
     uint64_t ctr = ++sessionCtr_;
     regchan::SealedRegRequest req = regchan::sealRequest(
         secrets_.sessionAesKey(), secrets_.sessionMacKey(), ctr, op);

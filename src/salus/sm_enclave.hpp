@@ -56,6 +56,10 @@ struct SmEnclaveDeps
     uint64_t instanceDeviceDna = 0;   ///< CSP-advertised FPGA identity
     /** Pulls the CL bitstream file from (untrusted) cloud storage. */
     std::function<Bytes()> fetchBitstream;
+    /** Retry schedule for transport faults (manufacturer round trip,
+     *  secure-boot attempts, register-channel ops). The default
+     *  disables retries; security rejections are never retried. */
+    net::RetryPolicy retry;
     SimHooks sim;
 };
 
@@ -121,10 +125,22 @@ class SmEnclaveApp : public tee::Enclave
 
   private:
     Bytes handlePlainRequest(ByteView plain);
-    bool fetchDeviceKey(std::string &failure);
-    bool deployCl(std::string &failure);
+    /** The bounded-attempt secure-boot loop (graceful degradation):
+     *  retries transport-class failures with backoff, stops on
+     *  security rejections, and redeploys after failed loads or
+     *  uncorrectable configuration upsets. */
+    void runSecureBoot();
+    bool attemptSecureBoot(std::string &failure, bool &retryable);
+    bool fetchDeviceKey(std::string &failure, bool &retryable);
+    bool deployCl(std::string &failure, bool &retryable);
     bool attestCl(std::string &failure);
+    /** Scrub probe after an attestation failure: corrects single-bit
+     *  upsets and re-attests; false = redeploy needed. */
+    bool tryScrubRecovery(std::string &failure);
     std::pair<uint8_t, uint64_t> secureRegOp(const regchan::RegOp &op);
+    std::pair<uint8_t, uint64_t> secureRegOpOnce(const regchan::RegOp &op);
+    void adoptPendingRekey();
+    void clearPendingRekey();
 
     SmEnclaveDeps deps_;
     std::unique_ptr<tee::LocalAttestResponder> la_;
@@ -138,6 +154,12 @@ class SmEnclaveApp : public tee::Enclave
     bool haveSecrets_ = false;
     uint64_t sessionCtr_ = 0;
     ClBootStatus status_;
+    /** Set when a re-key command's completion was lost: the fabric
+     *  may have rolled its keys while we kept the old ones. Holds the
+     *  pre-roll MAC key + nonce needed to converge. */
+    Bytes pendingRekeyMacKey_;
+    uint64_t pendingRekeyNonce_ = 0;
+    bool havePendingRekey_ = false;
 };
 
 } // namespace salus::core

@@ -15,6 +15,8 @@ TestbedConfig::TestbedConfig()
 Testbed::Testbed(TestbedConfig config) : config_(std::move(config))
 {
     rng_ = std::make_unique<crypto::CtrDrbg>(config_.rngSeed);
+    injector_ = std::make_unique<sim::FaultInjector>(config_.faultPlan,
+                                                     clock_);
 
     fpga::ensureBuiltinIps();
     SmLogic::registerIp();
@@ -37,7 +39,13 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config))
                                                 config_.cost);
     }
 
+    // One fault fabric across all three layers: RPC links, the PCIe
+    // register path and the configuration port.
+    device_->setFaultInjector(injector_.get());
+    shell_->setFaultInjector(injector_.get());
+
     network_ = std::make_unique<net::Network>(clock_, config_.cost);
+    network_->setFaultInjector(injector_.get());
     network_->addEndpoint(endpoints::kUserClient);
     network_->addEndpoint(endpoints::kCloudHost);
     network_->addEndpoint(endpoints::kManufacturer);
@@ -54,6 +62,7 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config))
     smDeps.manufacturerEndpoint = endpoints::kManufacturer;
     smDeps.instanceDeviceDna = device_->dna().value;
     smDeps.fetchBitstream = [this] { return storedBitstream_; };
+    smDeps.retry = config_.retry;
     smDeps.sim = simHooks();
     smApp_ = std::make_unique<SmEnclaveApp>(*platform_, smDeps);
 
@@ -86,6 +95,7 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config))
                              req);
                      } catch (const SalusError &) {
                          manufacturer::KeyResponse bad;
+                         bad.status = 2; // unparseable != refused
                          bad.reason = "malformed request";
                          return bad.serialize();
                      }
@@ -122,6 +132,7 @@ Testbed::restartSmApp(ByteView sealedDeviceKey)
     smDeps.manufacturerEndpoint = endpoints::kManufacturer;
     smDeps.instanceDeviceDna = device_->dna().value;
     smDeps.fetchBitstream = [this] { return storedBitstream_; };
+    smDeps.retry = config_.retry;
     smDeps.sim = simHooks();
     smApp_ = std::make_unique<SmEnclaveApp>(*platform_, smDeps);
 
@@ -189,6 +200,7 @@ Testbed::runDeployment(
     cfg.metadata = metadata_;
     cfg.selfEndpoint = endpoints::kUserClient;
     cfg.cloudEndpoint = endpoints::kCloudHost;
+    cfg.retry = config_.retry;
     if (customize)
         customize(cfg);
 

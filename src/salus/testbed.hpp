@@ -30,6 +30,13 @@ struct TestbedConfig
     /** Use a MaliciousShell with this plan instead of an honest one. */
     bool maliciousShell = false;
     shell::AttackPlan attackPlan;
+    /** Seeded deterministic fault schedule (default: fault-free). */
+    sim::FaultPlan faultPlan;
+    /** Retry schedule shared by the user client and the SM enclave.
+     *  Default: the standard self-healing schedule (a fault-free run
+     *  is trace-identical with retries on or off, since backoff is
+     *  only charged after a failure). */
+    net::RetryPolicy retry = net::RetryPolicy::standard();
     /** Cost model for the virtual clock (defaults: paper calibration). */
     sim::CostModel cost;
     /** The developer's user-enclave build. */
@@ -84,6 +91,9 @@ class Testbed
     sim::VirtualClock &clock() { return clock_; }
     const sim::CostModel &cost() const { return config_.cost; }
     net::Network &network() { return *network_; }
+    /** The shared fault fabric (always present; no-op when the plan
+     *  is empty). Tests arm additional rules at runtime through it. */
+    sim::FaultInjector &faultInjector() { return *injector_; }
     manufacturer::Manufacturer &mft() { return *manufacturer_; }
     tee::TeePlatform &teePlatform() { return *platform_; }
     fpga::FpgaDevice &device() { return *device_; }
@@ -119,6 +129,7 @@ class Testbed
     TestbedConfig config_;
     sim::VirtualClock clock_;
     std::unique_ptr<crypto::CtrDrbg> rng_;
+    std::unique_ptr<sim::FaultInjector> injector_;
     std::unique_ptr<manufacturer::Manufacturer> manufacturer_;
     std::unique_ptr<tee::TeePlatform> platform_;
     std::unique_ptr<fpga::FpgaDevice> device_;

@@ -1,5 +1,7 @@
 #include "salus/user_client.hpp"
 
+#include <algorithm>
+
 #include "common/errors.hpp"
 #include "common/serde.hpp"
 #include "crypto/aes_gcm.hpp"
@@ -21,9 +23,32 @@ UserClient::Outcome
 UserClient::deployAndAttest()
 {
     Outcome out;
+    int maxAttempts = std::max(1, config_.retry.maxAttempts);
+    for (int attempt = 1; attempt <= maxAttempts; ++attempt) {
+        if (attempt > 1) {
+            sim_.spend(net::kRetryBackoffPhase,
+                       config_.retry.backoffBefore(attempt));
+        }
+        out = attemptOnce();
+        out.attempts = attempt;
+        if (out.ok || out.failureClass == net::FailureClass::Security)
+            return out;
+    }
+    if (maxAttempts > 1)
+        out.failure += " (after " + std::to_string(maxAttempts) +
+                       " attempts)";
+    return out;
+}
+
+UserClient::Outcome
+UserClient::attemptOnce()
+{
+    Outcome out;
     PhaseScope phase(sim_, phases::kUserRa);
 
     // --- ② RA request (single round trip, Fig. 4b) -------------------
+    // The nonce is fresh per attempt: a replayed response from an
+    // earlier attempt can never satisfy the binding check below.
     RaRequest req;
     req.clientNonce = rng_.bytes(32);
     req.metadata = config_.metadata.serialize();
@@ -32,9 +57,15 @@ UserClient::deployAndAttest()
     try {
         respBytes = network_.call(config_.selfEndpoint,
                                   config_.cloudEndpoint, "raRequest",
-                                  req.serialize(), phases::kUserRa);
+                                  req.serialize(), phases::kUserRa,
+                                  config_.retry.deadline);
+    } catch (const TimeoutError &e) {
+        out.failure = std::string("RA timed out: ") + e.what();
+        out.failureClass = net::FailureClass::Timeout;
+        return out;
     } catch (const NetError &e) {
         out.failure = std::string("RA transport failure: ") + e.what();
+        out.failureClass = net::FailureClass::Transport;
         return out;
     }
 
@@ -44,11 +75,18 @@ UserClient::deployAndAttest()
         resp = RaResponse::deserialize(respBytes);
         if (!resp.failure.empty()) {
             out.failure = "platform reported: " + resp.failure;
+            out.failureClass = resp.retryable
+                                   ? net::FailureClass::Transport
+                                   : net::FailureClass::Security;
             return out;
         }
         quote = tee::Quote::deserialize(resp.quote);
     } catch (const SalusError &) {
+        // A response we cannot even parse was garbled in flight (or
+        // forged — in which case retrying is equally useless and
+        // equally safe, since nothing was accepted).
         out.failure = "malformed RA response";
+        out.failureClass = net::FailureClass::Transport;
         return out;
     }
 
@@ -63,19 +101,23 @@ UserClient::deployAndAttest()
     tee::QuoteVerdict verdict = qvs_.verify(quote);
     if (!verdict.ok) {
         out.failure = "quote verification failed: " + verdict.reason;
+        out.failureClass = net::FailureClass::Security;
         return out;
     }
     if (verdict.body.mrenclave != config_.expectedUserEnclave) {
         out.failure = "user enclave measurement mismatch";
+        out.failureClass = net::FailureClass::Security;
         return out;
     }
     if (!config_.expectedUserSigner.empty() &&
         verdict.body.mrsigner != config_.expectedUserSigner) {
         out.failure = "user enclave signer (MRSIGNER) mismatch";
+        out.failureClass = net::FailureClass::Security;
         return out;
     }
     if (verdict.body.isvSvn < config_.minUserIsvSvn) {
         out.failure = "user enclave security version too old";
+        out.failureClass = net::FailureClass::Security;
         return out;
     }
 
@@ -88,6 +130,7 @@ UserClient::deployAndAttest()
         true, true, resp.wrapPubKey));
     if (verdict.body.reportData != expect) {
         out.failure = "cascaded report binding mismatch";
+        out.failureClass = net::FailureClass::Security;
         return out;
     }
 
@@ -100,7 +143,11 @@ UserClient::deployAndAttest()
                                            resp.wrapPubKey,
                                            "salus-datakey-v1", 32);
     } catch (const CryptoError &) {
+        // The wrap key is attested (bound in the report data), so a
+        // bad one got past verification — a security problem, not a
+        // transport one.
         out.failure = "bad enclave wrap key";
+        out.failureClass = net::FailureClass::Security;
         return out;
     }
     crypto::AesGcm gcm(wrapKey);
@@ -114,20 +161,27 @@ UserClient::deployAndAttest()
     w.writeBytes(sealed.ciphertext);
     w.writeBytes(sealed.tag);
 
-    Bytes ack;
-    try {
-        ack = network_.call(config_.selfEndpoint, config_.cloudEndpoint,
-                            "dataKey", w.data(), phases::kUserRa);
-    } catch (const NetError &e) {
-        out.failure = std::string("data key upload failed: ") + e.what();
+    // The upload is idempotent (re-installing the same wrapped key is
+    // a no-op), so the transport layer may retry it directly.
+    net::CallOutcome upload = network_.callWithRetry(
+        config_.selfEndpoint, config_.cloudEndpoint, "dataKey", w.data(),
+        config_.retry, phases::kUserRa);
+    if (!upload.ok()) {
+        out.failure = "data key upload failed: " + upload.error;
+        out.failureClass = upload.failure;
         return out;
     }
-    if (ack.size() != 1 || ack[0] != 1) {
+    if (upload.response.size() != 1 || upload.response[0] != 1) {
+        // GCM authentication inside the enclave rejects a garbled
+        // blob; the key was NOT accepted, so a fresh outer attempt
+        // (with fresh key material) is safe.
         out.failure = "enclave did not accept the data key";
+        out.failureClass = net::FailureClass::Transport;
         return out;
     }
 
     out.ok = true;
+    out.failureClass = net::FailureClass::None;
     return out;
 }
 

@@ -29,6 +29,11 @@ struct ClientConfig
     tee::Measurement expectedUserSigner;
     /** Optional policy: minimum user-enclave security version. */
     uint16_t minUserIsvSvn = 0;
+    /** Retry schedule for transport-class failures. Each attempt uses
+     *  a FRESH nonce (and the final key upload fresh key material), so
+     *  retrying can never turn a replay into acceptance; security
+     *  rejections are never retried. Default: no retries. */
+    net::RetryPolicy retry;
 };
 
 /** The data owner's deployment driver. */
@@ -50,15 +55,25 @@ class UserClient
         bool ok = false;
         std::string failure;
         Bytes dataKey; ///< uploaded key when ok
+        /** Typed classification of the final failure (None on ok). */
+        net::FailureClass failureClass = net::FailureClass::None;
+        /** Deployment attempts consumed (>= 1 once run). */
+        int attempts = 0;
     };
 
     /**
      * Runs the full cascaded attestation (paper Fig. 4b) and, on
      * success, uploads a fresh data key to the user enclave.
+     * Transport-class failures are retried per config.retry, each
+     * attempt with a fresh nonce; security rejections return
+     * immediately and are never retried.
      */
     Outcome deployAndAttest();
 
   private:
+    /** One full attestation round trip (one nonce). */
+    Outcome attemptOnce();
+
     ClientConfig config_;
     const tee::QuoteVerificationService &qvs_;
     net::Network &network_;

@@ -45,6 +45,7 @@ RaResponse::serialize() const
     w.writeU8(clAttested);
     w.writeU8(laAttested);
     w.writeString(failure);
+    w.writeU8(retryable);
     return w.take();
 }
 
@@ -58,6 +59,7 @@ RaResponse::deserialize(ByteView data)
     resp.clAttested = r.readU8();
     resp.laAttested = r.readU8();
     resp.failure = r.readString();
+    resp.retryable = r.readU8();
     return resp;
 }
 
@@ -115,7 +117,10 @@ UserEnclaveApp::handleRaRequest(ByteView request)
     try {
         req = RaRequest::deserialize(request);
     } catch (const SalusError &) {
+        // The client never sends garbage; this is corruption (or
+        // tampering) in flight, and a fresh request may get through.
         resp.failure = "malformed RA request";
+        resp.retryable = 1;
         return resp.serialize();
     }
 
@@ -124,6 +129,7 @@ UserEnclaveApp::handleRaRequest(ByteView request)
         metadata = ClMetadata::deserialize(req.metadata);
     } catch (const SalusError &) {
         resp.failure = "malformed CL metadata";
+        resp.retryable = 1;
         return resp.serialize();
     }
 
@@ -142,7 +148,11 @@ UserEnclaveApp::handleRaRequest(ByteView request)
         Bytes msg2 = transport_.la1(la_->start());
         auto msg3 = la_->finish(msg2);
         if (!msg3 || !transport_.la3(*msg3)) {
+            // Either a wrong SM (terminal after bounded attempts) or
+            // a garbled LA message; a fresh LA run resolves the
+            // latter and can never admit the former.
             resp.failure = "SM enclave local attestation failed";
+            resp.retryable = 1;
             return resp.serialize();
         }
         laOk_ = true;
@@ -156,6 +166,7 @@ UserEnclaveApp::handleRaRequest(ByteView request)
         Bytes ack = channelRoundtrip(w.data());
         if (ack.empty() || ack[0] != 1) {
             resp.failure = "metadata transfer to SM enclave failed";
+            resp.retryable = 1;
             return resp.serialize();
         }
     }
@@ -168,12 +179,14 @@ UserEnclaveApp::handleRaRequest(ByteView request)
         Bytes raw = channelRoundtrip(w.data());
         if (raw.empty()) {
             resp.failure = "secure boot channel failure";
+            resp.retryable = 1;
             return resp.serialize();
         }
         try {
             boot = ClBootStatus::deserialize(raw);
         } catch (const SalusError &) {
             resp.failure = "malformed boot status";
+            resp.retryable = 1;
             return resp.serialize();
         }
     }

@@ -52,6 +52,10 @@ struct RaResponse
     uint8_t clAttested = 0;
     uint8_t laAttested = 0;
     std::string failure;
+    /** Nonzero when the failure is transport-class (garbled request,
+     *  channel hiccup) and a fresh attempt may succeed. Security
+     *  rejections leave it 0 so the client never retries them. */
+    uint8_t retryable = 0;
 
     Bytes serialize() const;
     static RaResponse deserialize(ByteView data);

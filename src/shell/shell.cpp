@@ -46,6 +46,11 @@ Shell::registerRead(pcie::Window window, uint32_t addr)
     clock_.spend(window == pcie::Window::SmSecure ? cost_.pcieRtt
                                                   : cost_.mmioLatency);
     ++stats_.registerReads;
+    if (fault_ && fault_->onRegisterOp(false, addr)) {
+        // The completion was lost/garbled on the bus; the driver
+        // surfaces whatever the timed-out TLP left behind.
+        return fault_->garbageWord();
+    }
     fpga::IpBehavior *target = route(window);
     return target ? target->readRegister(addr) : 0;
 }
@@ -56,9 +61,18 @@ Shell::registerWrite(pcie::Window window, uint32_t addr, uint64_t data)
     clock_.spend(window == pcie::Window::SmSecure ? cost_.pcieRtt
                                                   : cost_.mmioLatency);
     ++stats_.registerWrites;
+    if (fault_ && fault_->onRegisterOp(true, addr))
+        return; // posted write lost in flight
     fpga::IpBehavior *target = route(window);
     if (target)
         target->writeRegister(addr, data);
+}
+
+fpga::FpgaDevice::ScrubReport
+Shell::scrubPartition()
+{
+    clock_.spend(cost_.seuScrubPass);
+    return device_.scrub(partitionId_);
 }
 
 void

@@ -19,6 +19,7 @@
 #include "pcie/transactions.hpp"
 #include "sim/clock.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/fault.hpp"
 
 namespace salus::shell {
 
@@ -50,6 +51,23 @@ class Shell
     /** DMA device DRAM -> host. */
     virtual Bytes dmaRead(uint64_t addr, size_t len);
 
+    /**
+     * Runs one frame-ECC scrub pass over this shell's partition (the
+     * SEM IP the recovery path leans on) and charges the pass time.
+     * @throws DeviceError when the partition has no configured frames.
+     */
+    virtual fpga::FpgaDevice::ScrubReport scrubPartition();
+
+    /**
+     * Wires the deterministic fault fabric: register transactions may
+     * be lost on the bus (writes silently dropped, reads returning
+     * garbage), exactly the failure surface active PCIe attacks use.
+     */
+    void setFaultInjector(sim::FaultInjector *injector)
+    {
+        fault_ = injector;
+    }
+
     uint32_t partitionId() const { return partitionId_; }
     fpga::FpgaDevice &device() { return device_; }
 
@@ -74,6 +92,7 @@ class Shell
     const sim::CostModel &cost_;
     uint32_t partitionId_;
     IoStats stats_;
+    sim::FaultInjector *fault_ = nullptr;
 };
 
 } // namespace salus::shell

@@ -82,6 +82,8 @@ struct CostModel
     Nanos fpgaDnaReadout = 1 * kUs;   ///< DNA_PORTE2 shift-out
     Nanos smLogicMac = 2 * kUs;       ///< SipHash over a request
     Nanos efuseKeyLatch = 5 * kUs;    ///< key load into decrypt engine
+    /** One SEM-IP style frame-ECC scrub pass over a partition. */
+    Nanos seuScrubPass = 8 * kMs;
 
     // ---- ShEF baseline (§6.3 comparison, boot 5.1 s) -------------------
     /** Bitstream hash/measurement on the embedded security kernel. */

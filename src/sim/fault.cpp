@@ -1,0 +1,323 @@
+#include "sim/fault.hpp"
+
+namespace salus::sim {
+
+uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+/** Uniform double in [0, 1). */
+double
+unitDouble(uint64_t &state)
+{
+    return double(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+bool
+siteMatches(const std::string &pattern, const std::string &value)
+{
+    if (pattern.empty())
+        return true;
+    // Prefix match so "raRequest" also covers "raRequest:response".
+    return value.compare(0, pattern.size(), pattern) == 0;
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::RpcDrop:
+        return "rpc-drop";
+      case FaultKind::RpcCorrupt:
+        return "rpc-corrupt";
+      case FaultKind::RpcDuplicate:
+        return "rpc-duplicate";
+      case FaultKind::RpcDelay:
+        return "rpc-delay";
+      case FaultKind::RpcReorder:
+        return "rpc-reorder";
+      case FaultKind::RegFault:
+        return "reg-fault";
+      case FaultKind::BitstreamLoadFail:
+        return "bitstream-load-fail";
+      case FaultKind::Seu:
+        return "seu";
+    }
+    return "?";
+}
+
+FaultRule
+FaultRule::dropRpc(double p)
+{
+    FaultRule r;
+    r.kind = FaultKind::RpcDrop;
+    r.probability = p;
+    return r;
+}
+
+FaultRule
+FaultRule::corruptRpc(double p, uint8_t mask)
+{
+    FaultRule r;
+    r.kind = FaultKind::RpcCorrupt;
+    r.probability = p;
+    r.corruptMask = mask;
+    return r;
+}
+
+FaultRule
+FaultRule::duplicateRpc(double p)
+{
+    FaultRule r;
+    r.kind = FaultKind::RpcDuplicate;
+    r.probability = p;
+    return r;
+}
+
+FaultRule
+FaultRule::delayRpc(double p, Nanos extra)
+{
+    FaultRule r;
+    r.kind = FaultKind::RpcDelay;
+    r.probability = p;
+    r.delay = extra;
+    return r;
+}
+
+FaultRule
+FaultRule::reorderRpc(double p)
+{
+    FaultRule r;
+    r.kind = FaultKind::RpcReorder;
+    r.probability = p;
+    return r;
+}
+
+FaultRule
+FaultRule::regFault(double p)
+{
+    FaultRule r;
+    r.kind = FaultKind::RegFault;
+    r.probability = p;
+    return r;
+}
+
+FaultRule
+FaultRule::bitstreamLoadFail(uint32_t count)
+{
+    FaultRule r;
+    r.kind = FaultKind::BitstreamLoadFail;
+    r.maxCount = count;
+    return r;
+}
+
+FaultRule
+FaultRule::seu(uint32_t partition, uint64_t bitIndex, Nanos notBefore)
+{
+    FaultRule r;
+    r.kind = FaultKind::Seu;
+    r.partition = partition;
+    r.seuBit = bitIndex;
+    r.windowStart = notBefore;
+    r.maxCount = 1;
+    return r;
+}
+
+FaultRule &
+FaultRule::on(std::string fromEp, std::string toEp,
+              std::string methodPrefix)
+{
+    from = std::move(fromEp);
+    to = std::move(toEp);
+    method = std::move(methodPrefix);
+    return *this;
+}
+
+FaultRule &
+FaultRule::match(std::string methodPrefix)
+{
+    method = std::move(methodPrefix);
+    return *this;
+}
+
+FaultRule &
+FaultRule::during(Nanos start, Nanos end)
+{
+    windowStart = start;
+    windowEnd = end;
+    return *this;
+}
+
+FaultRule &
+FaultRule::times(uint32_t count)
+{
+    maxCount = count;
+    return *this;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, VirtualClock &clock)
+    : plan_(std::move(plan)), clock_(clock),
+      firedCount_(plan_.rules.size(), 0), rngState_(plan_.seed)
+{
+}
+
+void
+FaultInjector::arm(FaultRule rule)
+{
+    plan_.rules.push_back(std::move(rule));
+    firedCount_.push_back(0);
+}
+
+bool
+FaultInjector::fires(size_t ruleIndex)
+{
+    FaultRule &r = plan_.rules[ruleIndex];
+    Nanos now = clock_.now();
+    if (now < r.windowStart || now > r.windowEnd)
+        return false;
+    if (firedCount_[ruleIndex] >= r.maxCount)
+        return false;
+    // Always draw, even at probability 1, so the stream advances the
+    // same way regardless of which branch wins.
+    if (unitDouble(rngState_) >= r.probability)
+        return false;
+    ++firedCount_[ruleIndex];
+    return true;
+}
+
+void
+FaultInjector::record(const FaultRule &rule, const std::string &site)
+{
+    journal_.push_back("t=" + std::to_string(clock_.now()) + " " +
+                       faultKindName(rule.kind) + " " + site);
+}
+
+RpcFault
+FaultInjector::onRpc(const std::string &from, const std::string &to,
+                     const std::string &method, Bytes &payload)
+{
+    RpcFault out;
+    const std::string site = from + "->" + to + " " + method;
+    for (size_t i = 0; i < plan_.rules.size(); ++i) {
+        FaultRule &r = plan_.rules[i];
+        switch (r.kind) {
+          case FaultKind::RpcDrop:
+          case FaultKind::RpcCorrupt:
+          case FaultKind::RpcDuplicate:
+          case FaultKind::RpcDelay:
+          case FaultKind::RpcReorder:
+            break;
+          default:
+            continue;
+        }
+        if (!siteMatches(r.from, from) || !siteMatches(r.to, to) ||
+            !siteMatches(r.method, method))
+            continue;
+        if (out.drop || out.reorder)
+            continue; // already terminal for this payload
+        if (!fires(i))
+            continue;
+        record(r, site);
+        switch (r.kind) {
+          case FaultKind::RpcDrop:
+            out.drop = true;
+            ++stats_.rpcDropped;
+            break;
+          case FaultKind::RpcCorrupt:
+            if (!payload.empty()) {
+                size_t pos = size_t(splitmix64(rngState_) %
+                                    payload.size());
+                payload[pos] ^= r.corruptMask ? r.corruptMask
+                                              : uint8_t(0x01);
+                out.corrupted = true;
+                ++stats_.rpcCorrupted;
+            }
+            break;
+          case FaultKind::RpcDuplicate:
+            out.duplicate = true;
+            ++stats_.rpcDuplicated;
+            break;
+          case FaultKind::RpcDelay:
+            out.delay += r.delay;
+            ++stats_.rpcDelayed;
+            break;
+          case FaultKind::RpcReorder:
+            out.reorder = true;
+            ++stats_.rpcReordered;
+            break;
+          default:
+            break;
+        }
+    }
+    return out;
+}
+
+bool
+FaultInjector::onRegisterOp(bool isWrite, uint32_t addr)
+{
+    (void)addr;
+    const char *opName = isWrite ? "write" : "read";
+    for (size_t i = 0; i < plan_.rules.size(); ++i) {
+        FaultRule &r = plan_.rules[i];
+        if (r.kind != FaultKind::RegFault)
+            continue;
+        if (!r.method.empty() && r.method != opName)
+            continue;
+        if (!fires(i))
+            continue;
+        record(r, std::string("pcie-") + opName);
+        ++stats_.regFaults;
+        return true;
+    }
+    return false;
+}
+
+uint64_t
+FaultInjector::garbageWord()
+{
+    return splitmix64(rngState_);
+}
+
+bool
+FaultInjector::onBitstreamLoad()
+{
+    for (size_t i = 0; i < plan_.rules.size(); ++i) {
+        if (plan_.rules[i].kind != FaultKind::BitstreamLoadFail)
+            continue;
+        if (!fires(i))
+            continue;
+        record(plan_.rules[i], "config-port");
+        ++stats_.loadFailures;
+        return true;
+    }
+    return false;
+}
+
+std::vector<SeuEvent>
+FaultInjector::takePendingSeus()
+{
+    std::vector<SeuEvent> out;
+    for (size_t i = 0; i < plan_.rules.size(); ++i) {
+        FaultRule &r = plan_.rules[i];
+        if (r.kind != FaultKind::Seu)
+            continue;
+        if (!fires(i))
+            continue;
+        record(r, "partition-" + std::to_string(r.partition) + " bit " +
+                      std::to_string(r.seuBit));
+        ++stats_.seusInjected;
+        out.push_back({r.partition, r.seuBit});
+    }
+    return out;
+}
+
+} // namespace salus::sim

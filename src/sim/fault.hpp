@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Deterministic fault injection. A seeded FaultPlan describes, per
+ * site (link/endpoint/method) and per virtual-time window, which
+ * transient failures the environment throws at the platform: RPC
+ * drops / corruption / duplication / delay / reordering, failed PCIe
+ * register transactions, failed bitstream loads (bad CRC at the
+ * config port), and configuration-memory bit flips (SEUs).
+ *
+ * One FaultInjector is shared by `net::Network`, `shell::Shell` and
+ * `fpga::FpgaDevice`, so honest and malicious paths exercise the same
+ * mechanism the attack interposers use. All randomness comes from a
+ * splitmix64 stream seeded by the plan: the same seed and the same
+ * workload replay the exact same fault sequence bit-for-bit (the
+ * injector keeps a journal so tests can assert that).
+ */
+
+#ifndef SALUS_SIM_FAULT_HPP
+#define SALUS_SIM_FAULT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "sim/clock.hpp"
+
+namespace salus::sim {
+
+/** splitmix64 step — the deterministic PRNG all fault decisions and
+ *  retry jitter draw from (no crypto dependency, stable everywhere). */
+uint64_t splitmix64(uint64_t &state);
+
+/** What a single rule injects. */
+enum class FaultKind : uint8_t {
+    RpcDrop = 0,      ///< message never delivered (NetError at caller)
+    RpcCorrupt,       ///< deterministic byte flip in the payload
+    RpcDuplicate,     ///< handler sees the message twice
+    RpcDelay,         ///< extra virtual latency before delivery
+    RpcReorder,       ///< message held, delivered stale before the next one
+    RegFault,         ///< PCIe register txn lost (write) / garbage (read)
+    BitstreamLoadFail,///< config port reports bad CRC (DecryptFailed)
+    Seu,              ///< flip one configuration bit in a partition
+};
+
+const char *faultKindName(FaultKind kind);
+
+/** One fault source. Build with the factories, narrow with the fluent
+ *  modifiers: FaultRule::dropRpc(0.1).on("", "", "keyRequest").times(3). */
+struct FaultRule
+{
+    FaultKind kind = FaultKind::RpcDrop;
+
+    // ---- Site match (empty string = wildcard) ------------------------
+    std::string from;   ///< RPC source endpoint
+    std::string to;     ///< RPC destination endpoint
+    /** RPC: method prefix ("raRequest" also matches "raRequest:response").
+     *  RegFault: "read", "write" or "" for both. */
+    std::string method;
+
+    // ---- Firing conditions -------------------------------------------
+    double probability = 1.0;           ///< per eligible event
+    Nanos windowStart = 0;              ///< inclusive virtual-time window
+    Nanos windowEnd = ~Nanos(0);
+    uint32_t maxCount = ~uint32_t(0);   ///< fire at most this many times
+
+    // ---- Parameters ---------------------------------------------------
+    uint8_t corruptMask = 0x01;  ///< XORed into one payload byte
+    Nanos delay = 0;             ///< RpcDelay extra latency
+    uint32_t partition = 0;      ///< Seu target partition
+    uint64_t seuBit = 0;         ///< Seu bit offset within the partition
+
+    // ---- Factories ----------------------------------------------------
+    static FaultRule dropRpc(double p);
+    static FaultRule corruptRpc(double p, uint8_t mask = 0x01);
+    static FaultRule duplicateRpc(double p);
+    static FaultRule delayRpc(double p, Nanos extra);
+    static FaultRule reorderRpc(double p);
+    static FaultRule regFault(double p);
+    static FaultRule bitstreamLoadFail(uint32_t count = 1);
+    static FaultRule seu(uint32_t partition, uint64_t bitIndex,
+                         Nanos notBefore = 0);
+
+    // ---- Fluent narrowing ---------------------------------------------
+    FaultRule &on(std::string fromEp, std::string toEp,
+                  std::string methodPrefix);
+    FaultRule &match(std::string methodPrefix);
+    FaultRule &during(Nanos start, Nanos end);
+    FaultRule &times(uint32_t count);
+};
+
+/** A complete, seeded fault schedule. */
+struct FaultPlan
+{
+    uint64_t seed = 1;
+    std::vector<FaultRule> rules;
+
+    FaultPlan &add(FaultRule rule)
+    {
+        rules.push_back(std::move(rule));
+        return *this;
+    }
+    bool empty() const { return rules.empty(); }
+};
+
+/** Counters of everything the injector actually did. */
+struct FaultStats
+{
+    uint64_t rpcDropped = 0;
+    uint64_t rpcCorrupted = 0;
+    uint64_t rpcDuplicated = 0;
+    uint64_t rpcDelayed = 0;
+    uint64_t rpcReordered = 0;
+    uint64_t regFaults = 0;
+    uint64_t loadFailures = 0;
+    uint64_t seusInjected = 0;
+
+    uint64_t total() const
+    {
+        return rpcDropped + rpcCorrupted + rpcDuplicated + rpcDelayed +
+               rpcReordered + regFaults + loadFailures + seusInjected;
+    }
+};
+
+/** The injector's verdict on one RPC payload (already applied
+ *  corruption mutates the payload in place). */
+struct RpcFault
+{
+    bool drop = false;
+    bool duplicate = false;
+    bool reorder = false;
+    bool corrupted = false;
+    Nanos delay = 0;
+};
+
+/** A pending configuration upset to apply. */
+struct SeuEvent
+{
+    uint32_t partition = 0;
+    uint64_t bitIndex = 0;
+};
+
+/** Shared fault decision engine (one per testbed). */
+class FaultInjector
+{
+  public:
+    FaultInjector(FaultPlan plan, VirtualClock &clock);
+
+    /**
+     * Consulted by the network for every payload in flight (requests
+     * and, with the ":response" suffix, responses). May mutate
+     * `payload` (corruption). Consumes PRNG state in event order.
+     */
+    RpcFault onRpc(const std::string &from, const std::string &to,
+                   const std::string &method, Bytes &payload);
+
+    /** Consulted by the shell per register transaction. True = the
+     *  transaction is lost on the bus. */
+    bool onRegisterOp(bool isWrite, uint32_t addr);
+
+    /** Deterministic garbage for a faulted register read. */
+    uint64_t garbageWord();
+
+    /** Consulted by the device per encrypted-bitstream load. True =
+     *  the configuration engine reports a CRC/auth failure. */
+    bool onBitstreamLoad();
+
+    /** Drains SEU rules whose window is open (each fires once per
+     *  allowed count); the device applies them to its frames. */
+    std::vector<SeuEvent> takePendingSeus();
+
+    /** Appends a rule at runtime (tests arm faults mid-scenario). */
+    void arm(FaultRule rule);
+
+    const FaultStats &stats() const { return stats_; }
+    const FaultPlan &plan() const { return plan_; }
+
+    /** Ordered record of every injected fault ("t=<ns> <kind> <site>");
+     *  equal seeds + equal workloads give equal journals. */
+    const std::vector<std::string> &journal() const { return journal_; }
+
+  private:
+    bool fires(size_t ruleIndex);
+    void record(const FaultRule &rule, const std::string &site);
+
+    FaultPlan plan_;
+    VirtualClock &clock_;
+    std::vector<uint32_t> firedCount_;
+    uint64_t rngState_;
+    FaultStats stats_;
+    std::vector<std::string> journal_;
+};
+
+} // namespace salus::sim
+
+#endif // SALUS_SIM_FAULT_HPP
