@@ -198,6 +198,50 @@ main()
                    net::failureClassName(tampered.failureClass) + "]");
     }
 
+    std::printf("\n9. Host rolls the SM enclave's sealed journal back "
+                "to resurrect retired session keys:\n");
+    {
+        Testbed tb;
+        tb.installCl(loopbackAccel());
+        if (!tb.runDeployment().ok)
+            return 1;
+        Bytes stale = tb.sealedJournal();
+        tb.userApp().rekeySession(); // journal (and counter) advance
+        tb.sealedJournal() = stale;  // host restores the older blob
+        auto recovery = tb.crashAndRecoverSmApp();
+        bool rejected =
+            recovery.status ==
+                SmEnclaveApp::RecoveryStatus::RolledBack &&
+            tb.smApp().failedClosed() && !tb.runDeployment().ok;
+        report("journal rollback on SM restart", rejected,
+               "version " + std::to_string(recovery.version) +
+                   " < monotonic counter " +
+                   std::to_string(recovery.counter) +
+                   "; enclave fails closed");
+    }
+
+    std::printf("\n10. Malicious shell forges heartbeats for a dead "
+                "device to keep it in service:\n");
+    {
+        TestbedConfig cfg;
+        cfg.maliciousShell = true;
+        cfg.attackPlan.forgeHeartbeats = true;
+        cfg.health.minSamples = 1;
+        Testbed tb(cfg);
+        tb.installCl(loopbackAccel());
+        if (!tb.runDeployment().ok)
+            return 1;
+        auto beat = tb.smApp().heartbeatDevice(0);
+        tb.supervisor().pollOnce();
+        bool quarantined =
+            tb.supervisor().state(0) == fpga::HealthState::Quarantined &&
+            tb.supervisor().tracker(0).permanentlyQuarantined();
+        report("forged liveness heartbeats",
+               beat.reachable && !beat.authentic && quarantined,
+               "response MAC fails under Key_attest; device "
+               "permanently quarantined");
+    }
+
     std::printf("\n%s\n", failures == 0
                               ? "All attacks defended."
                               : "SOME ATTACKS SUCCEEDED -- see above.");

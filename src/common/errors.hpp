@@ -31,33 +31,6 @@ class CryptoError : public SalusError
     {}
 };
 
-/** Structural errors in bitstreams or netlists. */
-class BitstreamError : public SalusError
-{
-  public:
-    explicit BitstreamError(const std::string &what)
-        : SalusError("bitstream: " + what)
-    {}
-};
-
-/** Device-model misuse (bad frame address, no such partition, ...). */
-class DeviceError : public SalusError
-{
-  public:
-    explicit DeviceError(const std::string &what)
-        : SalusError("device: " + what)
-    {}
-};
-
-/** TEE-platform misuse (enclave not loaded, bad key request, ...). */
-class TeeError : public SalusError
-{
-  public:
-    explicit TeeError(const std::string &what)
-        : SalusError("tee: " + what)
-    {}
-};
-
 /**
  * Structured context a transport error carries: which link and method
  * failed, and on which attempt — so retry layers and logs never have
@@ -86,6 +59,53 @@ struct ErrorContext
             s += " attempt " + std::to_string(attempt);
         return s + "]";
     }
+};
+
+/** Structural errors in bitstreams or netlists. */
+class BitstreamError : public SalusError
+{
+  public:
+    explicit BitstreamError(const std::string &what)
+        : SalusError("bitstream: " + what)
+    {}
+
+    BitstreamError(const std::string &what, ErrorContext context)
+        : SalusError("bitstream: " + what + context.describe()),
+          context_(std::move(context))
+    {}
+
+    const ErrorContext &context() const { return context_; }
+
+  private:
+    ErrorContext context_;
+};
+
+/** Device-model misuse (bad frame address, no such partition, ...). */
+class DeviceError : public SalusError
+{
+  public:
+    explicit DeviceError(const std::string &what)
+        : SalusError("device: " + what)
+    {}
+};
+
+/** TEE-platform misuse (enclave not loaded, bad key request, ...). */
+class TeeError : public SalusError
+{
+  public:
+    explicit TeeError(const std::string &what)
+        : SalusError("tee: " + what)
+    {}
+
+    TeeError(const std::string &what, ErrorContext context)
+        : SalusError("tee: " + what + context.describe()),
+          context_(std::move(context))
+    {}
+
+    const ErrorContext &context() const { return context_; }
+
+  private:
+    ErrorContext context_;
 };
 
 /** RPC/network-layer failures (unknown endpoint, dropped message, ...). */
@@ -124,6 +144,41 @@ class TimeoutError : public NetError
     TimeoutError(const std::string &what, ErrorContext context = {})
         : NetError("net: timeout: " + what + context.describe(),
                    std::move(context), 0)
+    {}
+};
+
+/**
+ * An operation's completion is indeterminate because the device it
+ * was issued against was quarantined (and possibly failed over) while
+ * the result was outstanding. The op was NOT silently re-issued on
+ * the replacement device — non-idempotent accelerator ops must land
+ * exactly once, so the caller decides whether to re-issue on the
+ * fresh session.
+ */
+class FailoverError : public SalusError
+{
+  public:
+    FailoverError(const std::string &what, ErrorContext context = {})
+        : SalusError("failover: " + what + context.describe()),
+          context_(std::move(context))
+    {}
+
+    const ErrorContext &context() const { return context_; }
+
+  private:
+    ErrorContext context_;
+};
+
+/**
+ * The SM enclave process died mid-operation (an injected
+ * `sm_crash_at<step>` fault). Tests catch this, rebuild the enclave
+ * and drive the journal-based recovery path.
+ */
+class SmCrashError : public SalusError
+{
+  public:
+    explicit SmCrashError(const std::string &what)
+        : SalusError("sm-crash: " + what)
     {}
 };
 

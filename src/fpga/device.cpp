@@ -212,7 +212,7 @@ FpgaDevice::loadEncryptedPartial(ByteView blob)
     // A scheduled load fault models a bit flipped in flight: the GCM
     // tag check fails mid-stream, which (as below) leaves the
     // partition disturbed and therefore cleared.
-    if (fault_ && fault_->onBitstreamLoad()) {
+    if (fault_ && fault_->onBitstreamLoad(deviceIndex_)) {
         if (model_.findPartition(header.partitionId))
             clearPartition(header.partitionId);
         return LoadStatus::DecryptFailed;
@@ -291,7 +291,7 @@ FpgaDevice::applyPendingSeus()
 {
     if (!fault_)
         return;
-    for (const auto &event : fault_->takePendingSeus()) {
+    for (const auto &event : fault_->takePendingSeus(deviceIndex_)) {
         try {
             injectSeu(event.partition, event.bitIndex);
         } catch (const DeviceError &e) {

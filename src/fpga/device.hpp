@@ -184,6 +184,11 @@ class FpgaDevice
         fault_ = injector;
     }
 
+    /** Fleet position of this device; scopes device-targeted fault
+     *  rules (DeviceDead kills loads too, SEUs can be per-device). */
+    void setDeviceIndex(uint32_t index) { deviceIndex_ = index; }
+    uint32_t deviceIndex() const { return deviceIndex_; }
+
   private:
     /** Drains scheduled SEUs from the fault plan into config memory. */
     void applyPendingSeus();
@@ -208,6 +213,7 @@ class FpgaDevice
     std::map<uint32_t, std::unique_ptr<LoadedDesign>> designs_;
     std::map<uint32_t, std::vector<FrameEcc>> ecc_;
     sim::FaultInjector *fault_ = nullptr;
+    uint32_t deviceIndex_ = 0;
 };
 
 } // namespace salus::fpga

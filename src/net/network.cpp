@@ -194,6 +194,14 @@ Network::callWithRetry(const std::string &from, const std::string &to,
         }
     }
     out.error += " (after " + std::to_string(out.attempts) + " attempts)";
+    if (policy.enabled()) {
+        // A bounded schedule was exhausted by transport-class faults:
+        // classify as persistent so the caller escalates to its
+        // supervisor instead of hammering the same device/link.
+        out.failure = FailureClass::Persistent;
+        if (policy.onExhausted)
+            policy.onExhausted(out.context);
+    }
     return out;
 }
 

@@ -14,6 +14,7 @@
 #ifndef SALUS_NET_RETRY_HPP
 #define SALUS_NET_RETRY_HPP
 
+#include <functional>
 #include <string>
 
 #include "common/bytes.hpp"
@@ -28,6 +29,12 @@ enum class FailureClass : uint8_t {
     Transport, ///< message lost/garbled in flight — retryable
     Timeout,   ///< per-call deadline exceeded — retryable, new nonce
     Security,  ///< verification/policy rejection — NEVER retried
+    /** A bounded retry schedule was exhausted by transport-class
+     *  failures: the fault is no longer plausibly transient. The
+     *  caller must NOT keep hammering the same device — a fleet
+     *  supervisor decides quarantine/failover (see salus::core::
+     *  Supervisor). Reported only when retries were enabled. */
+    Persistent,
 };
 
 const char *failureClassName(FailureClass f);
@@ -46,6 +53,14 @@ struct RetryPolicy
     sim::Nanos deadline = 0;
     /** Seed for the jitter stream (mixed with the attempt number). */
     uint64_t jitterSeed = 0x5a105f4b;
+
+    /**
+     * Fleet-aware hook: invoked once when the schedule is exhausted
+     * by transport-class failures (the outcome is then classified
+     * FailureClass::Persistent). Lets a supervisor observe persistent
+     * per-device failure without the caller owning failover policy.
+     */
+    std::function<void(const ErrorContext &)> onExhausted;
 
     bool enabled() const { return maxAttempts > 1; }
 

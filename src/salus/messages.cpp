@@ -38,6 +38,116 @@ ClMetadata::digest() const
     return crypto::Sha256::digest(serialize());
 }
 
+namespace {
+
+/** Magic prefix distinguishing journal blobs from other sealed state. */
+constexpr uint32_t kJournalMagic = 0x534a524e; // "SJRN"
+/** Sanity bound on every count field: the journal parser eats
+ *  attacker-controlled storage, so absurd counts must die in serde,
+ *  not in an allocation. */
+constexpr uint32_t kJournalMaxEntries = 4096;
+
+uint32_t
+boundedCount(BinaryReader &r)
+{
+    uint32_t n = r.readU32();
+    if (n > kJournalMaxEntries)
+        throw SerdeError("journal count out of range");
+    return n;
+}
+
+} // namespace
+
+Bytes
+SmJournal::serialize() const
+{
+    BinaryWriter w;
+    w.writeU32(kJournalMagic);
+    w.writeU64(version);
+    w.writeU8(haveMetadata);
+    w.writeBytes(metadata);
+    w.writeU32(uint32_t(deviceKeys.size()));
+    for (const auto &[dna, key] : deviceKeys) {
+        w.writeU64(dna);
+        w.writeBytes(key);
+    }
+    w.writeU32(uint32_t(devices.size()));
+    for (const SmJournalDevice &d : devices) {
+        w.writeU32(d.deviceId);
+        w.writeU64(d.dna);
+        w.writeU8(d.deployed);
+        w.writeU8(d.attested);
+        w.writeU8(d.haveSecrets);
+        w.writeBytes(d.keyAttest);
+        w.writeBytes(d.keySession);
+        w.writeU64(d.ctrBase);
+        w.writeU64(d.ctrReserve);
+        w.writeU8(d.havePendingRekey);
+        w.writeBytes(d.pendingRekeyMacKey);
+        w.writeU64(d.pendingRekeyNonce);
+    }
+    w.writeU32(activeDevice);
+    w.writeU32(uint32_t(retiredFingerprints.size()));
+    for (const Bytes &fp : retiredFingerprints)
+        w.writeBytes(fp);
+    return w.take();
+}
+
+SmJournal
+SmJournal::deserialize(ByteView data)
+{
+    BinaryReader r(data);
+    if (r.readU32() != kJournalMagic)
+        throw SerdeError("bad journal magic");
+    SmJournal j;
+    j.version = r.readU64();
+    j.haveMetadata = r.readU8();
+    if (j.haveMetadata > 1)
+        throw SerdeError("bad journal flag");
+    j.metadata = r.readBytes();
+    uint32_t nKeys = boundedCount(r);
+    for (uint32_t i = 0; i < nKeys; ++i) {
+        uint64_t dna = r.readU64();
+        Bytes key = r.readBytes();
+        if (key.size() != 32)
+            throw SerdeError("bad device-key size in journal");
+        j.deviceKeys.emplace_back(dna, std::move(key));
+    }
+    uint32_t nDevices = boundedCount(r);
+    for (uint32_t i = 0; i < nDevices; ++i) {
+        SmJournalDevice d;
+        d.deviceId = r.readU32();
+        d.dna = r.readU64();
+        d.deployed = r.readU8();
+        d.attested = r.readU8();
+        d.haveSecrets = r.readU8();
+        if (d.deployed > 1 || d.attested > 1 || d.haveSecrets > 1)
+            throw SerdeError("bad journal flag");
+        d.keyAttest = r.readBytes();
+        d.keySession = r.readBytes();
+        if (d.haveSecrets &&
+            (d.keyAttest.size() != 16 || d.keySession.size() != 48))
+            throw SerdeError("bad secret sizes in journal");
+        d.ctrBase = r.readU64();
+        d.ctrReserve = r.readU64();
+        d.havePendingRekey = r.readU8();
+        if (d.havePendingRekey > 1)
+            throw SerdeError("bad journal flag");
+        d.pendingRekeyMacKey = r.readBytes();
+        d.pendingRekeyNonce = r.readU64();
+        j.devices.push_back(std::move(d));
+    }
+    j.activeDevice = r.readU32();
+    uint32_t nFps = boundedCount(r);
+    for (uint32_t i = 0; i < nFps; ++i) {
+        Bytes fp = r.readBytes();
+        if (fp.size() != 32)
+            throw SerdeError("bad fingerprint size in journal");
+        j.retiredFingerprints.push_back(std::move(fp));
+    }
+    return j;
+}
+
 Bytes
 ClBootStatus::serialize() const
 {

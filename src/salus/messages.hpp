@@ -11,6 +11,8 @@
 
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bitstream/logic_location.hpp"
 #include "common/bytes.hpp"
@@ -48,6 +50,53 @@ struct ClBootStatus
 
     Bytes serialize() const;
     static ClBootStatus deserialize(ByteView data);
+};
+
+// ---- SM-enclave crash-recovery journal ------------------------------
+//
+// The SM enclave's durable state: deployment table + session metadata,
+// sealed to the enclave identity and versioned against a platform
+// monotonic counter. The HOST stores the sealed blob (untrusted
+// storage); rollback to an earlier version is detected at rehydration
+// and refused.
+
+/** One device's durable deployment record. */
+struct SmJournalDevice
+{
+    uint32_t deviceId = 0;
+    uint64_t dna = 0;
+    uint8_t deployed = 0;
+    uint8_t attested = 0;
+    uint8_t haveSecrets = 0;
+    Bytes keyAttest;      ///< 16 bytes when haveSecrets
+    Bytes keySession;     ///< 48 bytes when haveSecrets
+    uint64_t ctrBase = 0;
+    uint64_t ctrReserve = 0; ///< write-ahead session-counter reservation
+    uint8_t havePendingRekey = 0;
+    Bytes pendingRekeyMacKey;
+    uint64_t pendingRekeyNonce = 0;
+};
+
+/** The journal record (plaintext form; sealed before storage). */
+struct SmJournal
+{
+    /** Must equal (or exceed by the crash window) the platform
+     *  monotonic counter at rehydration; smaller = rollback. */
+    uint64_t version = 0;
+    uint8_t haveMetadata = 0;
+    Bytes metadata; ///< serialized ClMetadata
+    /** Per-DNA Key_device cache (dna -> 32-byte key). */
+    std::vector<std::pair<uint64_t, Bytes>> deviceKeys;
+    std::vector<SmJournalDevice> devices;
+    uint32_t activeDevice = 0;
+    /** SHA-256 fingerprints of every retired secret set — the
+     *  key-freshness invariant survives SM restarts. */
+    std::vector<Bytes> retiredFingerprints;
+
+    Bytes serialize() const;
+    /** @throws SerdeError on truncation, bad magic or absurd counts
+     *  (fuzz-hardened: attacker-controlled storage feeds this). */
+    static SmJournal deserialize(ByteView data);
 };
 
 // ---- Sealed enclave-to-enclave channel ------------------------------

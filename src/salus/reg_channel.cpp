@@ -63,6 +63,23 @@ attestResponseMac(ByteView keyAttest, uint64_t nonce, uint64_t dna)
                              nonceDnaMessage(nonce + 1, dna, 'P'));
 }
 
+uint64_t
+heartbeatRequestMac(ByteView keyAttest, uint64_t nonce, uint64_t dna)
+{
+    return crypto::sipHash24(keyAttest,
+                             nonceDnaMessage(nonce, dna, 'H'));
+}
+
+uint64_t
+heartbeatResponseMac(ByteView keyAttest, uint64_t nonce, uint64_t dna,
+                     uint64_t count)
+{
+    Bytes msg = nonceDnaMessage(nonce + 1, dna, 'h');
+    msg.resize(25);
+    storeLe64(msg.data() + 17, count);
+    return crypto::sipHash24(keyAttest, msg);
+}
+
 SealedRegRequest
 sealRequest(ByteView aesKey, ByteView macKey, uint64_t ctr,
             const RegOp &op)

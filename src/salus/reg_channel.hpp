@@ -35,6 +35,23 @@ uint64_t attestRequestMac(ByteView keyAttest, uint64_t nonce,
 uint64_t attestResponseMac(ByteView keyAttest, uint64_t nonce,
                            uint64_t dna);
 
+// ---- Liveness heartbeat (fleet supervision) -------------------------
+//
+// A MAC'd liveness register exchange under Key_attest: the supervisor
+// (via the SM enclave) challenges with a nonce, the SM logic answers
+// with its heartbeat count. A shell cannot fabricate the response
+// without the injected Key_attest, so a forged "alive" is detected
+// and quarantines the device rather than masking its death.
+
+/** Heartbeat challenge MAC = SipHash(Key_attest, N || DNA, 'H'). */
+uint64_t heartbeatRequestMac(ByteView keyAttest, uint64_t nonce,
+                             uint64_t dna);
+
+/** Heartbeat response MAC = SipHash(Key_attest, (N+1) || DNA || count,
+ *  'h') — binds the monotone heartbeat count against replay. */
+uint64_t heartbeatResponseMac(ByteView keyAttest, uint64_t nonce,
+                              uint64_t dna, uint64_t count);
+
 // ---- Secure register channel ----------------------------------------
 
 /** A decrypted register operation. */

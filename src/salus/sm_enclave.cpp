@@ -20,6 +20,14 @@ namespace {
 const char *const kDirUp = "salus-chan-u2s";   // user -> SM
 const char *const kDirDown = "salus-chan-s2u"; // SM -> user
 
+/** Platform monotonic counter backing the journal version. */
+const char *const kJournalCounterId = "salus-sm-journal";
+
+/** Session counters handed out between two journal commits. Larger
+ *  strides amortise commits; a crash skips at most this many counter
+ *  values (the fabric only requires strict increase). */
+constexpr uint64_t kCtrReserveStride = 64;
+
 } // namespace
 
 tee::EnclaveImage
@@ -48,6 +56,29 @@ SmEnclaveApp::SmEnclaveApp(tee::TeePlatform &platform, SmEnclaveDeps deps)
     // the user side (and at the manufacturer for key release).
     la_ = std::make_unique<tee::LocalAttestResponder>(
         *this, tee::Measurement{});
+
+    devices_ = deps_.devices;
+    if (devices_.empty() && deps_.shell) {
+        // Legacy single-device wiring.
+        devices_.push_back({deps_.shell, deps_.instanceDeviceDna});
+    }
+}
+
+shell::Shell &
+SmEnclaveApp::activeShell() const
+{
+    if (activeDevice_ >= devices_.size() ||
+        devices_[activeDevice_].shell == nullptr)
+        throw SalusError("SM enclave has no active device");
+    return *devices_[activeDevice_].shell;
+}
+
+uint64_t
+SmEnclaveApp::activeDna() const
+{
+    if (activeDevice_ >= devices_.size())
+        return 0;
+    return devices_[activeDevice_].dna;
 }
 
 Bytes
@@ -77,6 +108,12 @@ SmEnclaveApp::laEstablished() const
 Bytes
 SmEnclaveApp::channelRequest(ByteView sealed)
 {
+    if (failClosed_) {
+        logf(LogLevel::Warn, "sm-enclave",
+             "refusing channel traffic: failed closed after journal "
+             "rollback/corruption");
+        return Bytes();
+    }
     if (!la_->established())
         return Bytes();
 
@@ -132,6 +169,10 @@ SmEnclaveApp::handlePlainRequest(ByteView plain)
             out.writeU8(0xff);
             break;
         }
+    } catch (const SmCrashError &) {
+        // The SM process died mid-request; nothing replies. The
+        // crash-recovery tests catch this at the deployment driver.
+        throw;
     } catch (const SalusError &e) {
         logf(LogLevel::Warn, "sm-enclave", "bad channel request: ",
              e.what());
@@ -144,6 +185,10 @@ void
 SmEnclaveApp::runSecureBoot()
 {
     status_ = ClBootStatus{};
+    if (failClosed_) {
+        status_.failure = "SM enclave failed closed (journal rejected)";
+        return;
+    }
     if (!haveMetadata_) {
         status_.failure = "no bitstream metadata";
         return;
@@ -169,12 +214,22 @@ SmEnclaveApp::runSecureBoot()
         if (!retryable)
             return; // security rejection — never retried
     }
+    // Bounded schedule exhausted by transport-class failures: surface
+    // the device to the fleet supervisor instead of hammering on.
+    if (deps_.onDeviceFailure) {
+        ErrorContext ctx;
+        ctx.from = deps_.selfEndpoint;
+        ctx.to = "device-" + std::to_string(activeDevice_);
+        ctx.method = "secureBoot";
+        ctx.attempt = maxAttempts;
+        deps_.onDeviceFailure(activeDevice_, ctx);
+    }
 }
 
 bool
 SmEnclaveApp::attemptSecureBoot(std::string &failure, bool &retryable)
 {
-    if (!haveDeviceKey_ && !fetchDeviceKey(failure, retryable))
+    if (!haveDeviceKey() && !fetchDeviceKey(failure, retryable))
         return false;
     if (!deployCl(failure, retryable))
         return false;
@@ -189,6 +244,10 @@ SmEnclaveApp::attemptSecureBoot(std::string &failure, bool &retryable)
             return false;
     }
     status_.attested = true;
+    // Deployment complete: reserve a counter window and persist the
+    // deployment table so a crashed SM can resume this session.
+    ctrReserve_ = sessionCtr_ + kCtrReserveStride;
+    commitJournal();
     return true;
 }
 
@@ -197,7 +256,7 @@ SmEnclaveApp::tryScrubRecovery(std::string &failure)
 {
     fpga::FpgaDevice::ScrubReport report;
     try {
-        report = deps_.shell->scrubPartition();
+        report = activeShell().scrubPartition();
     } catch (const SalusError &) {
         return false; // nothing configured to scrub
     }
@@ -228,7 +287,7 @@ SmEnclaveApp::fetchDeviceKey(std::string &failure, bool &retryable)
     tee::Quote quote = createQuote(eph.publicKey);
 
     manufacturer::KeyRequest req;
-    req.deviceDna = deps_.instanceDeviceDna;
+    req.deviceDna = activeDna();
     req.quote = quote.serialize();
     req.wrapPubKey = eph.publicKey;
 
@@ -277,8 +336,9 @@ SmEnclaveApp::fetchDeviceKey(std::string &failure, bool &retryable)
         retryable = true;
         return false;
     }
-    deviceKey_ = std::move(*key);
-    haveDeviceKey_ = true;
+    deviceKeys_[activeDna()] = std::move(*key);
+    // Key_device fetched: persist so a crashed SM skips the round trip.
+    commitJournal();
     return true;
 }
 
@@ -317,8 +377,20 @@ SmEnclaveApp::deployCl(std::string &failure, bool &retryable)
         return false;
     }
 
+    // Any prior secret set (earlier attempt, earlier device) is
+    // retired before new material exists; the freshness check below
+    // then guarantees no retired bytes ever serve again.
+    retireCurrentSecrets();
     secrets_ = ClSecrets::generate(rng());
     haveSecrets_ = true;
+    if (retiredFingerprints_.count(secretsFingerprint())) {
+        // Astronomically improbable with an honest RNG; a hit means
+        // key material from a dead device is about to be reused.
+        retireCurrentSecrets();
+        failure = "freshly generated secrets match a retired set";
+        retryable = false;
+        return false;
+    }
     sessionCtr_ = secrets_.ctrBase;
     try {
         PhaseScope phase(deps_.sim, phases::kBitstreamManip);
@@ -348,17 +420,17 @@ SmEnclaveApp::deployCl(std::string &failure, bool &retryable)
                                 file.size()) / 2);
         }
         bitstream::EncryptedHeader header;
-        header.deviceModel = deps_.shell->device().model().name;
-        header.partitionId = deps_.shell->partitionId();
-        blob = bitstream::encryptBitstream(file, deviceKey_, header,
-                                           rng());
+        header.deviceModel = activeShell().device().model().name;
+        header.partitionId = activeShell().partitionId();
+        blob = bitstream::encryptBitstream(
+            file, deviceKeys_.at(activeDna()), header, rng());
         secureZero(file); // plaintext with secrets never leaves
     }
 
     // --- Hand to the (untrusted) shell for loading --------------------
     {
         PhaseScope phase(deps_.sim, phases::kClDeployment);
-        fpga::LoadStatus st = deps_.shell->deployBitstream(blob);
+        fpga::LoadStatus st = activeShell().deployBitstream(blob);
         if (st != fpga::LoadStatus::Ok) {
             failure = std::string("device rejected bitstream: ") +
                       fpga::loadStatusName(st);
@@ -385,11 +457,11 @@ SmEnclaveApp::attestCl(std::string &failure)
     }
 
     uint64_t nonce = rng().nextU64();
-    uint64_t dna = deps_.instanceDeviceDna;
+    uint64_t dna = activeDna();
     uint64_t macReq =
         regchan::attestRequestMac(secrets_.keyAttest, nonce, dna);
 
-    shell::Shell &sh = *deps_.shell;
+    shell::Shell &sh = activeShell();
     sh.registerWrite(pcie::Window::SmSecure, kSmRegIn0, nonce);
     sh.registerWrite(pcie::Window::SmSecure, kSmRegIn1, macReq);
     sh.registerWrite(pcie::Window::SmSecure, kSmRegCmd, kSmCmdAttest);
@@ -417,9 +489,10 @@ SmEnclaveApp::attestCl(std::string &failure)
 Bytes
 SmEnclaveApp::exportSealedDeviceKey() const
 {
-    if (!haveDeviceKey_)
+    auto it = deviceKeys_.find(activeDna());
+    if (it == deviceKeys_.end())
         return Bytes();
-    return seal(deviceKey_);
+    return seal(it->second);
 }
 
 bool
@@ -428,8 +501,7 @@ SmEnclaveApp::importSealedDeviceKey(ByteView sealedBlob)
     auto key = unseal(sealedBlob);
     if (!key || key->size() != 32)
         return false;
-    deviceKey_ = std::move(*key);
-    haveDeviceKey_ = true;
+    deviceKeys_[activeDna()] = std::move(*key);
     return true;
 }
 
@@ -439,12 +511,12 @@ SmEnclaveApp::rekeySession()
     if (!haveSecrets_ || !status_.ok())
         return false;
 
-    uint64_t ctr = ++sessionCtr_;
+    uint64_t ctr = nextSessionCtr();
     uint64_t nonce = rng().nextU64();
     uint64_t mac =
         regchan::rekeyMac(secrets_.sessionMacKey(), ctr, nonce);
 
-    shell::Shell &sh = *deps_.shell;
+    shell::Shell &sh = activeShell();
     sh.registerWrite(pcie::Window::SmSecure, kSmRegIn0, ctr);
     sh.registerWrite(pcie::Window::SmSecure, kSmRegIn1, nonce);
     sh.registerWrite(pcie::Window::SmSecure, kSmRegIn3, mac);
@@ -470,6 +542,9 @@ SmEnclaveApp::rekeySession()
               secrets_.keySession.begin() + 16);
     secureZero(aes);
     secureZero(macKey);
+    // Rolled keys are part of the session metadata — persist them, or
+    // a recovered SM would hold the pre-roll keys the fabric rejects.
+    commitJournal();
     return true;
 }
 
@@ -548,17 +623,28 @@ SmEnclaveApp::secureRegOp(const regchan::RegOp &op)
             clearPendingRekey();
         }
     }
+    // Every sealed attempt was lost or rejected — the device is not
+    // serving the channel. Tell the supervisor; it owns the decision
+    // to quarantine and fail the session over.
+    if (deps_.onDeviceFailure) {
+        ErrorContext ctx;
+        ctx.from = deps_.selfEndpoint;
+        ctx.to = "device-" + std::to_string(activeDevice_);
+        ctx.method = "secureRegOp";
+        ctx.attempt = maxAttempts;
+        deps_.onDeviceFailure(activeDevice_, ctx);
+    }
     return result;
 }
 
 std::pair<uint8_t, uint64_t>
 SmEnclaveApp::secureRegOpOnce(const regchan::RegOp &op)
 {
-    uint64_t ctr = ++sessionCtr_;
+    uint64_t ctr = nextSessionCtr();
     regchan::SealedRegRequest req = regchan::sealRequest(
         secrets_.sessionAesKey(), secrets_.sessionMacKey(), ctr, op);
 
-    shell::Shell &sh = *deps_.shell;
+    shell::Shell &sh = activeShell();
     sh.registerWrite(pcie::Window::SmSecure, kSmRegIn0, req.ctr);
     sh.registerWrite(pcie::Window::SmSecure, kSmRegIn1, req.ct0);
     sh.registerWrite(pcie::Window::SmSecure, kSmRegIn2, req.ct1);
@@ -579,6 +665,325 @@ SmEnclaveApp::secureRegOpOnce(const regchan::RegOp &op)
     if (!opened)
         return {0xfb, 0}; // response forged or corrupted
     return *opened;
+}
+
+// ---- Fleet supervision ----------------------------------------------
+
+SmEnclaveApp::HeartbeatResult
+SmEnclaveApp::heartbeatDevice(uint32_t deviceId)
+{
+    HeartbeatResult res;
+    if (deviceId >= devices_.size() ||
+        devices_[deviceId].shell == nullptr) {
+        res.failure = "unknown device";
+        return res;
+    }
+    shell::Shell &sh = *devices_[deviceId].shell;
+
+    if (deviceId == activeDevice_ && haveSecrets_ && status_.ok()) {
+        // MAC'd probe under Key_attest: only the CL this enclave
+        // deployed can answer, and the bound beat count makes every
+        // answer unique — a recorded "alive" does not replay.
+        uint64_t nonce = rng().nextU64();
+        uint64_t dna = devices_[deviceId].dna;
+        sh.registerWrite(pcie::Window::SmSecure, kSmRegIn0, nonce);
+        sh.registerWrite(
+            pcie::Window::SmSecure, kSmRegIn1,
+            regchan::heartbeatRequestMac(secrets_.keyAttest, nonce, dna));
+        sh.registerWrite(pcie::Window::SmSecure, kSmRegCmd,
+                         kSmCmdHeartbeat);
+
+        uint64_t status =
+            sh.registerRead(pcie::Window::SmSecure, kSmRegStatus);
+        if (status != kSmStatusOk) {
+            res.failure =
+                "no heartbeat (status " + std::to_string(status) + ")";
+            return res;
+        }
+        res.reachable = true;
+        uint64_t outNonce =
+            sh.registerRead(pcie::Window::SmSecure, kSmRegOut0);
+        res.count = sh.registerRead(pcie::Window::SmSecure, kSmRegOut1);
+        uint64_t mac =
+            sh.registerRead(pcie::Window::SmSecure, kSmRegOut2);
+        if (outNonce != nonce + 1 ||
+            mac != regchan::heartbeatResponseMac(secrets_.keyAttest,
+                                                 nonce, dna, res.count)) {
+            res.failure = "heartbeat response MAC forged";
+            return res; // reachable but inauthentic — quarantine-worthy
+        }
+        res.authentic = true;
+        return res;
+    }
+
+    // Spare (or not-yet-booted) device: no injected Key_attest to MAC
+    // with yet, so probe raw bus sanity. An idle partition answers
+    // status reads with small well-known codes; a dead bus times out
+    // and the driver surfaces garbage TLP residue.
+    uint64_t a = sh.registerRead(pcie::Window::SmSecure, kSmRegStatus);
+    uint64_t b = sh.registerRead(pcie::Window::SmSecure, kSmRegStatus);
+    if (a > kSmStatusRejected || b > kSmStatusRejected) {
+        res.failure = "bus returned garbage";
+        return res;
+    }
+    res.reachable = true;
+    res.authentic = true; // nothing to authenticate until deployed
+    return res;
+}
+
+bool
+SmEnclaveApp::setActiveDevice(uint32_t deviceId)
+{
+    if (deviceId >= devices_.size() ||
+        devices_[deviceId].shell == nullptr)
+        return false;
+    if (deviceId == activeDevice_)
+        return true;
+    // The old device's session dies here: fingerprint + wipe its
+    // secrets so nothing derived from them can ever serve again.
+    retireCurrentSecrets();
+    clearPendingRekey();
+    status_ = ClBootStatus{};
+    activeDevice_ = deviceId;
+    commitJournal();
+    return true;
+}
+
+Bytes
+SmEnclaveApp::secretsFingerprint() const
+{
+    if (!haveSecrets_)
+        return Bytes();
+    Bytes material;
+    material.reserve(kKeyAttestSize + kKeySessionSize + 8);
+    material.insert(material.end(), secrets_.keyAttest.begin(),
+                    secrets_.keyAttest.end());
+    material.insert(material.end(), secrets_.keySession.begin(),
+                    secrets_.keySession.end());
+    Bytes ctr(8);
+    storeLe64(ctr.data(), secrets_.ctrBase);
+    material.insert(material.end(), ctr.begin(), ctr.end());
+    Bytes fp = crypto::Sha256::digest(material);
+    secureZero(material);
+    return fp;
+}
+
+bool
+SmEnclaveApp::everRetiredFingerprint(ByteView fp) const
+{
+    return retiredFingerprints_.count(Bytes(fp.begin(), fp.end())) != 0;
+}
+
+void
+SmEnclaveApp::retireCurrentSecrets()
+{
+    if (!haveSecrets_)
+        return;
+    retiredFingerprints_.insert(secretsFingerprint());
+    secrets_.wipe();
+    haveSecrets_ = false;
+    sessionCtr_ = 0;
+    ctrReserve_ = 0;
+}
+
+uint64_t
+SmEnclaveApp::nextSessionCtr()
+{
+    uint64_t ctr = sessionCtr_ + 1;
+    if (ctr > ctrReserve_ && deps_.storeJournal) {
+        // Write-ahead: extend the reservation BEFORE the counter is
+        // used. If the commit crashes, the old journal's reservation
+        // still covers everything the fabric ever saw, so a recovered
+        // SM resumes past it and never re-issues a counter.
+        ctrReserve_ = ctr + kCtrReserveStride;
+        commitJournal();
+    }
+    sessionCtr_ = ctr;
+    return ctr;
+}
+
+// ---- Crash-recovery journal -----------------------------------------
+
+SmJournal
+SmEnclaveApp::buildJournal() const
+{
+    SmJournal j;
+    j.haveMetadata = haveMetadata_ ? 1 : 0;
+    if (haveMetadata_)
+        j.metadata = metadata_.serialize();
+    for (const auto &[dna, key] : deviceKeys_)
+        j.deviceKeys.emplace_back(dna, key);
+    for (uint32_t i = 0; i < devices_.size(); ++i) {
+        SmJournalDevice d;
+        d.deviceId = i;
+        d.dna = devices_[i].dna;
+        if (i == activeDevice_) {
+            d.deployed = status_.deployed ? 1 : 0;
+            d.attested = status_.attested ? 1 : 0;
+            if (haveSecrets_) {
+                d.haveSecrets = 1;
+                d.keyAttest = secrets_.keyAttest;
+                d.keySession = secrets_.keySession;
+                d.ctrBase = secrets_.ctrBase;
+                d.ctrReserve = ctrReserve_;
+                if (havePendingRekey_) {
+                    d.havePendingRekey = 1;
+                    d.pendingRekeyMacKey = pendingRekeyMacKey_;
+                    d.pendingRekeyNonce = pendingRekeyNonce_;
+                }
+            }
+        }
+        j.devices.push_back(std::move(d));
+    }
+    j.activeDevice = activeDevice_;
+    for (const Bytes &fp : retiredFingerprints_)
+        j.retiredFingerprints.push_back(fp);
+    return j;
+}
+
+void
+SmEnclaveApp::commitJournal()
+{
+    if (!deps_.storeJournal)
+        return; // journal-less legacy mode
+
+    uint64_t step = journalSeq_++;
+    if (deps_.fault && deps_.fault->onSmJournalWrite(step, false))
+        throw SmCrashError("before journal write " +
+                           std::to_string(step));
+
+    SmJournal j = buildJournal();
+    // Store-then-increment: the stored version is one ahead of the
+    // counter until the increment lands. Rehydration accepts exactly
+    // that one-step window (monotonicAdvanceTo catches the counter
+    // up); anything older is a rollback.
+    j.version = platform().monotonicRead(kJournalCounterId) + 1;
+    Bytes plain = j.serialize();
+    deps_.storeJournal(seal(plain));
+    secureZero(plain);
+    platform().monotonicIncrement(kJournalCounterId);
+
+    if (deps_.fault && deps_.fault->onSmJournalWrite(step, true))
+        throw SmCrashError("after journal write " +
+                           std::to_string(step));
+}
+
+SmEnclaveApp::RecoveryReport
+SmEnclaveApp::rehydrate()
+{
+    RecoveryReport rep;
+    rep.counter = platform().monotonicRead(kJournalCounterId);
+
+    Bytes blob = deps_.fetchJournal ? deps_.fetchJournal() : Bytes();
+    if (blob.empty()) {
+        if (rep.counter == 0) {
+            rep.status = RecoveryStatus::NoJournal;
+            return rep; // genuinely fresh platform
+        }
+        failClosed_ = true;
+        rep.status = RecoveryStatus::RolledBack;
+        rep.detail = "journal missing but monotonic counter is " +
+                     std::to_string(rep.counter);
+        return rep;
+    }
+
+    auto plain = unseal(blob);
+    if (!plain) {
+        failClosed_ = true;
+        rep.status = RecoveryStatus::Corrupt;
+        rep.detail = "journal seal authentication failed";
+        return rep;
+    }
+    SmJournal j;
+    try {
+        j = SmJournal::deserialize(*plain);
+    } catch (const SalusError &e) {
+        failClosed_ = true;
+        rep.status = RecoveryStatus::Corrupt;
+        rep.detail = std::string("journal parse failed: ") + e.what();
+        return rep;
+    }
+    if (j.version < rep.counter) {
+        // The host handed us an OLD sealed journal: rollback attack
+        // (or lost storage). Either way the session metadata in it is
+        // stale — serving it could reuse counters/keys. Fail closed.
+        failClosed_ = true;
+        rep.version = j.version;
+        rep.status = RecoveryStatus::RolledBack;
+        rep.detail = "journal version " + std::to_string(j.version) +
+                     " behind monotonic counter " +
+                     std::to_string(rep.counter);
+        return rep;
+    }
+    try {
+        // version == counter: the increment landed before the crash.
+        // version == counter + 1: crashed inside the store/increment
+        // window — catch the counter up. Anything further ahead is a
+        // fabricated future version.
+        platform().monotonicAdvanceTo(kJournalCounterId, j.version);
+    } catch (const TeeError &e) {
+        failClosed_ = true;
+        rep.status = RecoveryStatus::Corrupt;
+        rep.detail = std::string("journal version implausible: ") +
+                     e.what();
+        return rep;
+    }
+    if (j.activeDevice >= devices_.size()) {
+        failClosed_ = true;
+        rep.status = RecoveryStatus::Corrupt;
+        rep.detail = "journal names a device outside the pool";
+        return rep;
+    }
+
+    // ---- Adopt -------------------------------------------------------
+    rep.version = j.version;
+    journalSeq_ = j.version;
+    if (j.haveMetadata) {
+        metadata_ = ClMetadata::deserialize(j.metadata);
+        haveMetadata_ = true;
+    }
+    deviceKeys_.clear();
+    for (const auto &[dna, key] : j.deviceKeys)
+        deviceKeys_[dna] = key;
+    retiredFingerprints_.clear();
+    for (const Bytes &fp : j.retiredFingerprints)
+        retiredFingerprints_.insert(fp);
+    activeDevice_ = j.activeDevice;
+    status_ = ClBootStatus{};
+    for (const SmJournalDevice &d : j.devices) {
+        if (d.deviceId != activeDevice_)
+            continue;
+        status_.deployed = d.deployed != 0;
+        status_.attested = d.attested != 0;
+        if (d.haveSecrets) {
+            secrets_.keyAttest = d.keyAttest;
+            secrets_.keySession = d.keySession;
+            secrets_.ctrBase = d.ctrBase;
+            haveSecrets_ = true;
+            ctrReserve_ = d.ctrReserve;
+            // Resume PAST the reservation: counters inside it may
+            // already have hit the fabric before the crash.
+            sessionCtr_ = std::max(d.ctrBase, d.ctrReserve);
+            if (d.havePendingRekey) {
+                pendingRekeyMacKey_ = d.pendingRekeyMacKey;
+                pendingRekeyNonce_ = d.pendingRekeyNonce;
+                havePendingRekey_ = true;
+            }
+        }
+    }
+
+    // ---- Re-attest before serving traffic ----------------------------
+    if (status_.attested && haveSecrets_) {
+        std::string failure;
+        if (!attestCl(failure)) {
+            status_.attested = false;
+            status_.failure =
+                "post-recovery re-attestation failed: " + failure;
+            ++rep.reattestFailures;
+        }
+    }
+    rep.status = RecoveryStatus::Recovered;
+    return rep;
 }
 
 } // namespace salus::core

@@ -16,6 +16,21 @@
  *  - afterwards serves as the host end of the secure register channel
  *    (§4.5).
  *
+ * Fleet extensions (beyond the paper's single-device prototype):
+ *
+ *  - manages a pool of FPGA devices, each with its own DeviceDNA and
+ *    Key_device; exactly one device is *active* (serves the session);
+ *  - answers MAC'd liveness probes for the fleet supervisor
+ *    (heartbeatDevice);
+ *  - fails over to a spare on demand (setActiveDevice): the dead
+ *    device's session secrets are retired (fingerprinted + wiped) and
+ *    may never be reused — deployCl asserts every fresh secret set
+ *    against the retirement list;
+ *  - persists its deployment table + session metadata in a sealed,
+ *    monotonic-counter-versioned journal so a crashed SM instance can
+ *    rehydrate (rehydrate()); rolled-back journals are rejected and
+ *    the enclave fails closed.
+ *
  * Public methods model the untrusted host process invoking enclave
  * entry points: every argument is attacker-influencable, and nothing
  * secret ever appears in a return value unless sealed/encrypted.
@@ -25,6 +40,9 @@
 #define SALUS_SALUS_SM_ENCLAVE_HPP
 
 #include <functional>
+#include <map>
+#include <set>
+#include <vector>
 
 #include "net/network.hpp"
 #include "salus/messages.hpp"
@@ -32,6 +50,7 @@
 #include "salus/secrets.hpp"
 #include "salus/sim_hooks.hpp"
 #include "shell/shell.hpp"
+#include "sim/fault.hpp"
 #include "tee/local_attest.hpp"
 #include "tee/platform.hpp"
 
@@ -46,6 +65,13 @@ enum class SmChannelMsg : uint8_t {
     RekeySession = 5, ///< roll the register-channel session keys
 };
 
+/** One FPGA the SM enclave can deploy to. */
+struct SmDeviceBinding
+{
+    shell::Shell *shell = nullptr;
+    uint64_t dna = 0; ///< CSP-advertised DeviceDNA
+};
+
 /** Host-side/service dependencies handed to the SM application. */
 struct SmEnclaveDeps
 {
@@ -54,6 +80,9 @@ struct SmEnclaveDeps
     std::string selfEndpoint;         ///< our RPC endpoint name
     std::string manufacturerEndpoint; ///< key-distribution endpoint
     uint64_t instanceDeviceDna = 0;   ///< CSP-advertised FPGA identity
+    /** The device pool. When empty, a single-device pool is built
+     *  from the legacy shell/instanceDeviceDna fields above. */
+    std::vector<SmDeviceBinding> devices;
     /** Pulls the CL bitstream file from (untrusted) cloud storage. */
     std::function<Bytes()> fetchBitstream;
     /** Retry schedule for transport faults (manufacturer round trip,
@@ -61,6 +90,16 @@ struct SmEnclaveDeps
      *  disables retries; security rejections are never retried. */
     net::RetryPolicy retry;
     SimHooks sim;
+    /** Fault injector consulted at journal-write crash points. */
+    sim::FaultInjector *fault = nullptr;
+    /** Host-provided journal storage (untrusted). When unset, the SM
+     *  runs journal-less (legacy behaviour; no crash recovery). */
+    std::function<void(ByteView)> storeJournal;
+    std::function<Bytes()> fetchJournal;
+    /** Invoked when a device exhausts the retry schedule on the
+     *  register channel or secure boot — the fleet supervisor's cue
+     *  to consider failover. */
+    std::function<void(uint32_t, const ErrorContext &)> onDeviceFailure;
 };
 
 /** The SM enclave program. */
@@ -83,23 +122,25 @@ class SmEnclaveApp : public tee::Enclave
     /**
      * Handles one sealed channel request and returns the sealed
      * response. Garbage in -> empty reply out (never throws for
-     * attacker-controlled input).
+     * attacker-controlled input). Refused entirely after a failed
+     * journal recovery (fail closed).
      */
     Bytes channelRequest(ByteView sealed);
 
     // ---- Extensions beyond the paper's prototype ---------------------
     /**
-     * Exports Key_device sealed to this enclave's identity so a later
-     * SM instance on the same platform can skip the manufacturer
-     * round trip (standard SGX practice; ablation-benched).
+     * Exports Key_device of the active device sealed to this
+     * enclave's identity so a later SM instance on the same platform
+     * can skip the manufacturer round trip (standard SGX practice;
+     * ablation-benched).
      * @return empty when no device key is held.
      */
     Bytes exportSealedDeviceKey() const;
 
     /**
-     * Imports a sealed device key. Fails (returns false) when the
-     * blob was sealed by a different enclave identity or platform, or
-     * was tampered with.
+     * Imports a sealed device key for the active device. Fails
+     * (returns false) when the blob was sealed by a different enclave
+     * identity or platform, or was tampered with.
      */
     bool importSealedDeviceKey(ByteView sealedBlob);
 
@@ -119,9 +160,85 @@ class SmEnclaveApp : public tee::Enclave
      */
     bool reattestCl();
 
+    // ---- Fleet supervision ------------------------------------------
+    /** Outcome of one liveness probe against a pool device. */
+    struct HeartbeatResult
+    {
+        bool reachable = false; ///< the bus produced a sane response
+        bool authentic = false; ///< response MAC verified (or spare)
+        uint64_t count = 0;     ///< fabric beat counter (active dev)
+        std::string failure;
+        bool ok() const { return reachable && authentic; }
+    };
+
+    /**
+     * Probes one pool device. The active, attested device answers a
+     * SipHash-MAC'd challenge under Key_attest whose response binds a
+     * monotone beat count — a shell cannot forge or replay "alive".
+     * Spares (no CL, no injected secrets yet) get a plain bus-sanity
+     * probe; their authenticity is established later by the cascaded
+     * attestation that failover re-runs.
+     */
+    HeartbeatResult heartbeatDevice(uint32_t deviceId);
+
+    /**
+     * Fails the session over to another pool device. The current
+     * session secrets are retired (fingerprinted, then wiped) — key
+     * material bound to the old device is never reused — and the
+     * deployment state resets so the next runSecureBoot targets the
+     * new device with a fresh Key_session/Ctr_session.
+     */
+    bool setActiveDevice(uint32_t deviceId);
+
+    uint32_t activeDevice() const { return activeDevice_; }
+    size_t deviceCount() const { return devices_.size(); }
+
+    /** SHA-256 fingerprint of the live session secrets (empty when
+     *  none). Tests assert freshness across failover with this. */
+    Bytes secretsFingerprint() const;
+    /** True when `fp` names a retired (dead-device) secret set. */
+    bool everRetiredFingerprint(ByteView fp) const;
+
+    // ---- Crash recovery ----------------------------------------------
+    enum class RecoveryStatus {
+        NoJournal,  ///< fresh start, nothing persisted yet
+        Recovered,  ///< journal adopted, devices re-attested
+        RolledBack, ///< journal older than the monotonic counter
+        Corrupt,    ///< seal/parse failure
+    };
+
+    struct RecoveryReport
+    {
+        RecoveryStatus status = RecoveryStatus::NoJournal;
+        uint64_t version = 0; ///< adopted journal version
+        uint64_t counter = 0; ///< monotonic counter at rehydration
+        uint32_t reattestFailures = 0;
+        std::string detail;
+    };
+
+    /**
+     * Rehydrates a restarted SM instance from the host-stored sealed
+     * journal. Rejects rollbacks (journal version behind the platform
+     * monotonic counter) and corrupt blobs by FAILING CLOSED: the
+     * enclave then refuses channel traffic until redeployed from
+     * scratch. On success every device the journal claims attested is
+     * re-attested before traffic is served.
+     */
+    RecoveryReport rehydrate();
+
+    /** True when a failed recovery latched the enclave shut. */
+    bool failedClosed() const { return failClosed_; }
+
+    /** Journal commits so far — the crash-sweep tests enumerate
+     *  injection points with this. */
+    uint64_t journalWrites() const { return journalSeq_; }
+
     // ---- Introspection (trusted-side, used by tests/benches) --------
     const ClBootStatus &bootStatus() const { return status_; }
-    bool haveDeviceKey() const { return haveDeviceKey_; }
+    bool haveDeviceKey() const
+    {
+        return deviceKeys_.count(activeDna()) != 0;
+    }
 
   private:
     Bytes handlePlainRequest(ByteView plain);
@@ -142,14 +259,29 @@ class SmEnclaveApp : public tee::Enclave
     void adoptPendingRekey();
     void clearPendingRekey();
 
+    shell::Shell &activeShell() const;
+    uint64_t activeDna() const;
+    /** Fingerprints + wipes the live secrets (no-op when none). */
+    void retireCurrentSecrets();
+    /** Next strictly-increasing session counter; extends the
+     *  journal's write-ahead reservation before handing out a value
+     *  past it, so a crash can never re-issue a counter the fabric
+     *  already consumed. */
+    uint64_t nextSessionCtr();
+    /** Persists the deployment table + session metadata: seal, store
+     *  at version counter+1, then increment the counter. Crash points
+     *  before and after the store are fault-injectable. */
+    void commitJournal();
+    SmJournal buildJournal() const;
+
     SmEnclaveDeps deps_;
     std::unique_ptr<tee::LocalAttestResponder> la_;
     uint64_t channelSeq_ = 0;
 
     ClMetadata metadata_;
     bool haveMetadata_ = false;
-    Bytes deviceKey_;
-    bool haveDeviceKey_ = false;
+    /** Key_device per DeviceDNA (one manufacturer round trip each). */
+    std::map<uint64_t, Bytes> deviceKeys_;
     ClSecrets secrets_;
     bool haveSecrets_ = false;
     uint64_t sessionCtr_ = 0;
@@ -160,6 +292,17 @@ class SmEnclaveApp : public tee::Enclave
     Bytes pendingRekeyMacKey_;
     uint64_t pendingRekeyNonce_ = 0;
     bool havePendingRekey_ = false;
+
+    // ---- Fleet + journal state --------------------------------------
+    std::vector<SmDeviceBinding> devices_;
+    uint32_t activeDevice_ = 0;
+    /** Write-ahead session-counter reservation persisted in the
+     *  journal; restart resumes past it, never inside it. */
+    uint64_t ctrReserve_ = 0;
+    /** Fingerprints of every secret set ever retired. */
+    std::set<Bytes> retiredFingerprints_;
+    uint64_t journalSeq_ = 0;
+    bool failClosed_ = false;
 };
 
 } // namespace salus::core

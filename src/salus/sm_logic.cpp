@@ -77,6 +77,10 @@ SmLogic::readRegister(uint32_t addr)
         return statRegOpOk_;
       case kSmRegStatRegOpRejected:
         return statRegOpRejected_;
+      case kSmRegStatHeartbeatOk:
+        return statHeartbeatOk_;
+      case kSmRegStatHeartbeatRejected:
+        return statHeartbeatRejected_;
       default:
         // Secrets and inputs are never readable from the bus.
         return 0;
@@ -122,6 +126,9 @@ SmLogic::execute(uint64_t cmd)
       case kSmCmdRekey:
         doRekey();
         break;
+      case kSmCmdHeartbeat:
+        doHeartbeat();
+        break;
       default:
         status_ = kSmStatusRejected;
         break;
@@ -146,6 +153,28 @@ SmLogic::doAttest()
     out_[0] = nonce + 1;
     out_[1] = regchan::attestResponseMac(keyAttest_, nonce, dna_);
     ++statAttestOk_;
+    status_ = kSmStatusOk;
+}
+
+void
+SmLogic::doHeartbeat()
+{
+    // Liveness probe: same trust anchor as attestation (Key_attest),
+    // but cheap enough to poll. The response binds a monotone beat
+    // count so a recorded "alive" cannot be replayed later.
+    uint64_t nonce = in_[0];
+    uint64_t macReq = in_[1];
+
+    if (macReq != regchan::heartbeatRequestMac(keyAttest_, nonce, dna_)) {
+        ++statHeartbeatRejected_;
+        status_ = kSmStatusRejected;
+        return;
+    }
+    uint64_t count = ++statHeartbeatOk_;
+    out_[0] = nonce + 1;
+    out_[1] = count;
+    out_[2] =
+        regchan::heartbeatResponseMac(keyAttest_, nonce, dna_, count);
     status_ = kSmStatusOk;
 }
 

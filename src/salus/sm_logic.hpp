@@ -43,12 +43,17 @@ constexpr uint64_t kSmCmdSecureReg = 2;
 /** Session re-key (extension): roll Key_session forward from a MACed
  *  nonce; see regchan::deriveRekeyedKeys. */
 constexpr uint64_t kSmCmdRekey = 3;
+/** MAC'd liveness probe (fleet supervision): prove the CL is alive
+ *  and still holds this deployment's Key_attest. */
+constexpr uint64_t kSmCmdHeartbeat = 4;
 
 /** Read-only diagnostic counters (non-secret, like AXI status regs). */
 constexpr uint32_t kSmRegStatAttestOk = 0x80;
 constexpr uint32_t kSmRegStatAttestRejected = 0x88;
 constexpr uint32_t kSmRegStatRegOpOk = 0x90;
 constexpr uint32_t kSmRegStatRegOpRejected = 0x98;
+constexpr uint32_t kSmRegStatHeartbeatOk = 0xa0;
+constexpr uint32_t kSmRegStatHeartbeatRejected = 0xa8;
 
 /** STATUS values. */
 constexpr uint64_t kSmStatusIdle = 0;
@@ -75,6 +80,7 @@ class SmLogic : public fpga::IpBehavior
     void doAttest();
     void doSecureReg();
     void doRekey();
+    void doHeartbeat();
 
     // Secrets as configured in BRAM (bitstream-manipulated values).
     Bytes keyAttest_;
@@ -95,6 +101,8 @@ class SmLogic : public fpga::IpBehavior
     uint64_t statAttestRejected_ = 0;
     uint64_t statRegOpOk_ = 0;
     uint64_t statRegOpRejected_ = 0;
+    uint64_t statHeartbeatOk_ = 0;
+    uint64_t statHeartbeatRejected_ = 0;
 };
 
 } // namespace salus::core

@@ -1,0 +1,246 @@
+#include "salus/supervisor.hpp"
+
+#include "common/log.hpp"
+#include "common/serde.hpp"
+
+namespace salus::core {
+
+// ---- Fleet wire messages --------------------------------------------
+
+Bytes
+HeartbeatRequest::serialize() const
+{
+    BinaryWriter w;
+    w.writeU32(deviceId);
+    w.writeU64(nonce);
+    return w.take();
+}
+
+HeartbeatRequest
+HeartbeatRequest::deserialize(ByteView data)
+{
+    BinaryReader r(data);
+    HeartbeatRequest m;
+    m.deviceId = r.readU32();
+    m.nonce = r.readU64();
+    return m;
+}
+
+Bytes
+HeartbeatResponse::serialize() const
+{
+    BinaryWriter w;
+    w.writeU8(reachable);
+    w.writeU8(authentic);
+    w.writeU64(count);
+    w.writeU64(nonceEcho);
+    w.writeString(failure);
+    return w.take();
+}
+
+HeartbeatResponse
+HeartbeatResponse::deserialize(ByteView data)
+{
+    BinaryReader r(data);
+    HeartbeatResponse m;
+    m.reachable = r.readU8();
+    m.authentic = r.readU8();
+    if (m.reachable > 1 || m.authentic > 1)
+        throw SerdeError("bad heartbeat flag");
+    m.count = r.readU64();
+    m.nonceEcho = r.readU64();
+    m.failure = r.readString();
+    return m;
+}
+
+Bytes
+FailoverRecord::serialize() const
+{
+    BinaryWriter w;
+    w.writeU32(fromDevice);
+    w.writeU32(toDevice);
+    w.writeU64(atNanos);
+    w.writeString(reason);
+    w.writeBytes(oldFingerprint);
+    w.writeBytes(newFingerprint);
+    w.writeU8(attested);
+    w.writeU32(attempts);
+    return w.take();
+}
+
+FailoverRecord
+FailoverRecord::deserialize(ByteView data)
+{
+    BinaryReader r(data);
+    FailoverRecord m;
+    m.fromDevice = r.readU32();
+    m.toDevice = r.readU32();
+    m.atNanos = r.readU64();
+    m.reason = r.readString();
+    m.oldFingerprint = r.readBytes();
+    m.newFingerprint = r.readBytes();
+    m.attested = r.readU8();
+    if (m.attested > 1)
+        throw SerdeError("bad failover flag");
+    m.attempts = r.readU32();
+    return m;
+}
+
+// ---- FleetSupervisor ------------------------------------------------
+
+FleetSupervisor::FleetSupervisor(SupervisorDeps deps)
+    : deps_(std::move(deps))
+{
+    trackers_.assign(deps_.deviceCount,
+                     fpga::HealthTracker(deps_.health));
+}
+
+void
+FleetSupervisor::pollOnce()
+{
+    ++polls_;
+    sim::Nanos now = deps_.clock ? deps_.clock->now() : 0;
+    for (uint32_t d = 0; d < deps_.deviceCount; ++d) {
+        fpga::HealthTracker &t = trackers_[d];
+        t.tick(now);
+        if (t.state() == fpga::HealthState::Quarantined)
+            continue; // pulled from service; probation handles return
+        if (deps_.injector && deps_.injector->onHeartbeat(d)) {
+            t.recordFailure(now, "heartbeat lost in flight");
+            continue;
+        }
+        SmEnclaveApp::HeartbeatResult r = deps_.probe
+                                              ? deps_.probe(d)
+                                              : SmEnclaveApp::HeartbeatResult{};
+        if (r.ok()) {
+            t.recordSuccess(now);
+        } else if (r.reachable && !r.authentic) {
+            // The device answered but the MAC under Key_attest does
+            // not verify: someone between us and the fabric is
+            // fabricating liveness. Permanent quarantine.
+            t.recordForgery(now, r.failure);
+        } else {
+            t.recordFailure(now, r.failure);
+        }
+    }
+    maybeFailover();
+}
+
+void
+FleetSupervisor::runFor(sim::Nanos duration)
+{
+    if (!deps_.clock) {
+        pollOnce();
+        return;
+    }
+    sim::Nanos deadline = deps_.clock->now() + duration;
+    while (deps_.clock->now() < deadline) {
+        deps_.clock->spend("Fleet Heartbeat", deps_.probePeriod);
+        pollOnce();
+    }
+}
+
+void
+FleetSupervisor::noteDeviceFailure(uint32_t deviceId,
+                                   const ErrorContext &ctx)
+{
+    if (deviceId >= trackers_.size())
+        return;
+    sim::Nanos now = deps_.clock ? deps_.clock->now() : 0;
+    // Record-only: this is called from inside the SM enclave's
+    // request path, where a synchronous failover (which re-runs the
+    // whole deployment) would re-enter the channel. The next
+    // pollOnce()/guardedOp() acts on the evidence at top level.
+    trackers_[deviceId].recordFailure(
+        now, ctx.method.empty() ? "retry schedule exhausted"
+                                : ctx.method + ": retry schedule "
+                                               "exhausted");
+}
+
+bool
+FleetSupervisor::guardedOp(const std::function<bool()> &op,
+                           const std::string &what)
+{
+    size_t failoversBefore = failovers_.size();
+    bool ok = op();
+    if (ok)
+        return true;
+    // The op is evidence of trouble; the SM's onDeviceFailure hook
+    // has usually fed the tracker already. Decide failover now.
+    maybeFailover();
+    if (failovers_.size() > failoversBefore) {
+        ErrorContext ctx;
+        ctx.method = what;
+        ctx.to = "device-" +
+                 std::to_string(failovers_.back().fromDevice);
+        throw FailoverError(
+            "'" + what + "' did not commit: session failed over to "
+            "device " + std::to_string(failovers_.back().toDevice) +
+            "; the operation is not auto-replayed",
+            ctx);
+    }
+    return false;
+}
+
+std::optional<uint32_t>
+FleetSupervisor::pickSpare() const
+{
+    uint32_t active = deps_.activeDevice ? deps_.activeDevice() : 0;
+    std::optional<uint32_t> degraded;
+    for (uint32_t d = 0; d < deps_.deviceCount; ++d) {
+        if (d == active)
+            continue;
+        switch (trackers_[d].state()) {
+          case fpga::HealthState::Healthy:
+            return d;
+          case fpga::HealthState::Degraded:
+          case fpga::HealthState::Probation:
+            if (!degraded)
+                degraded = d;
+            break;
+          default:
+            break;
+        }
+    }
+    return degraded;
+}
+
+void
+FleetSupervisor::maybeFailover()
+{
+    if (failingOver_ || !deps_.activeDevice || !deps_.failover)
+        return;
+    uint32_t active = deps_.activeDevice();
+    if (active >= trackers_.size() ||
+        trackers_[active].state() != fpga::HealthState::Quarantined)
+        return;
+
+    std::optional<uint32_t> spare = pickSpare();
+    if (!spare) {
+        logf(LogLevel::Warn, "supervisor",
+             "active device ", active,
+             " quarantined but no spare remains");
+        return;
+    }
+    std::string reason = trackers_[active].lastReason();
+    logf(LogLevel::Info, "supervisor", "failing over ", active, " -> ",
+         *spare, ": ", reason);
+    sim::Nanos startedAt = deps_.clock ? deps_.clock->now() : 0;
+    failingOver_ = true;
+    FailoverRecord rec;
+    try {
+        rec = deps_.failover(active, *spare, reason);
+    } catch (...) {
+        failingOver_ = false;
+        throw;
+    }
+    failingOver_ = false;
+    rec.fromDevice = active;
+    rec.toDevice = *spare;
+    rec.atNanos = startedAt;
+    if (rec.reason.empty())
+        rec.reason = reason;
+    failovers_.push_back(std::move(rec));
+}
+
+} // namespace salus::core

@@ -1,5 +1,7 @@
 #include "salus/testbed.hpp"
 
+#include <algorithm>
+
 #include "bitstream/compiler.hpp"
 #include "common/errors.hpp"
 #include "crypto/sha256.hpp"
@@ -26,45 +28,47 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config))
     platform_ = std::make_unique<tee::TeePlatform>("platform-1", *rng_);
     manufacturer_->provisionPlatform(*platform_);
     manufacturer_->allowSmEnclave(SmEnclaveApp::defaultMeasurement());
-    device_ = manufacturer_->manufactureFpga(config_.deviceModel);
 
-    // --- cloud instance ----------------------------------------------
-    if (config_.maliciousShell) {
-        auto mal = std::make_unique<shell::MaliciousShell>(
-            *device_, clock_, config_.cost, config_.attackPlan);
-        malicious_ = mal.get();
-        shell_ = std::move(mal);
-    } else {
-        shell_ = std::make_unique<shell::Shell>(*device_, clock_,
-                                                config_.cost);
+    // --- cloud instance: the FPGA pool -------------------------------
+    // Every device is individually manufactured (own eFUSE Key_device,
+    // own DeviceDNA) and fronted by its own shell; the CSP ships the
+    // same (possibly malicious) shell build on all of them. One fault
+    // fabric spans all layers; device-scoped rules select by index.
+    uint32_t count = std::max<uint32_t>(1, config_.deviceCount);
+    for (uint32_t i = 0; i < count; ++i) {
+        DeviceSlot slot;
+        slot.device = manufacturer_->manufactureFpga(config_.deviceModel);
+        slot.device->setDeviceIndex(i);
+        slot.device->setFaultInjector(injector_.get());
+        if (config_.maliciousShell) {
+            auto mal = std::make_unique<shell::MaliciousShell>(
+                *slot.device, clock_, config_.cost, config_.attackPlan);
+            slot.malicious = mal.get();
+            slot.shell = std::move(mal);
+        } else {
+            slot.shell = std::make_unique<shell::Shell>(
+                *slot.device, clock_, config_.cost);
+        }
+        slot.shell->setDeviceIndex(i);
+        slot.shell->setFaultInjector(injector_.get());
+        slots_.push_back(std::move(slot));
     }
-
-    // One fault fabric across all three layers: RPC links, the PCIe
-    // register path and the configuration port.
-    device_->setFaultInjector(injector_.get());
-    shell_->setFaultInjector(injector_.get());
 
     network_ = std::make_unique<net::Network>(clock_, config_.cost);
     network_->setFaultInjector(injector_.get());
     network_->addEndpoint(endpoints::kUserClient);
     network_->addEndpoint(endpoints::kCloudHost);
     network_->addEndpoint(endpoints::kManufacturer);
+    network_->addEndpoint(endpoints::kSupervisor);
     network_->link(endpoints::kUserClient, endpoints::kCloudHost,
                    sim::LinkKind::Wan);
     network_->link(endpoints::kCloudHost, endpoints::kManufacturer,
                    sim::LinkKind::IntraCloud);
+    network_->link(endpoints::kSupervisor, endpoints::kCloudHost,
+                   sim::LinkKind::IntraCloud);
 
     // --- enclave applications ----------------------------------------
-    SmEnclaveDeps smDeps;
-    smDeps.shell = shell_.get();
-    smDeps.network = network_.get();
-    smDeps.selfEndpoint = endpoints::kCloudHost;
-    smDeps.manufacturerEndpoint = endpoints::kManufacturer;
-    smDeps.instanceDeviceDna = device_->dna().value;
-    smDeps.fetchBitstream = [this] { return storedBitstream_; };
-    smDeps.retry = config_.retry;
-    smDeps.sim = simHooks();
-    smApp_ = std::make_unique<SmEnclaveApp>(*platform_, smDeps);
+    smApp_ = std::make_unique<SmEnclaveApp>(*platform_, makeSmDeps());
 
     SmTransport transport;
     transport.la1 = [this](ByteView m) { return smApp_->laAnswer(m); };
@@ -75,6 +79,48 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config))
     userApp_ = std::make_unique<UserEnclaveApp>(
         *platform_, config_.userImage, SmEnclaveApp::defaultMeasurement(),
         transport, simHooks());
+
+    // --- fleet supervisor --------------------------------------------
+    SupervisorDeps supDeps;
+    supDeps.clock = &clock_;
+    supDeps.injector = injector_.get();
+    supDeps.deviceCount = count;
+    supDeps.health = config_.health;
+    supDeps.probePeriod = config_.heartbeatPeriod;
+    supDeps.probe = [this](uint32_t deviceId) {
+        HeartbeatRequest req;
+        req.deviceId = deviceId;
+        req.nonce = rng_->nextU64();
+        SmEnclaveApp::HeartbeatResult res;
+        // No retries here: the supervisor's circuit breaker IS the
+        // retry policy; masking lost probes would blind it.
+        net::CallOutcome out = network_->callWithRetry(
+            endpoints::kSupervisor, endpoints::kCloudHost, "heartbeat",
+            req.serialize(), net::RetryPolicy::none(),
+            "Fleet Heartbeat");
+        if (!out.ok()) {
+            res.failure = "probe transport: " + out.error;
+            return res;
+        }
+        try {
+            HeartbeatResponse rsp =
+                HeartbeatResponse::deserialize(out.response);
+            res.reachable = rsp.reachable != 0;
+            res.authentic = rsp.authentic != 0;
+            res.count = rsp.count;
+            res.failure = rsp.failure;
+        } catch (const SalusError &e) {
+            res.failure = std::string("malformed probe response: ") +
+                          e.what();
+        }
+        return res;
+    };
+    supDeps.failover = [this](uint32_t from, uint32_t to,
+                              const std::string &reason) {
+        return performFailover(from, to, reason);
+    };
+    supDeps.activeDevice = [this] { return smApp_->activeDevice(); };
+    supervisor_ = std::make_unique<FleetSupervisor>(std::move(supDeps));
 
     // --- RPC handlers --------------------------------------------------
     network_->on(endpoints::kManufacturer, "keyRequest",
@@ -112,6 +158,26 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config))
                      ack[0] = userApp_->acceptDataKey(req) ? 1 : 0;
                      return ack;
                  });
+    network_->on(endpoints::kCloudHost, "heartbeat",
+                 [this](ByteView req) {
+                     HeartbeatRequest parsed;
+                     try {
+                         parsed = HeartbeatRequest::deserialize(req);
+                     } catch (const SalusError &) {
+                         HeartbeatResponse bad;
+                         bad.failure = "malformed heartbeat request";
+                         return bad.serialize();
+                     }
+                     SmEnclaveApp::HeartbeatResult r =
+                         smApp_->heartbeatDevice(parsed.deviceId);
+                     HeartbeatResponse rsp;
+                     rsp.reachable = r.reachable ? 1 : 0;
+                     rsp.authentic = r.authentic ? 1 : 0;
+                     rsp.count = r.count;
+                     rsp.nonceEcho = parsed.nonce + 1;
+                     rsp.failure = r.failure;
+                     return rsp.serialize();
+                 });
 }
 
 Testbed::~Testbed() = default;
@@ -122,23 +188,85 @@ Testbed::simHooks()
     return SimHooks{&clock_, &config_.cost};
 }
 
-bool
-Testbed::restartSmApp(ByteView sealedDeviceKey)
+uint32_t
+Testbed::activeDevice() const
+{
+    return smApp_ ? smApp_->activeDevice() : 0;
+}
+
+SmEnclaveDeps
+Testbed::makeSmDeps()
 {
     SmEnclaveDeps smDeps;
-    smDeps.shell = shell_.get();
+    smDeps.shell = slots_.at(0).shell.get();
     smDeps.network = network_.get();
     smDeps.selfEndpoint = endpoints::kCloudHost;
     smDeps.manufacturerEndpoint = endpoints::kManufacturer;
-    smDeps.instanceDeviceDna = device_->dna().value;
+    smDeps.instanceDeviceDna = slots_.at(0).device->dna().value;
+    for (const DeviceSlot &slot : slots_)
+        smDeps.devices.push_back(
+            {slot.shell.get(), slot.device->dna().value});
     smDeps.fetchBitstream = [this] { return storedBitstream_; };
     smDeps.retry = config_.retry;
     smDeps.sim = simHooks();
-    smApp_ = std::make_unique<SmEnclaveApp>(*platform_, smDeps);
+    smDeps.fault = injector_.get();
+    smDeps.storeJournal = [this](ByteView blob) {
+        journalStore_.assign(blob.begin(), blob.end());
+    };
+    smDeps.fetchJournal = [this] { return journalStore_; };
+    smDeps.onDeviceFailure = [this](uint32_t deviceId,
+                                    const ErrorContext &ctx) {
+        if (supervisor_)
+            supervisor_->noteDeviceFailure(deviceId, ctx);
+    };
+    return smDeps;
+}
 
+void
+Testbed::rebuildSmApp()
+{
+    smApp_ = std::make_unique<SmEnclaveApp>(*platform_, makeSmDeps());
+}
+
+bool
+Testbed::restartSmApp(ByteView sealedDeviceKey)
+{
+    rebuildSmApp();
     if (sealedDeviceKey.empty())
         return true;
     return smApp_->importSealedDeviceKey(sealedDeviceKey);
+}
+
+SmEnclaveApp::RecoveryReport
+Testbed::crashAndRecoverSmApp()
+{
+    rebuildSmApp();
+    return smApp_->rehydrate();
+}
+
+FailoverRecord
+Testbed::performFailover(uint32_t from, uint32_t to,
+                         const std::string &reason)
+{
+    FailoverRecord rec;
+    rec.fromDevice = from;
+    rec.toDevice = to;
+    rec.reason = reason;
+    // Fingerprint the dying session BEFORE the switch retires it.
+    rec.oldFingerprint = smApp_->secretsFingerprint();
+    if (!smApp_->setActiveDevice(to))
+        return rec; // no such spare; record stays un-attested
+
+    // Re-run the ENTIRE deployment flow against the new DeviceDNA:
+    // Key_device fetch (manufacturer round trip) for the spare, RoT
+    // injection into a fresh bitstream copy, and the full cascaded
+    // attestation from the user client down. Nothing from the dead
+    // device's session survives.
+    UserClient::Outcome out = runDeployment();
+    rec.attested = out.ok ? 1 : 0;
+    rec.attempts = uint32_t(std::max(0, out.attempts));
+    rec.newFingerprint = smApp_->secretsFingerprint();
+    return rec;
 }
 
 void

@@ -5,6 +5,12 @@
  * of §6.1 (user client / cloud instance / manufacturer server). This
  * is the top of the public API — examples, integration tests and the
  * boot-time benches all drive a Testbed.
+ *
+ * The testbed owns a POOL of FPGA devices (deviceCount, default 1 for
+ * the paper's single-device flows). Each device has its own eFUSE
+ * Key_device, DeviceDNA, shell and fault-injector wiring; the SM
+ * enclave holds the per-device deployment table, and a
+ * FleetSupervisor watches heartbeats and drives attested failover.
  */
 
 #ifndef SALUS_SALUS_TESTBED_HPP
@@ -16,6 +22,7 @@
 #include "salus/cl_builder.hpp"
 #include "salus/developer.hpp"
 #include "salus/sm_enclave.hpp"
+#include "salus/supervisor.hpp"
 #include "salus/user_client.hpp"
 #include "salus/user_enclave.hpp"
 #include "shell/attacks.hpp"
@@ -27,7 +34,10 @@ struct TestbedConfig
 {
     fpga::DeviceModelInfo deviceModel = fpga::testModel();
     uint64_t rngSeed = 1;
-    /** Use a MaliciousShell with this plan instead of an honest one. */
+    /** Size of the FPGA pool (device 0 starts active). */
+    uint32_t deviceCount = 1;
+    /** Use MaliciousShells with this plan instead of honest ones
+     *  (the CSP ships the same shell on every device). */
     bool maliciousShell = false;
     shell::AttackPlan attackPlan;
     /** Seeded deterministic fault schedule (default: fault-free). */
@@ -37,6 +47,10 @@ struct TestbedConfig
      *  is trace-identical with retries on or off, since backoff is
      *  only charged after a failure). */
     net::RetryPolicy retry = net::RetryPolicy::standard();
+    /** Health-breaker tuning for the fleet supervisor. */
+    fpga::HealthPolicy health;
+    /** Watchdog poll period on the virtual clock. */
+    sim::Nanos heartbeatPeriod = 10 * sim::kMs;
     /** Cost model for the virtual clock (defaults: paper calibration). */
     sim::CostModel cost;
     /** The developer's user-enclave build. */
@@ -50,6 +64,7 @@ namespace endpoints {
 inline const char *const kUserClient = "user-client";
 inline const char *const kCloudHost = "cloud-host";
 inline const char *const kManufacturer = "mft-server";
+inline const char *const kSupervisor = "fleet-supervisor";
 } // namespace endpoints
 
 /** A complete simulated deployment. */
@@ -96,12 +111,34 @@ class Testbed
     sim::FaultInjector &faultInjector() { return *injector_; }
     manufacturer::Manufacturer &mft() { return *manufacturer_; }
     tee::TeePlatform &teePlatform() { return *platform_; }
-    fpga::FpgaDevice &device() { return *device_; }
-    shell::Shell &shell() { return *shell_; }
-    /** Non-null only when configured malicious. */
-    shell::MaliciousShell *maliciousShell() { return malicious_; }
+    /** The ACTIVE device/shell (single-device flows never notice the
+     *  pool exists). */
+    fpga::FpgaDevice &device() { return device(activeDevice()); }
+    shell::Shell &shell() { return shell(activeDevice()); }
+    /** Pool access by index. */
+    fpga::FpgaDevice &device(uint32_t index)
+    {
+        return *slots_.at(index).device;
+    }
+    shell::Shell &shell(uint32_t index)
+    {
+        return *slots_.at(index).shell;
+    }
+    uint32_t deviceCount() const { return uint32_t(slots_.size()); }
+    /** The device currently serving the session. */
+    uint32_t activeDevice() const;
+    /** Non-null only when configured malicious (active device). */
+    shell::MaliciousShell *maliciousShell()
+    {
+        return slots_.at(activeDevice()).malicious;
+    }
+    shell::MaliciousShell *maliciousShell(uint32_t index)
+    {
+        return slots_.at(index).malicious;
+    }
     SmEnclaveApp &smApp() { return *smApp_; }
     UserEnclaveApp &userApp() { return *userApp_; }
+    FleetSupervisor &supervisor() { return *supervisor_; }
     crypto::RandomSource &rng() { return *rng_; }
 
     /** The published CL artifacts (mutable so tests can tamper). */
@@ -112,6 +149,9 @@ class Testbed
     {
         return utilization_;
     }
+    /** Host-side (untrusted) storage of the SM's sealed journal —
+     *  mutable so rollback attacks can be staged. */
+    Bytes &sealedJournal() { return journalStore_; }
 
     /** SimHooks bound to this testbed's clock and cost model. */
     SimHooks simHooks();
@@ -125,25 +165,51 @@ class Testbed
      */
     bool restartSmApp(ByteView sealedDeviceKey = ByteView());
 
+    /**
+     * Simulates an SM-enclave CRASH + restart with journal recovery:
+     * a fresh enclave instance rehydrates from the host-stored sealed
+     * journal (anti-rollback checked, deployed devices re-attested).
+     */
+    SmEnclaveApp::RecoveryReport crashAndRecoverSmApp();
+
+    /**
+     * The full failover sequence the supervisor invokes when the
+     * active device is quarantined: switch the SM to `to` (retiring
+     * the dead device's secrets) and re-run the entire cascaded
+     * attestation against the new DeviceDNA. Exposed for tests.
+     */
+    FailoverRecord performFailover(uint32_t from, uint32_t to,
+                                   const std::string &reason);
+
   private:
+    struct DeviceSlot
+    {
+        std::unique_ptr<fpga::FpgaDevice> device;
+        std::unique_ptr<shell::Shell> shell;
+        shell::MaliciousShell *malicious = nullptr;
+    };
+
+    SmEnclaveDeps makeSmDeps();
+    void rebuildSmApp();
+
     TestbedConfig config_;
     sim::VirtualClock clock_;
     std::unique_ptr<crypto::CtrDrbg> rng_;
     std::unique_ptr<sim::FaultInjector> injector_;
     std::unique_ptr<manufacturer::Manufacturer> manufacturer_;
     std::unique_ptr<tee::TeePlatform> platform_;
-    std::unique_ptr<fpga::FpgaDevice> device_;
-    std::unique_ptr<shell::Shell> shell_;
-    shell::MaliciousShell *malicious_ = nullptr;
+    std::vector<DeviceSlot> slots_;
     std::unique_ptr<net::Network> network_;
     std::unique_ptr<SmEnclaveApp> smApp_;
     std::unique_ptr<UserEnclaveApp> userApp_;
+    std::unique_ptr<FleetSupervisor> supervisor_;
 
     Bytes storedBitstream_;
     ClMetadata metadata_;
     ClLayout layout_;
     netlist::ResourceVector utilization_;
     bool clInstalled_ = false;
+    Bytes journalStore_;
 };
 
 } // namespace salus::core

@@ -5,6 +5,21 @@
 
 namespace salus::shell {
 
+namespace {
+
+// The SM logic's public register map (salus/sm_logic.hpp) — the CSP
+// adversary ships the shell, so of course it knows the ABI.
+constexpr uint32_t kSmCmd = 0x00;
+constexpr uint32_t kSmStatus = 0x08;
+constexpr uint32_t kSmIn0 = 0x10;
+constexpr uint32_t kSmOut0 = 0x30;
+constexpr uint32_t kSmOut1 = 0x38;
+constexpr uint32_t kSmOut2 = 0x40;
+constexpr uint64_t kCmdHeartbeat = 4;
+constexpr uint64_t kStatusOk = 1;
+
+} // namespace
+
 MaliciousShell::MaliciousShell(fpga::FpgaDevice &device,
                                sim::VirtualClock &clock,
                                const sim::CostModel &cost,
@@ -38,6 +53,32 @@ MaliciousShell::deployBitstream(ByteView blob)
 uint64_t
 MaliciousShell::registerRead(pcie::Window window, uint32_t addr)
 {
+    if (forging_ && window == pcie::Window::SmSecure) {
+        // Fabricate an "alive" heartbeat without touching the fabric.
+        // The response MAC is the best the shell can do without
+        // Key_attest: a keyless hash of the nonce.
+        uint64_t fake = 0;
+        switch (addr) {
+          case kSmStatus:
+            fake = kStatusOk;
+            break;
+          case kSmOut0:
+            fake = forgeNonce_ + 1;
+            break;
+          case kSmOut1:
+            fake = ++forgeCount_;
+            break;
+          case kSmOut2:
+            fake = (forgeNonce_ + forgeCount_) *
+                   0x9e3779b97f4a7c15ull; // no Key_attest, no SipHash
+            break;
+          default:
+            break;
+        }
+        if (plan_.snoopRegisters)
+            snoopLog_.push_back({false, window, addr, fake});
+        return fake;
+    }
     uint64_t value = Shell::registerRead(window, addr);
     uint64_t mask = window == pcie::Window::SmSecure
                         ? plan_.smWindowDataTamperMask
@@ -52,6 +93,22 @@ void
 MaliciousShell::registerWrite(pcie::Window window, uint32_t addr,
                               uint64_t data)
 {
+    if (plan_.forgeHeartbeats && window == pcie::Window::SmSecure) {
+        if (addr == kSmIn0)
+            forgeNonce_ = data;
+        if (addr == kSmCmd) {
+            if (data == kCmdHeartbeat) {
+                // Swallow the probe; the fabric never sees it.
+                forging_ = true;
+                if (plan_.snoopRegisters)
+                    snoopLog_.push_back({true, window, addr, data});
+                logf(LogLevel::Info, "attack",
+                     "forging heartbeat response");
+                return;
+            }
+            forging_ = false;
+        }
+    }
     uint64_t mask = window == pcie::Window::SmSecure
                         ? plan_.smWindowDataTamperMask
                         : plan_.directWindowDataTamperMask;

@@ -47,6 +47,16 @@ struct AttackPlan
 
     /** Tamper with DMA payloads (flip first byte). */
     bool tamperDma = false;
+
+    /**
+     * Masking attack on fleet supervision: swallow heartbeat commands
+     * before they reach the fabric and fabricate plausible "alive"
+     * responses (status ok, nonce echo, running beat count). The
+     * forged response MAC cannot be computed without Key_attest, so
+     * the supervisor's MAC check must quarantine the device instead
+     * of trusting the shell's word.
+     */
+    bool forgeHeartbeats = false;
 };
 
 /** A shell under CSP-adversary control. */
@@ -93,6 +103,11 @@ class MaliciousShell : public Shell
     AttackPlan plan_;
     std::vector<pcie::RegisterTxn> snoopLog_;
     Bytes capturedBitstream_;
+    // Heartbeat-forging state: the last nonce the host loaded and
+    // whether the next SM-window reads should be fabricated.
+    uint64_t forgeNonce_ = 0;
+    uint64_t forgeCount_ = 0;
+    bool forging_ = false;
 };
 
 } // namespace salus::shell

@@ -46,7 +46,7 @@ Shell::registerRead(pcie::Window window, uint32_t addr)
     clock_.spend(window == pcie::Window::SmSecure ? cost_.pcieRtt
                                                   : cost_.mmioLatency);
     ++stats_.registerReads;
-    if (fault_ && fault_->onRegisterOp(false, addr)) {
+    if (fault_ && fault_->onRegisterOp(false, addr, deviceIndex_)) {
         // The completion was lost/garbled on the bus; the driver
         // surfaces whatever the timed-out TLP left behind.
         return fault_->garbageWord();
@@ -61,7 +61,7 @@ Shell::registerWrite(pcie::Window window, uint32_t addr, uint64_t data)
     clock_.spend(window == pcie::Window::SmSecure ? cost_.pcieRtt
                                                   : cost_.mmioLatency);
     ++stats_.registerWrites;
-    if (fault_ && fault_->onRegisterOp(true, addr))
+    if (fault_ && fault_->onRegisterOp(true, addr, deviceIndex_))
         return; // posted write lost in flight
     fpga::IpBehavior *target = route(window);
     if (target)

@@ -68,6 +68,11 @@ class Shell
         fault_ = injector;
     }
 
+    /** Fleet position of the device behind this shell; scopes
+     *  device-targeted fault rules (DeviceDead, RegFault.onDevice). */
+    void setDeviceIndex(uint32_t index) { deviceIndex_ = index; }
+    uint32_t deviceIndex() const { return deviceIndex_; }
+
     uint32_t partitionId() const { return partitionId_; }
     fpga::FpgaDevice &device() { return device_; }
 
@@ -91,6 +96,7 @@ class Shell
     sim::VirtualClock &clock_;
     const sim::CostModel &cost_;
     uint32_t partitionId_;
+    uint32_t deviceIndex_ = 0;
     IoStats stats_;
     sim::FaultInjector *fault_ = nullptr;
 };

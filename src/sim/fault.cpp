@@ -29,6 +29,12 @@ siteMatches(const std::string &pattern, const std::string &value)
     return value.compare(0, pattern.size(), pattern) == 0;
 }
 
+bool
+deviceMatches(const FaultRule &rule, uint32_t deviceId)
+{
+    return rule.device == kAnyDevice || rule.device == deviceId;
+}
+
 } // namespace
 
 const char *
@@ -51,6 +57,12 @@ faultKindName(FaultKind kind)
         return "bitstream-load-fail";
       case FaultKind::Seu:
         return "seu";
+      case FaultKind::DeviceDead:
+        return "device-dead";
+      case FaultKind::HeartbeatLoss:
+        return "heartbeat-loss";
+      case FaultKind::SmCrash:
+        return "sm-crash";
     }
     return "?";
 }
@@ -132,6 +144,37 @@ FaultRule::seu(uint32_t partition, uint64_t bitIndex, Nanos notBefore)
     return r;
 }
 
+FaultRule
+FaultRule::deviceDead(uint32_t device, Nanos notBefore)
+{
+    FaultRule r;
+    r.kind = FaultKind::DeviceDead;
+    r.device = device;
+    r.windowStart = notBefore;
+    return r;
+}
+
+FaultRule
+FaultRule::heartbeatLoss(uint32_t device, double p)
+{
+    FaultRule r;
+    r.kind = FaultKind::HeartbeatLoss;
+    r.device = device;
+    r.probability = p;
+    return r;
+}
+
+FaultRule
+FaultRule::smCrash(uint64_t step, bool afterPersist)
+{
+    FaultRule r;
+    r.kind = FaultKind::SmCrash;
+    r.crashStep = step;
+    r.crashAfterPersist = afterPersist;
+    r.maxCount = 1;
+    return r;
+}
+
 FaultRule &
 FaultRule::on(std::string fromEp, std::string toEp,
               std::string methodPrefix)
@@ -161,6 +204,13 @@ FaultRule &
 FaultRule::times(uint32_t count)
 {
     maxCount = count;
+    return *this;
+}
+
+FaultRule &
+FaultRule::onDevice(uint32_t deviceId)
+{
+    device = deviceId;
     return *this;
 }
 
@@ -262,20 +312,86 @@ FaultInjector::onRpc(const std::string &from, const std::string &to,
 }
 
 bool
-FaultInjector::onRegisterOp(bool isWrite, uint32_t addr)
+FaultInjector::onRegisterOp(bool isWrite, uint32_t addr, uint32_t deviceId)
 {
     (void)addr;
     const char *opName = isWrite ? "write" : "read";
+    // A dead device eats every transaction: persistent, no PRNG draw
+    // (so arming death does not perturb the transient-fault stream).
+    for (size_t i = 0; i < plan_.rules.size(); ++i) {
+        FaultRule &r = plan_.rules[i];
+        if (r.kind != FaultKind::DeviceDead || r.device != deviceId)
+            continue;
+        Nanos now = clock_.now();
+        if (now < r.windowStart || now > r.windowEnd)
+            continue;
+        if (firedCount_[i] == 0) { // journal the death once
+            ++firedCount_[i];
+            record(r, "device-" + std::to_string(deviceId));
+        }
+        ++stats_.deviceDeadOps;
+        return true;
+    }
     for (size_t i = 0; i < plan_.rules.size(); ++i) {
         FaultRule &r = plan_.rules[i];
         if (r.kind != FaultKind::RegFault)
             continue;
         if (!r.method.empty() && r.method != opName)
             continue;
+        if (!deviceMatches(r, deviceId))
+            continue;
         if (!fires(i))
             continue;
         record(r, std::string("pcie-") + opName);
         ++stats_.regFaults;
+        return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::deviceDead(uint32_t deviceId)
+{
+    for (const FaultRule &r : plan_.rules) {
+        if (r.kind != FaultKind::DeviceDead || r.device != deviceId)
+            continue;
+        Nanos now = clock_.now();
+        if (now >= r.windowStart && now <= r.windowEnd)
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::onHeartbeat(uint32_t deviceId)
+{
+    for (size_t i = 0; i < plan_.rules.size(); ++i) {
+        FaultRule &r = plan_.rules[i];
+        if (r.kind != FaultKind::HeartbeatLoss ||
+            !deviceMatches(r, deviceId))
+            continue;
+        if (!fires(i))
+            continue;
+        record(r, "device-" + std::to_string(deviceId));
+        ++stats_.heartbeatsLost;
+        return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::onSmJournalWrite(uint64_t step, bool afterPersist)
+{
+    for (size_t i = 0; i < plan_.rules.size(); ++i) {
+        FaultRule &r = plan_.rules[i];
+        if (r.kind != FaultKind::SmCrash || r.crashStep != step ||
+            r.crashAfterPersist != afterPersist)
+            continue;
+        if (!fires(i))
+            continue;
+        record(r, "journal-step-" + std::to_string(step) +
+                      (afterPersist ? " post-store" : " pre-store"));
+        ++stats_.smCrashes;
         return true;
     }
     return false;
@@ -288,10 +404,16 @@ FaultInjector::garbageWord()
 }
 
 bool
-FaultInjector::onBitstreamLoad()
+FaultInjector::onBitstreamLoad(uint32_t deviceId)
 {
+    if (deviceDead(deviceId)) {
+        ++stats_.deviceDeadOps;
+        return true;
+    }
     for (size_t i = 0; i < plan_.rules.size(); ++i) {
         if (plan_.rules[i].kind != FaultKind::BitstreamLoadFail)
+            continue;
+        if (!deviceMatches(plan_.rules[i], deviceId))
             continue;
         if (!fires(i))
             continue;
@@ -303,12 +425,17 @@ FaultInjector::onBitstreamLoad()
 }
 
 std::vector<SeuEvent>
-FaultInjector::takePendingSeus()
+FaultInjector::takePendingSeus(uint32_t deviceId)
 {
     std::vector<SeuEvent> out;
     for (size_t i = 0; i < plan_.rules.size(); ++i) {
         FaultRule &r = plan_.rules[i];
         if (r.kind != FaultKind::Seu)
+            continue;
+        // Unscoped SEU rules target device 0 (the seed's single-device
+        // plans keep their exact meaning on a pool).
+        uint32_t target = r.device == kAnyDevice ? 0 : r.device;
+        if (target != deviceId)
             continue;
         if (!fires(i))
             continue;

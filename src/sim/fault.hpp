@@ -41,9 +41,15 @@ enum class FaultKind : uint8_t {
     RegFault,         ///< PCIe register txn lost (write) / garbage (read)
     BitstreamLoadFail,///< config port reports bad CRC (DecryptFailed)
     Seu,              ///< flip one configuration bit in a partition
+    DeviceDead,       ///< device bricked: all reg ops + loads fail from windowStart
+    HeartbeatLoss,    ///< supervisor liveness probe lost in flight
+    SmCrash,          ///< SM enclave dies at a given journal-write step
 };
 
 const char *faultKindName(FaultKind kind);
+
+/** Device wildcard for device-scoped rules (matches every device). */
+constexpr uint32_t kAnyDevice = ~uint32_t(0);
 
 /** One fault source. Build with the factories, narrow with the fluent
  *  modifiers: FaultRule::dropRpc(0.1).on("", "", "keyRequest").times(3). */
@@ -69,6 +75,12 @@ struct FaultRule
     Nanos delay = 0;             ///< RpcDelay extra latency
     uint32_t partition = 0;      ///< Seu target partition
     uint64_t seuBit = 0;         ///< Seu bit offset within the partition
+    /** Device scope for RegFault / Seu / BitstreamLoadFail /
+     *  DeviceDead / HeartbeatLoss. kAnyDevice = every device (an
+     *  unscoped Seu lands on device 0 for seed compatibility). */
+    uint32_t device = kAnyDevice;
+    uint64_t crashStep = 0;      ///< SmCrash: journal-write index
+    bool crashAfterPersist = false; ///< SmCrash: die after (vs before) the store
 
     // ---- Factories ----------------------------------------------------
     static FaultRule dropRpc(double p);
@@ -80,6 +92,14 @@ struct FaultRule
     static FaultRule bitstreamLoadFail(uint32_t count = 1);
     static FaultRule seu(uint32_t partition, uint64_t bitIndex,
                          Nanos notBefore = 0);
+    /** Permanent device death: from `notBefore` on, every register
+     *  transaction on `device` is lost and every load fails. */
+    static FaultRule deviceDead(uint32_t device, Nanos notBefore = 0);
+    /** Drops supervisor heartbeat probes to `device` with prob. p. */
+    static FaultRule heartbeatLoss(uint32_t device, double p);
+    /** Kills the SM enclave at journal-write number `step`, either
+     *  just before or just after the sealed blob hits storage. */
+    static FaultRule smCrash(uint64_t step, bool afterPersist = false);
 
     // ---- Fluent narrowing ---------------------------------------------
     FaultRule &on(std::string fromEp, std::string toEp,
@@ -87,6 +107,7 @@ struct FaultRule
     FaultRule &match(std::string methodPrefix);
     FaultRule &during(Nanos start, Nanos end);
     FaultRule &times(uint32_t count);
+    FaultRule &onDevice(uint32_t deviceId);
 };
 
 /** A complete, seeded fault schedule. */
@@ -114,11 +135,15 @@ struct FaultStats
     uint64_t regFaults = 0;
     uint64_t loadFailures = 0;
     uint64_t seusInjected = 0;
+    uint64_t deviceDeadOps = 0;   ///< txns/loads eaten by dead devices
+    uint64_t heartbeatsLost = 0;
+    uint64_t smCrashes = 0;
 
     uint64_t total() const
     {
         return rpcDropped + rpcCorrupted + rpcDuplicated + rpcDelayed +
-               rpcReordered + regFaults + loadFailures + seusInjected;
+               rpcReordered + regFaults + loadFailures + seusInjected +
+               deviceDeadOps + heartbeatsLost + smCrashes;
     }
 };
 
@@ -156,18 +181,34 @@ class FaultInjector
 
     /** Consulted by the shell per register transaction. True = the
      *  transaction is lost on the bus. */
-    bool onRegisterOp(bool isWrite, uint32_t addr);
+    bool onRegisterOp(bool isWrite, uint32_t addr,
+                      uint32_t deviceId = 0);
 
     /** Deterministic garbage for a faulted register read. */
     uint64_t garbageWord();
 
     /** Consulted by the device per encrypted-bitstream load. True =
      *  the configuration engine reports a CRC/auth failure. */
-    bool onBitstreamLoad();
+    bool onBitstreamLoad(uint32_t deviceId = 0);
+
+    /** True while a DeviceDead rule's window covers `deviceId` now
+     *  (pure query: no PRNG draw, no stats). */
+    bool deviceDead(uint32_t deviceId);
+
+    /** Consulted per supervisor heartbeat probe. True = the probe (or
+     *  its completion) vanished in flight. */
+    bool onHeartbeat(uint32_t deviceId);
+
+    /** Consulted by the SM enclave around each sealed-journal commit
+     *  (`step` is the commit index, `afterPersist` distinguishes the
+     *  pre-store and post-store crash points). True = the enclave
+     *  dies here. */
+    bool onSmJournalWrite(uint64_t step, bool afterPersist);
 
     /** Drains SEU rules whose window is open (each fires once per
-     *  allowed count); the device applies them to its frames. */
-    std::vector<SeuEvent> takePendingSeus();
+     *  allowed count); the device applies them to its frames. An
+     *  unscoped (kAnyDevice) SEU rule targets device 0. */
+    std::vector<SeuEvent> takePendingSeus(uint32_t deviceId = 0);
 
     /** Appends a rule at runtime (tests arm faults mid-scenario). */
     void arm(FaultRule rule);

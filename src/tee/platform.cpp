@@ -58,6 +58,31 @@ TeePlatform::pckCertificate() const
     return pck_;
 }
 
+uint64_t
+TeePlatform::monotonicRead(const std::string &counterId) const
+{
+    auto it = monotonicCounters_.find(counterId);
+    return it == monotonicCounters_.end() ? 0 : it->second;
+}
+
+uint64_t
+TeePlatform::monotonicIncrement(const std::string &counterId)
+{
+    return ++monotonicCounters_[counterId];
+}
+
+void
+TeePlatform::monotonicAdvanceTo(const std::string &counterId,
+                                uint64_t value)
+{
+    uint64_t current = monotonicRead(counterId);
+    if (value < current)
+        throw TeeError("monotonic counter cannot move backward");
+    if (value > current + 1)
+        throw TeeError("monotonic counter advance exceeds one step");
+    monotonicCounters_[counterId] = value;
+}
+
 Bytes
 TeePlatform::reportKeyFor(const Measurement &mrenclave) const
 {
@@ -104,10 +129,10 @@ Enclave::Enclave(TeePlatform &platform, EnclaveImage image)
       signer_(image_.signerMeasurement())
 {
     // Per-enclave DRBG; unique per (platform, enclave, instance).
-    static uint64_t instanceCounter = 0;
     Bytes seedMaterial = concatBytes(
         {platform_.rootSealKey_, measurement_,
-         bytesFromString(std::to_string(instanceCounter++))});
+         bytesFromString(
+             std::to_string(platform_.enclaveInstances_++))});
     rng_ = std::make_unique<crypto::CtrDrbg>(seedMaterial);
 }
 

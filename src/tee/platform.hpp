@@ -17,6 +17,7 @@
 #ifndef SALUS_TEE_PLATFORM_HPP
 #define SALUS_TEE_PLATFORM_HPP
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -82,6 +83,29 @@ class TeePlatform
     /** Measurement reports must target to be quotable. */
     const Measurement &quotingTarget() const { return qeMeasurement_; }
 
+    // ---- Hardware monotonic counters --------------------------------
+    // SGX platform-service counter analog: named, non-volatile,
+    // forward-only. Enclaves version sealed state against them to
+    // detect rollback of (untrusted) persistent storage across
+    // restarts. Counters outlive enclave instances by construction —
+    // they live on the platform, not in the enclave object.
+
+    /** Current value of a named counter (0 if never touched). */
+    uint64_t monotonicRead(const std::string &counterId) const;
+
+    /** Atomically bumps a named counter; returns the new value. */
+    uint64_t monotonicIncrement(const std::string &counterId);
+
+    /**
+     * Forward-only catch-up for the store-then-increment crash
+     * window: a freshly unsealed journal may prove version
+     * counter+1 was durably stored before the increment landed.
+     * @throws TeeError when `value` is behind the counter or more
+     *         than one step ahead (either would break rollback
+     *         protection).
+     */
+    void monotonicAdvanceTo(const std::string &counterId, uint64_t value);
+
   private:
     friend class Enclave;
 
@@ -98,6 +122,12 @@ class TeePlatform
     Measurement qeMeasurement_;
     PckCertificate pck_;
     bool provisioned_ = false;
+    std::map<std::string, uint64_t> monotonicCounters_;
+    /** Loaded-enclave count; salts each instance's DRBG so a fresh
+     *  instance of the same image never replays its predecessor's
+     *  random stream (kept per-platform, not process-global, so two
+     *  same-seed testbeds stay trace-identical). */
+    uint64_t enclaveInstances_ = 0;
 };
 
 /**

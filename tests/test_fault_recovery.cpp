@@ -354,10 +354,19 @@ TEST(NetFaults, ExhaustedRetriesReportLastContext)
     NetRig rig(std::move(plan));
 
     net::RetryPolicy policy = net::RetryPolicy::standard();
+    bool exhaustedHookFired = false;
+    policy.onExhausted = [&](const ErrorContext &ctx) {
+        exhaustedHookFired = true;
+        EXPECT_EQ(ctx.attempt, policy.maxAttempts);
+    };
     auto out = rig.net.callWithRetry("a", "b", "ping", Bytes{1},
                                      policy);
     EXPECT_FALSE(out.ok());
-    EXPECT_EQ(out.failure, net::FailureClass::Transport);
+    // A bounded schedule exhausted by transport faults is PERSISTENT:
+    // the caller must stop hammering and let the fleet supervisor
+    // decide (failover, quarantine).
+    EXPECT_EQ(out.failure, net::FailureClass::Persistent);
+    EXPECT_TRUE(exhaustedHookFired);
     EXPECT_EQ(out.attempts, policy.maxAttempts);
     EXPECT_EQ(out.context.attempt, policy.maxAttempts);
     EXPECT_NE(out.error.find("attempts"), std::string::npos);
@@ -372,14 +381,24 @@ TEST(NetFaults, DeadlineSurfacesAsTimeout)
     EXPECT_THROW(rig.net.call("a", "b", "ping", Bytes{1}, "",
                               1 * sim::kSec),
                  TimeoutError);
-    // TimeoutError is-a NetError so legacy catch sites keep working,
-    // but callWithRetry classifies it separately.
+    // TimeoutError is-a NetError so legacy catch sites keep working.
+    // With retries enabled the exhausted schedule reclassifies to
+    // Persistent; the timeout itself stays visible in the message.
     net::RetryPolicy policy = net::RetryPolicy::standard();
     policy.deadline = 1 * sim::kSec;
     auto out = rig.net.callWithRetry("a", "b", "ping", Bytes{1},
                                      policy);
     EXPECT_FALSE(out.ok());
-    EXPECT_EQ(out.failure, net::FailureClass::Timeout);
+    EXPECT_EQ(out.failure, net::FailureClass::Persistent);
+    EXPECT_NE(out.error.find("exceeded deadline"), std::string::npos);
+
+    // Without retries (single attempt) the class is untouched.
+    net::RetryPolicy once = net::RetryPolicy::none();
+    once.deadline = 1 * sim::kSec;
+    auto single = rig.net.callWithRetry("a", "b", "ping", Bytes{1},
+                                        once);
+    EXPECT_FALSE(single.ok());
+    EXPECT_EQ(single.failure, net::FailureClass::Timeout);
 }
 
 TEST(NetFaults, DuplicateDeliversPayloadTwice)

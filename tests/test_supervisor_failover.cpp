@@ -1,0 +1,671 @@
+/**
+ * @file
+ * Fleet supervision tests: the per-device health breaker, MAC'd
+ * heartbeats, attested session failover with key-freshness
+ * guarantees, SM-enclave crash recovery (journal sweep + rollback
+ * rejection), and the serde round trips of every fleet message.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/errors.hpp"
+#include "common/serde.hpp"
+#include "fpga/health.hpp"
+#include "salus/sm_logic.hpp"
+#include "salus/supervisor.hpp"
+#include "salus/testbed.hpp"
+
+using namespace salus;
+using namespace salus::core;
+
+namespace {
+
+netlist::Cell
+loopbackAccel(const char *name = "engine")
+{
+    netlist::Cell accel;
+    accel.path = name;
+    accel.kind = netlist::CellKind::Logic;
+    accel.behaviorId = fpga::kIpLoopback;
+    accel.resources = {100, 100, 0, 0};
+    return accel;
+}
+
+/** Aggressive breaker tuning so tests trip in a handful of polls. */
+fpga::HealthPolicy
+fastHealth()
+{
+    fpga::HealthPolicy h;
+    h.windowSize = 4;
+    h.minSamples = 2;
+    h.degradeThreshold = 0.3;
+    h.quarantineThreshold = 0.6;
+    h.probationAfter = 200 * sim::kMs;
+    h.probationSuccesses = 2;
+    return h;
+}
+
+} // namespace
+
+// ---- HealthTracker unit behaviour -----------------------------------
+
+TEST(HealthTracker, EscalatesThroughDegradedToQuarantined)
+{
+    fpga::HealthTracker t(fastHealth());
+    EXPECT_EQ(t.state(), fpga::HealthState::Healthy);
+
+    t.recordSuccess(0);
+    t.recordFailure(1 * sim::kMs, "lost probe");
+    // 1/2 failures >= 0.3 => degraded (but not yet 0.6 with 2 samples?
+    // 0.5 < 0.6, so degraded only).
+    EXPECT_EQ(t.state(), fpga::HealthState::Degraded);
+
+    t.recordFailure(2 * sim::kMs, "lost probe");
+    // window 3 samples, rate 2/3 >= 0.6 => quarantined.
+    EXPECT_EQ(t.state(), fpga::HealthState::Quarantined);
+    EXPECT_FALSE(t.permanentlyQuarantined());
+    EXPECT_GE(t.transitions().size(), 2u);
+}
+
+TEST(HealthTracker, DegradedRecoversWhenRateDrops)
+{
+    fpga::HealthTracker t(fastHealth());
+    t.recordSuccess(0);
+    t.recordFailure(1, "x");
+    EXPECT_EQ(t.state(), fpga::HealthState::Degraded);
+    // Successes push the failure out of the 4-sample window.
+    t.recordSuccess(2);
+    t.recordSuccess(3);
+    t.recordSuccess(4);
+    t.recordSuccess(5);
+    EXPECT_EQ(t.state(), fpga::HealthState::Healthy);
+}
+
+TEST(HealthTracker, ProbationReinstatesAfterCooldown)
+{
+    fpga::HealthPolicy h = fastHealth();
+    fpga::HealthTracker t(h);
+    t.recordFailure(0, "a");
+    t.recordFailure(1, "b");
+    ASSERT_EQ(t.state(), fpga::HealthState::Quarantined);
+
+    // Before the cool-down: still quarantined.
+    t.tick(h.probationAfter / 2);
+    EXPECT_EQ(t.state(), fpga::HealthState::Quarantined);
+
+    t.tick(2 + h.probationAfter);
+    ASSERT_EQ(t.state(), fpga::HealthState::Probation);
+
+    t.recordSuccess(3 + h.probationAfter);
+    EXPECT_EQ(t.state(), fpga::HealthState::Probation);
+    t.recordSuccess(4 + h.probationAfter);
+    EXPECT_EQ(t.state(), fpga::HealthState::Healthy);
+}
+
+TEST(HealthTracker, ProbationFailureRequarantines)
+{
+    fpga::HealthPolicy h = fastHealth();
+    fpga::HealthTracker t(h);
+    t.recordFailure(0, "a");
+    t.recordFailure(1, "b");
+    t.tick(2 + h.probationAfter);
+    ASSERT_EQ(t.state(), fpga::HealthState::Probation);
+    t.recordFailure(3 + h.probationAfter, "relapse");
+    EXPECT_EQ(t.state(), fpga::HealthState::Quarantined);
+}
+
+TEST(HealthTracker, ForgeryQuarantinesPermanentlyNoProbation)
+{
+    fpga::HealthPolicy h = fastHealth();
+    fpga::HealthTracker t(h);
+    t.recordSuccess(0);
+    t.recordForgery(1, "MAC mismatch");
+    EXPECT_EQ(t.state(), fpga::HealthState::Quarantined);
+    EXPECT_TRUE(t.permanentlyQuarantined());
+    // No amount of cool-down earns a forging shell probation.
+    t.tick(10 * h.probationAfter);
+    EXPECT_EQ(t.state(), fpga::HealthState::Quarantined);
+}
+
+// ---- Fleet message serde --------------------------------------------
+
+TEST(FleetSerde, HeartbeatFramesRoundTrip)
+{
+    HeartbeatRequest req;
+    req.deviceId = 7;
+    req.nonce = 0x1122334455667788ull;
+    HeartbeatRequest req2 = HeartbeatRequest::deserialize(req.serialize());
+    EXPECT_EQ(req2.deviceId, req.deviceId);
+    EXPECT_EQ(req2.nonce, req.nonce);
+
+    HeartbeatResponse rsp;
+    rsp.reachable = 1;
+    rsp.authentic = 0;
+    rsp.count = 42;
+    rsp.nonceEcho = req.nonce + 1;
+    rsp.failure = "heartbeat response MAC forged";
+    HeartbeatResponse rsp2 =
+        HeartbeatResponse::deserialize(rsp.serialize());
+    EXPECT_EQ(rsp2.reachable, 1);
+    EXPECT_EQ(rsp2.authentic, 0);
+    EXPECT_EQ(rsp2.count, 42u);
+    EXPECT_EQ(rsp2.nonceEcho, rsp.nonceEcho);
+    EXPECT_EQ(rsp2.failure, rsp.failure);
+
+    // Truncation dies in serde, not in the caller.
+    Bytes whole = rsp.serialize();
+    Bytes cut(whole.begin(), whole.begin() + 3);
+    EXPECT_THROW(HeartbeatResponse::deserialize(cut), SerdeError);
+    // Out-of-range flags are rejected.
+    whole[0] = 9;
+    EXPECT_THROW(HeartbeatResponse::deserialize(whole), SerdeError);
+}
+
+TEST(FleetSerde, FailoverRecordRoundTrips)
+{
+    FailoverRecord rec;
+    rec.fromDevice = 0;
+    rec.toDevice = 2;
+    rec.atNanos = 123456789;
+    rec.reason = "no heartbeat (status 0)";
+    rec.oldFingerprint = Bytes(32, 0xaa);
+    rec.newFingerprint = Bytes(32, 0xbb);
+    rec.attested = 1;
+    rec.attempts = 1;
+    FailoverRecord rec2 = FailoverRecord::deserialize(rec.serialize());
+    EXPECT_EQ(rec2.fromDevice, rec.fromDevice);
+    EXPECT_EQ(rec2.toDevice, rec.toDevice);
+    EXPECT_EQ(rec2.atNanos, rec.atNanos);
+    EXPECT_EQ(rec2.reason, rec.reason);
+    EXPECT_EQ(rec2.oldFingerprint, rec.oldFingerprint);
+    EXPECT_EQ(rec2.newFingerprint, rec.newFingerprint);
+    EXPECT_EQ(rec2.attested, 1);
+    EXPECT_EQ(rec2.attempts, 1u);
+}
+
+TEST(FleetSerde, SmJournalRoundTripsAllFields)
+{
+    SmJournal j;
+    j.version = 17;
+    j.haveMetadata = 1;
+    j.metadata = Bytes{1, 2, 3};
+    j.deviceKeys.emplace_back(0xd00dull, Bytes(32, 0x11));
+    j.deviceKeys.emplace_back(0xbeefull, Bytes(32, 0x22));
+    SmJournalDevice d;
+    d.deviceId = 1;
+    d.dna = 0xbeef;
+    d.deployed = 1;
+    d.attested = 1;
+    d.haveSecrets = 1;
+    d.keyAttest = Bytes(16, 0x33);
+    d.keySession = Bytes(48, 0x44);
+    d.ctrBase = 1000;
+    d.ctrReserve = 1064;
+    d.havePendingRekey = 1;
+    d.pendingRekeyMacKey = Bytes(32, 0x55);
+    d.pendingRekeyNonce = 77;
+    j.devices.push_back(d);
+    j.activeDevice = 1;
+    j.retiredFingerprints.push_back(Bytes(32, 0x66));
+
+    SmJournal j2 = SmJournal::deserialize(j.serialize());
+    EXPECT_EQ(j2.version, 17u);
+    EXPECT_EQ(j2.haveMetadata, 1);
+    EXPECT_EQ(j2.metadata, j.metadata);
+    ASSERT_EQ(j2.deviceKeys.size(), 2u);
+    EXPECT_EQ(j2.deviceKeys[1].first, 0xbeefull);
+    EXPECT_EQ(j2.deviceKeys[1].second, Bytes(32, 0x22));
+    ASSERT_EQ(j2.devices.size(), 1u);
+    EXPECT_EQ(j2.devices[0].dna, 0xbeefull);
+    EXPECT_EQ(j2.devices[0].keyAttest, d.keyAttest);
+    EXPECT_EQ(j2.devices[0].keySession, d.keySession);
+    EXPECT_EQ(j2.devices[0].ctrReserve, 1064u);
+    EXPECT_EQ(j2.devices[0].pendingRekeyNonce, 77u);
+    EXPECT_EQ(j2.activeDevice, 1u);
+    ASSERT_EQ(j2.retiredFingerprints.size(), 1u);
+    EXPECT_EQ(j2.retiredFingerprints[0], Bytes(32, 0x66));
+}
+
+TEST(FleetSerde, SmJournalRejectsGarbage)
+{
+    SmJournal j;
+    j.version = 1;
+    Bytes good = j.serialize();
+
+    Bytes badMagic = good;
+    badMagic[0] ^= 0xff;
+    EXPECT_THROW(SmJournal::deserialize(badMagic), SerdeError);
+
+    Bytes cut(good.begin(), good.begin() + 5);
+    EXPECT_THROW(SmJournal::deserialize(cut), SerdeError);
+
+    // A wrong-size device key must be refused.
+    SmJournal k;
+    k.version = 1;
+    k.deviceKeys.emplace_back(1ull, Bytes(31, 0));
+    EXPECT_THROW(SmJournal::deserialize(k.serialize()), SerdeError);
+}
+
+// ---- Typed-error parity ---------------------------------------------
+
+TEST(ErrorContextParity, BitstreamTeeAndFailoverErrorsCarryContext)
+{
+    ErrorContext ctx{"sm-enclave", "device-0", "deploy", 2};
+
+    BitstreamError be("crc mismatch", ctx);
+    EXPECT_NE(std::string(be.what()).find("sm-enclave->device-0"),
+              std::string::npos);
+    EXPECT_EQ(be.context().method, "deploy");
+    EXPECT_EQ(be.context().attempt, 2);
+
+    TeeError te("seal refused", ctx);
+    EXPECT_NE(std::string(te.what()).find("deploy"), std::string::npos);
+    EXPECT_EQ(te.context().to, "device-0");
+
+    FailoverError fe("session moved", ctx);
+    EXPECT_NE(std::string(fe.what()).find("failover:"),
+              std::string::npos);
+    EXPECT_EQ(fe.context().from, "sm-enclave");
+
+    SmCrashError ce("before journal write 3");
+    EXPECT_NE(std::string(ce.what()).find("sm-crash:"),
+              std::string::npos);
+}
+
+// ---- Heartbeats against a live testbed ------------------------------
+
+TEST(Heartbeat, ActiveDeviceAnswersWithMonotoneBeatCount)
+{
+    TestbedConfig cfg;
+    cfg.rngSeed = 3;
+    Testbed tb(cfg);
+    tb.installCl(loopbackAccel());
+    ASSERT_TRUE(tb.runDeployment().ok);
+
+    auto r1 = tb.smApp().heartbeatDevice(0);
+    EXPECT_TRUE(r1.ok()) << r1.failure;
+    auto r2 = tb.smApp().heartbeatDevice(0);
+    EXPECT_TRUE(r2.ok());
+    EXPECT_EQ(r2.count, r1.count + 1); // replayed "alive" can't pass
+}
+
+TEST(Heartbeat, SparesAnswerPlainReachabilityProbe)
+{
+    TestbedConfig cfg;
+    cfg.rngSeed = 4;
+    cfg.deviceCount = 2;
+    Testbed tb(cfg);
+    tb.installCl(loopbackAccel());
+    ASSERT_TRUE(tb.runDeployment().ok);
+
+    auto spare = tb.smApp().heartbeatDevice(1);
+    EXPECT_TRUE(spare.ok()) << spare.failure;
+
+    auto unknown = tb.smApp().heartbeatDevice(9);
+    EXPECT_FALSE(unknown.reachable);
+}
+
+TEST(Heartbeat, DeadDeviceIsUnreachable)
+{
+    TestbedConfig cfg;
+    cfg.rngSeed = 5;
+    Testbed tb(cfg);
+    tb.installCl(loopbackAccel());
+    ASSERT_TRUE(tb.runDeployment().ok);
+
+    tb.faultInjector().arm(sim::FaultRule::deviceDead(0));
+    auto r = tb.smApp().heartbeatDevice(0);
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(r.authentic);
+}
+
+TEST(Heartbeat, ForgingShellIsDetectedAndPermanentlyQuarantined)
+{
+    TestbedConfig cfg;
+    cfg.rngSeed = 6;
+    cfg.maliciousShell = true;
+    cfg.attackPlan.forgeHeartbeats = true;
+    cfg.health = fastHealth();
+    Testbed tb(cfg);
+    tb.installCl(loopbackAccel());
+    ASSERT_TRUE(tb.runDeployment().ok);
+
+    // The shell swallows the probe and fabricates "alive" — but it
+    // cannot compute the response MAC without Key_attest.
+    auto r = tb.smApp().heartbeatDevice(0);
+    EXPECT_TRUE(r.reachable);
+    EXPECT_FALSE(r.authentic);
+
+    tb.supervisor().pollOnce();
+    EXPECT_EQ(tb.supervisor().state(0),
+              fpga::HealthState::Quarantined);
+    EXPECT_TRUE(tb.supervisor().tracker(0).permanentlyQuarantined());
+}
+
+// ---- Deterministic attested failover --------------------------------
+
+namespace {
+
+struct FailoverRun
+{
+    bool deployOk = false;
+    uint64_t clockEnd = 0;
+    Bytes oldFp;
+    Bytes newFp;
+    bool oldRetired = false;
+    bool newRetired = false;
+    uint32_t activeAfter = 0;
+    size_t failovers = 0;
+    FailoverRecord rec;
+    bool postWriteOk = false;
+    uint64_t postRead = 0;
+    uint64_t newDeviceRegOps = 0;
+};
+
+FailoverRun
+runFailoverScenario(uint64_t seed)
+{
+    FailoverRun run;
+    TestbedConfig cfg;
+    cfg.rngSeed = seed;
+    cfg.deviceCount = 3;
+    cfg.health = fastHealth();
+    Testbed tb(cfg);
+    tb.installCl(loopbackAccel());
+    run.deployOk = tb.runDeployment().ok;
+    if (!run.deployOk)
+        return run;
+    EXPECT_TRUE(tb.userApp().secureWrite(0x00, 41));
+    run.oldFp = tb.smApp().secretsFingerprint();
+
+    // Warm watchdog view: everything healthy.
+    tb.supervisor().runFor(50 * sim::kMs);
+    EXPECT_TRUE(tb.supervisor().failovers().empty());
+
+    // Kill device 0 mid-session.
+    tb.faultInjector().arm(sim::FaultRule::deviceDead(0));
+    tb.supervisor().runFor(300 * sim::kMs);
+
+    run.failovers = tb.supervisor().failovers().size();
+    if (run.failovers > 0)
+        run.rec = tb.supervisor().failovers().front();
+    run.activeAfter = tb.smApp().activeDevice();
+    run.newFp = tb.smApp().secretsFingerprint();
+    run.oldRetired = tb.smApp().everRetiredFingerprint(run.oldFp);
+    run.newRetired = tb.smApp().everRetiredFingerprint(run.newFp);
+
+    // The session continues on the spare.
+    run.postWriteOk = tb.userApp().secureWrite(0x00, 77);
+    auto value = tb.userApp().secureRead(0x00);
+    run.postRead = value.value_or(0);
+    run.newDeviceRegOps = tb.shell(run.activeAfter)
+                              .registerRead(pcie::Window::SmSecure,
+                                            kSmRegStatRegOpOk);
+    run.clockEnd = tb.clock().now();
+    return run;
+}
+
+} // namespace
+
+TEST(Failover, DeadDeviceFailsOverWithFreshAttestedSession)
+{
+    FailoverRun run = runFailoverScenario(7);
+    ASSERT_TRUE(run.deployOk);
+    ASSERT_EQ(run.failovers, 1u);
+    EXPECT_EQ(run.rec.fromDevice, 0u);
+    EXPECT_EQ(run.rec.toDevice, run.activeAfter);
+    EXPECT_NE(run.activeAfter, 0u);
+    // The cascaded attestation re-ran end to end on the new device.
+    EXPECT_EQ(run.rec.attested, 1);
+
+    // Key freshness: the dead device's session secrets are retired,
+    // the new session's never were, and the two share no fingerprint.
+    ASSERT_FALSE(run.oldFp.empty());
+    ASSERT_FALSE(run.newFp.empty());
+    EXPECT_NE(run.oldFp, run.newFp);
+    EXPECT_TRUE(run.oldRetired);
+    EXPECT_FALSE(run.newRetired);
+    EXPECT_EQ(run.rec.oldFingerprint, run.oldFp);
+    EXPECT_EQ(run.rec.newFingerprint, run.newFp);
+
+    // Traffic continues — and the new device's SM logic counted
+    // exactly our two post-failover channel ops (write + read).
+    EXPECT_TRUE(run.postWriteOk);
+    EXPECT_EQ(run.postRead, 77u);
+    EXPECT_EQ(run.newDeviceRegOps, 2u);
+}
+
+TEST(Failover, SameSeedRunsAreBitForBitIdentical)
+{
+    FailoverRun a = runFailoverScenario(7);
+    FailoverRun b = runFailoverScenario(7);
+    EXPECT_EQ(a.clockEnd, b.clockEnd);
+    EXPECT_EQ(a.rec.atNanos, b.rec.atNanos);
+    EXPECT_EQ(a.rec.toDevice, b.rec.toDevice);
+    EXPECT_EQ(a.oldFp, b.oldFp);
+    EXPECT_EQ(a.newFp, b.newFp);
+    EXPECT_EQ(a.postRead, b.postRead);
+
+    // A different seed derives different key material.
+    FailoverRun c = runFailoverScenario(8);
+    ASSERT_TRUE(c.deployOk);
+    EXPECT_NE(c.newFp, a.newFp);
+}
+
+TEST(Failover, GuardedOpSurfacesTypedFailoverError)
+{
+    TestbedConfig cfg;
+    cfg.rngSeed = 9;
+    cfg.deviceCount = 2;
+    cfg.health = fastHealth();
+    cfg.health.minSamples = 1;
+    cfg.health.quarantineThreshold = 0.5;
+    Testbed tb(cfg);
+    tb.installCl(loopbackAccel());
+    ASSERT_TRUE(tb.runDeployment().ok);
+    ASSERT_TRUE(tb.userApp().secureWrite(0x08, 1));
+
+    tb.faultInjector().arm(sim::FaultRule::deviceDead(0));
+
+    bool threw = false;
+    try {
+        tb.supervisor().guardedOp(
+            [&] { return tb.userApp().secureWrite(0x08, 2); },
+            "secureWrite");
+    } catch (const FailoverError &e) {
+        threw = true;
+        EXPECT_EQ(e.context().method, "secureWrite");
+        EXPECT_NE(std::string(e.what()).find("not auto-replayed"),
+                  std::string::npos);
+    }
+    ASSERT_TRUE(threw);
+
+    // The session failed over to the spare with a fresh attestation;
+    // the interrupted write never committed anywhere and the caller
+    // re-issues it explicitly on the new session (exactly-once).
+    EXPECT_EQ(tb.smApp().activeDevice(), 1u);
+    EXPECT_TRUE(tb.smApp().bootStatus().ok());
+    EXPECT_TRUE(tb.userApp().secureWrite(0x08, 2));
+    EXPECT_EQ(tb.userApp().secureRead(0x08), 2u);
+    EXPECT_EQ(tb.shell(1).registerRead(pcie::Window::SmSecure,
+                                       kSmRegStatRegOpOk),
+              2u);
+}
+
+TEST(Failover, NoSpareLeavesSessionDownButRecorded)
+{
+    TestbedConfig cfg;
+    cfg.rngSeed = 10;
+    cfg.deviceCount = 1;
+    cfg.health = fastHealth();
+    Testbed tb(cfg);
+    tb.installCl(loopbackAccel());
+    ASSERT_TRUE(tb.runDeployment().ok);
+
+    tb.faultInjector().arm(sim::FaultRule::deviceDead(0));
+    tb.supervisor().runFor(200 * sim::kMs);
+    EXPECT_EQ(tb.supervisor().state(0),
+              fpga::HealthState::Quarantined);
+    EXPECT_TRUE(tb.supervisor().failovers().empty());
+}
+
+// ---- SM-enclave crash recovery --------------------------------------
+
+namespace {
+
+/** The canonical session whose journal writes the sweep enumerates:
+ *  deploy (key-fetch + attest commits), traffic, an explicit rekey
+ *  commit, more traffic. */
+void
+runJournaledSession(Testbed &tb)
+{
+    tb.installCl(loopbackAccel());
+    UserClient::Outcome out = tb.runDeployment();
+    if (!out.ok)
+        throw SalusError("deployment failed: " + out.failure);
+    if (!tb.userApp().secureWrite(0x00, 1))
+        throw SalusError("write failed");
+    if (!tb.userApp().rekeySession())
+        throw SalusError("rekey failed");
+    if (!tb.userApp().secureWrite(0x00, 2))
+        throw SalusError("write failed");
+}
+
+int
+baselineJournalWrites()
+{
+    static int n = [] {
+        TestbedConfig cfg;
+        cfg.rngSeed = 11;
+        Testbed tb(cfg);
+        runJournaledSession(tb);
+        return int(tb.smApp().journalWrites());
+    }();
+    return n;
+}
+
+} // namespace
+
+class SmCrashSweep
+    : public ::testing::TestWithParam<std::tuple<int, bool>>
+{
+};
+
+TEST_P(SmCrashSweep, EveryJournalStepRecoversConsistently)
+{
+    auto [step, afterPersist] = GetParam();
+    ASSERT_GE(baselineJournalWrites(), 3)
+        << "scenario no longer journals enough steps to sweep";
+    if (step >= baselineJournalWrites())
+        GTEST_SKIP() << "scenario only journals "
+                     << baselineJournalWrites() << " steps";
+
+    TestbedConfig cfg;
+    cfg.rngSeed = 11;
+    cfg.faultPlan.add(
+        sim::FaultRule::smCrash(uint64_t(step), afterPersist));
+    Testbed tb(cfg);
+
+    bool crashed = false;
+    try {
+        runJournaledSession(tb);
+    } catch (const SmCrashError &) {
+        crashed = true;
+    }
+    ASSERT_TRUE(crashed) << "armed crash at step " << step
+                         << " never fired";
+
+    SmEnclaveApp::RecoveryReport rep = tb.crashAndRecoverSmApp();
+    // Honest host: every crash point recovers to a consistent
+    // deployment table (or a genuine fresh start when the crash
+    // preceded the very first persist). Never fail-closed, never a
+    // partially adopted journal.
+    EXPECT_TRUE(rep.status == SmEnclaveApp::RecoveryStatus::Recovered ||
+                rep.status == SmEnclaveApp::RecoveryStatus::NoJournal)
+        << rep.detail;
+    EXPECT_FALSE(tb.smApp().failedClosed());
+    EXPECT_EQ(rep.reattestFailures, 0u);
+
+    // And the platform serves attested traffic again end to end.
+    UserClient::Outcome out = tb.runDeployment();
+    ASSERT_TRUE(out.ok) << out.failure;
+    EXPECT_TRUE(tb.userApp().secureWrite(0x10, 5));
+    EXPECT_EQ(tb.userApp().secureRead(0x10), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllJournalSteps, SmCrashSweep,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<int, bool>> &info) {
+        return "step" + std::to_string(std::get<0>(info.param)) +
+               (std::get<1>(info.param) ? "_postStore" : "_preStore");
+    });
+
+TEST(SmCrashRecovery, RecoveredInstanceSkipsManufacturerRoundTrip)
+{
+    TestbedConfig cfg;
+    cfg.rngSeed = 12;
+    Testbed tb(cfg);
+    runJournaledSession(tb);
+    ASSERT_TRUE(tb.smApp().haveDeviceKey());
+
+    auto rep = tb.crashAndRecoverSmApp();
+    ASSERT_EQ(rep.status, SmEnclaveApp::RecoveryStatus::Recovered)
+        << rep.detail;
+    // Key_device came back from the sealed journal, and the device
+    // the journal claimed attested was re-attested before serving.
+    EXPECT_TRUE(tb.smApp().haveDeviceKey());
+    EXPECT_TRUE(tb.smApp().bootStatus().attested);
+    EXPECT_EQ(rep.reattestFailures, 0u);
+}
+
+TEST(SmCrashRecovery, RolledBackJournalIsRejectedAndFailsClosed)
+{
+    TestbedConfig cfg;
+    cfg.rngSeed = 13;
+    Testbed tb(cfg);
+    tb.installCl(loopbackAccel());
+    ASSERT_TRUE(tb.runDeployment().ok);
+
+    Bytes stale = tb.sealedJournal();
+    ASSERT_FALSE(stale.empty());
+    // Advance the journal (and the platform monotonic counter).
+    ASSERT_TRUE(tb.userApp().rekeySession());
+    ASSERT_NE(tb.sealedJournal(), stale);
+
+    // Malicious host restores the older sealed blob.
+    tb.sealedJournal() = stale;
+    auto rep = tb.crashAndRecoverSmApp();
+    EXPECT_EQ(rep.status, SmEnclaveApp::RecoveryStatus::RolledBack);
+    EXPECT_TRUE(tb.smApp().failedClosed());
+
+    // Failed closed: no boot, no channel traffic.
+    UserClient::Outcome out = tb.runDeployment();
+    EXPECT_FALSE(out.ok);
+}
+
+TEST(SmCrashRecovery, MissingOrCorruptJournalFailsClosed)
+{
+    TestbedConfig cfg;
+    cfg.rngSeed = 14;
+    Testbed tb(cfg);
+    tb.installCl(loopbackAccel());
+    ASSERT_TRUE(tb.runDeployment().ok);
+
+    // Deleted journal with a non-zero counter => rollback.
+    Bytes saved = tb.sealedJournal();
+    tb.sealedJournal().clear();
+    auto repMissing = tb.crashAndRecoverSmApp();
+    EXPECT_EQ(repMissing.status,
+              SmEnclaveApp::RecoveryStatus::RolledBack);
+    EXPECT_TRUE(tb.smApp().failedClosed());
+
+    // Bit-flipped sealed blob => corrupt (seal authentication fails).
+    tb.sealedJournal() = saved;
+    tb.sealedJournal()[tb.sealedJournal().size() / 2] ^= 0x40;
+    auto repCorrupt = tb.crashAndRecoverSmApp();
+    EXPECT_EQ(repCorrupt.status, SmEnclaveApp::RecoveryStatus::Corrupt);
+    EXPECT_TRUE(tb.smApp().failedClosed());
+}
