@@ -253,7 +253,16 @@ main(int argc, char **argv)
                      bench::ms(r.firstWriteAt - r.killAt), r.toDevice,
                      i + 1 < runs.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n  \"gates\": {\n");
+    std::fprintf(f,
+                 "    \"detection_ms_mean\": {\"value\": %.3f, "
+                 "\"direction\": \"lower\"},\n",
+                 bench::ms(detSum) / n);
+    std::fprintf(f,
+                 "    \"kill_to_first_write_ms_mean\": {\"value\": "
+                 "%.3f, \"direction\": \"lower\"}\n",
+                 bench::ms(totSum) / n);
+    std::fprintf(f, "  }\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", outPath);
 

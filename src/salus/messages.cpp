@@ -85,6 +85,13 @@ SmJournal::serialize() const
         w.writeU8(d.havePendingRekey);
         w.writeBytes(d.pendingRekeyMacKey);
         w.writeU64(d.pendingRekeyNonce);
+        w.writeU32(uint32_t(d.sessions.size()));
+        for (const SmJournalSession &s : d.sessions) {
+            w.writeU32(s.slot);
+            w.writeBytes(s.keySession);
+            w.writeU64(s.openNonce);
+            w.writeU64(s.ctrReserve);
+        }
     }
     w.writeU32(activeDevice);
     w.writeU32(uint32_t(retiredFingerprints.size()));
@@ -135,6 +142,17 @@ SmJournal::deserialize(ByteView data)
             throw SerdeError("bad journal flag");
         d.pendingRekeyMacKey = r.readBytes();
         d.pendingRekeyNonce = r.readU64();
+        uint32_t nSessions = boundedCount(r);
+        for (uint32_t k = 0; k < nSessions; ++k) {
+            SmJournalSession s;
+            s.slot = r.readU32();
+            s.keySession = r.readBytes();
+            if (s.keySession.size() != 48)
+                throw SerdeError("bad session-key size in journal");
+            s.openNonce = r.readU64();
+            s.ctrReserve = r.readU64();
+            d.sessions.push_back(std::move(s));
+        }
         j.devices.push_back(std::move(d));
     }
     j.activeDevice = r.readU32();

@@ -60,6 +60,15 @@ struct ClBootStatus
 // storage); rollback to an earlier version is detected at rehydration
 // and refused.
 
+/** One derived fabric session slot (multi-session channel). */
+struct SmJournalSession
+{
+    uint32_t slot = 0;
+    Bytes keySession; ///< 48 bytes (AES + MAC keys)
+    uint64_t openNonce = 0;
+    uint64_t ctrReserve = 0; ///< write-ahead per-slot counter bound
+};
+
 /** One device's durable deployment record. */
 struct SmJournalDevice
 {
@@ -75,6 +84,7 @@ struct SmJournalDevice
     uint8_t havePendingRekey = 0;
     Bytes pendingRekeyMacKey;
     uint64_t pendingRekeyNonce = 0;
+    std::vector<SmJournalSession> sessions; ///< derived slots only
 };
 
 /** The journal record (plaintext form; sealed before storage). */

@@ -163,6 +163,205 @@ openResponse(ByteView aesKey, ByteView macKey, uint64_t ctr,
     return std::make_pair(buf[0], loadLe64(buf + 1));
 }
 
+// ---- Batched register bursts -----------------------------------------
+
+void
+cryptBatchBlock(ByteView aesKey, bool response, uint64_t ctr,
+                uint8_t *block)
+{
+    // Each op owns the one-block keystream at ("SREGBRST"/"SRSPBRST",
+    // ctr). The labels are disjoint from the single-op channel's
+    // ("SREGCHAN"/"SRSPCHAN"), so batch and single traffic can share
+    // a session counter space without keystream reuse.
+    crypto::AesCtr cipher(
+        aesKey, counterBlock(response ? "SRSPBRST" : "SREGBRST", ctr));
+    cipher.crypt(block, kRegBatchBlock);
+}
+
+void
+encodeBatchOp(const RegOp &op, uint8_t *block)
+{
+    std::memset(block, 0, kRegBatchBlock);
+    block[0] = op.isWrite ? 1 : 0;
+    storeLe32(block + 1, op.addr);
+    storeLe64(block + 5, op.data);
+}
+
+RegOp
+decodeBatchOp(const uint8_t *block)
+{
+    RegOp op;
+    op.isWrite = block[0] != 0;
+    op.addr = loadLe32(block + 1);
+    op.data = loadLe64(block + 5);
+    return op;
+}
+
+void
+encodeBatchResult(uint8_t status, uint64_t data, uint8_t *block)
+{
+    std::memset(block, 0, kRegBatchBlock);
+    block[0] = status;
+    storeLe64(block + 1, data);
+}
+
+BatchResult
+decodeBatchResult(const uint8_t *block)
+{
+    BatchResult res;
+    res.status = block[0];
+    res.data = loadLe64(block + 1);
+    return res;
+}
+
+uint64_t
+batchMac(ByteView macKey, uint32_t sessionId, uint64_t ctrBase,
+         ByteView payload, bool response)
+{
+    const char *direction = response ? "brsp" : "breq";
+    Bytes msg(20 + payload.size());
+    storeLe32(msg.data(), sessionId);
+    storeLe64(msg.data() + 4, ctrBase);
+    storeLe32(msg.data() + 12, uint32_t(payload.size() / kRegBatchBlock));
+    std::memcpy(msg.data() + 16, direction, 4);
+    std::copy(payload.begin(), payload.end(), msg.begin() + 20);
+    Bytes tag = crypto::hmacSha256(macKey, msg);
+    return loadLe64(tag.data());
+}
+
+namespace {
+
+/** Structural sanity shared by request and response opening: size,
+ *  alignment and counter-stride wrap checks that must pass before
+ *  any crypto is attempted. */
+bool
+batchShapeOk(size_t payloadSize, uint64_t ctrBase)
+{
+    if (payloadSize == 0 || payloadSize % kRegBatchBlock != 0)
+        return false;
+    size_t count = payloadSize / kRegBatchBlock;
+    if (count > kMaxBatchOps)
+        return false;
+    // The stride [ctrBase, ctrBase + count - 1] must not wrap: a
+    // wrapped stride would alias counter 0's keystream.
+    return ctrBase <= UINT64_MAX - (count - 1);
+}
+
+bool
+macEqual(uint64_t expect, uint64_t got)
+{
+    uint8_t a[8], b[8];
+    storeLe64(a, expect);
+    storeLe64(b, got);
+    return crypto::ctEqual(ByteView(a, 8), ByteView(b, 8));
+}
+
+} // namespace
+
+SealedRegBatch
+sealBatch(ByteView aesKey, ByteView macKey, uint32_t sessionId,
+          uint64_t ctrBase, const std::vector<RegOp> &ops)
+{
+    SealedRegBatch batch;
+    batch.sessionId = sessionId;
+    batch.ctrBase = ctrBase;
+    batch.payload.resize(ops.size() * kRegBatchBlock);
+    for (size_t i = 0; i < ops.size(); ++i) {
+        uint8_t *block = batch.payload.data() + i * kRegBatchBlock;
+        encodeBatchOp(ops[i], block);
+        cryptBatchBlock(aesKey, false, ctrBase + i, block);
+    }
+    batch.mac =
+        batchMac(macKey, sessionId, ctrBase, batch.payload, false);
+    return batch;
+}
+
+std::optional<std::vector<RegOp>>
+openBatch(ByteView aesKey, ByteView macKey, const SealedRegBatch &batch)
+{
+    if (!batchShapeOk(batch.payload.size(), batch.ctrBase))
+        return std::nullopt;
+    uint64_t expect = batchMac(macKey, batch.sessionId, batch.ctrBase,
+                               batch.payload, false);
+    if (!macEqual(expect, batch.mac))
+        return std::nullopt;
+
+    std::vector<RegOp> ops(batch.count());
+    for (size_t i = 0; i < ops.size(); ++i) {
+        uint8_t block[kRegBatchBlock];
+        std::memcpy(block, batch.payload.data() + i * kRegBatchBlock,
+                    kRegBatchBlock);
+        cryptBatchBlock(aesKey, false, batch.ctrBase + i, block);
+        ops[i] = decodeBatchOp(block);
+    }
+    return ops;
+}
+
+SealedBatchResponse
+sealBatchResponse(ByteView aesKey, ByteView macKey, uint32_t sessionId,
+                  uint64_t ctrBase,
+                  const std::vector<BatchResult> &results)
+{
+    SealedBatchResponse rsp;
+    rsp.payload.resize(results.size() * kRegBatchBlock);
+    for (size_t i = 0; i < results.size(); ++i) {
+        uint8_t *block = rsp.payload.data() + i * kRegBatchBlock;
+        encodeBatchResult(results[i].status, results[i].data, block);
+        cryptBatchBlock(aesKey, true, ctrBase + i, block);
+    }
+    rsp.mac = batchMac(macKey, sessionId, ctrBase, rsp.payload, true);
+    return rsp;
+}
+
+std::optional<std::vector<BatchResult>>
+openBatchResponse(ByteView aesKey, ByteView macKey, uint32_t sessionId,
+                  uint64_t ctrBase, size_t expectCount,
+                  const SealedBatchResponse &rsp)
+{
+    if (rsp.count() != expectCount ||
+        !batchShapeOk(rsp.payload.size(), ctrBase))
+        return std::nullopt;
+    uint64_t expect =
+        batchMac(macKey, sessionId, ctrBase, rsp.payload, true);
+    if (!macEqual(expect, rsp.mac))
+        return std::nullopt;
+
+    std::vector<BatchResult> results(rsp.count());
+    for (size_t i = 0; i < results.size(); ++i) {
+        uint8_t block[kRegBatchBlock];
+        std::memcpy(block, rsp.payload.data() + i * kRegBatchBlock,
+                    kRegBatchBlock);
+        cryptBatchBlock(aesKey, true, ctrBase + i, block);
+        results[i] = decodeBatchResult(block);
+    }
+    return results;
+}
+
+// ---- Multi-session key fan-out ---------------------------------------
+
+uint64_t
+sessionOpenMac(ByteView baseMacKey, uint32_t slot, uint64_t nonce)
+{
+    uint8_t msg[21];
+    storeLe32(msg, slot);
+    storeLe64(msg + 4, nonce);
+    std::memcpy(msg + 12, "sess-open", 9);
+    Bytes tag =
+        crypto::hmacSha256(baseMacKey, ByteView(msg, sizeof(msg)));
+    return loadLe64(tag.data());
+}
+
+Bytes
+deriveSlotSessionKeys(ByteView baseKeySession, uint32_t slot,
+                      uint64_t nonce)
+{
+    uint8_t salt[12];
+    storeLe32(salt, slot);
+    storeLe64(salt + 4, nonce);
+    return crypto::hkdf(ByteView(salt, sizeof(salt)), baseKeySession,
+                        bytesFromString("salus-msess-v1"), 48);
+}
+
 uint64_t
 rekeyMac(ByteView macKey, uint64_t ctr, uint64_t nonce)
 {

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "common/bytes.hpp"
 
@@ -96,6 +97,115 @@ SealedRegResponse sealResponse(ByteView aesKey, ByteView macKey,
 std::optional<std::pair<uint8_t, uint64_t>>
 openResponse(ByteView aesKey, ByteView macKey, uint64_t ctr,
              const SealedRegResponse &rsp);
+
+// ---- Batched register bursts (extension) -----------------------------
+//
+// One sealed burst carries N register operations under ONE counter
+// stride and ONE truncated HMAC: op i is encrypted with the one-block
+// AES-CTR keystream at counter ctrBase + i, and the MAC covers the
+// session id, the stride base, the op count and every ciphertext
+// block. The fabric accepts a burst only when ctrBase is strictly
+// above the session's last consumed counter and advances the counter
+// to ctrBase + count - 1 on success, so no individual op — and no
+// whole burst — can ever be replayed. Each op plaintext is exactly
+// one AES block, which lets both endpoints crypt bursts in place,
+// block by block, with no intermediate copies.
+
+/** Bytes per encrypted batch element (one AES block). */
+constexpr size_t kRegBatchBlock = 16;
+/** Most ops one sealed burst may carry (fabric buffer bound). */
+constexpr size_t kMaxBatchOps = 256;
+
+/** Per-op outcome carried in a batch response block. */
+struct BatchResult
+{
+    uint8_t status = 0; ///< 0 ok; accelerator/channel codes otherwise
+    uint64_t data = 0;  ///< read result (0 for writes)
+};
+
+/** An encrypted register burst as it crosses the bus. */
+struct SealedRegBatch
+{
+    uint32_t sessionId = 0; ///< fabric session slot (cleartext, MACed)
+    uint64_t ctrBase = 0;   ///< first counter of the stride
+    Bytes payload;          ///< count x 16-byte ciphertext blocks
+    uint64_t mac = 0;       ///< truncated HMAC over the whole burst
+    size_t count() const { return payload.size() / kRegBatchBlock; }
+};
+
+/** An encrypted burst response (same stride, response direction). */
+struct SealedBatchResponse
+{
+    Bytes payload;
+    uint64_t mac = 0;
+    size_t count() const { return payload.size() / kRegBatchBlock; }
+};
+
+// Streaming block primitives. Both endpoints process a burst in place
+// (decrypt block -> execute -> encode + encrypt the response into the
+// output buffer) without materialising a plaintext vector.
+
+/** En/decrypts one 16-byte batch block in place with the one-block
+ *  keystream at counter `ctr` (request or response direction). */
+void cryptBatchBlock(ByteView aesKey, bool response, uint64_t ctr,
+                     uint8_t *block);
+
+/** Serializes an op into a 16-byte plaintext block (and back). */
+void encodeBatchOp(const RegOp &op, uint8_t *block);
+RegOp decodeBatchOp(const uint8_t *block);
+
+/** Serializes a per-op result into a 16-byte block (and back). */
+void encodeBatchResult(uint8_t status, uint64_t data, uint8_t *block);
+BatchResult decodeBatchResult(const uint8_t *block);
+
+/** Truncated HMAC over sessionId || ctrBase || count || payload with
+ *  direction separation (request vs. response). */
+uint64_t batchMac(ByteView macKey, uint32_t sessionId, uint64_t ctrBase,
+                  ByteView payload, bool response);
+
+/** Seals a burst of ops (host side, one-shot convenience). */
+SealedRegBatch sealBatch(ByteView aesKey, ByteView macKey,
+                         uint32_t sessionId, uint64_t ctrBase,
+                         const std::vector<RegOp> &ops);
+
+/** Verifies and decrypts a burst (fabric side); nullopt = reject.
+ *  Rejects empty, oversize, misaligned and counter-wrapping bursts
+ *  before touching any crypto. */
+std::optional<std::vector<RegOp>> openBatch(ByteView aesKey,
+                                            ByteView macKey,
+                                            const SealedRegBatch &batch);
+
+/** Seals the per-op results of a burst (fabric side). */
+SealedBatchResponse
+sealBatchResponse(ByteView aesKey, ByteView macKey, uint32_t sessionId,
+                  uint64_t ctrBase,
+                  const std::vector<BatchResult> &results);
+
+/** Verifies and decrypts a burst response (host side). */
+std::optional<std::vector<BatchResult>>
+openBatchResponse(ByteView aesKey, ByteView macKey, uint32_t sessionId,
+                  uint64_t ctrBase, size_t expectCount,
+                  const SealedBatchResponse &rsp);
+
+// ---- Multi-session key fan-out (extension) ---------------------------
+//
+// The SM enclave multiplexes several user-enclave sessions over one
+// deployed CL. Slot 0 is the bitstream-injected base session; every
+// further slot's keys are derived on both ends from the CURRENT base
+// session key material and a strictly increasing open nonce, so slots
+// never share keystreams and a compromised tenant session reveals
+// nothing about any other.
+
+/** MAC authorizing a session-open command, keyed under the CURRENT
+ *  base-session MAC key. */
+uint64_t sessionOpenMac(ByteView baseMacKey, uint32_t slot,
+                        uint64_t nonce);
+
+/** Derives a slot's 48-byte session key block (AES-128 key + HMAC
+ *  key) from the base 48-byte session key block and the open nonce.
+ *  Deterministic: both ends converge. */
+Bytes deriveSlotSessionKeys(ByteView baseKeySession, uint32_t slot,
+                            uint64_t nonce);
 
 // ---- Session re-keying (extension) -----------------------------------
 //

@@ -1,0 +1,139 @@
+#include "salus/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/errors.hpp"
+
+namespace salus::core {
+
+BatchScheduler::BatchScheduler(Dispatch dispatch)
+    : BatchScheduler(std::move(dispatch), Config())
+{
+}
+
+BatchScheduler::BatchScheduler(Dispatch dispatch, Config config)
+    : dispatch_(std::move(dispatch)), config_(config)
+{
+    config_.queueCapacity = std::max<size_t>(1, config_.queueCapacity);
+    config_.maxBatchOps = std::max<size_t>(1, config_.maxBatchOps);
+}
+
+void
+BatchScheduler::addSession(uint32_t session)
+{
+    sessions_.try_emplace(session);
+}
+
+BatchScheduler::Submit
+BatchScheduler::submit(uint32_t session, const regchan::RegOp &op,
+                       Completion done)
+{
+    auto it = sessions_.find(session);
+    if (it == sessions_.end())
+        return Submit::UnknownSession;
+    if (it->second.queue.size() >= config_.queueCapacity) {
+        ++stats_.rejectedBackpressure;
+        return Submit::Backpressure;
+    }
+    it->second.queue.push_back({op, std::move(done)});
+    ++stats_.submitted;
+    stats_.maxDepth = std::max(stats_.maxDepth, it->second.queue.size());
+    return Submit::Accepted;
+}
+
+size_t
+BatchScheduler::pumpOnce()
+{
+    // Snapshot the sweep order starting at the cursor: every session
+    // gets one slice per sweep, and the cursor rotates so ties (who
+    // goes first) are shared round-robin.
+    std::vector<uint32_t> order;
+    order.reserve(sessions_.size());
+    for (auto it = sessions_.lower_bound(cursor_); it != sessions_.end();
+         ++it)
+        order.push_back(it->first);
+    for (auto it = sessions_.begin();
+         it != sessions_.end() && it->first < cursor_; ++it)
+        order.push_back(it->first);
+    if (!order.empty())
+        cursor_ = order.front() + 1;
+
+    size_t completed = 0;
+    for (uint32_t id : order) {
+        Session &s = sessions_.at(id);
+        if (s.queue.empty())
+            continue;
+        size_t n = std::min(s.queue.size(), config_.maxBatchOps);
+        std::vector<regchan::RegOp> ops;
+        ops.reserve(n);
+        for (size_t i = 0; i < n; ++i)
+            ops.push_back(s.queue[i].op);
+
+        std::vector<regchan::BatchResult> results;
+        try {
+            results = dispatch_(id, ops);
+        } catch (const FailoverError &) {
+            // The supervisor failed the pool over mid-burst. The ops
+            // in flight get the typed failed-over status (exactly-once
+            // -or-typed-error: we never blind-retry them); everything
+            // still queued survives for the next sweep.
+            for (size_t i = 0; i < n; ++i) {
+                Pending p = std::move(s.queue.front());
+                s.queue.pop_front();
+                if (p.done)
+                    p.done(kBatchStatusFailedOver, 0);
+            }
+            stats_.failedOverOps += n;
+            completed += n;
+            throw;
+        }
+
+        for (size_t i = 0; i < n; ++i) {
+            Pending p = std::move(s.queue.front());
+            s.queue.pop_front();
+            uint8_t st = i < results.size() ? results[i].status : 0xfc;
+            uint64_t data = i < results.size() ? results[i].data : 0;
+            if (p.done)
+                p.done(st, data);
+        }
+        ++stats_.dispatchedBatches;
+        stats_.dispatchedOps += n;
+        s.dispatched += n;
+        completed += n;
+    }
+    return completed;
+}
+
+size_t
+BatchScheduler::drain()
+{
+    size_t completed = 0;
+    while (totalQueued() > 0)
+        completed += pumpOnce();
+    return completed;
+}
+
+size_t
+BatchScheduler::queueDepth(uint32_t session) const
+{
+    auto it = sessions_.find(session);
+    return it == sessions_.end() ? 0 : it->second.queue.size();
+}
+
+size_t
+BatchScheduler::totalQueued() const
+{
+    size_t total = 0;
+    for (const auto &[id, s] : sessions_)
+        total += s.queue.size();
+    return total;
+}
+
+uint64_t
+BatchScheduler::dispatchedFor(uint32_t session) const
+{
+    auto it = sessions_.find(session);
+    return it == sessions_.end() ? 0 : it->second.dispatched;
+}
+
+} // namespace salus::core

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Multi-session batch scheduler (extension): multiplexes many user
+ * sessions over the SM enclave's batched secure register channel.
+ *
+ * Each session owns a bounded submission queue (per-session
+ * backpressure: a full queue refuses new ops instead of letting one
+ * tenant starve the pool). A pump sweep drains every session's queue
+ * in fair round-robin order, at most `maxBatchOps` ops per session
+ * per sweep, and dispatches each slice as ONE sealed burst.
+ *
+ * Failover semantics are inherited from the supervisor's guarded
+ * dispatch: when the dispatch function throws FailoverError, the ops
+ * that were in flight complete with kBatchStatusFailedOver (a typed
+ * error — never silently retried, so an op is executed at most once),
+ * the remaining queued ops survive for the next sweep against the
+ * failed-over device, and the error propagates to the caller.
+ */
+
+#ifndef SALUS_SALUS_SCHEDULER_HPP
+#define SALUS_SALUS_SCHEDULER_HPP
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "salus/reg_channel.hpp"
+
+namespace salus::core {
+
+/** Per-op status reported when a failover interrupted the burst the
+ *  op was dispatched in. The op may or may not have executed on the
+ *  dead device; the caller decides whether to resubmit. */
+constexpr uint8_t kBatchStatusFailedOver = 0xfa;
+
+/** Fair round-robin dispatcher over per-session op queues. */
+class BatchScheduler
+{
+  public:
+    struct Config
+    {
+        /** Ops a session may hold queued before submit() refuses. */
+        size_t queueCapacity = 256;
+        /** Largest burst one session gets per round-robin sweep. */
+        size_t maxBatchOps = 32;
+    };
+
+    enum class Submit {
+        Accepted,
+        Backpressure,   ///< session queue full — try again after a pump
+        UnknownSession, ///< session id never added
+    };
+
+    /** Completion callback: (status, read data). */
+    using Completion = std::function<void(uint8_t, uint64_t)>;
+    /** Burst dispatch: (session slot, ops) -> one result per op. May
+     *  throw FailoverError (supervisor-guarded path). */
+    using Dispatch = std::function<std::vector<regchan::BatchResult>(
+        uint32_t, const std::vector<regchan::RegOp> &)>;
+
+    struct Stats
+    {
+        uint64_t submitted = 0;
+        uint64_t rejectedBackpressure = 0;
+        uint64_t dispatchedBatches = 0;
+        uint64_t dispatchedOps = 0;
+        uint64_t failedOverOps = 0;
+        size_t maxDepth = 0; ///< deepest any session queue ever got
+    };
+
+    explicit BatchScheduler(Dispatch dispatch);
+    BatchScheduler(Dispatch dispatch, Config config);
+
+    /** Registers a session (fabric slot). Idempotent. */
+    void addSession(uint32_t session);
+
+    /** Enqueues one op; `done` fires when its burst completes. */
+    Submit submit(uint32_t session, const regchan::RegOp &op,
+                  Completion done);
+
+    /**
+     * One fair sweep: every session with queued ops gets exactly one
+     * burst of at most maxBatchOps. The starting session rotates
+     * between sweeps so no session wins every tie.
+     * @return ops completed (including failed-over ones).
+     * @throws FailoverError after completing in-flight ops with
+     *         kBatchStatusFailedOver; queued ops survive.
+     */
+    size_t pumpOnce();
+
+    /** Pumps until every queue is empty. @return ops completed. */
+    size_t drain();
+
+    size_t queueDepth(uint32_t session) const;
+    size_t totalQueued() const;
+    const Stats &stats() const { return stats_; }
+    /** Ops dispatched for one session (fairness assertions). */
+    uint64_t dispatchedFor(uint32_t session) const;
+
+  private:
+    struct Pending
+    {
+        regchan::RegOp op;
+        Completion done;
+    };
+    struct Session
+    {
+        std::deque<Pending> queue;
+        uint64_t dispatched = 0;
+    };
+
+    Dispatch dispatch_;
+    Config config_;
+    /** Ordered by session id; round-robin rotates over this map. */
+    std::map<uint32_t, Session> sessions_;
+    /** Session id the next sweep starts at (fair tie-breaking). */
+    uint32_t cursor_ = 0;
+    Stats stats_;
+};
+
+} // namespace salus::core
+
+#endif // SALUS_SALUS_SCHEDULER_HPP

@@ -60,6 +60,9 @@ inline const char *const kBitstreamVerifEnc = "Bitstream Verif. & Enc.";
 inline const char *const kBitstreamManip = "Bitstream Manipulation";
 inline const char *const kClDeployment = "CL Deployment";
 inline const char *const kClAuth = "CL Authentication";
+// Steady-state secure channel breakdown (throughput bench legend).
+inline const char *const kChanCrypto = "Channel Crypto";
+inline const char *const kChanTransport = "Channel Transport";
 } // namespace phases
 
 } // namespace salus::core

@@ -105,8 +105,77 @@ SmEnclaveApp::laEstablished() const
     return la_->established();
 }
 
+// ---- Multi-session peers ----------------------------------------------
+
+uint32_t
+SmEnclaveApp::createPeer()
+{
+    if (1 + extraLa_.size() >= kSmMaxSessions)
+        throw SalusError("SM enclave: fabric session slots exhausted");
+    extraLa_.push_back(std::make_unique<tee::LocalAttestResponder>(
+        *this, tee::Measurement{}));
+    extraSeq_.push_back(0);
+    return uint32_t(extraLa_.size()); // peer id == fabric slot
+}
+
+size_t
+SmEnclaveApp::peerCount() const
+{
+    return 1 + extraLa_.size();
+}
+
+tee::LocalAttestResponder *
+SmEnclaveApp::peerLa(uint32_t peer) const
+{
+    if (peer == 0)
+        return la_.get();
+    if (peer - 1 >= extraLa_.size())
+        return nullptr;
+    return extraLa_[peer - 1].get();
+}
+
+Bytes
+SmEnclaveApp::laAnswer(uint32_t peer, ByteView msg1)
+{
+    tee::LocalAttestResponder *la = peerLa(peer);
+    if (!la)
+        return Bytes();
+    auto msg2 = la->answer(msg1);
+    return msg2 ? *msg2 : Bytes();
+}
+
+bool
+SmEnclaveApp::laConfirm(uint32_t peer, ByteView msg3)
+{
+    tee::LocalAttestResponder *la = peerLa(peer);
+    if (!la)
+        return false;
+    bool ok = la->confirm(msg3);
+    if (ok) {
+        // New LA session => new session key => fresh sequence space.
+        if (peer == 0)
+            channelSeq_ = 0;
+        else
+            extraSeq_[peer - 1] = 0;
+    }
+    return ok;
+}
+
+bool
+SmEnclaveApp::laEstablished(uint32_t peer) const
+{
+    tee::LocalAttestResponder *la = peerLa(peer);
+    return la && la->established();
+}
+
 Bytes
 SmEnclaveApp::channelRequest(ByteView sealed)
+{
+    return channelRequest(0, sealed);
+}
+
+Bytes
+SmEnclaveApp::channelRequest(uint32_t peer, ByteView sealed)
 {
     if (failClosed_) {
         logf(LogLevel::Warn, "sm-enclave",
@@ -114,24 +183,26 @@ SmEnclaveApp::channelRequest(ByteView sealed)
              "rollback/corruption");
         return Bytes();
     }
-    if (!la_->established())
+    tee::LocalAttestResponder *la = peerLa(peer);
+    if (!la || !la->established())
         return Bytes();
 
-    uint64_t seq = channelSeq_ + 1;
-    auto plain = channelOpen(la_->session().key, kDirUp, seq, sealed);
+    uint64_t &seqRef = peer == 0 ? channelSeq_ : extraSeq_[peer - 1];
+    uint64_t seq = seqRef + 1;
+    auto plain = channelOpen(la->session().key, kDirUp, seq, sealed);
     if (!plain) {
         logf(LogLevel::Warn, "sm-enclave",
              "rejecting channel request (bad seal/seq)");
         return Bytes();
     }
-    channelSeq_ = seq;
+    seqRef = seq;
 
-    Bytes response = handlePlainRequest(*plain);
-    return channelSeal(la_->session().key, kDirDown, seq, response);
+    Bytes response = handlePlainRequest(peer, *plain);
+    return channelSeal(la->session().key, kDirDown, seq, response);
 }
 
 Bytes
-SmEnclaveApp::handlePlainRequest(ByteView plain)
+SmEnclaveApp::handlePlainRequest(uint32_t peer, ByteView plain)
 {
     BinaryWriter out;
     try {
@@ -139,12 +210,23 @@ SmEnclaveApp::handlePlainRequest(ByteView plain)
         auto type = SmChannelMsg(r.readU8());
         switch (type) {
           case SmChannelMsg::SetMetadata: {
+            // Only the session owner (peer 0) configures the boot.
+            if (peer != 0) {
+                out.writeU8(0);
+                break;
+            }
             metadata_ = ClMetadata::deserialize(r.readBytes());
             haveMetadata_ = true;
             out.writeU8(1);
             break;
           }
           case SmChannelMsg::RunSecureBoot: {
+            if (peer != 0) {
+                ClBootStatus denied;
+                denied.failure = "only the session owner may boot";
+                out.writeRaw(denied.serialize());
+                break;
+            }
             runSecureBoot();
             out.writeRaw(status_.serialize());
             break;
@@ -154,16 +236,44 @@ SmEnclaveApp::handlePlainRequest(ByteView plain)
             op.isWrite = r.readU8() != 0;
             op.addr = r.readU32();
             op.data = r.readU64();
-            auto [st, data] = secureRegOp(op);
-            out.writeU8(st);
-            out.writeU64(data);
+            if (peer == 0) {
+                auto [st, data] = secureRegOp(op);
+                out.writeU8(st);
+                out.writeU64(data);
+            } else {
+                // Tenant peers ride their own fabric session slot.
+                auto results = secureRegBatch(peer, {op});
+                out.writeU8(results.at(0).status);
+                out.writeU64(results.at(0).data);
+            }
+            break;
+          }
+          case SmChannelMsg::SecureRegBatch: {
+            uint32_t count = r.readU32();
+            if (count == 0 || count > 4096)
+                throw SerdeError("batch count out of range");
+            std::vector<regchan::RegOp> ops;
+            ops.reserve(count);
+            for (uint32_t i = 0; i < count; ++i) {
+                regchan::RegOp op;
+                op.isWrite = r.readU8() != 0;
+                op.addr = r.readU32();
+                op.data = r.readU64();
+                ops.push_back(op);
+            }
+            auto results = secureRegBatch(peer, ops);
+            out.writeU32(uint32_t(results.size()));
+            for (const regchan::BatchResult &res : results) {
+                out.writeU8(res.status);
+                out.writeU64(res.data);
+            }
             break;
           }
           case SmChannelMsg::QueryStatus:
             out.writeRaw(status_.serialize());
             break;
           case SmChannelMsg::RekeySession:
-            out.writeU8(rekeySession() ? 1 : 0);
+            out.writeU8(peer == 0 && rekeySession() ? 1 : 0);
             break;
           default:
             out.writeU8(0xff);
@@ -667,6 +777,221 @@ SmEnclaveApp::secureRegOpOnce(const regchan::RegOp &op)
     return *opened;
 }
 
+// ---- Batched channel + multi-session fan-out --------------------------
+
+bool
+SmEnclaveApp::ensureFabricSession(uint32_t slot)
+{
+    if (slot == 0)
+        return true; // the injected base session always exists
+    if (slot >= kSmMaxSessions)
+        return false;
+    if (extraSessions_.count(slot))
+        return true;
+    if (!haveSecrets_ || !status_.ok())
+        return false;
+
+    // The open nonce rides the same monotone counter stream as the
+    // base channel, so it strictly increases across re-opens (the
+    // fabric refuses stale opens) and is covered by the journal's
+    // write-ahead reservation.
+    uint64_t nonce = nextSessionCtr();
+    uint64_t mac = regchan::sessionOpenMac(secrets_.sessionMacKey(),
+                                           slot, nonce);
+
+    shell::Shell &sh = activeShell();
+    PhaseScope transport(deps_.sim, phases::kChanTransport);
+    sh.registerWrite(pcie::Window::SmSecure, kSmRegIn0, slot);
+    sh.registerWrite(pcie::Window::SmSecure, kSmRegIn1, nonce);
+    sh.registerWrite(pcie::Window::SmSecure, kSmRegIn3, mac);
+    sh.registerWrite(pcie::Window::SmSecure, kSmRegCmd,
+                     kSmCmdOpenSession);
+    if (sh.registerRead(pcie::Window::SmSecure, kSmRegStatus) !=
+        kSmStatusOk)
+        return false;
+
+    FabricSession s;
+    s.keySession =
+        regchan::deriveSlotSessionKeys(secrets_.keySession, slot, nonce);
+    s.openNonce = nonce;
+    extraSessions_[slot] = std::move(s);
+    // Persist: a recovered SM must hold the slot keys the fabric holds.
+    commitJournal();
+    return true;
+}
+
+uint64_t
+SmEnclaveApp::reserveCtrSpan(uint32_t slot, uint64_t n)
+{
+    if (slot == 0) {
+        uint64_t base = sessionCtr_ + 1;
+        if (sessionCtr_ + n > ctrReserve_ && deps_.storeJournal) {
+            ctrReserve_ = sessionCtr_ + n + kCtrReserveStride;
+            commitJournal();
+        }
+        sessionCtr_ += n;
+        return base;
+    }
+    FabricSession &s = extraSessions_.at(slot);
+    uint64_t base = s.ctr + 1;
+    if (s.ctr + n > s.reserve && deps_.storeJournal) {
+        s.reserve = s.ctr + n + kCtrReserveStride;
+        commitJournal();
+    }
+    s.ctr += n;
+    return base;
+}
+
+std::vector<regchan::BatchResult>
+SmEnclaveApp::secureRegBatch(uint32_t slot,
+                             const std::vector<regchan::RegOp> &ops)
+{
+    std::vector<regchan::BatchResult> results;
+    results.reserve(ops.size());
+    if (ops.empty())
+        return results;
+    if (!haveSecrets_ || !status_.ok() || slot >= kSmMaxSessions) {
+        results.assign(ops.size(), regchan::BatchResult{0xfd, 0});
+        return results;
+    }
+
+    int maxAttempts = std::max(1, deps_.retry.maxAttempts);
+    size_t at = 0;
+    while (at < ops.size()) {
+        size_t n = std::min(ops.size() - at, regchan::kMaxBatchOps);
+        std::vector<regchan::RegOp> chunk(ops.begin() + long(at),
+                                          ops.begin() + long(at + n));
+        std::vector<regchan::BatchResult> chunkResults;
+        uint8_t code = 0xfc;
+        Bytes preAdoptSession;
+        bool usingPendingKeys = false;
+        for (int attempt = 1; attempt <= maxAttempts; ++attempt) {
+            if (attempt > 1) {
+                deps_.sim.spend(net::kRetryBackoffPhase,
+                                deps_.retry.backoffBefore(attempt));
+            }
+            // Every attempt reseals under a fresh counter stride, so a
+            // lost or garbled burst can never replay into acceptance.
+            if (slot != 0 && !ensureFabricSession(slot)) {
+                code = 0xfc;
+            } else {
+                uint64_t ctrBase = reserveCtrSpan(slot, n);
+                code = secureRegBatchOnce(slot, ctrBase, chunk,
+                                          chunkResults);
+            }
+            if (code == 0)
+                break;
+            // Same pending-rekey convergence dance as the single-op
+            // path; only the base session ever re-keys.
+            if (slot == 0) {
+                if (havePendingRekey_ && !usingPendingKeys) {
+                    preAdoptSession = secrets_.keySession;
+                    adoptPendingRekey();
+                    usingPendingKeys = true;
+                } else if (usingPendingKeys) {
+                    secrets_.keySession = preAdoptSession;
+                    secureZero(preAdoptSession);
+                    usingPendingKeys = false;
+                    clearPendingRekey();
+                }
+            }
+        }
+        if (code != 0) {
+            // Every sealed attempt was lost or rejected: surface the
+            // device to the supervisor and fail the remaining ops with
+            // the channel-level status.
+            if (deps_.onDeviceFailure) {
+                ErrorContext ctx;
+                ctx.from = deps_.selfEndpoint;
+                ctx.to = "device-" + std::to_string(activeDevice_);
+                ctx.method = "secureRegBatch";
+                ctx.attempt = maxAttempts;
+                deps_.onDeviceFailure(activeDevice_, ctx);
+            }
+            while (results.size() < ops.size())
+                results.push_back(regchan::BatchResult{code, 0});
+            return results;
+        }
+        if (usingPendingKeys)
+            clearPendingRekey(); // converged on the rolled keys
+        results.insert(results.end(), chunkResults.begin(),
+                       chunkResults.end());
+        at += n;
+    }
+    return results;
+}
+
+uint8_t
+SmEnclaveApp::secureRegBatchOnce(uint32_t slot, uint64_t ctrBase,
+                                 const std::vector<regchan::RegOp> &ops,
+                                 std::vector<regchan::BatchResult> &out)
+{
+    ByteView aesKey;
+    ByteView macKey;
+    if (slot == 0) {
+        aesKey = secrets_.sessionAesKey();
+        macKey = secrets_.sessionMacKey();
+    } else {
+        const FabricSession &s = extraSessions_.at(slot);
+        aesKey = ByteView(s.keySession).subspan(0, 16);
+        macKey = ByteView(s.keySession).subspan(16, 32);
+    }
+
+    // Host-side crypto (seal + open) is one AES block per op each way
+    // plus a single MAC pass per direction — the cost batching
+    // amortizes the round trips against.
+    if (deps_.sim.active()) {
+        deps_.sim.spend(phases::kChanCrypto,
+                        deps_.sim.cost->batchCrypto(ops.size()));
+    }
+    regchan::SealedRegBatch batch =
+        regchan::sealBatch(aesKey, macKey, slot, ctrBase, ops);
+
+    size_t nWords = batch.payload.size() / 8;
+    std::vector<uint64_t> words(nWords);
+    for (size_t i = 0; i < nWords; ++i)
+        words[i] = loadLe64(batch.payload.data() + i * 8);
+
+    shell::Shell &sh = activeShell();
+    uint64_t status = 0;
+    uint64_t rspMac = 0;
+    std::vector<uint64_t> rspWords(nWords, 0);
+    {
+        PhaseScope transport(deps_.sim, phases::kChanTransport);
+        sh.registerWrite(pcie::Window::SmSecure, kSmRegBurstReset, 1);
+        sh.registerBurstWrite(pcie::Window::SmSecure, kSmRegBurstIn,
+                              words.data(), words.size());
+        sh.registerWrite(pcie::Window::SmSecure, kSmRegIn0, ctrBase);
+        sh.registerWrite(pcie::Window::SmSecure, kSmRegIn1, ops.size());
+        sh.registerWrite(pcie::Window::SmSecure, kSmRegIn2, slot);
+        sh.registerWrite(pcie::Window::SmSecure, kSmRegIn3, batch.mac);
+        sh.registerWrite(pcie::Window::SmSecure, kSmRegCmd,
+                         kSmCmdSecureBatch);
+        status = sh.registerRead(pcie::Window::SmSecure, kSmRegStatus);
+        if (status == kSmStatusOk) {
+            rspMac =
+                sh.registerRead(pcie::Window::SmSecure, kSmRegOut2);
+            sh.registerBurstRead(pcie::Window::SmSecure, kSmRegBurstOut,
+                                 rspWords.data(), rspWords.size());
+        }
+    }
+    if (status != kSmStatusOk)
+        return 0xfc; // CL rejected (tamper/replay/loss on the bus)
+
+    regchan::SealedBatchResponse rsp;
+    rsp.payload.resize(nWords * 8);
+    for (size_t i = 0; i < nWords; ++i)
+        storeLe64(rsp.payload.data() + i * 8, rspWords[i]);
+    rsp.mac = rspMac;
+
+    auto opened = regchan::openBatchResponse(aesKey, macKey, slot,
+                                             ctrBase, ops.size(), rsp);
+    if (!opened)
+        return 0xfb; // response forged or corrupted
+    out = std::move(*opened);
+    return 0;
+}
+
 // ---- Fleet supervision ----------------------------------------------
 
 SmEnclaveApp::HeartbeatResult
@@ -777,6 +1102,12 @@ SmEnclaveApp::everRetiredFingerprint(ByteView fp) const
 void
 SmEnclaveApp::retireCurrentSecrets()
 {
+    // Derived slot keys are functions of the retiring base keys: wipe
+    // them too. The next batch on each slot lazily re-opens it under
+    // the fresh base session.
+    for (auto &[slot, s] : extraSessions_)
+        secureZero(s.keySession);
+    extraSessions_.clear();
     if (!haveSecrets_)
         return;
     retiredFingerprints_.insert(secretsFingerprint());
@@ -830,6 +1161,14 @@ SmEnclaveApp::buildJournal() const
                     d.havePendingRekey = 1;
                     d.pendingRekeyMacKey = pendingRekeyMacKey_;
                     d.pendingRekeyNonce = pendingRekeyNonce_;
+                }
+                for (const auto &[slot, s] : extraSessions_) {
+                    SmJournalSession js;
+                    js.slot = slot;
+                    js.keySession = s.keySession;
+                    js.openNonce = s.openNonce;
+                    js.ctrReserve = s.reserve;
+                    d.sessions.push_back(std::move(js));
                 }
             }
         }
@@ -968,6 +1307,19 @@ SmEnclaveApp::rehydrate()
                 pendingRekeyMacKey_ = d.pendingRekeyMacKey;
                 pendingRekeyNonce_ = d.pendingRekeyNonce;
                 havePendingRekey_ = true;
+            }
+            extraSessions_.clear();
+            for (const SmJournalSession &s : d.sessions) {
+                if (s.slot == 0 || s.slot >= kSmMaxSessions)
+                    continue; // implausible journal entry
+                FabricSession fs;
+                fs.keySession = s.keySession;
+                fs.openNonce = s.openNonce;
+                fs.reserve = s.ctrReserve;
+                // Resume PAST the reservation: counters inside it may
+                // already have hit the fabric before the crash.
+                fs.ctr = s.ctrReserve;
+                extraSessions_[s.slot] = std::move(fs);
             }
         }
     }

@@ -62,7 +62,8 @@ enum class SmChannelMsg : uint8_t {
     RunSecureBoot = 2,
     SecureRegOp = 3,
     QueryStatus = 4,
-    RekeySession = 5, ///< roll the register-channel session keys
+    RekeySession = 5,   ///< roll the register-channel session keys
+    SecureRegBatch = 6, ///< burst of ops over the batched channel
 };
 
 /** One FPGA the SM enclave can deploy to. */
@@ -118,6 +119,25 @@ class SmEnclaveApp : public tee::Enclave
     bool laConfirm(ByteView msg3);
     bool laEstablished() const;
 
+    // ---- Multi-session peers (extension) -----------------------------
+    //
+    // Each peer is one user enclave with its own LA responder, sealed
+    // channel sequence space, and fabric session slot (peer id ==
+    // slot). Peer 0 is the legacy session owner; only it may set
+    // metadata, run secure boot or re-key. Further peers get derived
+    // Key_session material fanned out by kSmCmdOpenSession, so tenants
+    // never share keystreams.
+
+    /** Allocates the next peer/session slot (1..kSmMaxSessions-1).
+     *  @throws SalusError when the fabric's slots are exhausted. */
+    uint32_t createPeer();
+    /** Peers allocated so far, including the implicit peer 0. */
+    size_t peerCount() const;
+
+    Bytes laAnswer(uint32_t peer, ByteView msg1);
+    bool laConfirm(uint32_t peer, ByteView msg3);
+    bool laEstablished(uint32_t peer) const;
+
     // ---- Sealed channel from the user enclave -----------------------
     /**
      * Handles one sealed channel request and returns the sealed
@@ -126,6 +146,19 @@ class SmEnclaveApp : public tee::Enclave
      * journal recovery (fail closed).
      */
     Bytes channelRequest(ByteView sealed);
+    /** Same, on a specific peer's channel. */
+    Bytes channelRequest(uint32_t peer, ByteView sealed);
+
+    /**
+     * Sends a burst of register ops over the batched secure channel on
+     * the given fabric session slot (0 = base session). Chunks beyond
+     * regchan::kMaxBatchOps transparently; one result per op, in
+     * order. Channel-level failures surface as per-op statuses: 0xfd
+     * no attested CL, 0xfc the fabric rejected every sealed attempt,
+     * 0xfb the response failed authentication.
+     */
+    std::vector<regchan::BatchResult>
+    secureRegBatch(uint32_t slot, const std::vector<regchan::RegOp> &ops);
 
     // ---- Extensions beyond the paper's prototype ---------------------
     /**
@@ -241,7 +274,30 @@ class SmEnclaveApp : public tee::Enclave
     }
 
   private:
-    Bytes handlePlainRequest(ByteView plain);
+    /** One derived fabric session the SM multiplexes (slots >= 1). */
+    struct FabricSession
+    {
+        Bytes keySession;       ///< 48 bytes (AES + MAC), derived
+        uint64_t openNonce = 0; ///< nonce the slot was opened with
+        uint64_t ctr = 0;       ///< last counter handed out
+        uint64_t reserve = 0;   ///< write-ahead journal reservation
+    };
+
+    Bytes handlePlainRequest(uint32_t peer, ByteView plain);
+    tee::LocalAttestResponder *peerLa(uint32_t peer) const;
+    /** Opens the fabric session slot if not already open (lazy, after
+     *  every failover the next batch re-opens it under the fresh base
+     *  keys). */
+    bool ensureFabricSession(uint32_t slot);
+    /** Reserves a contiguous span of n counters on the slot, extending
+     *  the journal's write-ahead reservation first when needed.
+     *  @return the first counter of the span. */
+    uint64_t reserveCtrSpan(uint32_t slot, uint64_t n);
+    /** One sealed burst attempt. @return 0 ok (out filled), 0xfc
+     *  fabric rejected, 0xfb response forged. */
+    uint8_t secureRegBatchOnce(uint32_t slot, uint64_t ctrBase,
+                               const std::vector<regchan::RegOp> &ops,
+                               std::vector<regchan::BatchResult> &out);
     /** The bounded-attempt secure-boot loop (graceful degradation):
      *  retries transport-class failures with backoff, stops on
      *  security rejections, and redeploys after failed loads or
@@ -277,6 +333,11 @@ class SmEnclaveApp : public tee::Enclave
     SmEnclaveDeps deps_;
     std::unique_ptr<tee::LocalAttestResponder> la_;
     uint64_t channelSeq_ = 0;
+    /** Extra peers (index i = peer i+1) and their sequence spaces. */
+    std::vector<std::unique_ptr<tee::LocalAttestResponder>> extraLa_;
+    std::vector<uint64_t> extraSeq_;
+    /** Open derived fabric sessions, keyed by slot (>= 1). */
+    std::map<uint32_t, FabricSession> extraSessions_;
 
     ClMetadata metadata_;
     bool haveMetadata_ = false;

@@ -32,10 +32,12 @@ SmLogic::SmLogic(const netlist::Cell &cell,
 
     keyAttest_ = bramInit(keyAttestPath, kKeyAttestSize);
     Bytes session = bramInit(keySessionPath, kKeySessionSize);
-    sessionAesKey_ = sliceBytes(session, 0, 16);
-    sessionMacKey_ = sliceBytes(session, 16, 32);
+    SessionSlot &base = sessions_[0];
+    base.open = true;
+    base.aesKey = sliceBytes(session, 0, 16);
+    base.macKey = sliceBytes(session, 16, 32);
     Bytes ctr = bramInit(ctrSessionPath, kCtrSessionSize);
-    lastCtr_ = loadLe64(ctr.data());
+    base.lastCtr = loadLe64(ctr.data());
     secureZero(session);
 }
 
@@ -53,6 +55,9 @@ SmLogic::reset()
         v = 0;
     for (auto &v : out_)
         v = 0;
+    burstIn_.clear();
+    burstOut_.clear();
+    burstOutPos_ = 0;
 }
 
 uint64_t
@@ -81,6 +86,26 @@ SmLogic::readRegister(uint32_t addr)
         return statHeartbeatOk_;
       case kSmRegStatHeartbeatRejected:
         return statHeartbeatRejected_;
+      case kSmRegStatBatchOk:
+        return statBatchOk_;
+      case kSmRegStatBatchRejected:
+        return statBatchRejected_;
+      case kSmRegStatBatchOps:
+        return statBatchOps_;
+      case kSmRegStatSessionsOpen: {
+        uint64_t open = 0;
+        for (const auto &s : sessions_)
+            open += s.open ? 1 : 0;
+        return open;
+      }
+      case kSmRegBurstOut: {
+        // Pop the next response word; reads past the end return 0.
+        if (burstOutPos_ + 8 > burstOut_.size())
+            return 0;
+        uint64_t word = loadLe64(burstOut_.data() + burstOutPos_);
+        burstOutPos_ += 8;
+        return word;
+      }
       default:
         // Secrets and inputs are never readable from the bus.
         return 0;
@@ -106,6 +131,21 @@ SmLogic::writeRegister(uint32_t addr, uint64_t value)
       case kSmRegIn3:
         in_[3] = value;
         break;
+      case kSmRegBurstIn:
+        // Append one payload word; the FIFO is a bounded on-chip
+        // buffer, so words beyond the largest burst are dropped.
+        if (burstIn_.size() + 8 <=
+            regchan::kMaxBatchOps * regchan::kRegBatchBlock) {
+            size_t at = burstIn_.size();
+            burstIn_.resize(at + 8);
+            storeLe64(burstIn_.data() + at, value);
+        }
+        break;
+      case kSmRegBurstReset:
+        burstIn_.clear();
+        burstOut_.clear();
+        burstOutPos_ = 0;
+        break;
       default:
         break;
     }
@@ -122,6 +162,12 @@ SmLogic::execute(uint64_t cmd)
         break;
       case kSmCmdSecureReg:
         doSecureReg();
+        break;
+      case kSmCmdSecureBatch:
+        doSecureBatch();
+        break;
+      case kSmCmdOpenSession:
+        doOpenSession();
         break;
       case kSmCmdRekey:
         doRekey();
@@ -185,20 +231,36 @@ SmLogic::doRekey()
     uint64_t nonce = in_[1];
     uint64_t mac = in_[3];
 
-    if (ctr <= lastCtr_ ||
-        mac != regchan::rekeyMac(sessionMacKey_, ctr, nonce)) {
+    SessionSlot &base = sessions_[0];
+    if (ctr <= base.lastCtr ||
+        mac != regchan::rekeyMac(base.macKey, ctr, nonce)) {
         ++statRegOpRejected_;
         status_ = kSmStatusRejected;
         return;
     }
-    lastCtr_ = ctr;
-    auto [aes, macKey] = regchan::deriveRekeyedKeys(sessionMacKey_, nonce);
-    secureZero(sessionAesKey_);
-    secureZero(sessionMacKey_);
-    sessionAesKey_ = std::move(aes);
-    sessionMacKey_ = std::move(macKey);
+    base.lastCtr = ctr;
+    auto [aes, macKey] = regchan::deriveRekeyedKeys(base.macKey, nonce);
+    secureZero(base.aesKey);
+    secureZero(base.macKey);
+    base.aesKey = std::move(aes);
+    base.macKey = std::move(macKey);
     ++statRegOpOk_;
     status_ = kSmStatusOk;
+}
+
+uint64_t
+SmLogic::executeOp(const regchan::RegOp &op, uint8_t &opStatus)
+{
+    opStatus = 0;
+    uint64_t data = 0;
+    if (!accel_) {
+        opStatus = 2; // no accelerator behind us
+    } else if (op.isWrite) {
+        accel_->writeRegister(op.addr, op.data);
+    } else {
+        data = accel_->readRegister(op.addr);
+    }
+    return data;
 }
 
 void
@@ -210,37 +272,139 @@ SmLogic::doSecureReg()
     req.ct1 = in_[2];
     req.mac = in_[3];
 
+    SessionSlot &base = sessions_[0];
     // Freshness: the session counter must strictly increase. A replay
     // of an earlier (valid) transaction fails here.
-    if (req.ctr <= lastCtr_) {
+    if (req.ctr <= base.lastCtr) {
         ++statRegOpRejected_;
         status_ = kSmStatusRejected;
         return;
     }
-    auto op = regchan::openRequest(sessionAesKey_, sessionMacKey_, req);
+    auto op = regchan::openRequest(base.aesKey, base.macKey, req);
     if (!op) {
         ++statRegOpRejected_;
         status_ = kSmStatusRejected;
         return;
     }
-    lastCtr_ = req.ctr;
+    base.lastCtr = req.ctr;
 
     uint8_t opStatus = 0;
-    uint64_t data = 0;
-    if (!accel_) {
-        opStatus = 2; // no accelerator behind us
-    } else if (op->isWrite) {
-        accel_->writeRegister(op->addr, op->data);
-    } else {
-        data = accel_->readRegister(op->addr);
-    }
+    uint64_t data = executeOp(*op, opStatus);
 
     regchan::SealedRegResponse rsp = regchan::sealResponse(
-        sessionAesKey_, sessionMacKey_, req.ctr, opStatus, data);
+        base.aesKey, base.macKey, req.ctr, opStatus, data);
     out_[0] = rsp.ct0;
     out_[1] = rsp.ct1;
     out_[2] = rsp.mac;
     ++statRegOpOk_;
+    status_ = kSmStatusOk;
+}
+
+void
+SmLogic::doSecureBatch()
+{
+    uint64_t ctrBase = in_[0];
+    uint64_t count = in_[1];
+    uint64_t slotId = in_[2];
+    uint64_t mac = in_[3];
+
+    auto reject = [&] {
+        ++statBatchRejected_;
+        status_ = kSmStatusRejected;
+    };
+
+    // Shape checks first: a bad burst must reject without consuming
+    // counter state or touching any key material beyond the MAC check.
+    if (slotId >= kSmMaxSessions || !sessions_[slotId].open ||
+        count == 0 || count > regchan::kMaxBatchOps ||
+        burstIn_.size() != count * regchan::kRegBatchBlock) {
+        reject();
+        return;
+    }
+    SessionSlot &slot = sessions_[slotId];
+    if (ctrBase <= slot.lastCtr ||
+        ctrBase > UINT64_MAX - (count - 1)) {
+        reject();
+        return;
+    }
+    uint64_t expect = regchan::batchMac(
+        slot.macKey, static_cast<uint32_t>(slotId), ctrBase, burstIn_,
+        /*response=*/false);
+    if (mac != expect) {
+        reject();
+        return;
+    }
+    // Authentic and fresh: the whole stride is consumed even if an op
+    // inside reports an accelerator-level error.
+    slot.lastCtr = ctrBase + (count - 1);
+
+    // Stream block by block: decrypt the request block in place,
+    // execute, then encode + encrypt the response block directly into
+    // the output FIFO. No intermediate plaintext vector.
+    burstOut_.assign(count * regchan::kRegBatchBlock, 0);
+    burstOutPos_ = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+        uint8_t *inBlock = burstIn_.data() + i * regchan::kRegBatchBlock;
+        regchan::cryptBatchBlock(slot.aesKey, /*response=*/false,
+                                 ctrBase + i, inBlock);
+        regchan::RegOp op = regchan::decodeBatchOp(inBlock);
+        uint8_t opStatus = 0;
+        uint64_t data = executeOp(op, opStatus);
+        uint8_t *outBlock =
+            burstOut_.data() + i * regchan::kRegBatchBlock;
+        regchan::encodeBatchResult(opStatus, data, outBlock);
+        regchan::cryptBatchBlock(slot.aesKey, /*response=*/true,
+                                 ctrBase + i, outBlock);
+    }
+    out_[0] = count;
+    out_[2] = regchan::batchMac(slot.macKey,
+                                static_cast<uint32_t>(slotId), ctrBase,
+                                burstOut_, /*response=*/true);
+    secureZero(burstIn_);
+    burstIn_.clear();
+    ++statBatchOk_;
+    statBatchOps_ += count;
+    status_ = kSmStatusOk;
+}
+
+void
+SmLogic::doOpenSession()
+{
+    uint64_t slotId = in_[0];
+    uint64_t nonce = in_[1];
+    uint64_t mac = in_[3];
+
+    SessionSlot &base = sessions_[0];
+    // Slot 0 is the injected base session and can never be re-opened
+    // from the bus; every open is authorized under the CURRENT base
+    // MAC key with a strictly increasing per-slot nonce.
+    if (slotId == 0 || slotId >= kSmMaxSessions ||
+        nonce <= sessions_[slotId].openNonce ||
+        mac != regchan::sessionOpenMac(
+                   base.macKey, static_cast<uint32_t>(slotId), nonce)) {
+        ++statBatchRejected_;
+        status_ = kSmStatusRejected;
+        return;
+    }
+    Bytes baseBlock = base.aesKey;
+    baseBlock.insert(baseBlock.end(), base.macKey.begin(),
+                     base.macKey.end());
+    Bytes derived = regchan::deriveSlotSessionKeys(
+        baseBlock, static_cast<uint32_t>(slotId), nonce);
+    secureZero(baseBlock);
+
+    SessionSlot &slot = sessions_[slotId];
+    secureZero(slot.aesKey);
+    secureZero(slot.macKey);
+    slot.aesKey = sliceBytes(derived, 0, 16);
+    slot.macKey = sliceBytes(derived, 16, 32);
+    secureZero(derived);
+    slot.lastCtr = 0;
+    slot.openNonce = nonce;
+    slot.open = true;
+
+    out_[0] = slotId;
+    out_[1] = nonce + 1;
     status_ = kSmStatusOk;
 }
 

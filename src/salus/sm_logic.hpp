@@ -13,16 +13,23 @@
  *    counter) in front of the accelerator's control interface.
  *
  * Register map (byte offsets within the SM window):
- *   0x00 CMD     (w)  1 = attest, 2 = secure register op
+ *   0x00 CMD     (w)  1 = attest, 2 = secure register op, 3 = rekey,
+ *                     4 = heartbeat, 5 = secure batch, 6 = open session
  *   0x08 STATUS  (r)  0 idle, 1 ok, 2 rejected
  *   0x10..0x2f   IN0..IN3  operands
  *   0x30..0x4f   OUT0..OUT3 results
+ *   0x50 BURST_IN  (w) append one burst payload word
+ *   0x58 BURST_OUT (r) pop one burst response word
+ *   0x60 BURST_RESET (w) clear both burst FIFOs
  */
 
 #ifndef SALUS_SALUS_SM_LOGIC_HPP
 #define SALUS_SALUS_SM_LOGIC_HPP
 
+#include <array>
+
 #include "fpga/device.hpp"
+#include "salus/reg_channel.hpp"
 
 namespace salus::core {
 
@@ -37,6 +44,13 @@ constexpr uint32_t kSmRegOut0 = 0x30;
 constexpr uint32_t kSmRegOut1 = 0x38;
 constexpr uint32_t kSmRegOut2 = 0x40;
 
+// Burst FIFO window (batched register channel). A write to BURST_IN
+// appends one 64-bit payload word; a read from BURST_OUT pops the
+// next response word; a write to BURST_RESET clears both FIFOs.
+constexpr uint32_t kSmRegBurstIn = 0x50;
+constexpr uint32_t kSmRegBurstOut = 0x58;
+constexpr uint32_t kSmRegBurstReset = 0x60;
+
 /** CMD codes. */
 constexpr uint64_t kSmCmdAttest = 1;
 constexpr uint64_t kSmCmdSecureReg = 2;
@@ -46,6 +60,16 @@ constexpr uint64_t kSmCmdRekey = 3;
 /** MAC'd liveness probe (fleet supervision): prove the CL is alive
  *  and still holds this deployment's Key_attest. */
 constexpr uint64_t kSmCmdHeartbeat = 4;
+/** Batched secure register burst (extension): IN0 = ctrBase, IN1 =
+ *  op count, IN2 = session slot, IN3 = burst MAC, payload streamed
+ *  through BURST_IN, responses through BURST_OUT. */
+constexpr uint64_t kSmCmdSecureBatch = 5;
+/** Open a derived session slot (extension): IN0 = slot, IN1 = open
+ *  nonce, IN3 = MAC under the base session's MAC key. */
+constexpr uint64_t kSmCmdOpenSession = 6;
+
+/** Session slots the fabric multiplexes (slot 0 = injected base). */
+constexpr uint32_t kSmMaxSessions = 8;
 
 /** Read-only diagnostic counters (non-secret, like AXI status regs). */
 constexpr uint32_t kSmRegStatAttestOk = 0x80;
@@ -54,6 +78,10 @@ constexpr uint32_t kSmRegStatRegOpOk = 0x90;
 constexpr uint32_t kSmRegStatRegOpRejected = 0x98;
 constexpr uint32_t kSmRegStatHeartbeatOk = 0xa0;
 constexpr uint32_t kSmRegStatHeartbeatRejected = 0xa8;
+constexpr uint32_t kSmRegStatBatchOk = 0xb0;
+constexpr uint32_t kSmRegStatBatchRejected = 0xb8;
+constexpr uint32_t kSmRegStatBatchOps = 0xc0;
+constexpr uint32_t kSmRegStatSessionsOpen = 0xc8;
 
 /** STATUS values. */
 constexpr uint64_t kSmStatusIdle = 0;
@@ -76,17 +104,30 @@ class SmLogic : public fpga::IpBehavior
     static void registerIp();
 
   private:
+    /** One multiplexed register-channel session. Slot 0 holds the
+     *  BRAM-injected base keys; further slots hold keys derived by
+     *  kSmCmdOpenSession. */
+    struct SessionSlot
+    {
+        bool open = false;
+        Bytes aesKey;
+        Bytes macKey;
+        uint64_t lastCtr = 0;
+        uint64_t openNonce = 0; ///< strictly increasing per slot
+    };
+
     void execute(uint64_t cmd);
     void doAttest();
     void doSecureReg();
+    void doSecureBatch();
+    void doOpenSession();
     void doRekey();
     void doHeartbeat();
+    uint64_t executeOp(const regchan::RegOp &op, uint8_t &opStatus);
 
     // Secrets as configured in BRAM (bitstream-manipulated values).
     Bytes keyAttest_;
-    Bytes sessionAesKey_;
-    Bytes sessionMacKey_;
-    uint64_t lastCtr_ = 0;
+    std::array<SessionSlot, kSmMaxSessions> sessions_;
 
     std::string accelPath_;
     fpga::IpBehavior *accel_ = nullptr;
@@ -96,6 +137,11 @@ class SmLogic : public fpga::IpBehavior
     uint64_t in_[4] = {};
     uint64_t out_[4] = {};
 
+    // Burst FIFOs for the batched channel (bounded on-chip buffers).
+    Bytes burstIn_;
+    Bytes burstOut_;
+    size_t burstOutPos_ = 0;
+
     // Diagnostic counters (bus-readable, non-secret).
     uint64_t statAttestOk_ = 0;
     uint64_t statAttestRejected_ = 0;
@@ -103,6 +149,9 @@ class SmLogic : public fpga::IpBehavior
     uint64_t statRegOpRejected_ = 0;
     uint64_t statHeartbeatOk_ = 0;
     uint64_t statHeartbeatRejected_ = 0;
+    uint64_t statBatchOk_ = 0;
+    uint64_t statBatchRejected_ = 0;
+    uint64_t statBatchOps_ = 0;
 };
 
 } // namespace salus::core

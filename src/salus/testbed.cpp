@@ -226,6 +226,79 @@ void
 Testbed::rebuildSmApp()
 {
     smApp_ = std::make_unique<SmEnclaveApp>(*platform_, makeSmDeps());
+    // Re-create the tenant peer endpoints so peer ids stay valid on
+    // the fresh instance; each tenant must attachToPlatform() again
+    // (its old LA session died with the old enclave).
+    for (size_t i = 0; i < extraUsers_.size(); ++i)
+        smApp_->createPeer();
+}
+
+uint32_t
+Testbed::addUserSession()
+{
+    uint32_t peer = smApp_->createPeer();
+    SmTransport transport;
+    transport.la1 = [this, peer](ByteView m) {
+        return smApp_->laAnswer(peer, m);
+    };
+    transport.la3 = [this, peer](ByteView m) {
+        return smApp_->laConfirm(peer, m);
+    };
+    transport.channel = [this, peer](ByteView m) {
+        return smApp_->channelRequest(peer, m);
+    };
+    tee::EnclaveImage image = config_.userImage;
+    image.name += "-tenant-" + std::to_string(peer);
+    extraUsers_.push_back(std::make_unique<UserEnclaveApp>(
+        *platform_, std::move(image), SmEnclaveApp::defaultMeasurement(),
+        transport, simHooks()));
+    if (scheduler_)
+        scheduler_->addSession(peer);
+    return peer;
+}
+
+UserEnclaveApp &
+Testbed::userApp(uint32_t peer)
+{
+    if (peer == 0)
+        return *userApp_;
+    return *extraUsers_.at(peer - 1);
+}
+
+BatchScheduler &
+Testbed::scheduler()
+{
+    if (!scheduler_) {
+        BatchScheduler::Config cfg;
+        cfg.queueCapacity = config_.schedulerQueueCapacity;
+        cfg.maxBatchOps = config_.schedulerMaxBatchOps;
+        scheduler_ = std::make_unique<BatchScheduler>(
+            [this](uint32_t slot,
+                   const std::vector<regchan::RegOp> &ops) {
+                std::vector<regchan::BatchResult> results;
+                // Channel-level failures (fabric reject / forged
+                // response / no attested CL) count as device failures
+                // for the supervisor's circuit breaker; a triggered
+                // failover surfaces as FailoverError through here.
+                supervisor_->guardedOp(
+                    [&] {
+                        results = smApp_->secureRegBatch(slot, ops);
+                        for (const regchan::BatchResult &r : results) {
+                            if (r.status == 0xfd || r.status == 0xfc ||
+                                r.status == 0xfb)
+                                return false;
+                        }
+                        return true;
+                    },
+                    "secureRegBatch");
+                return results;
+            },
+            cfg);
+        scheduler_->addSession(0);
+        for (size_t i = 0; i < extraUsers_.size(); ++i)
+            scheduler_->addSession(uint32_t(i + 1));
+    }
+    return *scheduler_;
 }
 
 bool

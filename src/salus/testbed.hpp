@@ -21,6 +21,7 @@
 #include "manufacturer/manufacturer.hpp"
 #include "salus/cl_builder.hpp"
 #include "salus/developer.hpp"
+#include "salus/scheduler.hpp"
 #include "salus/sm_enclave.hpp"
 #include "salus/supervisor.hpp"
 #include "salus/user_client.hpp"
@@ -55,6 +56,9 @@ struct TestbedConfig
     sim::CostModel cost;
     /** The developer's user-enclave build. */
     tee::EnclaveImage userImage;
+    /** Batch-scheduler tuning (multi-session secure channel). */
+    size_t schedulerQueueCapacity = 256;
+    size_t schedulerMaxBatchOps = 32;
 
     TestbedConfig();
 };
@@ -139,6 +143,24 @@ class Testbed
     SmEnclaveApp &smApp() { return *smApp_; }
     UserEnclaveApp &userApp() { return *userApp_; }
     FleetSupervisor &supervisor() { return *supervisor_; }
+
+    /**
+     * Adds a tenant user enclave with its own SM peer channel and
+     * fabric session slot. @return the peer/slot id (>= 1). Call
+     * userApp(peer).attachToPlatform() after the platform has booted.
+     */
+    uint32_t addUserSession();
+    /** User enclave by peer id (0 = the session owner). */
+    UserEnclaveApp &userApp(uint32_t peer);
+    /** Tenant sessions added so far (excluding peer 0). */
+    size_t extraUserCount() const { return extraUsers_.size(); }
+
+    /**
+     * The multi-session batch scheduler, lazily built over the
+     * supervisor-guarded batched channel. Sessions registered: slot 0
+     * plus every addUserSession() peer.
+     */
+    BatchScheduler &scheduler();
     crypto::RandomSource &rng() { return *rng_; }
 
     /** The published CL artifacts (mutable so tests can tamper). */
@@ -202,6 +224,9 @@ class Testbed
     std::unique_ptr<net::Network> network_;
     std::unique_ptr<SmEnclaveApp> smApp_;
     std::unique_ptr<UserEnclaveApp> userApp_;
+    /** Tenant user enclaves (index i = peer/slot i + 1). */
+    std::vector<std::unique_ptr<UserEnclaveApp>> extraUsers_;
+    std::unique_ptr<BatchScheduler> scheduler_;
     std::unique_ptr<FleetSupervisor> supervisor_;
 
     Bytes storedBitstream_;

@@ -274,6 +274,71 @@ UserEnclaveApp::secureWrite(uint32_t addr, uint64_t data)
 }
 
 bool
+UserEnclaveApp::attachToPlatform()
+{
+    // Tenant peers join an already-booted platform: LA the SM enclave
+    // (pinning the published measurement), then confirm the CL is up.
+    {
+        PhaseScope phase(sim_, phases::kLocalAttest);
+        if (sim_.active()) {
+            sim_.spend(phases::kLocalAttest,
+                       sim_.cost->localAttestation());
+        }
+        channelSeq_ = 0;
+        la_ = std::make_unique<tee::LocalAttestInitiator>(*this,
+                                                          expectedSm_);
+        Bytes msg2 = transport_.la1(la_->start());
+        auto msg3 = la_->finish(msg2);
+        if (!msg3 || !transport_.la3(*msg3))
+            return false;
+        laOk_ = true;
+    }
+    BinaryWriter w;
+    w.writeU8(uint8_t(SmChannelMsg::QueryStatus));
+    Bytes raw = channelRoundtrip(w.data());
+    if (raw.empty())
+        return false;
+    try {
+        return ClBootStatus::deserialize(raw).ok();
+    } catch (const SalusError &) {
+        return false;
+    }
+}
+
+std::vector<regchan::BatchResult>
+UserEnclaveApp::secureBatch(const std::vector<regchan::RegOp> &ops)
+{
+    std::vector<regchan::BatchResult> results;
+    if (!laOk_ || ops.empty())
+        return results;
+    BinaryWriter w;
+    w.writeU8(uint8_t(SmChannelMsg::SecureRegBatch));
+    w.writeU32(uint32_t(ops.size()));
+    for (const regchan::RegOp &op : ops) {
+        w.writeU8(op.isWrite ? 1 : 0);
+        w.writeU32(op.addr);
+        w.writeU64(op.data);
+    }
+    Bytes raw = channelRoundtrip(w.data());
+    try {
+        BinaryReader r(raw);
+        uint32_t count = r.readU32();
+        if (count != ops.size())
+            return results;
+        results.reserve(count);
+        for (uint32_t i = 0; i < count; ++i) {
+            regchan::BatchResult res;
+            res.status = r.readU8();
+            res.data = r.readU64();
+            results.push_back(res);
+        }
+    } catch (const SalusError &) {
+        results.clear();
+    }
+    return results;
+}
+
+bool
 UserEnclaveApp::rekeySession()
 {
     if (!laOk_)

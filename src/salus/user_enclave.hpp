@@ -19,6 +19,7 @@
 #include <functional>
 
 #include "salus/messages.hpp"
+#include "salus/reg_channel.hpp"
 #include "salus/sim_hooks.hpp"
 #include "tee/local_attest.hpp"
 #include "tee/platform.hpp"
@@ -107,6 +108,22 @@ class UserEnclaveApp : public tee::Enclave
     /** Secure register ops proxied via the SM enclave (§4.5). */
     std::optional<uint64_t> secureRead(uint32_t addr);
     bool secureWrite(uint32_t addr, uint64_t data);
+
+    /**
+     * Tenant attach (extension): runs only the local attestation of
+     * the SM enclave plus a status query — no metadata, no boot — for
+     * peers joining an already-booted platform. @return true when the
+     * LA pinned the expected SM and the CL reports attested.
+     */
+    bool attachToPlatform();
+
+    /**
+     * Sends a burst of register ops over the batched channel in one
+     * sealed round trip. @return one result per op, in order; empty on
+     * channel failure.
+     */
+    std::vector<regchan::BatchResult>
+    secureBatch(const std::vector<regchan::RegOp> &ops);
 
     /** Requests a session re-key of the register channel. */
     bool rekeySession();

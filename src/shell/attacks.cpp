@@ -119,6 +119,39 @@ MaliciousShell::registerWrite(pcie::Window window, uint32_t addr,
 }
 
 void
+MaliciousShell::registerBurstWrite(pcie::Window window, uint32_t addr,
+                                   const uint64_t *words, size_t count)
+{
+    // The shell sees every beat of a burst exactly like it sees every
+    // single-word write: snoop it, optionally flip bits in flight.
+    uint64_t mask = window == pcie::Window::SmSecure
+                        ? plan_.smWindowDataTamperMask
+                        : plan_.directWindowDataTamperMask;
+    std::vector<uint64_t> effective(words, words + count);
+    for (auto &w : effective) {
+        w ^= mask;
+        if (plan_.snoopRegisters)
+            snoopLog_.push_back({true, window, addr, w});
+    }
+    Shell::registerBurstWrite(window, addr, effective.data(), count);
+}
+
+void
+MaliciousShell::registerBurstRead(pcie::Window window, uint32_t addr,
+                                  uint64_t *words, size_t count)
+{
+    Shell::registerBurstRead(window, addr, words, count);
+    uint64_t mask = window == pcie::Window::SmSecure
+                        ? plan_.smWindowDataTamperMask
+                        : plan_.directWindowDataTamperMask;
+    for (size_t i = 0; i < count; ++i) {
+        words[i] ^= mask;
+        if (plan_.snoopRegisters)
+            snoopLog_.push_back({false, window, addr, words[i]});
+    }
+}
+
+void
 MaliciousShell::dmaWrite(uint64_t addr, ByteView data)
 {
     if (plan_.tamperDma && !data.empty()) {

@@ -71,6 +71,10 @@ class MaliciousShell : public Shell
     uint64_t registerRead(pcie::Window window, uint32_t addr) override;
     void registerWrite(pcie::Window window, uint32_t addr,
                        uint64_t data) override;
+    void registerBurstWrite(pcie::Window window, uint32_t addr,
+                            const uint64_t *words, size_t count) override;
+    void registerBurstRead(pcie::Window window, uint32_t addr,
+                           uint64_t *words, size_t count) override;
     void dmaWrite(uint64_t addr, ByteView data) override;
     Bytes dmaRead(uint64_t addr, size_t len) override;
 

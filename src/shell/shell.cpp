@@ -68,6 +68,46 @@ Shell::registerWrite(pcie::Window window, uint32_t addr, uint64_t data)
         target->writeRegister(addr, data);
 }
 
+void
+Shell::registerBurstWrite(pcie::Window window, uint32_t addr,
+                          const uint64_t *words, size_t count)
+{
+    // One round trip for the whole burst; the payload itself only
+    // pays wire time. Faults are still per-word: a glitched TLP loses
+    // individual beats, not the entire burst.
+    clock_.spend((window == pcie::Window::SmSecure ? cost_.pcieRtt
+                                                   : cost_.mmioLatency) +
+                 sim::transferTime(cost_.pcieBandwidth, count * 8));
+    ++stats_.burstWrites;
+    stats_.burstWordsWritten += count;
+    fpga::IpBehavior *target = route(window);
+    for (size_t i = 0; i < count; ++i) {
+        if (fault_ && fault_->onRegisterOp(true, addr, deviceIndex_))
+            continue; // this beat lost in flight
+        if (target)
+            target->writeRegister(addr, words[i]);
+    }
+}
+
+void
+Shell::registerBurstRead(pcie::Window window, uint32_t addr,
+                         uint64_t *words, size_t count)
+{
+    clock_.spend((window == pcie::Window::SmSecure ? cost_.pcieRtt
+                                                   : cost_.mmioLatency) +
+                 sim::transferTime(cost_.pcieBandwidth, count * 8));
+    ++stats_.burstReads;
+    stats_.burstWordsRead += count;
+    fpga::IpBehavior *target = route(window);
+    for (size_t i = 0; i < count; ++i) {
+        if (fault_ && fault_->onRegisterOp(false, addr, deviceIndex_)) {
+            words[i] = fault_->garbageWord();
+            continue;
+        }
+        words[i] = target ? target->readRegister(addr) : 0;
+    }
+}
+
 fpga::FpgaDevice::ScrubReport
 Shell::scrubPartition()
 {

@@ -45,6 +45,19 @@ class Shell
     virtual void registerWrite(pcie::Window window, uint32_t addr,
                                uint64_t data);
 
+    /**
+     * Burst register write: delivers `count` 64-bit words to one FIFO
+     * address back to back. One bus transaction (a single round trip
+     * plus wire time for the payload), not `count` of them — this is
+     * what the batched secure channel amortizes its crypto against.
+     */
+    virtual void registerBurstWrite(pcie::Window window, uint32_t addr,
+                                    const uint64_t *words, size_t count);
+
+    /** Burst register read: pops `count` words from one FIFO address. */
+    virtual void registerBurstRead(pcie::Window window, uint32_t addr,
+                                   uint64_t *words, size_t count);
+
     /** DMA host -> device DRAM. */
     virtual void dmaWrite(uint64_t addr, ByteView data);
 
@@ -81,6 +94,10 @@ class Shell
     {
         uint64_t registerReads = 0;
         uint64_t registerWrites = 0;
+        uint64_t burstWrites = 0;
+        uint64_t burstReads = 0;
+        uint64_t burstWordsWritten = 0;
+        uint64_t burstWordsRead = 0;
         uint64_t dmaBytesToDevice = 0;
         uint64_t dmaBytesFromDevice = 0;
         uint64_t deployments = 0;

@@ -98,4 +98,13 @@ CostModel::shefClAttestation(size_t bitstreamBytes) const
            rpc(LinkKind::Wan, 256, 4096);
 }
 
+Nanos
+CostModel::batchCrypto(size_t ops) const
+{
+    // Each op is one AES block in each direction; both the request
+    // and the response payload get a single MAC pass.
+    return Nanos(2 * ops) * aesCtrBlock + 2 * channelMacBase +
+           Nanos(2 * ops) * channelMacPerBlock;
+}
+
 } // namespace salus::sim

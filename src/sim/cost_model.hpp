@@ -85,6 +85,16 @@ struct CostModel
     /** One SEM-IP style frame-ECC scrub pass over a partition. */
     Nanos seuScrubPass = 8 * kMs;
 
+    // ---- Secure register channel crypto --------------------------------
+    /** One AES-128-CTR block (en/decrypt 16 bytes) in the enclave or
+     *  the fabric's AES engine. */
+    Nanos aesCtrBlock = 120;
+    /** Fixed HMAC-SHA256 cost per sealed message (key schedule +
+     *  finalization); batches pay it once, not per op. */
+    Nanos channelMacBase = 1 * kUs;
+    /** Incremental HMAC cost per additional 16-byte payload block. */
+    Nanos channelMacPerBlock = 60;
+
     // ---- ShEF baseline (§6.3 comparison, boot 5.1 s) -------------------
     /** Bitstream hash/measurement on the embedded security kernel. */
     double shefMeasureBytesPerSec = 8e6;
@@ -117,6 +127,11 @@ struct CostModel
 
     /** ShEF-style PKE remote attestation of a CL (baseline). */
     Nanos shefClAttestation(size_t bitstreamBytes) const;
+
+    /** Host-side crypto for one sealed burst of `ops` register ops:
+     *  one CTR block per op each way plus a single MAC pass over
+     *  request and response payloads. */
+    Nanos batchCrypto(size_t ops) const;
 };
 
 /** Per-byte transfer time helper. */

@@ -433,3 +433,114 @@ TEST(Fuzz, SecureChannelStatefulShadowModel)
         EXPECT_EQ(tb.userApp().secureRead(addr), value)
             << "addr 0x" << std::hex << addr;
 }
+
+TEST(Fuzz, BatchParserNeverCrashesOrFalselyAccepts)
+{
+    // The fabric-side burst parser consumes attacker-controlled bytes
+    // (session id, stride base, payload, MAC). Random and mutated
+    // bursts must be rejected cleanly; only the genuine seal opens.
+    using namespace core::regchan;
+    crypto::CtrDrbg rng(uint64_t(2024));
+    Bytes aes = rng.bytes(16);
+    Bytes mac = rng.bytes(32);
+
+    for (int i = 0; i < 300; ++i) {
+        SealedRegBatch junk;
+        junk.sessionId = uint32_t(rng.nextU64());
+        junk.ctrBase = rng.nextU64();
+        junk.payload = rng.bytes(rng.below(6 * kRegBatchBlock));
+        junk.mac = rng.nextU64();
+        EXPECT_FALSE(openBatch(aes, mac, junk).has_value());
+
+        SealedBatchResponse junkRsp;
+        junkRsp.payload = rng.bytes(rng.below(6 * kRegBatchBlock));
+        junkRsp.mac = rng.nextU64();
+        EXPECT_FALSE(openBatchResponse(aes, mac,
+                                       uint32_t(rng.nextU64()),
+                                       rng.nextU64(), rng.below(8),
+                                       junkRsp)
+                         .has_value());
+    }
+
+    std::vector<RegOp> ops;
+    for (uint32_t i = 0; i < 8; ++i)
+        ops.push_back({i % 2 == 0, 8 * i, rng.nextU64()});
+    SealedRegBatch good = sealBatch(aes, mac, 1, 1000, ops);
+    for (int i = 0; i < 300; ++i) {
+        SealedRegBatch bad = good;
+        switch (rng.below(4)) {
+          case 0:
+            bad.payload = corrupt(good.payload, rng);
+            break;
+          case 1:
+            bad.mac ^= uint64_t(1) << rng.below(64);
+            break;
+          case 2:
+            bad.sessionId ^= uint32_t(1 + rng.below(0xffff));
+            break;
+          case 3:
+            bad.ctrBase ^= uint64_t(1) << rng.below(64);
+            break;
+        }
+        EXPECT_FALSE(openBatch(aes, mac, bad).has_value());
+    }
+    EXPECT_TRUE(openBatch(aes, mac, good).has_value());
+}
+
+TEST(Fuzz, BurstRegisterSweepNeverWedgesTheFabric)
+{
+    // Random traffic against the burst FIFO registers and the batch/
+    // open-session commands must never crash the SM logic or wedge
+    // the legitimate batched channel.
+    fpga::ensureBuiltinIps();
+    core::SmLogic::registerIp();
+    core::Testbed tb;
+    netlist::Cell accel;
+    accel.path = "engine";
+    accel.kind = netlist::CellKind::Logic;
+    accel.behaviorId = fpga::kIpLoopback;
+    accel.resources = {10, 10, 0, 0};
+    tb.installCl(accel);
+    ASSERT_TRUE(tb.runDeployment().ok);
+
+    crypto::CtrDrbg rng(uint64_t(3030));
+    auto &sh = tb.shell();
+    for (int i = 0; i < 400; ++i) {
+        switch (rng.below(5)) {
+          case 0:
+            sh.registerWrite(pcie::Window::SmSecure,
+                             core::kSmRegBurstIn, rng.nextU64());
+            break;
+          case 1:
+            sh.registerRead(pcie::Window::SmSecure,
+                            core::kSmRegBurstOut);
+            break;
+          case 2:
+            sh.registerWrite(pcie::Window::SmSecure,
+                             core::kSmRegBurstReset, 0);
+            break;
+          case 3: { // garbage batch command
+            for (int r = 0; r < 4; ++r)
+                sh.registerWrite(pcie::Window::SmSecure,
+                                 core::kSmRegIn0 + 8 * r,
+                                 rng.nextU64());
+            sh.registerWrite(pcie::Window::SmSecure, core::kSmRegCmd,
+                             core::kSmCmdSecureBatch);
+            break;
+          }
+          case 4: // garbage open-session command
+            sh.registerWrite(pcie::Window::SmSecure, core::kSmRegCmd,
+                             core::kSmCmdOpenSession);
+            break;
+        }
+    }
+
+    // Both channel paths still work after the sweep.
+    auto results = tb.smApp().secureRegBatch(
+        0, {{true, 0x00, 99}, {false, 0x00, 0}});
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].status, 0);
+    EXPECT_EQ(results[1].data, 99u);
+    EXPECT_TRUE(tb.userApp().secureWrite(0x08, 7));
+    EXPECT_EQ(tb.userApp().secureRead(0x08), 7u);
+}

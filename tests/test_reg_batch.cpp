@@ -1,0 +1,483 @@
+/**
+ * @file
+ * Batched secure register channel + multi-session scheduler tests:
+ * wire-format round trips and rejection properties of the RegBatch
+ * crypto, counter-stride replay resistance at the fabric, tenant key
+ * isolation, and the BatchScheduler's fairness / backpressure /
+ * typed-failover semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/errors.hpp"
+#include "crypto/random.hpp"
+#include "salus/reg_channel.hpp"
+#include "salus/scheduler.hpp"
+#include "salus/sm_logic.hpp"
+#include "salus/testbed.hpp"
+
+using namespace salus;
+using namespace salus::core;
+
+namespace {
+
+netlist::Cell
+loopbackAccel()
+{
+    netlist::Cell accel;
+    accel.path = "engine";
+    accel.kind = netlist::CellKind::Logic;
+    accel.behaviorId = fpga::kIpLoopback;
+    accel.resources = {10, 10, 0, 0};
+    return accel;
+}
+
+struct BatchKeys
+{
+    Bytes aes;
+    Bytes mac;
+};
+
+BatchKeys
+testKeys(uint64_t seed)
+{
+    crypto::CtrDrbg rng(seed);
+    return {rng.bytes(16), rng.bytes(32)};
+}
+
+std::vector<regchan::RegOp>
+sampleOps(size_t n, uint64_t salt = 0)
+{
+    std::vector<regchan::RegOp> ops;
+    ops.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        regchan::RegOp op;
+        op.isWrite = (i % 3) != 2;
+        op.addr = uint32_t(8 * (i % 16));
+        op.data = salt + 0x1111111111111111ull * i;
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+} // namespace
+
+// ---- wire format ----------------------------------------------------
+
+TEST(RegBatch, SealOpenRoundTripAllSizes)
+{
+    BatchKeys k = testKeys(11);
+    for (size_t n : {size_t(1), size_t(2), size_t(32),
+                     regchan::kMaxBatchOps}) {
+        std::vector<regchan::RegOp> ops = sampleOps(n, n);
+        regchan::SealedRegBatch sealed =
+            regchan::sealBatch(k.aes, k.mac, 3, 1000 + n, ops);
+        EXPECT_EQ(sealed.count(), n);
+        auto open = regchan::openBatch(k.aes, k.mac, sealed);
+        ASSERT_TRUE(open.has_value()) << "count " << n;
+        ASSERT_EQ(open->size(), n);
+        for (size_t i = 0; i < n; ++i) {
+            EXPECT_EQ((*open)[i].isWrite, ops[i].isWrite);
+            EXPECT_EQ((*open)[i].addr, ops[i].addr);
+            EXPECT_EQ((*open)[i].data, ops[i].data);
+        }
+    }
+}
+
+TEST(RegBatch, ResponseRoundTrip)
+{
+    BatchKeys k = testKeys(12);
+    std::vector<regchan::BatchResult> results;
+    for (size_t i = 0; i < 32; ++i)
+        results.push_back({uint8_t(i % 4), 0xabcd0000 + i});
+    regchan::SealedBatchResponse rsp = regchan::sealBatchResponse(
+        k.aes, k.mac, 7, 5000, results);
+    auto open = regchan::openBatchResponse(k.aes, k.mac, 7, 5000,
+                                           results.size(), rsp);
+    ASSERT_TRUE(open.has_value());
+    ASSERT_EQ(open->size(), results.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ((*open)[i].status, results[i].status);
+        EXPECT_EQ((*open)[i].data, results[i].data);
+    }
+}
+
+TEST(RegBatch, RejectsMalformedShape)
+{
+    BatchKeys k = testKeys(13);
+    regchan::SealedRegBatch sealed =
+        regchan::sealBatch(k.aes, k.mac, 1, 100, sampleOps(4));
+
+    regchan::SealedRegBatch empty = sealed;
+    empty.payload.clear();
+    EXPECT_FALSE(regchan::openBatch(k.aes, k.mac, empty).has_value());
+
+    regchan::SealedRegBatch misaligned = sealed;
+    misaligned.payload.resize(sealed.payload.size() - 3);
+    EXPECT_FALSE(
+        regchan::openBatch(k.aes, k.mac, misaligned).has_value());
+
+    regchan::SealedRegBatch oversize = sealed;
+    oversize.payload.resize(
+        (regchan::kMaxBatchOps + 1) * regchan::kRegBatchBlock);
+    EXPECT_FALSE(
+        regchan::openBatch(k.aes, k.mac, oversize).has_value());
+
+    // Counter stride may never wrap past 2^64.
+    regchan::SealedRegBatch wrapping = regchan::sealBatch(
+        k.aes, k.mac, 1, ~uint64_t(0) - 1, sampleOps(4));
+    EXPECT_FALSE(
+        regchan::openBatch(k.aes, k.mac, wrapping).has_value());
+}
+
+TEST(RegBatch, RejectsTruncationAndBitFlips)
+{
+    BatchKeys k = testKeys(14);
+    regchan::SealedRegBatch sealed =
+        regchan::sealBatch(k.aes, k.mac, 9, 777, sampleOps(8));
+
+    // Truncating whole blocks changes the MACed count.
+    regchan::SealedRegBatch truncated = sealed;
+    truncated.payload.resize(sealed.payload.size() -
+                             regchan::kRegBatchBlock);
+    EXPECT_FALSE(
+        regchan::openBatch(k.aes, k.mac, truncated).has_value());
+
+    // Any single bit flip anywhere in the payload must be caught.
+    crypto::CtrDrbg rng(uint64_t(999));
+    for (int trial = 0; trial < 64; ++trial) {
+        regchan::SealedRegBatch flipped = sealed;
+        size_t byte = rng.below(flipped.payload.size());
+        flipped.payload[byte] ^= uint8_t(1 << rng.below(8));
+        EXPECT_FALSE(
+            regchan::openBatch(k.aes, k.mac, flipped).has_value());
+    }
+
+    regchan::SealedRegBatch badMac = sealed;
+    badMac.mac ^= 1;
+    EXPECT_FALSE(regchan::openBatch(k.aes, k.mac, badMac).has_value());
+
+    // Session id and counter base are cleartext but MAC-bound.
+    regchan::SealedRegBatch badSession = sealed;
+    badSession.sessionId ^= 1;
+    EXPECT_FALSE(
+        regchan::openBatch(k.aes, k.mac, badSession).has_value());
+    regchan::SealedRegBatch badCtr = sealed;
+    badCtr.ctrBase += 1;
+    EXPECT_FALSE(regchan::openBatch(k.aes, k.mac, badCtr).has_value());
+}
+
+TEST(RegBatch, ResponseRejectsMismatchedContext)
+{
+    BatchKeys k = testKeys(15);
+    std::vector<regchan::BatchResult> results(4);
+    regchan::SealedBatchResponse rsp =
+        regchan::sealBatchResponse(k.aes, k.mac, 2, 600, results);
+
+    EXPECT_TRUE(regchan::openBatchResponse(k.aes, k.mac, 2, 600, 4, rsp)
+                    .has_value());
+    // Wrong expected count, session, or stride base: reject.
+    EXPECT_FALSE(
+        regchan::openBatchResponse(k.aes, k.mac, 2, 600, 3, rsp)
+            .has_value());
+    EXPECT_FALSE(
+        regchan::openBatchResponse(k.aes, k.mac, 3, 600, 4, rsp)
+            .has_value());
+    EXPECT_FALSE(
+        regchan::openBatchResponse(k.aes, k.mac, 2, 601, 4, rsp)
+            .has_value());
+
+    regchan::SealedBatchResponse flipped = rsp;
+    flipped.payload[5] ^= 0x20;
+    EXPECT_FALSE(
+        regchan::openBatchResponse(k.aes, k.mac, 2, 600, 4, flipped)
+            .has_value());
+}
+
+TEST(RegBatch, RequestAndResponseKeystreamsAreDisjoint)
+{
+    BatchKeys k = testKeys(16);
+    uint8_t req[regchan::kRegBatchBlock] = {};
+    uint8_t rsp[regchan::kRegBatchBlock] = {};
+    regchan::cryptBatchBlock(k.aes, false, 42, req);
+    regchan::cryptBatchBlock(k.aes, true, 42, rsp);
+    EXPECT_NE(Bytes(req, req + sizeof req), Bytes(rsp, rsp + sizeof rsp));
+}
+
+// ---- multi-session key fan-out --------------------------------------
+
+TEST(RegBatch, SlotKeyDerivationIsolatesSessions)
+{
+    crypto::CtrDrbg rng(uint64_t(77));
+    Bytes base = rng.bytes(48);
+
+    Bytes slot1 = regchan::deriveSlotSessionKeys(base, 1, 10);
+    Bytes slot2 = regchan::deriveSlotSessionKeys(base, 2, 10);
+    Bytes slot1b = regchan::deriveSlotSessionKeys(base, 1, 11);
+    ASSERT_EQ(slot1.size(), 48u);
+    EXPECT_NE(slot1, slot2);  // per-slot separation
+    EXPECT_NE(slot1, slot1b); // per-nonce separation
+    EXPECT_EQ(slot1, regchan::deriveSlotSessionKeys(base, 1, 10));
+
+    // A burst sealed under slot 1's keys never opens under slot 2's.
+    ByteView aes1 = ByteView(slot1).subspan(0, 16);
+    ByteView mac1 = ByteView(slot1).subspan(16, 32);
+    ByteView aes2 = ByteView(slot2).subspan(0, 16);
+    ByteView mac2 = ByteView(slot2).subspan(16, 32);
+    regchan::SealedRegBatch sealed =
+        regchan::sealBatch(aes1, mac1, 1, 50, sampleOps(4));
+    EXPECT_TRUE(regchan::openBatch(aes1, mac1, sealed).has_value());
+    EXPECT_FALSE(regchan::openBatch(aes2, mac2, sealed).has_value());
+
+    // Open authorization MACs are slot- and nonce-specific.
+    ByteView baseMac = ByteView(base).subspan(16, 32);
+    EXPECT_NE(regchan::sessionOpenMac(baseMac, 1, 10),
+              regchan::sessionOpenMac(baseMac, 2, 10));
+    EXPECT_NE(regchan::sessionOpenMac(baseMac, 1, 10),
+              regchan::sessionOpenMac(baseMac, 1, 11));
+}
+
+// ---- fabric: counter stride + replay --------------------------------
+
+TEST(RegBatch, FabricConsumesStrideAndRejectsReplay)
+{
+    fpga::ensureBuiltinIps();
+    SmLogic::registerIp();
+    TestbedConfig cfg;
+    cfg.maliciousShell = true;
+    Testbed tb(cfg);
+    tb.installCl(loopbackAccel());
+    ASSERT_TRUE(tb.runDeployment().ok);
+
+    // A legitimate burst: writes then readbacks in one stride.
+    std::vector<regchan::RegOp> ops;
+    ops.push_back({true, 0x00, 0xdead});
+    ops.push_back({false, 0x00, 0});
+    ops.push_back({true, 0x08, 0xbeef});
+    ops.push_back({false, 0x08, 0});
+    auto results = tb.smApp().secureRegBatch(0, ops);
+    ASSERT_EQ(results.size(), 4u);
+    for (const auto &r : results)
+        EXPECT_EQ(r.status, 0);
+    EXPECT_EQ(results[1].data, 0xdeadull);
+    EXPECT_EQ(results[3].data, 0xbeefull);
+
+    // The attacker replays every SM-window write it snooped — burst
+    // payload words, stride registers and the command included. The
+    // stride was consumed, so the fabric must reject wholesale.
+    tb.maliciousShell()->replayRecordedSmWrites();
+    EXPECT_EQ(tb.shell().registerRead(pcie::Window::SmSecure,
+                                      kSmRegStatBatchOk),
+              1u);
+    EXPECT_GE(tb.shell().registerRead(pcie::Window::SmSecure,
+                                      kSmRegStatBatchRejected),
+              1u);
+
+    // State is what the legitimate session left, and the channel
+    // still serves fresh strides.
+    auto after = tb.smApp().secureRegBatch(0, {{false, 0x00, 0}});
+    ASSERT_EQ(after.size(), 1u);
+    EXPECT_EQ(after[0].status, 0);
+    EXPECT_EQ(after[0].data, 0xdeadull);
+}
+
+TEST(RegBatch, UserEnclaveBatchEndToEnd)
+{
+    fpga::ensureBuiltinIps();
+    SmLogic::registerIp();
+    Testbed tb;
+    tb.installCl(loopbackAccel());
+    ASSERT_TRUE(tb.runDeployment().ok);
+
+    std::vector<regchan::RegOp> ops;
+    for (uint32_t i = 0; i < 8; ++i)
+        ops.push_back({true, 8 * i, 100 + i});
+    for (uint32_t i = 0; i < 8; ++i)
+        ops.push_back({false, 8 * i, 0});
+    auto results = tb.userApp().secureBatch(ops);
+    ASSERT_EQ(results.size(), 16u);
+    for (uint32_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(results[8 + i].status, 0);
+        EXPECT_EQ(results[8 + i].data, 100ull + i);
+    }
+    // Batch and single-op paths interleave on one counter space.
+    EXPECT_TRUE(tb.userApp().secureWrite(0x00, 555));
+    EXPECT_EQ(tb.userApp().secureRead(0x00), 555u);
+}
+
+TEST(RegBatch, TenantSessionsAreIsolatedEndToEnd)
+{
+    fpga::ensureBuiltinIps();
+    SmLogic::registerIp();
+    Testbed tb;
+    tb.installCl(loopbackAccel());
+    ASSERT_TRUE(tb.runDeployment().ok);
+
+    uint32_t peerA = tb.addUserSession();
+    uint32_t peerB = tb.addUserSession();
+    ASSERT_TRUE(tb.userApp(peerA).attachToPlatform());
+    ASSERT_TRUE(tb.userApp(peerB).attachToPlatform());
+
+    // Each session writes its own scratch register through its own
+    // derived keys; every readback sees its own value.
+    auto ra = tb.userApp(peerA).secureBatch(
+        {{true, 0x10, 0xaaaa}, {false, 0x10, 0}});
+    auto rb = tb.userApp(peerB).secureBatch(
+        {{true, 0x18, 0xbbbb}, {false, 0x18, 0}});
+    ASSERT_EQ(ra.size(), 2u);
+    ASSERT_EQ(rb.size(), 2u);
+    EXPECT_EQ(ra[1].data, 0xaaaaull);
+    EXPECT_EQ(rb[1].data, 0xbbbbull);
+
+    // The owner session is unaffected by tenant traffic.
+    EXPECT_TRUE(tb.userApp().secureWrite(0x00, 42));
+    EXPECT_EQ(tb.userApp().secureRead(0x00), 42u);
+
+    // Tenants never share the owner's boot authority.
+    EXPECT_EQ(tb.shell().registerRead(pcie::Window::SmSecure,
+                                      kSmRegStatSessionsOpen),
+              3u);
+}
+
+// ---- scheduler ------------------------------------------------------
+
+TEST(BatchScheduler, FairRoundRobinAcrossSessions)
+{
+    std::vector<std::pair<uint32_t, size_t>> bursts;
+    BatchScheduler::Config cfg;
+    cfg.maxBatchOps = 4;
+    BatchScheduler sched(
+        [&](uint32_t session, const std::vector<regchan::RegOp> &ops) {
+            bursts.push_back({session, ops.size()});
+            return std::vector<regchan::BatchResult>(ops.size());
+        },
+        cfg);
+    for (uint32_t s = 0; s < 3; ++s)
+        sched.addSession(s);
+    for (uint32_t s = 0; s < 3; ++s)
+        for (int i = 0; i < 8; ++i)
+            ASSERT_EQ(sched.submit(s, {true, 0, 0}, nullptr),
+                      BatchScheduler::Submit::Accepted);
+
+    EXPECT_EQ(sched.drain(), 24u);
+    // Every session got the same service in maxBatchOps slices, and
+    // no session was dispatched twice before another got a turn.
+    ASSERT_EQ(bursts.size(), 6u);
+    for (const auto &[session, count] : bursts)
+        EXPECT_EQ(count, 4u);
+    for (uint32_t s = 0; s < 3; ++s)
+        EXPECT_EQ(sched.dispatchedFor(s), 8u);
+    for (size_t i = 0; i + 2 < bursts.size(); i += 3) {
+        std::set<uint32_t> sweep = {bursts[i].first, bursts[i + 1].first,
+                                    bursts[i + 2].first};
+        EXPECT_EQ(sweep.size(), 3u);
+    }
+}
+
+TEST(BatchScheduler, BackpressureBoundsEachSessionQueue)
+{
+    BatchScheduler::Config cfg;
+    cfg.queueCapacity = 4;
+    cfg.maxBatchOps = 2;
+    BatchScheduler sched(
+        [](uint32_t, const std::vector<regchan::RegOp> &ops) {
+            return std::vector<regchan::BatchResult>(ops.size());
+        },
+        cfg);
+    sched.addSession(1);
+
+    EXPECT_EQ(sched.submit(9, {true, 0, 0}, nullptr),
+              BatchScheduler::Submit::UnknownSession);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(sched.submit(1, {true, 0, 0}, nullptr),
+                  BatchScheduler::Submit::Accepted);
+    EXPECT_EQ(sched.submit(1, {true, 0, 0}, nullptr),
+              BatchScheduler::Submit::Backpressure);
+    EXPECT_EQ(sched.stats().rejectedBackpressure, 1u);
+
+    // A pump frees capacity (maxBatchOps worth), then submits flow.
+    EXPECT_EQ(sched.pumpOnce(), 2u);
+    EXPECT_EQ(sched.submit(1, {true, 0, 0}, nullptr),
+              BatchScheduler::Submit::Accepted);
+    EXPECT_EQ(sched.drain(), 3u);
+    EXPECT_EQ(sched.totalQueued(), 0u);
+}
+
+TEST(BatchScheduler, FailoverCompletesInFlightWithTypedStatus)
+{
+    int calls = 0;
+    BatchScheduler::Config cfg;
+    cfg.maxBatchOps = 2;
+    BatchScheduler sched(
+        [&](uint32_t, const std::vector<regchan::RegOp> &ops) {
+            if (++calls == 1)
+                throw FailoverError("device quarantined mid-burst");
+            std::vector<regchan::BatchResult> out(ops.size());
+            for (auto &r : out)
+                r.data = 7;
+            return out;
+        },
+        cfg);
+    sched.addSession(0);
+
+    std::vector<uint8_t> statuses;
+    for (int i = 0; i < 4; ++i)
+        sched.submit(0, {true, 0, 0},
+                     [&](uint8_t st, uint64_t) {
+                         statuses.push_back(st);
+                     });
+
+    // The burst in flight completes with the typed failed-over status
+    // and the error propagates; the queued ops survive untouched.
+    EXPECT_THROW(sched.pumpOnce(), FailoverError);
+    ASSERT_EQ(statuses.size(), 2u);
+    EXPECT_EQ(statuses[0], kBatchStatusFailedOver);
+    EXPECT_EQ(statuses[1], kBatchStatusFailedOver);
+    EXPECT_EQ(sched.totalQueued(), 2u);
+    EXPECT_EQ(sched.stats().failedOverOps, 2u);
+
+    // The next sweep serves the survivors on the recovered device.
+    EXPECT_EQ(sched.drain(), 2u);
+    ASSERT_EQ(statuses.size(), 4u);
+    EXPECT_EQ(statuses[2], 0);
+    EXPECT_EQ(statuses[3], 0);
+}
+
+TEST(BatchScheduler, EndToEndOverTestbedSessions)
+{
+    fpga::ensureBuiltinIps();
+    SmLogic::registerIp();
+    TestbedConfig cfg;
+    cfg.schedulerMaxBatchOps = 4;
+    Testbed tb(cfg);
+    tb.installCl(loopbackAccel());
+    ASSERT_TRUE(tb.runDeployment().ok);
+    uint32_t peer = tb.addUserSession();
+    ASSERT_TRUE(tb.userApp(peer).attachToPlatform());
+
+    BatchScheduler &sched = tb.scheduler();
+    std::map<uint32_t, uint64_t> lastRead;
+    for (int i = 0; i < 12; ++i) {
+        for (uint32_t s : {uint32_t(0), peer}) {
+            uint64_t value = 1000 * s + uint64_t(i);
+            ASSERT_EQ(sched.submit(s, {true, 8 * s, value}, nullptr),
+                      BatchScheduler::Submit::Accepted);
+            ASSERT_EQ(
+                sched.submit(s, {false, 8 * s, 0},
+                             [&lastRead, s](uint8_t st, uint64_t data) {
+                                 ASSERT_EQ(st, 0);
+                                 lastRead[s] = data;
+                             }),
+                BatchScheduler::Submit::Accepted);
+        }
+    }
+    EXPECT_EQ(sched.drain(), 48u);
+    EXPECT_EQ(lastRead[0], 11u);
+    EXPECT_EQ(lastRead[peer], 1000ull * peer + 11);
+    EXPECT_EQ(sched.dispatchedFor(0), 24u);
+    EXPECT_EQ(sched.dispatchedFor(peer), 24u);
+    EXPECT_GE(sched.stats().dispatchedBatches, 12u);
+}

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the BENCH_*.json artifacts.
+
+Compares a freshly produced bench JSON against the committed baseline
+in bench/baselines/. Every gate in the baseline's "gates" section is
+checked with a relative threshold (default +-15%):
+
+  direction "higher": fail when current < baseline * (1 - threshold)
+  direction "lower":  fail when current > baseline * (1 + threshold)
+
+Gates may be written either as {"value": x, "direction": "higher"} or
+as a bare number (then --key must supply the direction). Additional
+dotted-path keys outside the gates section can be checked with
+--key path.to.value:direction.
+
+Exit status: 0 all gates pass, 1 regression or malformed input.
+
+--self-test degrades every baseline gate by 20% in memory and asserts
+the checker flags each one -- run in CI so a silently broken gate
+cannot pass.
+
+Refreshing baselines (intentional perf change): rebuild, run the bench
+binaries, copy the new JSONs over bench/baselines/ and commit them in
+the same PR as the change that moved the numbers.
+"""
+
+import argparse
+import json
+import sys
+
+
+def dig(doc, dotted):
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(dotted)
+        node = node[part]
+    return node
+
+
+def as_gate(raw, fallback_direction=None):
+    """Normalizes a gate entry to (value, direction)."""
+    if isinstance(raw, dict):
+        return float(raw["value"]), raw.get(
+            "direction", fallback_direction or "higher"
+        )
+    return float(raw), (fallback_direction or "higher")
+
+
+def check_gate(name, base_value, cur_value, direction, threshold):
+    """Returns an error string, or None when the gate passes."""
+    if direction == "higher":
+        floor = base_value * (1.0 - threshold)
+        if cur_value < floor:
+            return (
+                f"{name}: {cur_value:.3f} < floor {floor:.3f} "
+                f"(baseline {base_value:.3f}, -{threshold:.0%})"
+            )
+    elif direction == "lower":
+        ceil = base_value * (1.0 + threshold)
+        if cur_value > ceil:
+            return (
+                f"{name}: {cur_value:.3f} > ceiling {ceil:.3f} "
+                f"(baseline {base_value:.3f}, +{threshold:.0%})"
+            )
+    else:
+        return f"{name}: unknown direction {direction!r}"
+    return None
+
+
+def collect_gates(baseline, current, keys):
+    """Yields (name, base_value, cur_value, direction) for every gate."""
+    gates = baseline.get("gates", {})
+    for name, raw in gates.items():
+        base_value, direction = as_gate(raw)
+        cur_raw = dig(current, f"gates.{name}")
+        cur_value, _ = as_gate(cur_raw, direction)
+        yield name, base_value, cur_value, direction
+    for spec in keys:
+        if ":" not in spec:
+            raise ValueError(f"--key {spec!r}: expected path:direction")
+        path, direction = spec.rsplit(":", 1)
+        base_value, _ = as_gate(dig(baseline, path), direction)
+        cur_value, _ = as_gate(dig(current, path), direction)
+        yield path, base_value, cur_value, direction
+
+
+def run_checks(baseline, current, keys, threshold):
+    failures = []
+    checked = 0
+    for name, base, cur, direction in collect_gates(
+        baseline, current, keys
+    ):
+        checked += 1
+        err = check_gate(name, base, cur, direction, threshold)
+        arrow = "FAIL" if err else "ok"
+        print(
+            f"  [{arrow:>4}] {name} ({direction}): "
+            f"baseline {base:.3f} -> current {cur:.3f}"
+        )
+        if err:
+            failures.append(err)
+    return checked, failures
+
+
+def self_test(baseline, keys, threshold):
+    """Degrades every gate past the threshold and asserts detection."""
+    degrade = threshold + 0.05  # 20% at the default 15% threshold
+    missed = []
+    checked = 0
+    for name, base, _cur, direction in collect_gates(
+        baseline, baseline, keys
+    ):
+        checked += 1
+        bad = (
+            base * (1.0 - degrade)
+            if direction == "higher"
+            else base * (1.0 + degrade)
+        )
+        err = check_gate(name, base, bad, direction, threshold)
+        if err is None:
+            missed.append(
+                f"{name}: {degrade:.0%} degradation NOT detected"
+            )
+    if not checked:
+        print("self-test: no gates found", file=sys.stderr)
+        return 1
+    if missed:
+        for m in missed:
+            print(f"self-test FAILED: {m}", file=sys.stderr)
+        return 1
+    print(
+        f"self-test passed: {degrade:.0%} degradation detected on "
+        f"all {checked} gate(s)"
+    )
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Bench perf-regression gate"
+    )
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current")
+    ap.add_argument("--threshold", type=float, default=0.15)
+    ap.add_argument(
+        "--key",
+        action="append",
+        default=[],
+        metavar="PATH:DIRECTION",
+        help="extra dotted-path gate, e.g. detection_ms.mean:lower",
+    )
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    if args.self_test:
+        return self_test(baseline, args.key, args.threshold)
+
+    if not args.current:
+        ap.error("--current is required unless --self-test")
+    with open(args.current) as f:
+        current = json.load(f)
+
+    print(
+        f"checking {args.current} against {args.baseline} "
+        f"(threshold {args.threshold:.0%})"
+    )
+    try:
+        checked, failures = run_checks(
+            baseline, current, args.key, args.threshold
+        )
+    except (KeyError, ValueError, TypeError) as e:
+        print(f"malformed gate or missing key: {e}", file=sys.stderr)
+        return 1
+    if not checked:
+        print("no gates found to check", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"\nPERF REGRESSION ({len(failures)} gate(s)):")
+        for fail in failures:
+            print(f"  {fail}")
+        return 1
+    print(f"all {checked} gate(s) within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
