@@ -20,7 +20,10 @@
  */
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -73,8 +76,21 @@ struct PointResult
     bool ok = false;
 };
 
+/** Filled by the traced rerun of one sweep point (the measured sweep
+ *  itself always runs untraced, keeping the perf gates honest). */
+struct TracedArtifacts
+{
+    std::string traceJson;
+    std::string metricsText;
+    double cryptoSpanMs = 0;
+    double cryptoClockMs = 0;
+    double transportSpanMs = 0;
+    double transportClockMs = 0;
+};
+
 PointResult
-runPoint(uint32_t sessions, size_t batch)
+runPoint(uint32_t sessions, size_t batch,
+         TracedArtifacts *traced = nullptr)
 {
     PointResult r;
     r.sessions = sessions;
@@ -85,6 +101,9 @@ runPoint(uint32_t sessions, size_t batch)
     cfg.schedulerMaxBatchOps = batch;
     cfg.schedulerQueueCapacity = kOpsPerSession;
     Testbed tb(cfg);
+    std::optional<bench::ObsCapture> capture;
+    if (traced)
+        capture.emplace(tb.clock());
     tb.installCl(loopbackAccel());
     if (!tb.runDeployment().ok)
         return r;
@@ -179,6 +198,23 @@ runPoint(uint32_t sessions, size_t batch)
     r.transportMs = bench::ms(
         tb.clock().totalFor(phases::kChanTransport) - transportBase);
     r.ok = allOk;
+
+    if (traced) {
+        capture->stop();
+        // The capture was installed before deployment, so it mirrored
+        // every clock slice of the run: full-run span sums must match
+        // the clock's own phase totals.
+        traced->traceJson = capture->trace().chromeTraceJson();
+        traced->metricsText = capture->metrics().renderText();
+        traced->cryptoSpanMs = bench::ms(
+            capture->trace().phaseTotal(phases::kChanCrypto));
+        traced->cryptoClockMs =
+            bench::ms(tb.clock().totalFor(phases::kChanCrypto));
+        traced->transportSpanMs = bench::ms(
+            capture->trace().phaseTotal(phases::kChanTransport));
+        traced->transportClockMs =
+            bench::ms(tb.clock().totalFor(phases::kChanTransport));
+    }
     return r;
 }
 
@@ -232,6 +268,50 @@ main(int argc, char **argv)
                     speedup);
         check(speedup >= 5.0,
               "batch=32 speedup below the 5x acceptance floor");
+    }
+
+    // ---- Traced rerun: artifacts + determinism ----------------------
+    // One mid-sweep point is rerun with tracing enabled (twice, same
+    // seed) to publish trace/metrics artifacts and to enforce that
+    // (a) per-phase span sums match the cost model within 1% and
+    // (b) same-seed traces are byte-identical.
+    {
+        TracedArtifacts first;
+        TracedArtifacts second;
+        PointResult t1 = runPoint(2, 8, &first);
+        PointResult t2 = runPoint(2, 8, &second);
+        check(t1.ok && t2.ok, "traced point failed");
+        check(first.traceJson == second.traceJson,
+              "same-seed traces are not byte-identical");
+        check(first.metricsText == second.metricsText,
+              "same-seed metrics dumps are not byte-identical");
+        auto within1pct = [](double spans, double clock) {
+            return std::fabs(spans - clock) <= clock / 100.0;
+        };
+        check(within1pct(first.cryptoSpanMs, first.cryptoClockMs),
+              "crypto span sum off the cost model by more than 1%");
+        check(within1pct(first.transportSpanMs, first.transportClockMs),
+              "transport span sum off the cost model by more than 1%");
+        std::printf("\ntraced point (2 sessions, batch 8): crypto "
+                    "%.3f/%.3f ms, transport %.3f/%.3f ms "
+                    "(spans/clock), deterministic=%s\n",
+                    first.cryptoSpanMs, first.cryptoClockMs,
+                    first.transportSpanMs, first.transportClockMs,
+                    first.traceJson == second.traceJson ? "yes" : "NO");
+        FILE *tf = std::fopen("TRACE_channel_throughput.json", "w");
+        if (tf) {
+            std::fwrite(first.traceJson.data(), 1,
+                        first.traceJson.size(), tf);
+            std::fclose(tf);
+        }
+        FILE *mf = std::fopen("METRICS_channel_throughput.txt", "w");
+        if (mf) {
+            std::fwrite(first.metricsText.data(), 1,
+                        first.metricsText.size(), mf);
+            std::fclose(mf);
+        }
+        check(tf != nullptr && mf != nullptr,
+              "cannot write trace/metrics artifacts");
     }
 
     // ---- JSON artifact ----------------------------------------------

@@ -9,8 +9,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "sim/clock.hpp"
 
 namespace salus::bench {
@@ -39,6 +41,52 @@ wallSeconds(F &&fn)
     auto end = std::chrono::steady_clock::now();
     return std::chrono::duration<double>(end - start).count();
 }
+
+/**
+ * RAII trace + metrics capture over one virtual clock, for benches
+ * that publish observability artifacts next to their JSON results.
+ * Construction installs the recorder globally (see obs::ObsScope);
+ * stop() (or destruction) uninstalls it so the artifacts can be
+ * exported and later points run untraced.
+ */
+class ObsCapture
+{
+  public:
+    explicit ObsCapture(sim::VirtualClock &clock) : recorder_(clock)
+    {
+        scope_.emplace(&recorder_, &metrics_);
+    }
+
+    obs::TraceRecorder &trace() { return recorder_; }
+    obs::MetricsRegistry &metrics() { return metrics_; }
+
+    /** Uninstalls the capture (idempotent). */
+    void stop() { scope_.reset(); }
+
+    /** Writes TRACE_<name>.json and METRICS_<name>.txt into the
+     *  current directory. @return false if either write failed. */
+    bool writeArtifacts(const std::string &name)
+    {
+        stop();
+        std::string tracePath = "TRACE_" + name + ".json";
+        std::string metricsPath = "METRICS_" + name + ".txt";
+        bool ok = recorder_.writeChromeTrace(tracePath);
+        ok = metrics_.writeText(metricsPath) && ok;
+        if (ok)
+            std::printf("wrote %s (%zu events) and %s\n",
+                        tracePath.c_str(), recorder_.events().size(),
+                        metricsPath.c_str());
+        else
+            std::printf("cannot write %s / %s\n", tracePath.c_str(),
+                        metricsPath.c_str());
+        return ok;
+    }
+
+  private:
+    obs::TraceRecorder recorder_;
+    obs::MetricsRegistry metrics_;
+    std::optional<obs::ObsScope> scope_;
+};
 
 } // namespace salus::bench
 

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Deterministic tracing over the virtual clock. A TraceRecorder holds
+ * RAII spans (begin/end stamped on sim::VirtualClock, nested parent
+ * ids, per-component categories) plus the leaf phase slices it taps
+ * from the clock's SpendObserver hook, and exports Chrome
+ * `trace_event` JSON for chrome://tracing / Perfetto.
+ *
+ * Tracing is compiled in but DISABLED by default: components emit
+ * through the free helpers below, which read one global pointer — a
+ * hot path pays a single predictable branch when tracing is off, and
+ * never allocates. Because every timestamp is virtual, two same-seed
+ * runs export byte-identical traces (enforced by tests and benches).
+ */
+
+#ifndef SALUS_OBS_TRACE_HPP
+#define SALUS_OBS_TRACE_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/clock.hpp"
+
+namespace salus::obs {
+
+/** Per-component trace categories (one Perfetto track each). */
+enum class Category : uint8_t {
+    Boot,        ///< deployment driver, secure boot, device key dist.
+    Attestation, ///< RA / LA / CL attestation cascade
+    Bitstream,   ///< build, verify, RoT injection, encrypt, load
+    Channel,     ///< secure register channel (single ops + bursts)
+    Scheduler,   ///< batch scheduler sweeps and backpressure
+    Supervisor,  ///< fleet heartbeats, health, failover
+    Shell,       ///< PCIe/MMIO transactions and DMA
+    Clock,       ///< leaf cost-model slices mirrored from the clock
+};
+
+constexpr size_t kCategoryCount = 8;
+
+/** Stable lowercase category name ("boot", "channel", ...). */
+const char *categoryName(Category cat);
+
+/** One completed trace event (span, instant marker or clock slice). */
+struct SpanEvent
+{
+    uint32_t id = 0;
+    uint32_t parent = 0; ///< enclosing span id; 0 = root
+    Category cat = Category::Boot;
+    bool instant = false;  ///< zero-duration marker
+    bool hasValue = false; ///< carries the "v" argument
+    uint64_t value = 0;    ///< e.g. batch op count, byte count
+    std::string name;
+    sim::Nanos begin = 0;
+    sim::Nanos end = 0;
+};
+
+/** Records spans against one virtual clock and exports them. */
+class TraceRecorder final : public sim::SpendObserver
+{
+  public:
+    explicit TraceRecorder(sim::VirtualClock &clock);
+
+    /** Opens a span nested under the innermost open span. */
+    uint32_t beginSpan(Category cat, std::string name);
+    uint32_t beginSpan(Category cat, std::string name, uint64_t value);
+
+    /** Closes a span. Out-of-order ids unwind (and close) every span
+     *  opened after `id`, keeping the stack consistent. */
+    void endSpan(uint32_t id);
+
+    /** Emits a zero-duration marker at the current virtual time. */
+    void instant(Category cat, std::string name);
+    void instant(Category cat, std::string name, uint64_t value);
+
+    /** sim::SpendObserver: mirrors a clock slice as a Clock leaf. */
+    void onSpend(const sim::PhaseRecord &record) override;
+
+    const sim::VirtualClock &clock() const { return clock_; }
+
+    /** Completed events, in completion order (Chrome convention). */
+    const std::vector<SpanEvent> &events() const { return events_; }
+    size_t openSpans() const { return open_.size(); }
+
+    /** Sum of the Clock leaf slices with this exact phase name —
+     *  matches VirtualClock::totalFor for phases spent while the
+     *  recorder was tapped. */
+    sim::Nanos phaseTotal(std::string_view phase) const;
+
+    /** Chrome trace_event JSON (complete "X" events + instants, one
+     *  metadata thread per category). Deterministic byte-for-byte. */
+    std::string chromeTraceJson() const;
+
+    /** Writes chromeTraceJson() to a file. @return false on I/O. */
+    bool writeChromeTrace(const std::string &path) const;
+
+  private:
+    sim::VirtualClock &clock_;
+    std::vector<SpanEvent> events_;
+    std::vector<SpanEvent> open_; ///< stack of open spans
+    uint32_t nextId_ = 1;
+};
+
+// ---- Global enablement (one branch when off) -------------------------
+
+/** The installed recorder, or nullptr when tracing is disabled. */
+TraceRecorder *tracer();
+
+/** The installed metrics registry, or nullptr when disabled. */
+MetricsRegistry *metrics();
+
+/**
+ * RAII enablement: installs the recorder/registry globally and taps
+ * the recorder into its clock; the destructor restores whatever was
+ * installed before (scopes nest). Either pointer may be null.
+ */
+class ObsScope
+{
+  public:
+    ObsScope(TraceRecorder *recorder, MetricsRegistry *registry);
+    ~ObsScope();
+    ObsScope(const ObsScope &) = delete;
+    ObsScope &operator=(const ObsScope &) = delete;
+
+  private:
+    TraceRecorder *prevTracer_;
+    MetricsRegistry *prevMetrics_;
+    sim::SpendObserver *prevObserver_ = nullptr;
+    TraceRecorder *recorder_;
+};
+
+/** RAII span; a complete no-op (single branch) when tracing is off. */
+class Span
+{
+  public:
+    Span(Category cat, const char *name)
+        : rec_(tracer())
+    {
+        if (rec_)
+            id_ = rec_->beginSpan(cat, name);
+    }
+    Span(Category cat, const char *name, uint64_t value)
+        : rec_(tracer())
+    {
+        if (rec_)
+            id_ = rec_->beginSpan(cat, name, value);
+    }
+    ~Span()
+    {
+        if (rec_)
+            rec_->endSpan(id_);
+    }
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    TraceRecorder *rec_;
+    uint32_t id_ = 0;
+};
+
+/** Zero-duration marker; no-op when tracing is off. */
+inline void
+mark(Category cat, const char *name)
+{
+    if (TraceRecorder *r = tracer())
+        r->instant(cat, name);
+}
+
+inline void
+mark(Category cat, const char *name, uint64_t value)
+{
+    if (TraceRecorder *r = tracer())
+        r->instant(cat, name, value);
+}
+
+/** Counter increment; no-op when metrics are off. */
+inline void
+count(const char *name, uint64_t delta = 1)
+{
+    if (MetricsRegistry *m = metrics())
+        m->add(name, delta);
+}
+
+/** Histogram observation; no-op when metrics are off. */
+inline void
+observe(const char *name, uint64_t value)
+{
+    if (MetricsRegistry *m = metrics())
+        m->observe(name, value);
+}
+
+} // namespace salus::obs
+
+#endif // SALUS_OBS_TRACE_HPP

@@ -2,6 +2,7 @@
 
 #include "common/serde.hpp"
 #include "fpga/ip.hpp"
+#include "obs/trace.hpp"
 #include "salus/secrets.hpp"
 
 namespace salus::core {
@@ -17,6 +18,8 @@ ClDesign
 buildClDesign(const std::string &topName, netlist::Cell accelCell,
               std::vector<netlist::Cell> extraCells)
 {
+    obs::Span span(obs::Category::Bitstream, "build_cl_design",
+                   uint64_t(1 + extraCells.size()));
     ClDesign out;
     out.netlist.setTop(topName);
 

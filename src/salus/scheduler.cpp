@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/errors.hpp"
+#include "obs/trace.hpp"
 
 namespace salus::core {
 
@@ -33,6 +34,7 @@ BatchScheduler::submit(uint32_t session, const regchan::RegOp &op,
         return Submit::UnknownSession;
     if (it->second.queue.size() >= config_.queueCapacity) {
         ++stats_.rejectedBackpressure;
+        obs::count("scheduler.backpressure");
         return Submit::Backpressure;
     }
     it->second.queue.push_back({op, std::move(done)});
@@ -44,6 +46,7 @@ BatchScheduler::submit(uint32_t session, const regchan::RegOp &op,
 size_t
 BatchScheduler::pumpOnce()
 {
+    obs::Span span(obs::Category::Scheduler, "sweep");
     // Snapshot the sweep order starting at the cursor: every session
     // gets one slice per sweep, and the cursor rotates so ties (who
     // goes first) are shared round-robin.
@@ -64,6 +67,9 @@ BatchScheduler::pumpOnce()
         if (s.queue.empty())
             continue;
         size_t n = std::min(s.queue.size(), config_.maxBatchOps);
+        obs::Span slice(obs::Category::Scheduler, "session_slice",
+                        uint64_t(id));
+        obs::observe("scheduler.slice_ops", n);
         std::vector<regchan::RegOp> ops;
         ops.reserve(n);
         for (size_t i = 0; i < n; ++i)

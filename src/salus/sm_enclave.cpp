@@ -11,6 +11,7 @@
 #include "crypto/sha256.hpp"
 #include "crypto/x25519.hpp"
 #include "manufacturer/manufacturer.hpp"
+#include "obs/trace.hpp"
 #include "salus/sm_logic.hpp"
 
 namespace salus::core {
@@ -294,6 +295,7 @@ SmEnclaveApp::handlePlainRequest(uint32_t peer, ByteView plain)
 void
 SmEnclaveApp::runSecureBoot()
 {
+    obs::Span span(obs::Category::Boot, "secure_boot");
     status_ = ClBootStatus{};
     if (failClosed_) {
         status_.failure = "SM enclave failed closed (journal rejected)";
@@ -312,6 +314,9 @@ SmEnclaveApp::runSecureBoot()
             logf(LogLevel::Info, "sm-enclave", "secure boot attempt ",
                  attempt, " after: ", status_.failure);
         }
+        obs::Span attemptSpan(obs::Category::Boot, "boot_attempt",
+                              uint64_t(attempt));
+        obs::count("boot.attempts");
         std::string failure;
         bool retryable = false;
         status_.deployed = false;
@@ -320,6 +325,7 @@ SmEnclaveApp::runSecureBoot()
             status_.failure.clear();
             return;
         }
+        obs::count("boot.attempt_failures");
         status_.failure = failure;
         if (!retryable)
             return; // security rejection — never retried
@@ -384,6 +390,7 @@ SmEnclaveApp::tryScrubRecovery(std::string &failure)
 bool
 SmEnclaveApp::fetchDeviceKey(std::string &failure, bool &retryable)
 {
+    obs::Span span(obs::Category::Boot, "device_key_dist");
     PhaseScope phase(deps_.sim, phases::kDeviceKeyDist);
 
     // Ephemeral wrap key; the quote binds its public half so the OS
@@ -455,6 +462,7 @@ SmEnclaveApp::fetchDeviceKey(std::string &failure, bool &retryable)
 bool
 SmEnclaveApp::deployCl(std::string &failure, bool &retryable)
 {
+    obs::Span span(obs::Category::Bitstream, "deploy_cl");
     Bytes file = deps_.fetchBitstream ? deps_.fetchBitstream() : Bytes();
     if (file.empty()) {
         failure = "bitstream not available";
@@ -464,6 +472,8 @@ SmEnclaveApp::deployCl(std::string &failure, bool &retryable)
 
     // --- Verify against H (step: bitstream verification) -------------
     {
+        obs::Span sub(obs::Category::Bitstream, "verify",
+                      uint64_t(file.size()));
         PhaseScope phase(deps_.sim, phases::kBitstreamVerifEnc);
         if (deps_.sim.active()) {
             deps_.sim.spend(phases::kBitstreamVerifEnc,
@@ -503,6 +513,7 @@ SmEnclaveApp::deployCl(std::string &failure, bool &retryable)
     }
     sessionCtr_ = secrets_.ctrBase;
     try {
+        obs::Span sub(obs::Category::Bitstream, "inject_secrets");
         PhaseScope phase(deps_.sim, phases::kBitstreamManip);
         if (deps_.sim.active()) {
             deps_.sim.spend(
@@ -523,6 +534,7 @@ SmEnclaveApp::deployCl(std::string &failure, bool &retryable)
     // --- Encrypt under Key_device -------------------------------------
     Bytes blob;
     {
+        obs::Span sub(obs::Category::Bitstream, "encrypt");
         PhaseScope phase(deps_.sim, phases::kBitstreamVerifEnc);
         if (deps_.sim.active()) {
             deps_.sim.spend(phases::kBitstreamVerifEnc,
@@ -539,6 +551,8 @@ SmEnclaveApp::deployCl(std::string &failure, bool &retryable)
 
     // --- Hand to the (untrusted) shell for loading --------------------
     {
+        obs::Span sub(obs::Category::Bitstream, "load",
+                      uint64_t(blob.size()));
         PhaseScope phase(deps_.sim, phases::kClDeployment);
         fpga::LoadStatus st = activeShell().deployBitstream(blob);
         if (st != fpga::LoadStatus::Ok) {
@@ -558,6 +572,8 @@ SmEnclaveApp::deployCl(std::string &failure, bool &retryable)
 bool
 SmEnclaveApp::attestCl(std::string &failure)
 {
+    obs::Span span(obs::Category::Attestation, "attest_cl");
+    obs::count("attestation.cl_attempts");
     PhaseScope phase(deps_.sim, phases::kClAuth);
     if (deps_.sim.active()) {
         deps_.sim.spend(phases::kClAuth,
@@ -620,6 +636,8 @@ SmEnclaveApp::rekeySession()
 {
     if (!haveSecrets_ || !status_.ok())
         return false;
+    obs::Span span(obs::Category::Channel, "rekey_session");
+    obs::count("channel.rekeys");
 
     uint64_t ctr = nextSessionCtr();
     uint64_t nonce = rng().nextU64();
@@ -698,6 +716,8 @@ SmEnclaveApp::reattestCl()
 std::pair<uint8_t, uint64_t>
 SmEnclaveApp::secureRegOp(const regchan::RegOp &op)
 {
+    obs::Span span(obs::Category::Channel, "reg_op");
+    obs::count("channel.single_ops");
     if (!haveSecrets_ || !status_.ok())
         return {0xfd, 0}; // no attested CL behind the channel
 
@@ -751,29 +771,41 @@ std::pair<uint8_t, uint64_t>
 SmEnclaveApp::secureRegOpOnce(const regchan::RegOp &op)
 {
     uint64_t ctr = nextSessionCtr();
-    regchan::SealedRegRequest req = regchan::sealRequest(
-        secrets_.sessionAesKey(), secrets_.sessionMacKey(), ctr, op);
+    regchan::SealedRegRequest req;
+    {
+        obs::Span crypto(obs::Category::Channel, "op_crypto");
+        req = regchan::sealRequest(secrets_.sessionAesKey(),
+                                   secrets_.sessionMacKey(), ctr, op);
+    }
 
     shell::Shell &sh = activeShell();
-    sh.registerWrite(pcie::Window::SmSecure, kSmRegIn0, req.ctr);
-    sh.registerWrite(pcie::Window::SmSecure, kSmRegIn1, req.ct0);
-    sh.registerWrite(pcie::Window::SmSecure, kSmRegIn2, req.ct1);
-    sh.registerWrite(pcie::Window::SmSecure, kSmRegIn3, req.mac);
-    sh.registerWrite(pcie::Window::SmSecure, kSmRegCmd, kSmCmdSecureReg);
-
-    if (sh.registerRead(pcie::Window::SmSecure, kSmRegStatus) !=
-        kSmStatusOk) {
-        return {0xfc, 0}; // CL rejected (tamper/replay on the bus)
-    }
     regchan::SealedRegResponse rsp;
-    rsp.ct0 = sh.registerRead(pcie::Window::SmSecure, kSmRegOut0);
-    rsp.ct1 = sh.registerRead(pcie::Window::SmSecure, kSmRegOut1);
-    rsp.mac = sh.registerRead(pcie::Window::SmSecure, kSmRegOut2);
+    {
+        obs::Span transport(obs::Category::Channel, "op_transport");
+        sh.registerWrite(pcie::Window::SmSecure, kSmRegIn0, req.ctr);
+        sh.registerWrite(pcie::Window::SmSecure, kSmRegIn1, req.ct0);
+        sh.registerWrite(pcie::Window::SmSecure, kSmRegIn2, req.ct1);
+        sh.registerWrite(pcie::Window::SmSecure, kSmRegIn3, req.mac);
+        sh.registerWrite(pcie::Window::SmSecure, kSmRegCmd,
+                         kSmCmdSecureReg);
 
+        if (sh.registerRead(pcie::Window::SmSecure, kSmRegStatus) !=
+            kSmStatusOk) {
+            obs::count("channel.rejects");
+            return {0xfc, 0}; // CL rejected (tamper/replay on the bus)
+        }
+        rsp.ct0 = sh.registerRead(pcie::Window::SmSecure, kSmRegOut0);
+        rsp.ct1 = sh.registerRead(pcie::Window::SmSecure, kSmRegOut1);
+        rsp.mac = sh.registerRead(pcie::Window::SmSecure, kSmRegOut2);
+    }
+
+    obs::Span crypto(obs::Category::Channel, "op_crypto");
     auto opened = regchan::openResponse(
         secrets_.sessionAesKey(), secrets_.sessionMacKey(), ctr, rsp);
-    if (!opened)
+    if (!opened) {
+        obs::count("channel.rejects");
         return {0xfb, 0}; // response forged or corrupted
+    }
     return *opened;
 }
 
@@ -790,6 +822,9 @@ SmEnclaveApp::ensureFabricSession(uint32_t slot)
         return true;
     if (!haveSecrets_ || !status_.ok())
         return false;
+    obs::Span span(obs::Category::Channel, "open_session",
+                   uint64_t(slot));
+    obs::count("channel.session_opens");
 
     // The open nonce rides the same monotone counter stream as the
     // base channel, so it strictly increases across re-opens (the
@@ -850,6 +885,10 @@ SmEnclaveApp::secureRegBatch(uint32_t slot,
     results.reserve(ops.size());
     if (ops.empty())
         return results;
+    obs::Span span(obs::Category::Channel, "reg_batch",
+                   uint64_t(ops.size()));
+    obs::count("channel.batch_ops", ops.size());
+    obs::observe("channel.batch_size", ops.size());
     if (!haveSecrets_ || !status_.ok() || slot >= kSmMaxSessions) {
         results.assign(ops.size(), regchan::BatchResult{0xfd, 0});
         return results;
@@ -940,12 +979,16 @@ SmEnclaveApp::secureRegBatchOnce(uint32_t slot, uint64_t ctrBase,
     // Host-side crypto (seal + open) is one AES block per op each way
     // plus a single MAC pass per direction — the cost batching
     // amortizes the round trips against.
-    if (deps_.sim.active()) {
-        deps_.sim.spend(phases::kChanCrypto,
-                        deps_.sim.cost->batchCrypto(ops.size()));
+    regchan::SealedRegBatch batch;
+    {
+        obs::Span crypto(obs::Category::Channel, "batch_crypto",
+                         uint64_t(ops.size()));
+        if (deps_.sim.active()) {
+            deps_.sim.spend(phases::kChanCrypto,
+                            deps_.sim.cost->batchCrypto(ops.size()));
+        }
+        batch = regchan::sealBatch(aesKey, macKey, slot, ctrBase, ops);
     }
-    regchan::SealedRegBatch batch =
-        regchan::sealBatch(aesKey, macKey, slot, ctrBase, ops);
 
     size_t nWords = batch.payload.size() / 8;
     std::vector<uint64_t> words(nWords);
@@ -957,7 +1000,9 @@ SmEnclaveApp::secureRegBatchOnce(uint32_t slot, uint64_t ctrBase,
     uint64_t rspMac = 0;
     std::vector<uint64_t> rspWords(nWords, 0);
     {
-        PhaseScope transport(deps_.sim, phases::kChanTransport);
+        obs::Span transport(obs::Category::Channel, "batch_transport",
+                            uint64_t(ops.size()));
+        PhaseScope transport_(deps_.sim, phases::kChanTransport);
         sh.registerWrite(pcie::Window::SmSecure, kSmRegBurstReset, 1);
         sh.registerBurstWrite(pcie::Window::SmSecure, kSmRegBurstIn,
                               words.data(), words.size());
@@ -975,8 +1020,10 @@ SmEnclaveApp::secureRegBatchOnce(uint32_t slot, uint64_t ctrBase,
                                  rspWords.data(), rspWords.size());
         }
     }
-    if (status != kSmStatusOk)
+    if (status != kSmStatusOk) {
+        obs::count("channel.rejects");
         return 0xfc; // CL rejected (tamper/replay/loss on the bus)
+    }
 
     regchan::SealedBatchResponse rsp;
     rsp.payload.resize(nWords * 8);
@@ -984,10 +1031,14 @@ SmEnclaveApp::secureRegBatchOnce(uint32_t slot, uint64_t ctrBase,
         storeLe64(rsp.payload.data() + i * 8, rspWords[i]);
     rsp.mac = rspMac;
 
+    obs::Span crypto(obs::Category::Channel, "batch_crypto",
+                     uint64_t(ops.size()));
     auto opened = regchan::openBatchResponse(aesKey, macKey, slot,
                                              ctrBase, ops.size(), rsp);
-    if (!opened)
+    if (!opened) {
+        obs::count("channel.rejects");
         return 0xfb; // response forged or corrupted
+    }
     out = std::move(*opened);
     return 0;
 }
@@ -997,6 +1048,9 @@ SmEnclaveApp::secureRegBatchOnce(uint32_t slot, uint64_t ctrBase,
 SmEnclaveApp::HeartbeatResult
 SmEnclaveApp::heartbeatDevice(uint32_t deviceId)
 {
+    obs::Span span(obs::Category::Supervisor, "heartbeat_device",
+                   uint64_t(deviceId));
+    obs::count("supervisor.heartbeats");
     HeartbeatResult res;
     if (deviceId >= devices_.size() ||
         devices_[deviceId].shell == nullptr) {
@@ -1185,6 +1239,7 @@ SmEnclaveApp::commitJournal()
 {
     if (!deps_.storeJournal)
         return; // journal-less legacy mode
+    obs::count("sm.journal_commits");
 
     uint64_t step = journalSeq_++;
     if (deps_.fault && deps_.fault->onSmJournalWrite(step, false))
@@ -1210,6 +1265,8 @@ SmEnclaveApp::commitJournal()
 SmEnclaveApp::RecoveryReport
 SmEnclaveApp::rehydrate()
 {
+    obs::Span span(obs::Category::Boot, "rehydrate");
+    obs::count("sm.rehydrations");
     RecoveryReport rep;
     rep.counter = platform().monotonicRead(kJournalCounterId);
 

@@ -2,6 +2,7 @@
 
 #include "common/log.hpp"
 #include "common/serde.hpp"
+#include "obs/trace.hpp"
 
 namespace salus::core {
 
@@ -98,6 +99,8 @@ FleetSupervisor::FleetSupervisor(SupervisorDeps deps)
 void
 FleetSupervisor::pollOnce()
 {
+    obs::Span span(obs::Category::Supervisor, "poll");
+    obs::count("supervisor.polls");
     ++polls_;
     sim::Nanos now = deps_.clock ? deps_.clock->now() : 0;
     for (uint32_t d = 0; d < deps_.deviceCount; ++d) {
@@ -146,6 +149,9 @@ FleetSupervisor::noteDeviceFailure(uint32_t deviceId,
 {
     if (deviceId >= trackers_.size())
         return;
+    obs::mark(obs::Category::Supervisor, "device_failure",
+              uint64_t(deviceId));
+    obs::count("supervisor.device_failures");
     sim::Nanos now = deps_.clock ? deps_.clock->now() : 0;
     // Record-only: this is called from inside the SM enclave's
     // request path, where a synchronous failover (which re-runs the
@@ -225,6 +231,9 @@ FleetSupervisor::maybeFailover()
     std::string reason = trackers_[active].lastReason();
     logf(LogLevel::Info, "supervisor", "failing over ", active, " -> ",
          *spare, ": ", reason);
+    obs::Span span(obs::Category::Supervisor, "failover",
+                   uint64_t(*spare));
+    obs::count("supervisor.failovers");
     sim::Nanos startedAt = deps_.clock ? deps_.clock->now() : 0;
     failingOver_ = true;
     FailoverRecord rec;

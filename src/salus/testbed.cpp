@@ -5,6 +5,7 @@
 #include "bitstream/compiler.hpp"
 #include "common/errors.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/trace.hpp"
 #include "salus/sm_logic.hpp"
 
 namespace salus::core {
@@ -321,6 +322,8 @@ FailoverRecord
 Testbed::performFailover(uint32_t from, uint32_t to,
                          const std::string &reason)
 {
+    obs::Span span(obs::Category::Supervisor, "perform_failover",
+                   uint64_t(to));
     FailoverRecord rec;
     rec.fromDevice = from;
     rec.toDevice = to;
@@ -346,6 +349,7 @@ void
 Testbed::installCl(netlist::Cell accelCell,
                    std::vector<netlist::Cell> extraCells)
 {
+    obs::Span span(obs::Category::Bitstream, "install_cl");
     ClDesign design = buildClDesign("cl_top", std::move(accelCell),
                                     std::move(extraCells));
     layout_ = design.layout;
@@ -394,6 +398,7 @@ Testbed::runDeployment(
 {
     if (!clInstalled_)
         throw SalusError("no CL installed; call installCl() first");
+    obs::Span span(obs::Category::Boot, "run_deployment");
 
     ClientConfig cfg;
     cfg.expectedUserEnclave = userApp_->measurement();

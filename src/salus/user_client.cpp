@@ -6,6 +6,7 @@
 #include "common/serde.hpp"
 #include "crypto/aes_gcm.hpp"
 #include "crypto/x25519.hpp"
+#include "obs/trace.hpp"
 #include "salus/user_enclave.hpp"
 
 namespace salus::core {
@@ -22,6 +23,7 @@ UserClient::UserClient(ClientConfig config,
 UserClient::Outcome
 UserClient::deployAndAttest()
 {
+    obs::Span span(obs::Category::Attestation, "deploy_and_attest");
     Outcome out;
     int maxAttempts = std::max(1, config_.retry.maxAttempts);
     for (int attempt = 1; attempt <= maxAttempts; ++attempt) {
@@ -43,6 +45,7 @@ UserClient::deployAndAttest()
 UserClient::Outcome
 UserClient::attemptOnce()
 {
+    obs::Span span(obs::Category::Attestation, "ra_attempt");
     Outcome out;
     PhaseScope phase(sim_, phases::kUserRa);
 

@@ -6,6 +6,7 @@
 #include "crypto/aes_gcm.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/x25519.hpp"
+#include "obs/trace.hpp"
 #include "salus/sm_enclave.hpp"
 
 namespace salus::core {
@@ -112,6 +113,8 @@ UserEnclaveApp::channelRoundtrip(ByteView plainRequest)
 Bytes
 UserEnclaveApp::handleRaRequest(ByteView request)
 {
+    obs::Span span(obs::Category::Attestation, "ra_request");
+    obs::count("attestation.ra_requests");
     RaResponse resp;
     RaRequest req;
     try {
@@ -135,6 +138,7 @@ UserEnclaveApp::handleRaRequest(ByteView request)
 
     // --- ③ Local attestation of the SM enclave ----------------------
     {
+        obs::Span sub(obs::Category::Attestation, "local_attest");
         PhaseScope phase(sim_, phases::kLocalAttest);
         if (sim_.active()) {
             sim_.spend(phases::kLocalAttest,
@@ -160,6 +164,7 @@ UserEnclaveApp::handleRaRequest(ByteView request)
 
     // --- forward metadata over the sealed channel --------------------
     {
+        obs::Span sub(obs::Category::Attestation, "forward_metadata");
         BinaryWriter w;
         w.writeU8(uint8_t(SmChannelMsg::SetMetadata));
         w.writeBytes(metadata.serialize());
@@ -193,6 +198,7 @@ UserEnclaveApp::handleRaRequest(ByteView request)
 
     // --- ⑧ deferred RA report generation (cascaded attestation) ------
     {
+        obs::Span sub(obs::Category::Attestation, "cascaded_report");
         PhaseScope phase(sim_, phases::kUserRa);
         if (sim_.active()) {
             sim_.spend(phases::kUserRa,
@@ -276,9 +282,11 @@ UserEnclaveApp::secureWrite(uint32_t addr, uint64_t data)
 bool
 UserEnclaveApp::attachToPlatform()
 {
+    obs::Span span(obs::Category::Attestation, "attach_to_platform");
     // Tenant peers join an already-booted platform: LA the SM enclave
     // (pinning the published measurement), then confirm the CL is up.
     {
+        obs::Span sub(obs::Category::Attestation, "local_attest");
         PhaseScope phase(sim_, phases::kLocalAttest);
         if (sim_.active()) {
             sim_.spend(phases::kLocalAttest,

@@ -1,5 +1,7 @@
 #include "shell/shell.hpp"
 
+#include "obs/trace.hpp"
+
 namespace salus::shell {
 
 Shell::Shell(fpga::FpgaDevice &device, sim::VirtualClock &clock,
@@ -12,6 +14,9 @@ Shell::Shell(fpga::FpgaDevice &device, sim::VirtualClock &clock,
 fpga::LoadStatus
 Shell::deployBitstream(ByteView blob)
 {
+    obs::Span span(obs::Category::Shell, "deploy_bitstream",
+                   uint64_t(blob.size()));
+    obs::count("shell.deployments");
     clock_.spend(cost_.bitstreamDeployment(blob.size()));
     ++stats_.deployments;
     return device_.loadEncryptedPartial(blob);
@@ -46,6 +51,7 @@ Shell::registerRead(pcie::Window window, uint32_t addr)
     clock_.spend(window == pcie::Window::SmSecure ? cost_.pcieRtt
                                                   : cost_.mmioLatency);
     ++stats_.registerReads;
+    obs::count("shell.register_reads");
     if (fault_ && fault_->onRegisterOp(false, addr, deviceIndex_)) {
         // The completion was lost/garbled on the bus; the driver
         // surfaces whatever the timed-out TLP left behind.
@@ -61,6 +67,7 @@ Shell::registerWrite(pcie::Window window, uint32_t addr, uint64_t data)
     clock_.spend(window == pcie::Window::SmSecure ? cost_.pcieRtt
                                                   : cost_.mmioLatency);
     ++stats_.registerWrites;
+    obs::count("shell.register_writes");
     if (fault_ && fault_->onRegisterOp(true, addr, deviceIndex_))
         return; // posted write lost in flight
     fpga::IpBehavior *target = route(window);
@@ -72,6 +79,9 @@ void
 Shell::registerBurstWrite(pcie::Window window, uint32_t addr,
                           const uint64_t *words, size_t count)
 {
+    obs::Span span(obs::Category::Shell, "burst_write",
+                   uint64_t(count));
+    obs::count("shell.burst_words_written", count);
     // One round trip for the whole burst; the payload itself only
     // pays wire time. Faults are still per-word: a glitched TLP loses
     // individual beats, not the entire burst.
@@ -93,6 +103,9 @@ void
 Shell::registerBurstRead(pcie::Window window, uint32_t addr,
                          uint64_t *words, size_t count)
 {
+    obs::Span span(obs::Category::Shell, "burst_read",
+                   uint64_t(count));
+    obs::count("shell.burst_words_read", count);
     clock_.spend((window == pcie::Window::SmSecure ? cost_.pcieRtt
                                                    : cost_.mmioLatency) +
                  sim::transferTime(cost_.pcieBandwidth, count * 8));
@@ -111,6 +124,8 @@ Shell::registerBurstRead(pcie::Window window, uint32_t addr,
 fpga::FpgaDevice::ScrubReport
 Shell::scrubPartition()
 {
+    obs::Span span(obs::Category::Shell, "scrub_partition");
+    obs::count("shell.scrub_passes");
     clock_.spend(cost_.seuScrubPass);
     return device_.scrub(partitionId_);
 }
@@ -118,6 +133,9 @@ Shell::scrubPartition()
 void
 Shell::dmaWrite(uint64_t addr, ByteView data)
 {
+    obs::Span span(obs::Category::Shell, "dma_write",
+                   uint64_t(data.size()));
+    obs::count("shell.dma_bytes_to_device", data.size());
     clock_.spend(cost_.pcieRtt +
                  sim::transferTime(cost_.pcieBandwidth, data.size()));
     stats_.dmaBytesToDevice += data.size();
@@ -127,6 +145,8 @@ Shell::dmaWrite(uint64_t addr, ByteView data)
 Bytes
 Shell::dmaRead(uint64_t addr, size_t len)
 {
+    obs::Span span(obs::Category::Shell, "dma_read", uint64_t(len));
+    obs::count("shell.dma_bytes_from_device", len);
     clock_.spend(cost_.pcieRtt +
                  sim::transferTime(cost_.pcieBandwidth, len));
     stats_.dmaBytesFromDevice += len;

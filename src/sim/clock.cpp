@@ -25,6 +25,8 @@ VirtualClock::spend(const std::string &phase, Nanos duration)
 {
     trace_.push_back({phase, now_, duration});
     now_ += duration;
+    if (observer_)
+        observer_->onSpend(trace_.back());
 }
 
 void

@@ -34,6 +34,18 @@ struct PhaseRecord
 };
 
 /**
+ * Observes every attributed slice as it is recorded. The obs layer's
+ * TraceRecorder taps this to mirror phase slices into trace spans;
+ * the clock itself never depends on the observability subsystem.
+ */
+class SpendObserver
+{
+  public:
+    virtual ~SpendObserver() = default;
+    virtual void onSpend(const PhaseRecord &record) = 0;
+};
+
+/**
  * A monotonically advancing virtual clock with per-phase attribution.
  * Components call spend() naming the activity; benches read the trace
  * to rebuild the paper's Figure 9 breakdown.
@@ -69,10 +81,19 @@ class VirtualClock
     /** Clears the trace and rewinds to zero. */
     void reset();
 
+    /** Taps every future spend() slice (nullptr = untapped). The
+     *  observer sees slices AFTER they are appended to the trace. */
+    void setSpendObserver(SpendObserver *observer)
+    {
+        observer_ = observer;
+    }
+    SpendObserver *spendObserver() const { return observer_; }
+
   private:
     Nanos now_ = 0;
     std::vector<PhaseRecord> trace_;
     std::vector<std::string> phaseStack_;
+    SpendObserver *observer_ = nullptr;
 };
 
 /** RAII phase scope. */

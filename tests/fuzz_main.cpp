@@ -1,0 +1,23 @@
+/**
+ * @file
+ * libFuzzer driver shim. Each fuzz_<entry> binary is this file
+ * compiled with -DSALUS_FUZZ_ENTRY=salus_fuzz_<entry> and linked
+ * against the entry points defined at the bottom of test_fuzz.cpp
+ * (see the SALUS_FUZZERS option in tests/CMakeLists.txt). libFuzzer
+ * supplies main(); we forward its inputs to the selected entry.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#ifndef SALUS_FUZZ_ENTRY
+#error "build with -DSALUS_FUZZ_ENTRY=<salus_fuzz_* symbol>"
+#endif
+
+extern "C" int SALUS_FUZZ_ENTRY(const uint8_t *data, size_t size);
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    return SALUS_FUZZ_ENTRY(data, size);
+}

@@ -544,3 +544,77 @@ TEST(Fuzz, BurstRegisterSweepNeverWedgesTheFabric)
     EXPECT_TRUE(tb.userApp().secureWrite(0x08, 7));
     EXPECT_EQ(tb.userApp().secureRead(0x08), 7u);
 }
+
+// ---- libFuzzer entry points -----------------------------------------
+// The CI fuzz-smoke job builds one fuzz_<entry> binary per function
+// below (see the SALUS_FUZZERS option in tests/CMakeLists.txt and
+// tests/fuzz_main.cpp) and runs each for a fixed-seed 30 s burst.
+// Every entry wraps one parser/endpoint that consumes attacker-
+// controlled bytes; the contract is the same as the sweeps above —
+// typed rejection or clean parse, never a crash, hang or leak. The
+// entries compile under plain gcc too (they are ordinary functions),
+// so the tier-1 build keeps them from rotting.
+
+extern "C" int
+salus_fuzz_bitstream_file(const uint8_t *data, size_t size)
+{
+    try {
+        (void)bitstream::Bitstream::fromFile(ByteView(data, size));
+    } catch (const SalusError &) {
+    }
+    return 0;
+}
+
+extern "C" int
+salus_fuzz_encrypted_bitstream(const uint8_t *data, size_t size)
+{
+    static const Bytes key(32, 0x5a);
+    try {
+        (void)bitstream::decryptBitstream(ByteView(data, size),
+                                          key);
+    } catch (const SalusError &) {
+    }
+    return 0;
+}
+
+extern "C" int
+salus_fuzz_quote(const uint8_t *data, size_t size)
+{
+    try {
+        (void)tee::Quote::deserialize(ByteView(data, size));
+    } catch (const SalusError &) {
+    }
+    return 0;
+}
+
+extern "C" int
+salus_fuzz_journal(const uint8_t *data, size_t size)
+{
+    try {
+        (void)core::SmJournal::deserialize(ByteView(data, size));
+    } catch (const SalusError &) {
+    }
+    return 0;
+}
+
+extern "C" int
+salus_fuzz_netlist(const uint8_t *data, size_t size)
+{
+    try {
+        (void)netlist::Netlist::deserialize(ByteView(data, size));
+    } catch (const SalusError &) {
+    }
+    return 0;
+}
+
+extern "C" int
+salus_fuzz_channel_open(const uint8_t *data, size_t size)
+{
+    static const Bytes key(32, 0x3c);
+    try {
+        (void)core::channelOpen(key, "fuzz", 0,
+                                ByteView(data, size));
+    } catch (const SalusError &) {
+    }
+    return 0;
+}

@@ -13,6 +13,7 @@
 #include "common/errors.hpp"
 #include "common/serde.hpp"
 #include "fpga/health.hpp"
+#include "obs/trace.hpp"
 #include "salus/sm_logic.hpp"
 #include "salus/supervisor.hpp"
 #include "salus/testbed.hpp"
@@ -362,6 +363,8 @@ struct FailoverRun
     bool postWriteOk = false;
     uint64_t postRead = 0;
     uint64_t newDeviceRegOps = 0;
+    std::string traceJson;   ///< full Chrome trace of the scenario
+    std::string metricsText; ///< deterministic metrics dump
 };
 
 FailoverRun
@@ -373,37 +376,50 @@ runFailoverScenario(uint64_t seed)
     cfg.deviceCount = 3;
     cfg.health = fastHealth();
     Testbed tb(cfg);
-    tb.installCl(loopbackAccel());
-    run.deployOk = tb.runDeployment().ok;
-    if (!run.deployOk)
-        return run;
-    EXPECT_TRUE(tb.userApp().secureWrite(0x00, 41));
-    run.oldFp = tb.smApp().secretsFingerprint();
 
-    // Warm watchdog view: everything healthy.
-    tb.supervisor().runFor(50 * sim::kMs);
-    EXPECT_TRUE(tb.supervisor().failovers().empty());
+    // The whole scenario runs traced: the seed sweep below byte-
+    // compares the exported trace/metrics across same-seed runs.
+    obs::TraceRecorder recorder(tb.clock());
+    obs::MetricsRegistry metricsReg;
+    auto scenario = [&] {
+        tb.installCl(loopbackAccel());
+        run.deployOk = tb.runDeployment().ok;
+        if (!run.deployOk)
+            return;
+        EXPECT_TRUE(tb.userApp().secureWrite(0x00, 41));
+        run.oldFp = tb.smApp().secretsFingerprint();
 
-    // Kill device 0 mid-session.
-    tb.faultInjector().arm(sim::FaultRule::deviceDead(0));
-    tb.supervisor().runFor(300 * sim::kMs);
+        // Warm watchdog view: everything healthy.
+        tb.supervisor().runFor(50 * sim::kMs);
+        EXPECT_TRUE(tb.supervisor().failovers().empty());
 
-    run.failovers = tb.supervisor().failovers().size();
-    if (run.failovers > 0)
-        run.rec = tb.supervisor().failovers().front();
-    run.activeAfter = tb.smApp().activeDevice();
-    run.newFp = tb.smApp().secretsFingerprint();
-    run.oldRetired = tb.smApp().everRetiredFingerprint(run.oldFp);
-    run.newRetired = tb.smApp().everRetiredFingerprint(run.newFp);
+        // Kill device 0 mid-session.
+        tb.faultInjector().arm(sim::FaultRule::deviceDead(0));
+        tb.supervisor().runFor(300 * sim::kMs);
 
-    // The session continues on the spare.
-    run.postWriteOk = tb.userApp().secureWrite(0x00, 77);
-    auto value = tb.userApp().secureRead(0x00);
-    run.postRead = value.value_or(0);
-    run.newDeviceRegOps = tb.shell(run.activeAfter)
-                              .registerRead(pcie::Window::SmSecure,
-                                            kSmRegStatRegOpOk);
-    run.clockEnd = tb.clock().now();
+        run.failovers = tb.supervisor().failovers().size();
+        if (run.failovers > 0)
+            run.rec = tb.supervisor().failovers().front();
+        run.activeAfter = tb.smApp().activeDevice();
+        run.newFp = tb.smApp().secretsFingerprint();
+        run.oldRetired = tb.smApp().everRetiredFingerprint(run.oldFp);
+        run.newRetired = tb.smApp().everRetiredFingerprint(run.newFp);
+
+        // The session continues on the spare.
+        run.postWriteOk = tb.userApp().secureWrite(0x00, 77);
+        auto value = tb.userApp().secureRead(0x00);
+        run.postRead = value.value_or(0);
+        run.newDeviceRegOps = tb.shell(run.activeAfter)
+                                  .registerRead(pcie::Window::SmSecure,
+                                                kSmRegStatRegOpOk);
+        run.clockEnd = tb.clock().now();
+    };
+    {
+        obs::ObsScope scope(&recorder, &metricsReg);
+        scenario();
+    }
+    run.traceJson = recorder.chromeTraceJson();
+    run.metricsText = metricsReg.renderText();
     return run;
 }
 
@@ -448,7 +464,15 @@ TEST(Failover, SameSeedRunsAreBitForBitIdentical)
     EXPECT_EQ(a.newFp, b.newFp);
     EXPECT_EQ(a.postRead, b.postRead);
 
-    // A different seed derives different key material.
+    // The exported observability artifacts are part of the replay
+    // contract: same seed ⇒ byte-identical trace and metrics dump.
+    ASSERT_GT(a.traceJson.size(), 1000u);
+    EXPECT_EQ(a.traceJson, b.traceJson);
+    EXPECT_EQ(a.metricsText, b.metricsText);
+
+    // A different seed derives different key material. (The trace can
+    // legitimately coincide: span timing comes from the cost model,
+    // not from the seeded key bytes.)
     FailoverRun c = runFailoverScenario(8);
     ASSERT_TRUE(c.deployOk);
     EXPECT_NE(c.newFp, a.newFp);

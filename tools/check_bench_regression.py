@@ -20,8 +20,12 @@ the checker flags each one -- run in CI so a silently broken gate
 cannot pass.
 
 Refreshing baselines (intentional perf change): rebuild, run the bench
-binaries, copy the new JSONs over bench/baselines/ and commit them in
-the same PR as the change that moved the numbers.
+binaries, then either run with --update (rewrites the baseline's gate
+values in place from --current, keeping directions and every other
+field) or copy the new JSONs over bench/baselines/ manually. Commit
+the refreshed baselines in the same PR as the change that moved the
+numbers. The CI workflow_dispatch input "refresh-baselines" runs
+--update and publishes the result as an artifact.
 """
 
 import argparse
@@ -136,6 +140,33 @@ def self_test(baseline, keys, threshold):
     return 0
 
 
+def update_baseline(baseline, current, path):
+    """Rewrites the baseline's gate values from the current run.
+
+    Directions and non-gate fields (metadata, raw samples) are kept;
+    only the measured values move. Returns the number of gates
+    refreshed."""
+    updated = 0
+    gates = baseline.get("gates", {})
+    for name, raw in gates.items():
+        cur_value, _ = as_gate(
+            dig(current, f"gates.{name}"), as_gate(raw)[1]
+        )
+        if isinstance(raw, dict):
+            raw["value"] = cur_value
+        else:
+            gates[name] = cur_value
+        updated += 1
+    if not updated:
+        print("no gates found to update", file=sys.stderr)
+        return 0
+    with open(path, "w") as f:
+        json.dump(baseline, f, indent=2)
+        f.write("\n")
+    print(f"updated {updated} gate(s) in {path}")
+    return updated
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="Bench perf-regression gate"
@@ -151,6 +182,12 @@ def main():
         help="extra dotted-path gate, e.g. detection_ms.mean:lower",
     )
     ap.add_argument("--self-test", action="store_true")
+    ap.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline's gate values from --current "
+        "instead of gating",
+    )
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -163,6 +200,16 @@ def main():
         ap.error("--current is required unless --self-test")
     with open(args.current) as f:
         current = json.load(f)
+
+    if args.update:
+        try:
+            updated = update_baseline(
+                baseline, current, args.baseline
+            )
+        except (KeyError, ValueError, TypeError) as e:
+            print(f"cannot update baseline: {e}", file=sys.stderr)
+            return 1
+        return 0 if updated else 1
 
     print(
         f"checking {args.current} against {args.baseline} "

@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""Line-coverage gate over gcov's JSON intermediate format.
+
+Walks a build directory for .gcda counters (written by a --coverage
+build after running the test suite), asks gcov for the JSON report of
+every translation unit, and aggregates per-source-file line coverage
+(union across TUs, so a header counts as covered when ANY test binary
+executed the line).
+
+The gate compares total line coverage for files under --source-prefix
+against the checked-in baseline (tools/coverage_baseline.json) and
+fails when it drops more than --slack percentage points below it
+(default 2.0). Refresh the baseline with --update after intentionally
+adding hard-to-cover code, in the same PR.
+
+--self-test exercises the comparison logic with synthetic numbers (a
+drop just past the slack must fail, anything above must pass) so a
+broken gate can never silently pass in CI.
+
+When GITHUB_STEP_SUMMARY is set, a markdown summary (total coverage,
+floor, ten least-covered files) is appended to the CI job summary.
+
+Exit status: 0 gate passed, 1 regression / no data / malformed input.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir):
+    out = []
+    for root, _dirs, files in os.walk(build_dir):
+        out.extend(
+            os.path.abspath(os.path.join(root, f))
+            for f in files
+            if f.endswith(".gcda")
+        )
+    return sorted(out)
+
+
+def run_gcov(gcda_batch, build_dir):
+    """Returns the parsed JSON documents for one batch of .gcda files."""
+    cmd = ["gcov", "--stdout", "--json-format"] + gcda_batch
+    proc = subprocess.run(
+        cmd,
+        cwd=build_dir,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        check=False,
+    )
+    docs = []
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            docs.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return docs
+
+
+def collect_coverage(build_dir, repo_root, source_prefix):
+    """Aggregates {source file: {line: hit}} under source_prefix."""
+    gcda = find_gcda(build_dir)
+    if not gcda:
+        return {}, 0
+    lines_by_file = {}
+    batch = 64
+    for i in range(0, len(gcda), batch):
+        for doc in run_gcov(gcda[i : i + batch], build_dir):
+            for entry in doc.get("files", []):
+                path = entry.get("file", "")
+                if not os.path.isabs(path):
+                    path = os.path.join(build_dir, path)
+                rel = os.path.relpath(os.path.normpath(path), repo_root)
+                if not rel.startswith(source_prefix):
+                    continue
+                hits = lines_by_file.setdefault(rel, {})
+                for ln in entry.get("lines", []):
+                    no = ln.get("line_number")
+                    if no is None:
+                        continue
+                    hits[no] = hits.get(no, 0) + int(
+                        ln.get("count", 0)
+                    )
+    return lines_by_file, len(gcda)
+
+
+def file_pct(hits):
+    total = len(hits)
+    covered = sum(1 for c in hits.values() if c > 0)
+    return covered, total, (100.0 * covered / total if total else 0.0)
+
+
+def total_pct(lines_by_file):
+    covered = sum(
+        sum(1 for c in hits.values() if c > 0)
+        for hits in lines_by_file.values()
+    )
+    total = sum(len(hits) for hits in lines_by_file.values())
+    return covered, total, (100.0 * covered / total if total else 0.0)
+
+
+def gate(current, baseline, slack):
+    """Returns an error string, or None when the gate passes."""
+    floor = baseline - slack
+    if current < floor:
+        return (
+            f"line coverage {current:.2f}% is below the floor "
+            f"{floor:.2f}% (baseline {baseline:.2f}% - {slack:.1f})"
+        )
+    return None
+
+
+def self_test(slack):
+    baseline = 90.0
+    cases = [
+        (baseline, None),
+        (baseline - slack + 0.1, None),
+        (baseline - slack - 0.1, "fail"),
+        (baseline - slack - 10.0, "fail"),
+    ]
+    for current, expect in cases:
+        err = gate(current, baseline, slack)
+        if (err is None) != (expect is None):
+            print(
+                f"self-test FAILED: baseline {baseline} current "
+                f"{current} slack {slack} -> {err!r}",
+                file=sys.stderr,
+            )
+            return 1
+    print(
+        f"self-test passed: a synthetic drop past {slack:.1f} points "
+        "is detected and smaller moves pass"
+    )
+    return 0
+
+
+def write_summary(pct, floor, baseline, worst, gcda_count, passed):
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    with open(path, "a") as f:
+        state = "passed" if passed else "**FAILED**"
+        f.write("## Coverage gate\n\n")
+        f.write(
+            f"Line coverage **{pct:.2f}%** vs floor {floor:.2f}% "
+            f"(baseline {baseline:.2f}%) — {state} "
+            f"({gcda_count} .gcda files)\n\n"
+        )
+        f.write("| least-covered files | lines | coverage |\n")
+        f.write("|---|---|---|\n")
+        for rel, (covered, total, p) in worst:
+            f.write(f"| `{rel}` | {covered}/{total} | {p:.1f}% |\n")
+
+
+def main():
+    ap = argparse.ArgumentParser(description="Line-coverage gate")
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument(
+        "--baseline", default="tools/coverage_baseline.json"
+    )
+    ap.add_argument("--source-prefix", default="src/")
+    ap.add_argument(
+        "--slack",
+        type=float,
+        default=2.0,
+        help="allowed drop below the baseline, in percentage points",
+    )
+    ap.add_argument(
+        "--update",
+        action="store_true",
+        help="write the measured coverage as the new baseline",
+    )
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test(args.slack)
+
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )
+    lines_by_file, gcda_count = collect_coverage(
+        args.build_dir, repo_root, args.source_prefix
+    )
+    if not lines_by_file:
+        print(
+            f"no coverage data for {args.source_prefix!r} under "
+            f"{args.build_dir!r} — build with --coverage and run the "
+            "tests first",
+            file=sys.stderr,
+        )
+        return 1
+
+    covered, total, pct = total_pct(lines_by_file)
+    per_file = {
+        rel: file_pct(hits)
+        for rel, hits in lines_by_file.items()
+        if hits  # headers with no executable lines are not interesting
+    }
+    worst = sorted(per_file.items(), key=lambda kv: kv[1][2])[:10]
+
+    print(
+        f"line coverage: {pct:.2f}% ({covered}/{total} lines in "
+        f"{len(per_file)} files, {gcda_count} .gcda inputs)"
+    )
+    print("least-covered files:")
+    for rel, (c, t, p) in worst:
+        print(f"  {p:6.1f}%  {c:>5}/{t:<5}  {rel}")
+
+    if args.update:
+        baseline_doc = {
+            "line_coverage_pct": round(pct, 2),
+            "source_prefix": args.source_prefix,
+            "note": "refresh with: tools/coverage_gate.py --update "
+            "(coverage build + full ctest first)",
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(baseline_doc, f, indent=2)
+            f.write("\n")
+        print(f"baseline updated: {args.baseline} = {pct:.2f}%")
+        return 0
+
+    try:
+        with open(args.baseline) as f:
+            baseline = float(json.load(f)["line_coverage_pct"])
+    except (OSError, KeyError, ValueError) as e:
+        print(f"cannot read baseline: {e}", file=sys.stderr)
+        return 1
+
+    err = gate(pct, baseline, args.slack)
+    write_summary(
+        pct,
+        baseline - args.slack,
+        baseline,
+        worst,
+        gcda_count,
+        err is None,
+    )
+    if err:
+        print(f"COVERAGE REGRESSION: {err}", file=sys.stderr)
+        return 1
+    print(
+        f"gate passed: {pct:.2f}% >= floor "
+        f"{baseline - args.slack:.2f}%"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

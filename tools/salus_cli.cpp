@@ -10,15 +10,21 @@
  *                     [--scale PCT]
  *   salus_cli inspect
  *   salus_cli help
+ *
+ * Any command accepts `--trace-out FILE` (Chrome trace_event JSON for
+ * chrome://tracing / Perfetto) and `--metrics-out FILE` (text metrics
+ * dump); see docs/OBSERVABILITY.md.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "accel/accel_ip.hpp"
 #include "accel/runner.hpp"
+#include "obs/trace.hpp"
 #include "salus/boot_report.hpp"
 #include "salus/salus.hpp"
 
@@ -26,6 +32,56 @@ using namespace salus;
 using namespace salus::core;
 
 namespace {
+
+std::string g_traceOut;   // --trace-out FILE (empty = disabled)
+std::string g_metricsOut; // --metrics-out FILE (empty = disabled)
+
+/**
+ * Enables tracing/metrics over a testbed's clock for the duration of
+ * one command when the user asked for either output file, and writes
+ * the artifacts on destruction.
+ */
+class CliObs
+{
+  public:
+    explicit CliObs(sim::VirtualClock &clock)
+    {
+        if (g_traceOut.empty() && g_metricsOut.empty())
+            return;
+        recorder_ = std::make_unique<obs::TraceRecorder>(clock);
+        metrics_ = std::make_unique<obs::MetricsRegistry>();
+        scope_ = std::make_unique<obs::ObsScope>(recorder_.get(),
+                                                 metrics_.get());
+    }
+
+    ~CliObs()
+    {
+        if (!recorder_)
+            return;
+        scope_.reset(); // uninstall before exporting
+        if (!g_traceOut.empty()) {
+            if (recorder_->writeChromeTrace(g_traceOut))
+                std::printf("trace: %s (%zu events)\n",
+                            g_traceOut.c_str(),
+                            recorder_->events().size());
+            else
+                std::printf("trace: cannot write %s\n",
+                            g_traceOut.c_str());
+        }
+        if (!g_metricsOut.empty()) {
+            if (metrics_->writeText(g_metricsOut))
+                std::printf("metrics: %s\n", g_metricsOut.c_str());
+            else
+                std::printf("metrics: cannot write %s\n",
+                            g_metricsOut.c_str());
+        }
+    }
+
+  private:
+    std::unique_ptr<obs::TraceRecorder> recorder_;
+    std::unique_ptr<obs::MetricsRegistry> metrics_;
+    std::unique_ptr<obs::ObsScope> scope_;
+};
 
 netlist::Cell
 loopbackAccel()
@@ -50,6 +106,7 @@ cmdBoot(const std::vector<std::string> &args)
     }
 
     Testbed tb(cfg);
+    CliObs obsOut(tb.clock());
     tb.installCl(loopbackAccel());
     std::printf("bitstream: %.2f MiB, device DNA %014llx\n",
                 double(tb.storedBitstream().size()) / (1 << 20),
@@ -82,6 +139,7 @@ cmdAttack(const std::vector<std::string> &args)
         cfg.attackPlan.tamperOffset = 4040;
     }
     Testbed tb(cfg);
+    CliObs obsOut(tb.clock());
     tb.installCl(loopbackAccel());
 
     if (name == "substitute") {
@@ -181,6 +239,7 @@ cmdWorkload(const std::vector<std::string> &args)
     accel::RunResult fpga = runner.runFpgaPlain(cost);
 
     Testbed tb;
+    CliObs obsOut(tb.clock());
     tb.installCl(accel::accelCellFor(*spec));
     if (!tb.runDeployment().ok) {
         std::printf("deployment failed\n");
@@ -232,7 +291,10 @@ usage()
         "  workload <name> [--scale PCT]     run one Table 4 workload "
         "in all modes\n"
         "  inspect                           device + workload "
-        "inventory\n");
+        "inventory\n\n"
+        "global options:\n"
+        "  --trace-out FILE    write a Chrome trace_event JSON trace\n"
+        "  --metrics-out FILE  write a text metrics dump\n");
 }
 
 } // namespace
@@ -250,6 +312,17 @@ main(int argc, char **argv)
     }
     std::string cmd = argv[1];
     std::vector<std::string> args(argv + 2, argv + argc);
+    for (size_t i = 0; i < args.size();) {
+        if (args[i] == "--trace-out" && i + 1 < args.size()) {
+            g_traceOut = args[i + 1];
+            args.erase(args.begin() + long(i), args.begin() + long(i + 2));
+        } else if (args[i] == "--metrics-out" && i + 1 < args.size()) {
+            g_metricsOut = args[i + 1];
+            args.erase(args.begin() + long(i), args.begin() + long(i + 2));
+        } else {
+            ++i;
+        }
+    }
 
     if (cmd == "boot")
         return cmdBoot(args);
