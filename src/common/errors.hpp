@@ -170,6 +170,27 @@ class FailoverError : public SalusError
 };
 
 /**
+ * A planned live migration could not move the session: no eligible
+ * target device, a refused migration ticket, or a failed
+ * re-attestation on the target. The session is left where the failure
+ * found it (on the source when the ticket never committed), so the
+ * caller can keep serving or retry with a different target.
+ */
+class MigrationError : public SalusError
+{
+  public:
+    MigrationError(const std::string &what, ErrorContext context = {})
+        : SalusError("migration: " + what + context.describe()),
+          context_(std::move(context))
+    {}
+
+    const ErrorContext &context() const { return context_; }
+
+  private:
+    ErrorContext context_;
+};
+
+/**
  * The SM enclave process died mid-operation (an injected
  * `sm_crash_at<step>` fault). Tests catch this, rebuild the enclave
  * and drive the journal-based recovery path.

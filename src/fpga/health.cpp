@@ -121,9 +121,31 @@ HealthTracker::recordForgery(sim::Nanos now, const std::string &reason)
 }
 
 void
+HealthTracker::beginMaintenance(sim::Nanos now,
+                                const std::string &reason)
+{
+    maintenance_ = true;
+    if (state_ != HealthState::Quarantined)
+        transitionTo(now, HealthState::Quarantined,
+                     "maintenance: " + reason);
+}
+
+void
+HealthTracker::endMaintenance(sim::Nanos now)
+{
+    if (!maintenance_)
+        return;
+    maintenance_ = false;
+    if (state_ == HealthState::Quarantined && !permanent_)
+        transitionTo(now, HealthState::Probation,
+                     "maintenance complete");
+}
+
+void
 HealthTracker::tick(sim::Nanos now)
 {
     if (state_ == HealthState::Quarantined && !permanent_ &&
+        !maintenance_ &&
         now >= quarantinedAt_ + policy_.probationAfter) {
         transitionTo(now, HealthState::Probation,
                      "quarantine cool-down served");

@@ -92,6 +92,15 @@ class HealthTracker
      *  deciding whether to probe. */
     void tick(sim::Nanos now);
 
+    /** Planned-maintenance quarantine (rolling upgrade): pulls the
+     *  device from service without recording a failure. tick() will
+     *  not offer probation until endMaintenance(). */
+    void beginMaintenance(sim::Nanos now, const std::string &reason);
+    /** Ends planned maintenance: a non-permanently-quarantined device
+     *  goes to PROBATION and earns reinstatement with clean probes. */
+    void endMaintenance(sim::Nanos now);
+    bool inMaintenance() const { return maintenance_; }
+
     HealthState state() const { return state_; }
     bool permanentlyQuarantined() const { return permanent_; }
     /** Failure rate over the current window (0 when empty). */
@@ -115,6 +124,7 @@ class HealthTracker
     sim::Nanos quarantinedAt_ = 0;
     uint32_t probationStreak_ = 0;
     bool permanent_ = false;
+    bool maintenance_ = false; ///< held quarantined for an upgrade
     std::string lastReason_;
     std::vector<HealthTransition> transitions_;
 };

@@ -1,0 +1,279 @@
+#include "salus/placement.hpp"
+
+#include <algorithm>
+
+#include "common/errors.hpp"
+#include "common/serde.hpp"
+#include "crypto/siphash.hpp"
+#include "obs/trace.hpp"
+
+namespace salus::core {
+
+// ---- Migration messages ---------------------------------------------
+
+Bytes
+MigrationTicket::serialize() const
+{
+    BinaryWriter w;
+    w.writeU32(0x4d494754); // "MIGT"
+    w.writeU32(fromDevice);
+    w.writeU32(toDevice);
+    w.writeU64(fromDna);
+    w.writeU64(toDna);
+    w.writeU64(nonce);
+    w.writeBytes(sourceFingerprint);
+    w.writeU64(mac);
+    return w.take();
+}
+
+MigrationTicket
+MigrationTicket::deserialize(ByteView data)
+{
+    BinaryReader r(data);
+    if (r.readU32() != 0x4d494754)
+        throw SerdeError("bad migration-ticket magic");
+    MigrationTicket t;
+    t.fromDevice = r.readU32();
+    t.toDevice = r.readU32();
+    if (t.fromDevice >= Placement::kMaxDevices ||
+        t.toDevice >= Placement::kMaxDevices)
+        throw SerdeError("migration ticket names an absurd device");
+    t.fromDna = r.readU64();
+    t.toDna = r.readU64();
+    t.nonce = r.readU64();
+    t.sourceFingerprint = r.readBytes();
+    if (t.sourceFingerprint.size() != 32)
+        throw SerdeError("migration ticket fingerprint is not 32 bytes");
+    t.mac = r.readU64();
+    return t;
+}
+
+Bytes
+MigrationRecord::serialize() const
+{
+    BinaryWriter w;
+    w.writeU32(fromDevice);
+    w.writeU32(toDevice);
+    w.writeU64(atNanos);
+    w.writeString(reason);
+    w.writeBytes(oldFingerprint);
+    w.writeBytes(newFingerprint);
+    w.writeU8(attested);
+    w.writeU64(parkedOps);
+    return w.take();
+}
+
+MigrationRecord
+MigrationRecord::deserialize(ByteView data)
+{
+    BinaryReader r(data);
+    MigrationRecord m;
+    m.fromDevice = r.readU32();
+    m.toDevice = r.readU32();
+    m.atNanos = r.readU64();
+    m.reason = r.readString();
+    m.oldFingerprint = r.readBytes();
+    m.newFingerprint = r.readBytes();
+    m.attested = r.readU8();
+    if (m.attested > 1)
+        throw SerdeError("bad migration flag");
+    m.parkedOps = r.readU64();
+    return m;
+}
+
+// ---- Placement ------------------------------------------------------
+
+Placement::Placement(uint32_t deviceCount, uint64_t seed)
+    : deviceCount_(std::max<uint32_t>(1, deviceCount)), seed_(seed)
+{
+    if (deviceCount_ > kMaxDevices)
+        throw SalusError("placement: device count exceeds " +
+                         std::to_string(kMaxDevices));
+    eligible_.assign(deviceCount_, 1);
+    loads_.assign(deviceCount_, 0);
+}
+
+uint32_t
+Placement::chooseTarget(uint64_t sessionId) const
+{
+    // The candidate pool is the eligible devices, in id order, so the
+    // draw is independent of assignment history.
+    std::vector<uint32_t> pool;
+    pool.reserve(deviceCount_);
+    for (uint32_t d = 0; d < deviceCount_; ++d)
+        if (eligible_[d])
+            pool.push_back(d);
+    if (pool.empty())
+        throw MigrationError("no eligible device for session " +
+                             std::to_string(sessionId));
+    if (pool.size() == 1)
+        return pool.front();
+
+    // Two independent seeded draws; the SipHash key folds the
+    // placement seed so distinct fleets shard distinctly.
+    uint8_t key[16];
+    storeLe64(key, seed_);
+    storeLe64(key + 8, ~seed_);
+    uint8_t msg[9];
+    storeLe64(msg, sessionId);
+    msg[8] = 'A';
+    uint32_t a = pool[crypto::sipHash24(ByteView(key, sizeof(key)),
+                                        ByteView(msg, sizeof(msg))) %
+                      pool.size()];
+    msg[8] = 'B';
+    uint32_t b = pool[crypto::sipHash24(ByteView(key, sizeof(key)),
+                                        ByteView(msg, sizeof(msg))) %
+                      pool.size()];
+    // Power of two choices: lesser load wins, ties to the lower id.
+    if (loads_[a] != loads_[b])
+        return loads_[a] < loads_[b] ? a : b;
+    return std::min(a, b);
+}
+
+uint32_t
+Placement::pickTarget(uint64_t sessionId) const
+{
+    return chooseTarget(sessionId);
+}
+
+uint32_t
+Placement::place(uint64_t sessionId)
+{
+    if (assignments_.count(sessionId))
+        throw SalusError("placement: session " +
+                         std::to_string(sessionId) + " already placed");
+    if (assignments_.size() >= kMaxSessions)
+        throw SalusError("placement: session table full");
+    uint32_t device = chooseTarget(sessionId);
+    assignments_[sessionId] = device;
+    ++loads_[device];
+    obs::count("placement.placed");
+    return device;
+}
+
+uint32_t
+Placement::migrate(uint64_t sessionId)
+{
+    auto it = assignments_.find(sessionId);
+    if (it == assignments_.end())
+        throw MigrationError("session " + std::to_string(sessionId) +
+                             " is not placed");
+    uint32_t from = it->second;
+    uint32_t to = chooseTarget(sessionId);
+    if (to != from) {
+        --loads_[from];
+        ++loads_[to];
+        it->second = to;
+        obs::count("placement.migrated");
+    }
+    return to;
+}
+
+void
+Placement::release(uint64_t sessionId)
+{
+    auto it = assignments_.find(sessionId);
+    if (it == assignments_.end())
+        return;
+    --loads_[it->second];
+    assignments_.erase(it);
+}
+
+void
+Placement::setEligible(uint32_t device, bool eligible)
+{
+    if (device >= deviceCount_)
+        throw SalusError("placement: no such device " +
+                         std::to_string(device));
+    eligible_[device] = eligible ? 1 : 0;
+}
+
+bool
+Placement::eligible(uint32_t device) const
+{
+    return device < deviceCount_ && eligible_[device] != 0;
+}
+
+bool
+Placement::placed(uint64_t sessionId) const
+{
+    return assignments_.count(sessionId) != 0;
+}
+
+uint32_t
+Placement::deviceOf(uint64_t sessionId) const
+{
+    auto it = assignments_.find(sessionId);
+    if (it == assignments_.end())
+        throw SalusError("placement: session " +
+                         std::to_string(sessionId) + " is not placed");
+    return it->second;
+}
+
+std::vector<uint64_t>
+Placement::sessionsOn(uint32_t device) const
+{
+    std::vector<uint64_t> out;
+    for (const auto &[session, dev] : assignments_)
+        if (dev == device)
+            out.push_back(session);
+    return out;
+}
+
+uint32_t
+Placement::load(uint32_t device) const
+{
+    return device < deviceCount_ ? loads_[device] : 0;
+}
+
+Bytes
+Placement::serializeState() const
+{
+    BinaryWriter w;
+    w.writeU32(0x53504c43); // "SPLC"
+    w.writeU32(deviceCount_);
+    w.writeU64(seed_);
+    for (uint32_t d = 0; d < deviceCount_; ++d)
+        w.writeU8(eligible_[d]);
+    w.writeU32(uint32_t(assignments_.size()));
+    for (const auto &[session, device] : assignments_) {
+        w.writeU64(session);
+        w.writeU32(device);
+    }
+    return w.take();
+}
+
+Placement
+Placement::deserializeState(ByteView data)
+{
+    BinaryReader r(data);
+    if (r.readU32() != 0x53504c43)
+        throw SerdeError("bad placement-state magic");
+    uint32_t devices = r.readU32();
+    if (devices == 0 || devices > kMaxDevices)
+        throw SerdeError("absurd placement device count");
+    uint64_t seed = r.readU64();
+    Placement p(devices, seed);
+    for (uint32_t d = 0; d < devices; ++d) {
+        uint8_t flag = r.readU8();
+        if (flag > 1)
+            throw SerdeError("bad placement eligibility flag");
+        p.eligible_[d] = flag;
+    }
+    uint32_t count = r.readU32();
+    if (count > kMaxSessions)
+        throw SerdeError("absurd placement session count");
+    for (uint32_t i = 0; i < count; ++i) {
+        uint64_t session = r.readU64();
+        uint32_t device = r.readU32();
+        if (device >= devices)
+            throw SerdeError("placement assignment outside the pool");
+        if (p.assignments_.count(session))
+            throw SerdeError("duplicate placement assignment");
+        p.assignments_[session] = device;
+        ++p.loads_[device];
+    }
+    return p;
+}
+
+} // namespace salus::core

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Fleet placement and live-migration messages (extension beyond the
+ * paper's single-device prototype).
+ *
+ * `Placement` assigns logical sessions to pool devices with seeded
+ * power-of-two-choices: two candidate devices are drawn from a
+ * deterministic hash of the session id and the lesser-loaded one
+ * wins, which keeps the fleet balanced without global coordination.
+ * Everything is seeded and deterministic, so two same-seed runs place
+ * identically (the sim's replay contract).
+ *
+ * `MigrationTicket` is the SM enclave's signed authorization to move
+ * the active session between pool devices. It is MAC'd under the
+ * CURRENT deployment's Key_attest and binds the fingerprint of the
+ * secrets being retired: once the migration commits (or any other
+ * event retires the source secrets), the ticket is dead — it cannot
+ * be replayed to bounce the session a second time.
+ *
+ * `MigrationRecord` is the audit evidence of one completed migration,
+ * mirroring FailoverRecord.
+ */
+
+#ifndef SALUS_SALUS_PLACEMENT_HPP
+#define SALUS_SALUS_PLACEMENT_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace salus::core {
+
+/** Signed authorization to move the active session to another pool
+ *  device. Issued and verified by the SM enclave; the supervisor only
+ *  transports it, so a malicious supervisor cannot fabricate one. */
+struct MigrationTicket
+{
+    uint32_t fromDevice = 0;
+    uint32_t toDevice = 0;
+    uint64_t fromDna = 0; ///< DeviceDNA of the source
+    uint64_t toDna = 0;   ///< DeviceDNA of the target
+    uint64_t nonce = 0;   ///< freshness (one commit per ticket)
+    /** Fingerprint of the secrets the commit retires: ties the ticket
+     *  to exactly one deployment epoch. */
+    Bytes sourceFingerprint;
+    uint64_t mac = 0; ///< SipHash under the current Key_attest
+
+    Bytes serialize() const;
+    /** @throws SerdeError on truncation or implausible fields
+     *  (fuzz-hardened: the untrusted host relays these). */
+    static MigrationTicket deserialize(ByteView data);
+};
+
+/** Audit record of one completed live migration. */
+struct MigrationRecord
+{
+    uint32_t fromDevice = 0;
+    uint32_t toDevice = 0;
+    uint64_t atNanos = 0; ///< virtual time the migration started
+    std::string reason;
+    Bytes oldFingerprint; ///< retired secrets of the source device
+    Bytes newFingerprint; ///< fresh secrets on the target
+    uint8_t attested = 0; ///< cascaded attestation re-ran and passed
+    uint64_t parkedOps = 0; ///< ops held parked through the move
+
+    Bytes serialize() const;
+    static MigrationRecord deserialize(ByteView data);
+};
+
+/** Deterministic power-of-two-choices session placement with
+ *  per-device load accounting. */
+class Placement
+{
+  public:
+    /** Hard bounds the (fuzz-hardened) state serde enforces. */
+    static constexpr uint32_t kMaxDevices = 4096;
+    static constexpr size_t kMaxSessions = 65536;
+
+    explicit Placement(uint32_t deviceCount, uint64_t seed = 0);
+
+    /** Assigns a session to the lesser-loaded of two seeded-hash
+     *  candidate devices and records the load.
+     *  @throws MigrationError when no eligible device remains. */
+    uint32_t place(uint64_t sessionId);
+
+    /** Re-assigns an already-placed session via the same
+     *  power-of-two-choices draw over the currently eligible devices
+     *  (used when its device drains for upgrade).
+     *  @return the new device.
+     *  @throws MigrationError when no eligible device remains or the
+     *          session was never placed. */
+    uint32_t migrate(uint64_t sessionId);
+
+    /** Drops a session and its load accounting. Idempotent. */
+    void release(uint64_t sessionId);
+
+    /** The two-choice draw without recording anything — what place()
+     *  WOULD pick right now. @throws MigrationError when no eligible
+     *  device remains. */
+    uint32_t pickTarget(uint64_t sessionId) const;
+
+    /** Marks a device (in)eligible for new placements (drained for a
+     *  rolling upgrade, quarantined, ...). Existing assignments stay
+     *  until migrated. */
+    void setEligible(uint32_t device, bool eligible);
+    bool eligible(uint32_t device) const;
+
+    /** True when `sessionId` is currently placed. */
+    bool placed(uint64_t sessionId) const;
+    /** Device currently serving a placed session.
+     *  @throws SalusError when the session was never placed. */
+    uint32_t deviceOf(uint64_t sessionId) const;
+    /** Sessions currently assigned to one device. */
+    std::vector<uint64_t> sessionsOn(uint32_t device) const;
+    /** Assigned-session count per device. */
+    uint32_t load(uint32_t device) const;
+    uint32_t deviceCount() const { return deviceCount_; }
+    size_t sessionCount() const { return assignments_.size(); }
+
+    /** Serializable placement state (assignments + eligibility), so a
+     *  restarted supervisor adopts the fleet view instead of
+     *  re-placing every session. */
+    Bytes serializeState() const;
+    /** @throws SerdeError on truncation, bad magic, out-of-range
+     *  devices or duplicate sessions (fuzz-hardened: the state lives
+     *  in untrusted host storage). */
+    static Placement deserializeState(ByteView data);
+
+  private:
+    uint32_t chooseTarget(uint64_t sessionId) const;
+
+    uint32_t deviceCount_ = 0;
+    uint64_t seed_ = 0;
+    std::vector<uint8_t> eligible_; ///< one flag per device
+    std::vector<uint32_t> loads_;   ///< assigned sessions per device
+    std::map<uint64_t, uint32_t> assignments_;
+};
+
+} // namespace salus::core
+
+#endif // SALUS_SALUS_PLACEMENT_HPP

@@ -80,6 +80,23 @@ heartbeatResponseMac(ByteView keyAttest, uint64_t nonce, uint64_t dna,
     return crypto::sipHash24(keyAttest, msg);
 }
 
+uint64_t
+migrationTicketMac(ByteView keyAttest, uint32_t fromDevice,
+                   uint32_t toDevice, uint64_t fromDna, uint64_t toDna,
+                   uint64_t nonce, ByteView sourceFingerprint)
+{
+    Bytes msg(33 + sourceFingerprint.size());
+    storeLe32(msg.data(), fromDevice);
+    storeLe32(msg.data() + 4, toDevice);
+    storeLe64(msg.data() + 8, fromDna);
+    storeLe64(msg.data() + 16, toDna);
+    storeLe64(msg.data() + 24, nonce);
+    msg[32] = 'M';
+    std::memcpy(msg.data() + 33, sourceFingerprint.data(),
+                sourceFingerprint.size());
+    return crypto::sipHash24(keyAttest, msg);
+}
+
 SealedRegRequest
 sealRequest(ByteView aesKey, ByteView macKey, uint64_t ctr,
             const RegOp &op)

@@ -53,6 +53,17 @@ uint64_t heartbeatRequestMac(ByteView keyAttest, uint64_t nonce,
 uint64_t heartbeatResponseMac(ByteView keyAttest, uint64_t nonce,
                               uint64_t dna, uint64_t count);
 
+// ---- Migration tickets (fleet extension) ----------------------------
+
+/** MAC over a migration ticket's bound fields under the CURRENT
+ *  deployment's Key_attest: SipHash(Key_attest, from || to || fromDna
+ *  || toDna || N || fingerprint, 'M'). The supervisor cannot forge one
+ *  and a committed (or otherwise retired) epoch kills the ticket. */
+uint64_t migrationTicketMac(ByteView keyAttest, uint32_t fromDevice,
+                            uint32_t toDevice, uint64_t fromDna,
+                            uint64_t toDna, uint64_t nonce,
+                            ByteView sourceFingerprint);
+
 // ---- Secure register channel ----------------------------------------
 
 /** A decrypted register operation. */

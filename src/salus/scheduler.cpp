@@ -44,8 +44,56 @@ BatchScheduler::submit(uint32_t session, const regchan::RegOp &op,
 }
 
 size_t
+BatchScheduler::dispatchSlice(uint32_t id, Session &s)
+{
+    size_t n = std::min(s.queue.size(), config_.maxBatchOps);
+    obs::Span slice(obs::Category::Scheduler, "session_slice",
+                    uint64_t(id));
+    obs::observe("scheduler.slice_ops", n);
+    std::vector<regchan::RegOp> ops;
+    ops.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        ops.push_back(s.queue[i].op);
+
+    std::vector<regchan::BatchResult> results;
+    try {
+        results = dispatch_(id, ops);
+    } catch (const FailoverError &) {
+        // The supervisor failed the pool over mid-burst. The ops
+        // in flight get the typed failed-over status (exactly-once
+        // -or-typed-error: we never blind-retry them); everything
+        // still queued survives for the next sweep.
+        for (size_t i = 0; i < n; ++i) {
+            Pending p = std::move(s.queue.front());
+            s.queue.pop_front();
+            if (p.done)
+                p.done(kBatchStatusFailedOver, 0);
+        }
+        stats_.failedOverOps += n;
+        throw;
+    }
+    // DispatchBackpressure propagates with the queue untouched: the
+    // burst never executed, so the same ops retry later verbatim.
+
+    for (size_t i = 0; i < n; ++i) {
+        Pending p = std::move(s.queue.front());
+        s.queue.pop_front();
+        uint8_t st = i < results.size() ? results[i].status : 0xfc;
+        uint64_t data = i < results.size() ? results[i].data : 0;
+        if (p.done)
+            p.done(st, data);
+    }
+    ++stats_.dispatchedBatches;
+    stats_.dispatchedOps += n;
+    s.dispatched += n;
+    return n;
+}
+
+size_t
 BatchScheduler::pumpOnce()
 {
+    if (parked_)
+        return 0; // quiesced for a live migration
     obs::Span span(obs::Category::Scheduler, "sweep");
     // Snapshot the sweep order starting at the cursor: every session
     // gets one slice per sweep, and the cursor rotates so ties (who
@@ -62,50 +110,36 @@ BatchScheduler::pumpOnce()
         cursor_ = order.front() + 1;
 
     size_t completed = 0;
+    std::vector<uint32_t> backpressured;
     for (uint32_t id : order) {
         Session &s = sessions_.at(id);
         if (s.queue.empty())
             continue;
-        size_t n = std::min(s.queue.size(), config_.maxBatchOps);
-        obs::Span slice(obs::Category::Scheduler, "session_slice",
-                        uint64_t(id));
-        obs::observe("scheduler.slice_ops", n);
-        std::vector<regchan::RegOp> ops;
-        ops.reserve(n);
-        for (size_t i = 0; i < n; ++i)
-            ops.push_back(s.queue[i].op);
-
-        std::vector<regchan::BatchResult> results;
         try {
-            results = dispatch_(id, ops);
-        } catch (const FailoverError &) {
-            // The supervisor failed the pool over mid-burst. The ops
-            // in flight get the typed failed-over status (exactly-once
-            // -or-typed-error: we never blind-retry them); everything
-            // still queued survives for the next sweep.
-            for (size_t i = 0; i < n; ++i) {
-                Pending p = std::move(s.queue.front());
-                s.queue.pop_front();
-                if (p.done)
-                    p.done(kBatchStatusFailedOver, 0);
-            }
-            stats_.failedOverOps += n;
-            completed += n;
-            throw;
+            completed += dispatchSlice(id, s);
+        } catch (const DispatchBackpressure &) {
+            ++stats_.dispatchBackpressure;
+            obs::count("scheduler.dispatch_backpressure");
+            backpressured.push_back(id);
         }
+    }
 
-        for (size_t i = 0; i < n; ++i) {
-            Pending p = std::move(s.queue.front());
-            s.queue.pop_front();
-            uint8_t st = i < results.size() ? results[i].status : 0xfc;
-            uint64_t data = i < results.size() ? results[i].data : 0;
-            if (p.done)
-                p.done(st, data);
+    // Retry each refused slice exactly once, after the rest of the
+    // sweep drained: a transient refusal costs a session its place in
+    // line, not the whole sweep — its own later ops aren't starved by
+    // its earlier burst.
+    for (uint32_t id : backpressured) {
+        Session &s = sessions_.at(id);
+        if (s.queue.empty())
+            continue;
+        ++stats_.retriedSlices;
+        obs::count("scheduler.retried_slices");
+        try {
+            completed += dispatchSlice(id, s);
+        } catch (const DispatchBackpressure &) {
+            ++stats_.dispatchBackpressure;
+            // Still refused: the ops stay queued for the next sweep.
         }
-        ++stats_.dispatchedBatches;
-        stats_.dispatchedOps += n;
-        s.dispatched += n;
-        completed += n;
     }
     return completed;
 }
@@ -114,9 +148,28 @@ size_t
 BatchScheduler::drain()
 {
     size_t completed = 0;
-    while (totalQueued() > 0)
-        completed += pumpOnce();
+    while (totalQueued() > 0) {
+        size_t n = pumpOnce();
+        completed += n;
+        if (n == 0)
+            break; // quiesced or fully backpressured — never spin
+    }
     return completed;
+}
+
+size_t
+BatchScheduler::quiesce()
+{
+    parked_ = true;
+    obs::count("scheduler.quiesce");
+    return totalQueued();
+}
+
+void
+BatchScheduler::release()
+{
+    parked_ = false;
+    obs::count("scheduler.release");
 }
 
 size_t

@@ -25,6 +25,7 @@
 #include <map>
 #include <vector>
 
+#include "common/errors.hpp"
 #include "salus/reg_channel.hpp"
 
 namespace salus::core {
@@ -33,6 +34,22 @@ namespace salus::core {
  *  op was dispatched in. The op may or may not have executed on the
  *  dead device; the caller decides whether to resubmit. */
 constexpr uint8_t kBatchStatusFailedOver = 0xfa;
+
+/**
+ * Thrown by a Dispatch function that temporarily cannot take the
+ * burst (downstream buffer full, device saturated). The burst was NOT
+ * executed: the scheduler leaves the session's queue intact and
+ * retries the slice once after the other sessions' slices of the same
+ * sweep complete, so a hot session's own later ops are not starved
+ * for a whole sweep by one transient refusal.
+ */
+class DispatchBackpressure : public SalusError
+{
+  public:
+    explicit DispatchBackpressure(const std::string &what)
+        : SalusError("dispatch backpressure: " + what)
+    {}
+};
 
 /** Fair round-robin dispatcher over per-session op queues. */
 class BatchScheduler
@@ -66,6 +83,8 @@ class BatchScheduler
         uint64_t dispatchedBatches = 0;
         uint64_t dispatchedOps = 0;
         uint64_t failedOverOps = 0;
+        uint64_t dispatchBackpressure = 0; ///< slices refused downstream
+        uint64_t retriedSlices = 0; ///< end-of-sweep retries attempted
         size_t maxDepth = 0; ///< deepest any session queue ever got
     };
 
@@ -82,15 +101,34 @@ class BatchScheduler
     /**
      * One fair sweep: every session with queued ops gets exactly one
      * burst of at most maxBatchOps. The starting session rotates
-     * between sweeps so no session wins every tie.
+     * between sweeps so no session wins every tie. A slice refused
+     * with DispatchBackpressure keeps its queue intact and is retried
+     * exactly once after every other session's slice completes.
+     * Returns 0 immediately while the scheduler is quiesced.
      * @return ops completed (including failed-over ones).
      * @throws FailoverError after completing in-flight ops with
      *         kBatchStatusFailedOver; queued ops survive.
      */
     size_t pumpOnce();
 
-    /** Pumps until every queue is empty. @return ops completed. */
+    /** Pumps until every queue is empty, or until a full sweep makes
+     *  no progress (quiesced, or every session backpressured) — never
+     *  spins. @return ops completed. */
     size_t drain();
+
+    // ---- Migration quiesce (fleet extension) ------------------------
+    /**
+     * Parks the scheduler for a live migration: pumpOnce/drain stop
+     * dispatching (no new bursts reach the old device) while submit()
+     * keeps accepting into the bounded queues, so callers just see
+     * ordinary backpressure once the queues fill.
+     * @return ops left parked in the queues.
+     */
+    size_t quiesce();
+    /** Releases a quiesced scheduler; parked ops flow on the next
+     *  pump (against the migrated-to device). */
+    void release();
+    bool parked() const { return parked_; }
 
     size_t queueDepth(uint32_t session) const;
     size_t totalQueued() const;
@@ -110,12 +148,18 @@ class BatchScheduler
         uint64_t dispatched = 0;
     };
 
+    /** Dispatches one slice for `id`. @return ops completed.
+     *  FailoverError completes in-flight ops and propagates;
+     *  DispatchBackpressure leaves the queue intact and propagates. */
+    size_t dispatchSlice(uint32_t id, Session &s);
+
     Dispatch dispatch_;
     Config config_;
     /** Ordered by session id; round-robin rotates over this map. */
     std::map<uint32_t, Session> sessions_;
     /** Session id the next sweep starts at (fair tie-breaking). */
     uint32_t cursor_ = 0;
+    bool parked_ = false; ///< quiesced for a live migration
     Stats stats_;
 };
 

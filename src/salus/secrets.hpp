@@ -43,6 +43,12 @@ struct ClSecrets
     /** BRAM image of the counter cell. */
     Bytes ctrBytes() const;
 
+    /** SHA-256 over keyAttest || keySession || ctrBase: the identity
+     *  of one deployment epoch's secrets. Safe to store and compare
+     *  outside the enclave (tombstones, migration tickets) — it
+     *  reveals nothing about the keys. */
+    Bytes fingerprint() const;
+
     /** Wipes all key material. */
     void wipe();
 };

@@ -1128,23 +1128,80 @@ SmEnclaveApp::setActiveDevice(uint32_t deviceId)
     return true;
 }
 
+MigrationTicket
+SmEnclaveApp::issueMigrationTicket(uint32_t toDevice)
+{
+    if (failClosed_)
+        throw MigrationError("enclave is failed closed");
+    if (!haveSecrets_ || !status_.attested)
+        throw MigrationError("no live attested session to migrate");
+    if (toDevice >= devices_.size() ||
+        devices_[toDevice].shell == nullptr)
+        throw MigrationError("no such pool device " +
+                             std::to_string(toDevice));
+    if (toDevice == activeDevice_)
+        throw MigrationError("target is already the active device");
+
+    MigrationTicket t;
+    t.fromDevice = activeDevice_;
+    t.toDevice = toDevice;
+    t.fromDna = devices_[activeDevice_].dna;
+    t.toDna = devices_[toDevice].dna;
+    t.nonce = rng().nextU64();
+    t.sourceFingerprint = secrets_.fingerprint();
+    t.mac = regchan::migrationTicketMac(
+        secrets_.keyAttest, t.fromDevice, t.toDevice, t.fromDna,
+        t.toDna, t.nonce, t.sourceFingerprint);
+    return t;
+}
+
+bool
+SmEnclaveApp::commitMigration(const MigrationTicket &ticket)
+{
+    // The ticket travels through the untrusted supervisor: every
+    // field is attacker-influencable, so verification failures return
+    // false instead of throwing.
+    if (failClosed_ || !haveSecrets_ || !status_.attested)
+        return false;
+    if (ticket.fromDevice != activeDevice_)
+        return false;
+    if (ticket.toDevice >= devices_.size() ||
+        devices_[ticket.toDevice].shell == nullptr ||
+        ticket.toDevice == activeDevice_)
+        return false;
+    if (ticket.fromDna != devices_[activeDevice_].dna ||
+        ticket.toDna != devices_[ticket.toDevice].dna)
+        return false;
+    // Epoch binding: a ticket for an already-retired secret set (the
+    // migration it authorized committed, or a failover rolled the
+    // keys) no longer matches the live fingerprint — replay is dead.
+    if (ticket.sourceFingerprint != secrets_.fingerprint())
+        return false;
+    if (ticket.mac !=
+        regchan::migrationTicketMac(
+            secrets_.keyAttest, ticket.fromDevice, ticket.toDevice,
+            ticket.fromDna, ticket.toDna, ticket.nonce,
+            ticket.sourceFingerprint))
+        return false;
+
+    obs::count("sm.migrations");
+    // Trusted half of the move — identical shape to a failover
+    // switch: tombstone the source epoch so its key material can
+    // never serve on two devices, reset the deployment state, make
+    // the target active and journal the switch. The caller's next
+    // runSecureBoot injects a fresh RoT and re-attests the target.
+    retireCurrentSecrets();
+    clearPendingRekey();
+    status_ = ClBootStatus{};
+    activeDevice_ = ticket.toDevice;
+    commitJournal();
+    return true;
+}
+
 Bytes
 SmEnclaveApp::secretsFingerprint() const
 {
-    if (!haveSecrets_)
-        return Bytes();
-    Bytes material;
-    material.reserve(kKeyAttestSize + kKeySessionSize + 8);
-    material.insert(material.end(), secrets_.keyAttest.begin(),
-                    secrets_.keyAttest.end());
-    material.insert(material.end(), secrets_.keySession.begin(),
-                    secrets_.keySession.end());
-    Bytes ctr(8);
-    storeLe64(ctr.data(), secrets_.ctrBase);
-    material.insert(material.end(), ctr.begin(), ctr.end());
-    Bytes fp = crypto::Sha256::digest(material);
-    secureZero(material);
-    return fp;
+    return haveSecrets_ ? secrets_.fingerprint() : Bytes();
 }
 
 bool

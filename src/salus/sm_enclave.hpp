@@ -46,6 +46,7 @@
 
 #include "net/network.hpp"
 #include "salus/messages.hpp"
+#include "salus/placement.hpp"
 #include "salus/reg_channel.hpp"
 #include "salus/secrets.hpp"
 #include "salus/sim_hooks.hpp"
@@ -225,6 +226,31 @@ class SmEnclaveApp : public tee::Enclave
 
     uint32_t activeDevice() const { return activeDevice_; }
     size_t deviceCount() const { return devices_.size(); }
+
+    // ---- Live session migration (fleet extension) -------------------
+    /**
+     * Issues a MAC'd authorization to move the live attested session
+     * to `toDevice`. The ticket binds both DeviceDNAs, a fresh nonce
+     * and the CURRENT secrets fingerprint under the CURRENT
+     * Key_attest, so the untrusted supervisor can transport but never
+     * forge, redirect or replay it across epochs.
+     * @throws MigrationError on misuse: failed-closed enclave, no
+     *         live attested session, unknown or already-active target.
+     */
+    MigrationTicket issueMigrationTicket(uint32_t toDevice);
+
+    /**
+     * Verifies a migration ticket and, when valid, performs the
+     * trusted half of the move: retires (tombstones + wipes) the
+     * source epoch's secrets, resets the deployment state and makes
+     * `toDevice` active, journalling the switch. The next
+     * runSecureBoot re-injects a fresh RoT on the target and re-runs
+     * cascaded attestation. The ticket arrives through the untrusted
+     * host, so every verification failure returns false (no throw):
+     * wrong source, unknown target, mismatched DNAs, a fingerprint
+     * from an already-retired epoch, or a forged MAC.
+     */
+    bool commitMigration(const MigrationTicket &ticket);
 
     /** SHA-256 fingerprint of the live session secrets (empty when
      *  none). Tests assert freshness across failover with this. */

@@ -94,6 +94,7 @@ FleetSupervisor::FleetSupervisor(SupervisorDeps deps)
 {
     trackers_.assign(deps_.deviceCount,
                      fpga::HealthTracker(deps_.health));
+    beatFloor_.assign(deps_.deviceCount, 0);
 }
 
 void
@@ -116,6 +117,28 @@ FleetSupervisor::pollOnce()
                                               ? deps_.probe(d)
                                               : SmEnclaveApp::HeartbeatResult{};
         if (r.ok()) {
+            // Expected-monotone beat check (active device only —
+            // spares answer with count 0 until deployed). The floor
+            // survives quarantine and probation reinstatement, so a
+            // stale MAC'd heartbeat captured before the quarantine
+            // and replayed after reinstatement is still rejected;
+            // only a deployment-epoch change (failover/migration)
+            // resets it, because redeployment restarts the fabric's
+            // counter at 1.
+            bool isActive =
+                deps_.activeDevice && deps_.activeDevice() == d;
+            if (isActive && beatFloor_[d] > 0 &&
+                r.count <= beatFloor_[d]) {
+                t.recordForgery(now,
+                                "stale heartbeat replayed (count " +
+                                    std::to_string(r.count) +
+                                    " <= floor " +
+                                    std::to_string(beatFloor_[d]) +
+                                    ")");
+                continue;
+            }
+            if (isActive && r.count > beatFloor_[d])
+                beatFloor_[d] = r.count;
             t.recordSuccess(now);
         } else if (r.reachable && !r.authentic) {
             // The device answered but the MAC under Key_attest does
@@ -250,6 +273,151 @@ FleetSupervisor::maybeFailover()
     if (rec.reason.empty())
         rec.reason = reason;
     failovers_.push_back(std::move(rec));
+    // The spare was redeployed from scratch: its fabric beat counter
+    // restarted, so the old floor would misread beat 1 as a replay.
+    resetBeatExpectation(*spare);
+}
+
+// ---- Live migration & rolling upgrades ------------------------------
+
+void
+FleetSupervisor::resetBeatExpectation(uint32_t deviceId)
+{
+    if (deviceId < beatFloor_.size())
+        beatFloor_[deviceId] = 0;
+}
+
+MigrationRecord
+FleetSupervisor::migrateActiveTo(uint32_t to, const std::string &reason)
+{
+    // Every refusal below happens BEFORE the migration machinery
+    // touches the scheduler or the enclave: the session keeps serving
+    // on the source untouched.
+    if (!deps_.activeDevice || !deps_.migrate)
+        throw MigrationError("supervisor has no migration wiring");
+    if (failingOver_)
+        throw MigrationError("failover in progress");
+    uint32_t from = deps_.activeDevice();
+    if (to == from)
+        throw MigrationError("target " + std::to_string(to) +
+                             " is already the active device");
+    if (to >= trackers_.size())
+        throw MigrationError("no such device " + std::to_string(to));
+    if (trackers_[to].state() == fpga::HealthState::Quarantined)
+        throw MigrationError("target device " + std::to_string(to) +
+                             " is quarantined");
+
+    logf(LogLevel::Info, "supervisor", "migrating ", from, " -> ", to,
+         ": ", reason);
+    obs::Span span(obs::Category::Supervisor, "migration",
+                   uint64_t(to));
+    obs::count("supervisor.migrations");
+    sim::Nanos startedAt = deps_.clock ? deps_.clock->now() : 0;
+    failingOver_ = true;
+    MigrationRecord rec;
+    try {
+        rec = deps_.migrate(from, to, reason);
+    } catch (...) {
+        failingOver_ = false;
+        throw;
+    }
+    failingOver_ = false;
+    rec.fromDevice = from;
+    rec.toDevice = to;
+    rec.atNanos = startedAt;
+    if (rec.reason.empty())
+        rec.reason = reason;
+    // Fresh deployment epoch on the target: its beat counter
+    // restarted at 1.
+    resetBeatExpectation(to);
+    migrations_.push_back(rec);
+    return migrations_.back();
+}
+
+size_t
+FleetSupervisor::drainForUpgrade(uint32_t device, Placement &placement,
+                                 const std::string &reason)
+{
+    if (device >= trackers_.size() ||
+        device >= placement.deviceCount())
+        throw MigrationError("no such device " +
+                             std::to_string(device));
+
+    // Capacity check FIRST: with the device out of the pool, at least
+    // one eligible target must remain or nothing is touched.
+    placement.setEligible(device, false);
+    bool haveCapacity = false;
+    for (uint32_t d = 0; d < placement.deviceCount(); ++d) {
+        if (placement.eligible(d)) {
+            haveCapacity = true;
+            break;
+        }
+    }
+    if (!haveCapacity) {
+        placement.setEligible(device, true);
+        throw MigrationError(
+            "no fleet capacity to drain device " +
+            std::to_string(device) + "; sessions stay on it");
+    }
+
+    obs::Span span(obs::Category::Supervisor, "upgrade_drain",
+                   uint64_t(device));
+    obs::count("supervisor.upgrade_drains");
+
+    // The real active session moves first (the expensive, fallible
+    // part). Any failure restores eligibility and rethrows with the
+    // session still serving on the source.
+    if (deps_.activeDevice && deps_.activeDevice() == device) {
+        uint32_t target = device;
+        uint32_t bestLoad = 0;
+        bool haveTarget = false;
+        for (uint32_t d = 0; d < placement.deviceCount(); ++d) {
+            if (!placement.eligible(d) || d >= trackers_.size())
+                continue;
+            if (trackers_[d].state() ==
+                fpga::HealthState::Quarantined)
+                continue;
+            if (!haveTarget || placement.load(d) < bestLoad) {
+                target = d;
+                bestLoad = placement.load(d);
+                haveTarget = true;
+            }
+        }
+        try {
+            if (!haveTarget)
+                throw MigrationError(
+                    "no healthy eligible target to take the active "
+                    "session");
+            migrateActiveTo(target, reason);
+        } catch (...) {
+            placement.setEligible(device, true);
+            throw;
+        }
+    }
+
+    // Logical sessions re-place over the remaining eligible devices.
+    size_t moved = 0;
+    for (uint64_t sessionId : placement.sessionsOn(device)) {
+        placement.migrate(sessionId);
+        ++moved;
+    }
+
+    // Hold the device out of service until the operator finishes the
+    // upgrade; tick() will not offer probation during maintenance.
+    sim::Nanos now = deps_.clock ? deps_.clock->now() : 0;
+    trackers_[device].beginMaintenance(now, reason);
+    return moved;
+}
+
+void
+FleetSupervisor::completeUpgrade(uint32_t device, Placement &placement)
+{
+    if (device >= trackers_.size())
+        return;
+    sim::Nanos now = deps_.clock ? deps_.clock->now() : 0;
+    trackers_[device].endMaintenance(now);
+    if (device < placement.deviceCount())
+        placement.setEligible(device, true);
 }
 
 } // namespace salus::core

@@ -31,6 +31,7 @@
 
 #include "common/errors.hpp"
 #include "fpga/health.hpp"
+#include "salus/placement.hpp"
 #include "salus/sm_enclave.hpp"
 #include "sim/clock.hpp"
 #include "sim/fault.hpp"
@@ -96,6 +97,12 @@ struct SupervisorDeps
     std::function<FailoverRecord(uint32_t from, uint32_t to,
                                  const std::string &reason)>
         failover;
+    /** Performs a live migration of the active session (quiesce the
+     *  scheduler, commit the MAC'd ticket, re-deploy + re-attest the
+     *  target, release the parked queue) and reports the evidence. */
+    std::function<MigrationRecord(uint32_t from, uint32_t to,
+                                  const std::string &reason)>
+        migrate;
     /** Which device currently serves the session. */
     std::function<uint32_t()> activeDevice;
 };
@@ -138,6 +145,49 @@ class FleetSupervisor
      *  falling back to degraded); nullopt when none remains. */
     std::optional<uint32_t> pickSpare() const;
 
+    // ---- Live migration & rolling upgrades --------------------------
+    /**
+     * Live-migrates the active session to `to` (planned move: load
+     * balancing, rolling upgrade). All pre-checks run BEFORE the
+     * migration machinery quiesces anything, so on any refusal the
+     * session keeps serving on the source untouched.
+     * @throws MigrationError on an unusable target (unknown, already
+     *         active, quarantined), missing wiring, or a migration
+     *         that failed before committing.
+     */
+    MigrationRecord migrateActiveTo(uint32_t to,
+                                    const std::string &reason);
+
+    /**
+     * Rolling-upgrade drain of one device: marks it ineligible for
+     * placement, live-migrates the real active session away when it
+     * is serving there, re-places every logical session assigned to
+     * it, then holds it in maintenance quarantine until
+     * completeUpgrade(). Degrades gracefully: when the fleet has no
+     * remaining capacity (or the live migration fails) eligibility is
+     * restored, a MigrationError propagates, and every session keeps
+     * serving where it was.
+     * @return logical sessions re-placed off the device.
+     */
+    size_t drainForUpgrade(uint32_t device, Placement &placement,
+                           const std::string &reason);
+
+    /** Ends a drained device's maintenance window: the device goes to
+     *  PROBATION (earning reinstatement with clean probes) and
+     *  becomes placement-eligible again. */
+    void completeUpgrade(uint32_t device, Placement &placement);
+
+    /**
+     * Forgets the expected-monotone heartbeat floor for a device.
+     * Call ONLY when the deployment epoch changed (failover or
+     * migration redeployed the device): the fresh SM logic restarts
+     * its beat counter at 1, which the kept floor would misread as a
+     * replay. The floor is deliberately KEPT across quarantine and
+     * probation reinstatement — that is what rejects a stale MAC'd
+     * heartbeat captured before the quarantine.
+     */
+    void resetBeatExpectation(uint32_t deviceId);
+
     const fpga::HealthTracker &tracker(uint32_t deviceId) const
     {
         return trackers_.at(deviceId);
@@ -150,6 +200,10 @@ class FleetSupervisor
     {
         return failovers_;
     }
+    const std::vector<MigrationRecord> &migrations() const
+    {
+        return migrations_;
+    }
     uint64_t polls() const { return polls_; }
 
   private:
@@ -158,6 +212,11 @@ class FleetSupervisor
     SupervisorDeps deps_;
     std::vector<fpga::HealthTracker> trackers_;
     std::vector<FailoverRecord> failovers_;
+    std::vector<MigrationRecord> migrations_;
+    /** Highest MAC-verified beat count seen per device. An authentic
+     *  active-device response at or below the floor is a replayed
+     *  stale heartbeat — treated as a forgery. */
+    std::vector<uint64_t> beatFloor_;
     uint64_t polls_ = 0;
     /** Failover re-runs the deployment, which can report failures of
      *  its own; never recurse into a second failover from there. */

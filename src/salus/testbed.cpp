@@ -120,6 +120,10 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config))
                               const std::string &reason) {
         return performFailover(from, to, reason);
     };
+    supDeps.migrate = [this](uint32_t, uint32_t to,
+                             const std::string &reason) {
+        return performMigration(to, reason);
+    };
     supDeps.activeDevice = [this] { return smApp_->activeDevice(); };
     supervisor_ = std::make_unique<FleetSupervisor>(std::move(supDeps));
 
@@ -343,6 +347,83 @@ Testbed::performFailover(uint32_t from, uint32_t to,
     rec.attempts = uint32_t(std::max(0, out.attempts));
     rec.newFingerprint = smApp_->secretsFingerprint();
     return rec;
+}
+
+MigrationRecord
+Testbed::performMigration(uint32_t to, const std::string &reason)
+{
+    obs::Span span(obs::Category::Supervisor, "perform_migration",
+                   uint64_t(to));
+    MigrationRecord rec;
+    rec.fromDevice = activeDevice();
+    rec.toDevice = to;
+    rec.reason = reason;
+
+    // Phase 1: quiesce. In-flight bursts already completed (the
+    // scheduler is synchronous); from here new submissions park in
+    // the bounded per-session queues and callers see only ordinary
+    // backpressure once those fill. Nothing further reaches the
+    // source device.
+    bool quiesced = false;
+    if (scheduler_) {
+        obs::Span q(obs::Category::Supervisor, "migration_quiesce");
+        rec.parkedOps = scheduler_->quiesce();
+        quiesced = true;
+    }
+    // The queue is released on EVERY exit path: success (parked ops
+    // flow to the target) and failure (they flow on the source, which
+    // still holds its attested session).
+    struct ReleaseGuard
+    {
+        Testbed *tb;
+        bool armed;
+        ~ReleaseGuard()
+        {
+            if (armed && tb->scheduler_) {
+                obs::Span r(obs::Category::Supervisor,
+                            "migration_release");
+                tb->scheduler_->release();
+            }
+        }
+    } release{this, quiesced};
+
+    // Phase 2: the SM enclave authorizes the move under the current
+    // Key_attest. Throws MigrationError on misuse (no live session,
+    // bad target) — the guard re-opens the queue on the source.
+    MigrationTicket ticket;
+    {
+        obs::Span t(obs::Category::Supervisor, "migration_ticket");
+        ticket = smApp_->issueMigrationTicket(to);
+    }
+
+    // Phase 3: tombstone. The commit verifies the (host-relayed)
+    // ticket, retires + fingerprints the source epoch's secrets and
+    // journals the device switch; a crash anywhere in here lands in
+    // the sweep-tested journal recovery. Round-trip the ticket
+    // through its wire form — that is what actually crosses the
+    // untrusted supervisor.
+    {
+        obs::Span t(obs::Category::Supervisor, "migration_tombstone");
+        rec.oldFingerprint = smApp_->secretsFingerprint();
+        MigrationTicket relayed =
+            MigrationTicket::deserialize(ticket.serialize());
+        if (!smApp_->commitMigration(relayed))
+            throw MigrationError(
+                "SM refused the migration ticket for device " +
+                std::to_string(to));
+    }
+
+    // Phase 4: re-inject a fresh RoT and re-run the ENTIRE cascaded
+    // attestation against the target's DeviceDNA. Per-slot counters
+    // come from the fresh epoch; nothing from the source survives.
+    {
+        obs::Span t(obs::Category::Supervisor, "migration_attest");
+        UserClient::Outcome out = runDeployment();
+        rec.attested = out.ok ? 1 : 0;
+    }
+    rec.newFingerprint = smApp_->secretsFingerprint();
+    return rec;
+    // Phase 5 (guard): migration_release re-opens the parked queue.
 }
 
 void

@@ -203,6 +203,22 @@ class Testbed
     FailoverRecord performFailover(uint32_t from, uint32_t to,
                                    const std::string &reason);
 
+    /**
+     * The live-migration sequence the supervisor invokes for planned
+     * moves (load balancing, rolling upgrades), in order: quiesce the
+     * batch scheduler (new ops park under backpressure), obtain the
+     * SM's MAC'd migration ticket, commit it (tombstones the source
+     * epoch's secrets), re-deploy + re-run the cascaded attestation
+     * on the target, then release the parked queue. The queue is
+     * released on EVERY exit path — a failed migration leaves the
+     * parked ops flowing again on whichever device is active.
+     * Exposed for tests.
+     * @throws MigrationError when the SM refuses to issue or commit
+     *         the ticket (session keeps serving on the source).
+     */
+    MigrationRecord performMigration(uint32_t to,
+                                     const std::string &reason);
+
   private:
     struct DeviceSlot
     {

@@ -618,3 +618,23 @@ salus_fuzz_channel_open(const uint8_t *data, size_t size)
     }
     return 0;
 }
+
+extern "C" int
+salus_fuzz_migration_ticket(const uint8_t *data, size_t size)
+{
+    try {
+        (void)core::MigrationTicket::deserialize(ByteView(data, size));
+    } catch (const SalusError &) {
+    }
+    return 0;
+}
+
+extern "C" int
+salus_fuzz_placement_state(const uint8_t *data, size_t size)
+{
+    try {
+        (void)core::Placement::deserializeState(ByteView(data, size));
+    } catch (const SalusError &) {
+    }
+    return 0;
+}

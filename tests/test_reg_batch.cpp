@@ -481,3 +481,99 @@ TEST(BatchScheduler, EndToEndOverTestbedSessions)
     EXPECT_EQ(sched.dispatchedFor(peer), 24u);
     EXPECT_GE(sched.stats().dispatchedBatches, 12u);
 }
+
+TEST(BatchScheduler, DispatchBackpressureRetriesOnceInSameSweep)
+{
+    // Session 1's first slice is refused downstream; the scheduler
+    // finishes the other sessions' slices, then retries session 1
+    // exactly once in the SAME sweep, so its ops are not starved for
+    // a whole sweep by one transient refusal.
+    std::vector<uint32_t> order;
+    bool refusedOnce = false;
+    BatchScheduler::Config cfg;
+    cfg.maxBatchOps = 4;
+    BatchScheduler sched(
+        [&](uint32_t session, const std::vector<regchan::RegOp> &ops) {
+            if (session == 1 && !refusedOnce) {
+                refusedOnce = true;
+                throw DispatchBackpressure("device buffer full");
+            }
+            order.push_back(session);
+            return std::vector<regchan::BatchResult>(ops.size());
+        },
+        cfg);
+    for (uint32_t s = 0; s < 3; ++s) {
+        sched.addSession(s);
+        for (int i = 0; i < 4; ++i)
+            ASSERT_EQ(sched.submit(s, {true, 0, 0}, nullptr),
+                      BatchScheduler::Submit::Accepted);
+    }
+
+    // One sweep completes ALL 12 ops: sessions 0 and 2 in order, then
+    // the retried session-1 slice at the end of the sweep.
+    EXPECT_EQ(sched.pumpOnce(), 12u);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order.back(), 1u);
+    EXPECT_EQ(sched.stats().dispatchBackpressure, 1u);
+    EXPECT_EQ(sched.stats().retriedSlices, 1u);
+    // Fairness held: every session got identical service.
+    for (uint32_t s = 0; s < 3; ++s)
+        EXPECT_EQ(sched.dispatchedFor(s), 4u);
+    EXPECT_EQ(sched.totalQueued(), 0u);
+}
+
+TEST(BatchScheduler, PersistentBackpressureKeepsQueueAndNeverSpins)
+{
+    // A dispatch that ALWAYS refuses: the retry is attempted exactly
+    // once per sweep, the queue stays intact, and drain() terminates
+    // instead of spinning on the unprogressable session.
+    int calls = 0;
+    BatchScheduler sched(
+        [&](uint32_t, const std::vector<regchan::RegOp> &)
+            -> std::vector<regchan::BatchResult> {
+            ++calls;
+            throw DispatchBackpressure("saturated");
+        });
+    sched.addSession(0);
+    for (int i = 0; i < 3; ++i)
+        ASSERT_EQ(sched.submit(0, {true, 0, 0}, nullptr),
+                  BatchScheduler::Submit::Accepted);
+
+    EXPECT_EQ(sched.drain(), 0u);
+    EXPECT_EQ(sched.totalQueued(), 3u);
+    // One sweep = initial attempt + one retry; drain stops after the
+    // first zero-progress sweep.
+    EXPECT_EQ(calls, 2);
+    EXPECT_EQ(sched.stats().dispatchBackpressure, 2u);
+    EXPECT_EQ(sched.stats().retriedSlices, 1u);
+}
+
+TEST(BatchScheduler, QuiesceParksPumpAndReleaseResumes)
+{
+    size_t dispatched = 0;
+    BatchScheduler sched(
+        [&](uint32_t, const std::vector<regchan::RegOp> &ops) {
+            dispatched += ops.size();
+            return std::vector<regchan::BatchResult>(ops.size());
+        });
+    sched.addSession(0);
+    for (int i = 0; i < 5; ++i)
+        ASSERT_EQ(sched.submit(0, {true, 0, 0}, nullptr),
+                  BatchScheduler::Submit::Accepted);
+
+    EXPECT_EQ(sched.quiesce(), 5u);
+    EXPECT_TRUE(sched.parked());
+    // Parked: nothing dispatches, but submit() keeps accepting.
+    EXPECT_EQ(sched.pumpOnce(), 0u);
+    EXPECT_EQ(sched.drain(), 0u);
+    EXPECT_EQ(dispatched, 0u);
+    EXPECT_EQ(sched.submit(0, {true, 0, 0}, nullptr),
+              BatchScheduler::Submit::Accepted);
+    EXPECT_EQ(sched.totalQueued(), 6u);
+
+    sched.release();
+    EXPECT_FALSE(sched.parked());
+    EXPECT_EQ(sched.drain(), 6u);
+    EXPECT_EQ(dispatched, 6u);
+    EXPECT_EQ(sched.totalQueued(), 0u);
+}

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <map>
 #include <tuple>
 
 #include "common/errors.hpp"
@@ -343,6 +345,165 @@ TEST(Heartbeat, ForgingShellIsDetectedAndPermanentlyQuarantined)
     EXPECT_EQ(tb.supervisor().state(0),
               fpga::HealthState::Quarantined);
     EXPECT_TRUE(tb.supervisor().tracker(0).permanentlyQuarantined());
+}
+
+// ---- Expected-monotone beat floor (replay regression) ---------------
+
+namespace {
+
+/** A scripted supervisor: the probe function replays whatever the
+ *  test puts in `script[device]`, no testbed involved. */
+struct ScriptedFleet
+{
+    sim::VirtualClock clock;
+    std::map<uint32_t, std::deque<SmEnclaveApp::HeartbeatResult>> script;
+    uint32_t active = 0;
+
+    SupervisorDeps deps(uint32_t deviceCount)
+    {
+        SupervisorDeps d;
+        d.clock = &clock;
+        d.deviceCount = deviceCount;
+        d.health = fastHealth();
+        d.activeDevice = [this] { return active; };
+        d.probe = [this](uint32_t dev) {
+            auto &q = script[dev];
+            if (q.empty())
+                return SmEnclaveApp::HeartbeatResult{};
+            SmEnclaveApp::HeartbeatResult r = q.front();
+            q.pop_front();
+            return r;
+        };
+        return d;
+    }
+
+    static SmEnclaveApp::HeartbeatResult beat(uint64_t count)
+    {
+        SmEnclaveApp::HeartbeatResult r;
+        r.reachable = true;
+        r.authentic = true;
+        r.count = count;
+        return r;
+    }
+
+    static SmEnclaveApp::HeartbeatResult dead()
+    {
+        SmEnclaveApp::HeartbeatResult r;
+        r.failure = "no response";
+        return r;
+    }
+};
+
+} // namespace
+
+TEST(BeatFloor, StaleReplayAfterProbationReinstatementIsRejected)
+{
+    // The attack this floor exists for: a man-in-the-middle captures
+    // an authentic MAC'd heartbeat while the device is healthy, waits
+    // for the device to be quarantined and reinstated via probation,
+    // then replays the capture to keep a dead device looking alive.
+    // The floor is deliberately KEPT across the quarantine, so the
+    // replayed count <= floor reads as a forgery.
+    ScriptedFleet fleet;
+    FleetSupervisor sup(fleet.deps(1));
+
+    // Healthy polls raise the floor to 3.
+    for (uint64_t c : {1, 2, 3})
+        fleet.script[0].push_back(ScriptedFleet::beat(c));
+    for (int i = 0; i < 3; ++i)
+        sup.pollOnce();
+    ASSERT_EQ(sup.state(0), fpga::HealthState::Healthy);
+
+    // The device dies; the breaker quarantines it (three failures
+    // push the 4-sample window past the 0.6 threshold).
+    for (int i = 0; i < 3; ++i) {
+        fleet.script[0].push_back(ScriptedFleet::dead());
+        sup.pollOnce();
+    }
+    ASSERT_EQ(sup.state(0), fpga::HealthState::Quarantined);
+    ASSERT_FALSE(sup.tracker(0).permanentlyQuarantined());
+
+    // Cool-down passes; the next poll offers probation and probes.
+    fleet.clock.advance(fastHealth().probationAfter + sim::kMs);
+    fleet.script[0].push_back(ScriptedFleet::beat(3)); // replayed
+    sup.pollOnce();
+
+    // The stale capture is authentic but at the floor: forgery,
+    // permanent quarantine — the replay bought the attacker nothing.
+    EXPECT_EQ(sup.state(0), fpga::HealthState::Quarantined);
+    EXPECT_TRUE(sup.tracker(0).permanentlyQuarantined());
+    EXPECT_NE(sup.tracker(0).lastReason().find("stale heartbeat"),
+              std::string::npos);
+}
+
+TEST(BeatFloor, FreshCountAfterProbationIsAcceptedAboveFloor)
+{
+    // Control for the replay test: a genuinely recovered device keeps
+    // counting past the floor and earns reinstatement normally.
+    ScriptedFleet fleet;
+    FleetSupervisor sup(fleet.deps(1));
+
+    for (uint64_t c : {1, 2, 3})
+        fleet.script[0].push_back(ScriptedFleet::beat(c));
+    for (int i = 0; i < 3; ++i)
+        sup.pollOnce();
+    for (int i = 0; i < 3; ++i) {
+        fleet.script[0].push_back(ScriptedFleet::dead());
+        sup.pollOnce();
+    }
+    ASSERT_EQ(sup.state(0), fpga::HealthState::Quarantined);
+
+    fleet.clock.advance(fastHealth().probationAfter + sim::kMs);
+    fleet.script[0].push_back(ScriptedFleet::beat(4));
+    fleet.script[0].push_back(ScriptedFleet::beat(5));
+    sup.pollOnce();
+    sup.pollOnce();
+    EXPECT_EQ(sup.state(0), fpga::HealthState::Healthy);
+}
+
+TEST(BeatFloor, ResetsOnNewDeploymentEpochAfterMigration)
+{
+    // A redeployed device restarts its fabric beat counter at 1. The
+    // floor must be forgotten exactly then — and only then — or the
+    // fresh epoch's first beats would be misread as replays.
+    ScriptedFleet fleet;
+    SupervisorDeps deps = fleet.deps(2);
+    deps.migrate = [&fleet](uint32_t, uint32_t to, const std::string &) {
+        MigrationRecord rec;
+        rec.attested = 1;
+        fleet.active = to;
+        return rec;
+    };
+    FleetSupervisor sup(std::move(deps));
+
+    // Device 0 serves with a high beat count; device 1 idles as a
+    // spare (spares answer count 0 until deployed).
+    for (uint64_t c : {40, 41}) {
+        fleet.script[0].push_back(ScriptedFleet::beat(c));
+        fleet.script[1].push_back(ScriptedFleet::beat(0));
+    }
+    sup.pollOnce();
+    sup.pollOnce();
+
+    // Planned move 0 -> 1, then back 1 -> 0 (rolling-upgrade shape).
+    sup.migrateActiveTo(1, "drain for upgrade");
+    ASSERT_EQ(fleet.active, 1u);
+    fleet.script[0].push_back(ScriptedFleet::beat(0)); // now the spare
+    fleet.script[1].push_back(ScriptedFleet::beat(1)); // fresh epoch
+    sup.pollOnce();
+    EXPECT_EQ(sup.state(1), fpga::HealthState::Healthy);
+
+    sup.migrateActiveTo(0, "upgrade done, move back");
+    ASSERT_EQ(fleet.active, 0u);
+    ASSERT_EQ(sup.migrations().size(), 2u);
+
+    // Device 0 was redeployed: count 1 despite the old floor of 41.
+    // Accepted — the migration reset the expectation.
+    fleet.script[0].push_back(ScriptedFleet::beat(1));
+    fleet.script[1].push_back(ScriptedFleet::beat(0));
+    sup.pollOnce();
+    EXPECT_EQ(sup.state(0), fpga::HealthState::Healthy);
+    EXPECT_FALSE(sup.tracker(0).permanentlyQuarantined());
 }
 
 // ---- Deterministic attested failover --------------------------------
