@@ -191,6 +191,78 @@ class MigrationError : public SalusError
 };
 
 /**
+ * Base of the broker's per-tenant policy rejections. A policy
+ * rejection is deterministic — the broker applied the tenant's
+ * configured quota/rate/overload policy to a well-formed request — so
+ * it is NEVER retryable: replaying the same request cannot change the
+ * verdict, and a retry loop hammering a policy wall is exactly the
+ * noisy-neighbour behaviour the policy exists to stop. RetryPolicy
+ * layers classify these as FailureClass::Policy and return
+ * immediately (unlike transport faults).
+ */
+class PolicyError : public SalusError
+{
+  public:
+    explicit PolicyError(const std::string &what,
+                         ErrorContext context = {})
+        : SalusError("policy: " + what + context.describe()),
+          context_(std::move(context))
+    {}
+
+    const ErrorContext &context() const { return context_; }
+
+  protected:
+    // For subclasses that build their own prefix.
+    PolicyError(const std::string &rendered, ErrorContext context, int)
+        : SalusError(rendered), context_(std::move(context))
+    {}
+
+  private:
+    ErrorContext context_;
+};
+
+/** A tenant asked for more than its configured share (session slots,
+ *  queued ops). Freed capacity — not retries — unblocks it. */
+class QuotaExceeded : public PolicyError
+{
+  public:
+    explicit QuotaExceeded(const std::string &what,
+                           ErrorContext context = {})
+        : PolicyError("policy: quota exceeded: " + what +
+                          context.describe(),
+                      std::move(context), 0)
+    {}
+};
+
+/** A tenant outran its token bucket. Tokens refill on the VIRTUAL
+ *  clock, so only simulated time passing — never a retry loop —
+ *  earns new admissions. */
+class RateLimited : public PolicyError
+{
+  public:
+    explicit RateLimited(const std::string &what,
+                         ErrorContext context = {})
+        : PolicyError("policy: rate limited: " + what +
+                          context.describe(),
+                      std::move(context), 0)
+    {}
+};
+
+/** The broker as a whole is over capacity and is shedding this
+ *  tenant's new work (lowest weight first) to protect the rest.
+ *  In-flight and already-queued secure ops are never dropped. */
+class Overloaded : public PolicyError
+{
+  public:
+    explicit Overloaded(const std::string &what,
+                        ErrorContext context = {})
+        : PolicyError("policy: overloaded: " + what +
+                          context.describe(),
+                      std::move(context), 0)
+    {}
+};
+
+/**
  * The SM enclave process died mid-operation (an injected
  * `sm_crash_at<step>` fault). Tests catch this, rebuild the enclave
  * and drive the journal-based recovery path.

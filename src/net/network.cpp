@@ -186,6 +186,15 @@ Network::callWithRetry(const std::string &from, const std::string &to,
             out.error = e.what();
             out.context = e.context();
             out.context.attempt = attempt;
+        } catch (const PolicyError &e) {
+            // Deterministic policy verdict (quota/rate/overload): a
+            // retry replays the same request into the same wall, so
+            // the schedule stops here — unlike transport faults.
+            out.failure = FailureClass::Policy;
+            out.error = e.what();
+            out.context = e.context();
+            out.context.attempt = attempt;
+            return out;
         } catch (const NetError &e) {
             out.failure = FailureClass::Transport;
             out.error = e.what();

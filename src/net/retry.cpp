@@ -16,6 +16,8 @@ failureClassName(FailureClass f)
         return "timeout";
       case FailureClass::Security:
         return "security";
+      case FailureClass::Policy:
+        return "policy";
       case FailureClass::Persistent:
         return "persistent";
     }

@@ -29,6 +29,10 @@ enum class FailureClass : uint8_t {
     Transport, ///< message lost/garbled in flight — retryable
     Timeout,   ///< per-call deadline exceeded — retryable, new nonce
     Security,  ///< verification/policy rejection — NEVER retried
+    /** A broker policy rejection (QuotaExceeded / RateLimited /
+     *  Overloaded): deterministic, so NEVER retried — only freed
+     *  capacity or virtual time passing can change the verdict. */
+    Policy,
     /** A bounded retry schedule was exhausted by transport-class
      *  failures: the fault is no longer plausibly transient. The
      *  caller must NOT keep hammering the same device — a fleet

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Declarative chaos-scenario engine: table-driven campaign files that
+ * combine a device fleet, a tenant mix with QoS weights and admission
+ * policies, a fault plan over virtual time, and an attack schedule —
+ * plus the outcome invariants the run must satisfy. A campaign is
+ * DATA: adding a gallery entry means writing a text file, not C++
+ * (docs/SCENARIOS.md documents the schema).
+ *
+ * Format: strict INI. `[section]` headers, `key = value` lines, `#`
+ * comments. Sections: `[scenario]`, `[broker]`, `[tenant <name>]`
+ * (one per tenant), `[fault]` / `[action]` (repeatable, one rule or
+ * action each), `[expect]`. Unknown sections or keys are ERRORS —
+ * a typo must fail the parse, not silently weaken a campaign.
+ *
+ * Determinism contract: a scenario is driven entirely by the virtual
+ * clock and the seeded fault/attack machinery, so running the same
+ * file twice yields byte-identical obs traces and metrics dumps. The
+ * gallery tests and `salus_cli run-scenario` enforce this on every
+ * run.
+ */
+
+#ifndef SALUS_SALUS_SCENARIO_HPP
+#define SALUS_SALUS_SCENARIO_HPP
+
+#include <string>
+#include <vector>
+
+#include "salus/broker.hpp"
+#include "sim/fault.hpp"
+
+namespace salus::core {
+
+/** Thrown on any malformed scenario file (fuzzed entry point). */
+class ScenarioError : public SalusError
+{
+  public:
+    explicit ScenarioError(const std::string &what)
+        : SalusError("scenario: " + what)
+    {}
+};
+
+/** One tenant: admission policy plus a synthetic traffic pattern. */
+struct ScenarioTenant
+{
+    std::string name;
+    TenantPolicy policy;
+    /** Sessions the tenant opens at campaign start. */
+    uint32_t sessions = 1;
+    /** Traffic shape: flood | burst | trickle | idle. */
+    std::string pattern = "trickle";
+    /** Submission attempts per sweep while active (policy rejections
+     *  are expected and counted, not fatal). */
+    uint32_t opsPerSweep = 8;
+    uint32_t startSweep = 0;
+    uint32_t stopSweep = ~uint32_t(0);
+    /** burst pattern: sweeps on / sweeps off per cycle. */
+    uint32_t burstOn = 4;
+    uint32_t burstOff = 4;
+};
+
+/** One fault rule in scenario-file form (mapped onto sim::FaultRule). */
+struct ScenarioFault
+{
+    /** drop_rpc | corrupt_rpc | duplicate_rpc | reorder_rpc |
+     *  delay_rpc | reg_fault | bitstream_load_fail | seu |
+     *  device_dead | heartbeat_loss */
+    std::string kind;
+    double probability = 1.0;
+    std::string from, to, method; ///< RPC site narrowing
+    uint32_t device = sim::kAnyDevice;
+    uint32_t partition = 0; ///< seu
+    uint64_t bit = 0;       ///< seu
+    uint64_t delayUs = 0;   ///< delay_rpc
+    uint64_t atMs = 0;      ///< window start (virtual ms)
+    uint64_t untilMs = 0;   ///< window end; 0 = open-ended
+    uint32_t times = 0;     ///< max firings; 0 = unbounded
+
+    sim::FaultRule toRule() const;
+};
+
+/** One scheduled attack/maintenance action during the sweep loop. */
+struct ScenarioAction
+{
+    /** rekey (SM session re-key) | replay (malicious shell replays
+     *  recorded SM-window writes; needs malicious_shell = 1). */
+    std::string kind;
+    uint32_t atSweep = 0;
+    /** 0 = fire once at atSweep; else every N sweeps from atSweep. */
+    uint32_t everySweeps = 0;
+
+    bool firesAt(uint32_t sweep) const
+    {
+        if (sweep < atSweep)
+            return false;
+        if (everySweeps == 0)
+            return sweep == atSweep;
+        return (sweep - atSweep) % everySweeps == 0;
+    }
+};
+
+/** Outcome invariants checked after the run (0 / absent = unchecked
+ *  unless noted). */
+struct ScenarioExpect
+{
+    uint64_t completedMin = 0;
+    uint64_t quotaRejectedMin = 0;
+    uint64_t rateRejectedMin = 0;
+    uint64_t shedRejectedMin = 0;
+    uint64_t seusMin = 0;
+    /** Require the shed set to be empty after drain (recovery). */
+    bool recoveredFromShed = false;
+    /** Enforce the DRR starvation bound on every session (default
+     *  ON — a scenario must opt out, never silently skip it). */
+    bool noStarvation = true;
+    /** Upper bound on failover events; ~0 = unchecked. */
+    uint64_t failoversMax = ~uint64_t(0);
+};
+
+/** A parsed campaign. */
+struct Scenario
+{
+    std::string name = "unnamed";
+    uint64_t seed = 1;
+    uint32_t devices = 1;
+    uint32_t sweeps = 32;
+    /** Supervisor pollOnce() cadence in sweeps; 0 = never. */
+    uint32_t pollEvery = 4;
+    bool maliciousShell = false;
+    bool forgeHeartbeats = false;
+
+    Broker::Config broker;
+    std::vector<ScenarioTenant> tenants;
+    std::vector<ScenarioFault> faults;
+    std::vector<ScenarioAction> actions;
+    ScenarioExpect expect;
+};
+
+/** Result of one scenario run, with the deterministic artifacts. */
+struct ScenarioOutcome
+{
+    bool deployOk = false;
+    uint64_t completed = 0;
+    uint64_t admitted = 0;
+    uint64_t quotaRejected = 0;
+    uint64_t rateRejected = 0;
+    uint64_t shedRejected = 0;
+    uint64_t failovers = 0;
+    uint64_t seusInjected = 0;
+    uint64_t maxSweepsWaited = 0;
+    size_t shedLevelEnd = 0;
+    sim::Nanos clockEnd = 0;
+    /** (tenant name, stats) in registration order. */
+    std::vector<std::pair<std::string, TenantStats>> tenants;
+    /** Byte-comparable artifacts (same seed => identical). */
+    std::string traceJson;
+    std::string metricsText;
+    /** Violated expectations (empty = all invariants held). */
+    std::vector<std::string> violations;
+
+    bool passed() const { return deployOk && violations.empty(); }
+};
+
+/** Parses a campaign from text. @throws ScenarioError (also on any
+ *  malformed numeric / out-of-bounds value — fuzz target). */
+Scenario parseScenario(const std::string &text);
+
+/** Loads + parses a campaign file. @throws ScenarioError. */
+Scenario parseScenarioFile(const std::string &path);
+
+/** Runs one campaign end to end (deploy, sweep loop, drain,
+ *  invariant evaluation). Deterministic per (file, seed). */
+ScenarioOutcome runScenario(const Scenario &scenario);
+
+} // namespace salus::core
+
+#endif // SALUS_SALUS_SCENARIO_HPP

@@ -20,9 +20,47 @@ BatchScheduler::BatchScheduler(Dispatch dispatch, Config config)
 }
 
 void
-BatchScheduler::addSession(uint32_t session)
+BatchScheduler::addSession(uint32_t session, uint32_t weight)
 {
-    sessions_.try_emplace(session);
+    auto [it, inserted] = sessions_.try_emplace(session);
+    if (inserted)
+        it->second.weight =
+            std::clamp<uint32_t>(weight, 1, kMaxSessionWeight);
+}
+
+void
+BatchScheduler::setWeight(uint32_t session, uint32_t weight)
+{
+    auto it = sessions_.find(session);
+    if (it == sessions_.end())
+        return;
+    it->second.weight =
+        std::clamp<uint32_t>(weight, 1, kMaxSessionWeight);
+}
+
+uint32_t
+BatchScheduler::weightOf(uint32_t session) const
+{
+    auto it = sessions_.find(session);
+    return it == sessions_.end() ? 0 : it->second.weight;
+}
+
+uint32_t
+BatchScheduler::totalWeight() const
+{
+    uint32_t total = 0;
+    for (const auto &[id, s] : sessions_)
+        total += s.weight;
+    return total;
+}
+
+void
+BatchScheduler::countSession(uint32_t id, const char *counter,
+                             uint64_t delta)
+{
+    if (auto *m = obs::metrics())
+        m->add("scheduler.session" + std::to_string(id) + "." + counter,
+               delta);
 }
 
 BatchScheduler::Submit
@@ -32,21 +70,32 @@ BatchScheduler::submit(uint32_t session, const regchan::RegOp &op,
     auto it = sessions_.find(session);
     if (it == sessions_.end())
         return Submit::UnknownSession;
-    if (it->second.queue.size() >= config_.queueCapacity) {
+    Session &s = it->second;
+    if (s.queue.size() >= config_.queueCapacity) {
         ++stats_.rejectedBackpressure;
+        ++s.stats.rejectedBackpressure;
         obs::count("scheduler.backpressure");
+        countSession(session, "backpressure");
         return Submit::Backpressure;
     }
-    it->second.queue.push_back({op, std::move(done)});
+    s.queue.push_back({op, std::move(done)});
     ++stats_.submitted;
-    stats_.maxDepth = std::max(stats_.maxDepth, it->second.queue.size());
+    ++s.stats.submitted;
+    stats_.maxDepth = std::max(stats_.maxDepth, s.queue.size());
+    s.stats.maxDepth = std::max(s.stats.maxDepth, s.queue.size());
     return Submit::Accepted;
 }
 
 size_t
 BatchScheduler::dispatchSlice(uint32_t id, Session &s)
 {
-    size_t n = std::min(s.queue.size(), config_.maxBatchOps);
+    // The slice spends this session's DRR credit, capped by what is
+    // queued and by the wire format's burst limit. With weight 1 the
+    // credit is exactly maxBatchOps and never carries, reproducing
+    // the original round-robin slice sizes bit for bit.
+    size_t n = std::min(
+        std::min(s.queue.size(), size_t(s.deficit)),
+        size_t(regchan::kMaxBatchOps));
     obs::Span slice(obs::Category::Scheduler, "session_slice",
                     uint64_t(id));
     obs::observe("scheduler.slice_ops", n);
@@ -55,6 +104,8 @@ BatchScheduler::dispatchSlice(uint32_t id, Session &s)
     for (size_t i = 0; i < n; ++i)
         ops.push_back(s.queue[i].op);
 
+    sim::Nanos sliceStart =
+        config_.clock ? config_.clock->now() : sim::Nanos(0);
     std::vector<regchan::BatchResult> results;
     try {
         results = dispatch_(id, ops);
@@ -70,10 +121,16 @@ BatchScheduler::dispatchSlice(uint32_t id, Session &s)
                 p.done(kBatchStatusFailedOver, 0);
         }
         stats_.failedOverOps += n;
+        s.stats.failedOverOps += n;
+        s.deficit = s.queue.empty() ? 0 : s.deficit - n;
+        s.stats.maxSweepsWaited =
+            std::max(s.stats.maxSweepsWaited, s.stats.sweepsWaiting);
+        s.stats.sweepsWaiting = 0;
         throw;
     }
-    // DispatchBackpressure propagates with the queue untouched: the
-    // burst never executed, so the same ops retry later verbatim.
+    // DispatchBackpressure propagates with the queue AND the granted
+    // deficit untouched: the burst never executed, so the same ops
+    // retry later verbatim with the same credit.
 
     for (size_t i = 0; i < n; ++i) {
         Pending p = std::move(s.queue.front());
@@ -85,7 +142,17 @@ BatchScheduler::dispatchSlice(uint32_t id, Session &s)
     }
     ++stats_.dispatchedBatches;
     stats_.dispatchedOps += n;
-    s.dispatched += n;
+    ++s.stats.dispatchedBatches;
+    s.stats.dispatchedOps += n;
+    // Carry credit only while the burst cap cut the slice short; a
+    // drained queue forfeits it (classic DRR anti-hoarding rule).
+    s.deficit = s.queue.empty() ? 0 : s.deficit - n;
+    if (config_.clock)
+        s.stats.sliceNanosLast = config_.clock->now() - sliceStart;
+    // Service received: close out the starvation-bound accounting.
+    s.stats.maxSweepsWaited =
+        std::max(s.stats.maxSweepsWaited, s.stats.sweepsWaiting);
+    s.stats.sweepsWaiting = 0;
     return n;
 }
 
@@ -113,13 +180,27 @@ BatchScheduler::pumpOnce()
     std::vector<uint32_t> backpressured;
     for (uint32_t id : order) {
         Session &s = sessions_.at(id);
-        if (s.queue.empty())
+        if (s.queue.empty()) {
+            // An idle visit forfeits any carried credit and clears
+            // the waiting counter — only BACKLOGGED sweeps count
+            // toward the starvation bound.
+            s.deficit = 0;
+            s.stats.sweepsWaiting = 0;
             continue;
+        }
+        // Grant this sweep's quantum: weight * maxBatchOps op
+        // credits, with carry-over bounded to one extra quantum so a
+        // long-idle heavy session cannot hoard a mega-burst.
+        ++s.stats.sweepsWaiting;
+        uint64_t quantum = uint64_t(s.weight) * config_.maxBatchOps;
+        s.deficit = std::min(s.deficit + quantum, 2 * quantum);
         try {
             completed += dispatchSlice(id, s);
         } catch (const DispatchBackpressure &) {
             ++stats_.dispatchBackpressure;
+            ++s.stats.dispatchBackpressure;
             obs::count("scheduler.dispatch_backpressure");
+            countSession(id, "dispatch_backpressure");
             backpressured.push_back(id);
         }
     }
@@ -133,11 +214,15 @@ BatchScheduler::pumpOnce()
         if (s.queue.empty())
             continue;
         ++stats_.retriedSlices;
+        ++s.stats.retriedSlices;
         obs::count("scheduler.retried_slices");
+        countSession(id, "retried_slices");
         try {
             completed += dispatchSlice(id, s);
         } catch (const DispatchBackpressure &) {
             ++stats_.dispatchBackpressure;
+            ++s.stats.dispatchBackpressure;
+            countSession(id, "dispatch_backpressure");
             // Still refused: the ops stay queued for the next sweep.
         }
     }
@@ -188,11 +273,19 @@ BatchScheduler::totalQueued() const
     return total;
 }
 
+const BatchScheduler::SessionStats &
+BatchScheduler::sessionStats(uint32_t session) const
+{
+    static const SessionStats kEmpty;
+    auto it = sessions_.find(session);
+    return it == sessions_.end() ? kEmpty : it->second.stats;
+}
+
 uint64_t
 BatchScheduler::dispatchedFor(uint32_t session) const
 {
     auto it = sessions_.find(session);
-    return it == sessions_.end() ? 0 : it->second.dispatched;
+    return it == sessions_.end() ? 0 : it->second.stats.dispatchedOps;
 }
 
 } // namespace salus::core

@@ -5,9 +5,16 @@
  *
  * Each session owns a bounded submission queue (per-session
  * backpressure: a full queue refuses new ops instead of letting one
- * tenant starve the pool). A pump sweep drains every session's queue
- * in fair round-robin order, at most `maxBatchOps` ops per session
- * per sweep, and dispatches each slice as ONE sealed burst.
+ * tenant starve the pool) and a WEIGHT. A pump sweep drains every
+ * backlogged session in weighted deficit-round-robin order: per
+ * sweep, session i earns a quantum of `weight_i * maxBatchOps` op
+ * credits, spends them on one burst (capped by the wire-format burst
+ * limit), and carries unspent credit over ONLY while the burst cap —
+ * not a short queue — cut its service. With every weight at 1 the
+ * sweep is bit-for-bit the original rotating round-robin (the
+ * regression tests pin this), and the starvation bound holds by
+ * construction: any backlogged session is served every sweep, far
+ * inside the contractual W_total/w_i sweeps the tests assert.
  *
  * Failover semantics are inherited from the supervisor's guarded
  * dispatch: when the dispatch function throws FailoverError, the ops
@@ -27,6 +34,7 @@
 
 #include "common/errors.hpp"
 #include "salus/reg_channel.hpp"
+#include "sim/clock.hpp"
 
 namespace salus::core {
 
@@ -34,6 +42,10 @@ namespace salus::core {
  *  op was dispatched in. The op may or may not have executed on the
  *  dead device; the caller decides whether to resubmit. */
 constexpr uint8_t kBatchStatusFailedOver = 0xfa;
+
+/** Largest weight a session may carry (keeps one tenant's quantum
+ *  from dwarfing the sweep and the deficit arithmetic bounded). */
+constexpr uint32_t kMaxSessionWeight = 64;
 
 /**
  * Thrown by a Dispatch function that temporarily cannot take the
@@ -51,7 +63,7 @@ class DispatchBackpressure : public SalusError
     {}
 };
 
-/** Fair round-robin dispatcher over per-session op queues. */
+/** Weighted deficit-round-robin dispatcher over per-session queues. */
 class BatchScheduler
 {
   public:
@@ -59,8 +71,12 @@ class BatchScheduler
     {
         /** Ops a session may hold queued before submit() refuses. */
         size_t queueCapacity = 256;
-        /** Largest burst one session gets per round-robin sweep. */
+        /** Op credits one WEIGHT UNIT earns per sweep (so a session's
+         *  per-sweep quantum is weight * maxBatchOps). */
         size_t maxBatchOps = 32;
+        /** Optional virtual clock; when set, per-session slice
+         *  latency is stamped into SessionStats (QoS benches). */
+        sim::VirtualClock *clock = nullptr;
     };
 
     enum class Submit {
@@ -88,19 +104,54 @@ class BatchScheduler
         size_t maxDepth = 0; ///< deepest any session queue ever got
     };
 
+    /** Per-session counters (noisy-neighbour visibility: which tenant
+     *  is eating the pressure, not just that someone is). Mirrored
+     *  into MetricsRegistry as `scheduler.session<id>.<counter>`. */
+    struct SessionStats
+    {
+        uint64_t submitted = 0;
+        uint64_t rejectedBackpressure = 0; ///< submit() refusals
+        uint64_t dispatchedOps = 0;
+        uint64_t dispatchedBatches = 0;
+        uint64_t failedOverOps = 0;
+        uint64_t dispatchBackpressure = 0; ///< slices refused downstream
+        uint64_t retriedSlices = 0; ///< end-of-sweep retries attempted
+        size_t maxDepth = 0;
+        /** Consecutive sweeps this session has sat backlogged without
+         *  receiving service (live value; reset on service). */
+        uint64_t sweepsWaiting = 0;
+        /** Worst backlogged-sweeps-before-service ever observed; 1 =
+         *  always served in the same sweep it waited in. This is the
+         *  starvation-bound witness: contractually bounded by
+         *  ceil(W_total / w_i) under any submit pattern. */
+        uint64_t maxSweepsWaited = 0;
+        /** Virtual duration of the last dispatched slice (needs
+         *  Config::clock; 0 otherwise). */
+        uint64_t sliceNanosLast = 0;
+    };
+
     explicit BatchScheduler(Dispatch dispatch);
     BatchScheduler(Dispatch dispatch, Config config);
 
-    /** Registers a session (fabric slot). Idempotent. */
-    void addSession(uint32_t session);
+    /** Registers a session (fabric slot) with a DRR weight. Idempotent
+     *  on the session id; re-adding never resets queue or stats. */
+    void addSession(uint32_t session, uint32_t weight = 1);
+
+    /** Adjusts a session's weight (clamped to [1, kMaxSessionWeight]);
+     *  takes effect at the next sweep's credit grant. */
+    void setWeight(uint32_t session, uint32_t weight);
+    uint32_t weightOf(uint32_t session) const;
+    /** Sum of all registered sessions' weights (W_total). */
+    uint32_t totalWeight() const;
 
     /** Enqueues one op; `done` fires when its burst completes. */
     Submit submit(uint32_t session, const regchan::RegOp &op,
                   Completion done);
 
     /**
-     * One fair sweep: every session with queued ops gets exactly one
-     * burst of at most maxBatchOps. The starting session rotates
+     * One weighted sweep: every backlogged session earns its quantum
+     * (weight * maxBatchOps op credits, plus any burst-cap carry) and
+     * gets one burst spending them. The starting session rotates
      * between sweeps so no session wins every tie. A slice refused
      * with DispatchBackpressure keeps its queue intact and is retried
      * exactly once after every other session's slice completes.
@@ -133,6 +184,8 @@ class BatchScheduler
     size_t queueDepth(uint32_t session) const;
     size_t totalQueued() const;
     const Stats &stats() const { return stats_; }
+    /** Per-session counters (empty defaults for unknown sessions). */
+    const SessionStats &sessionStats(uint32_t session) const;
     /** Ops dispatched for one session (fairness assertions). */
     uint64_t dispatchedFor(uint32_t session) const;
 
@@ -145,7 +198,11 @@ class BatchScheduler
     struct Session
     {
         std::deque<Pending> queue;
-        uint64_t dispatched = 0;
+        uint32_t weight = 1;
+        /** DRR op credits left from earlier sweeps (nonzero only when
+         *  the burst cap — not queue shortage — cut a slice short). */
+        uint64_t deficit = 0;
+        SessionStats stats;
     };
 
     /** Dispatches one slice for `id`. @return ops completed.
@@ -153,9 +210,13 @@ class BatchScheduler
      *  DispatchBackpressure leaves the queue intact and propagates. */
     size_t dispatchSlice(uint32_t id, Session &s);
 
+    /** Mirrors a per-session counter into the metrics registry. */
+    static void countSession(uint32_t id, const char *counter,
+                             uint64_t delta = 1);
+
     Dispatch dispatch_;
     Config config_;
-    /** Ordered by session id; round-robin rotates over this map. */
+    /** Ordered by session id; the sweep rotates over this map. */
     std::map<uint32_t, Session> sessions_;
     /** Session id the next sweep starts at (fair tie-breaking). */
     uint32_t cursor_ = 0;

@@ -277,6 +277,9 @@ Testbed::scheduler()
         BatchScheduler::Config cfg;
         cfg.queueCapacity = config_.schedulerQueueCapacity;
         cfg.maxBatchOps = config_.schedulerMaxBatchOps;
+        // Slice latencies are stamped from the shared virtual clock so
+        // QoS benches can read per-tenant service times deterministically.
+        cfg.clock = &clock_;
         scheduler_ = std::make_unique<BatchScheduler>(
             [this](uint32_t slot,
                    const std::vector<regchan::RegOp> &ops) {

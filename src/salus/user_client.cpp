@@ -33,7 +33,11 @@ UserClient::deployAndAttest()
         }
         out = attemptOnce();
         out.attempts = attempt;
-        if (out.ok || out.failureClass == net::FailureClass::Security)
+        // Security rejections and broker policy verdicts are both
+        // deterministic: retrying replays the same request into the
+        // same refusal, so neither class is ever retried.
+        if (out.ok || out.failureClass == net::FailureClass::Security ||
+            out.failureClass == net::FailureClass::Policy)
             return out;
     }
     if (maxAttempts > 1)
@@ -65,6 +69,14 @@ UserClient::attemptOnce()
     } catch (const TimeoutError &e) {
         out.failure = std::string("RA timed out: ") + e.what();
         out.failureClass = net::FailureClass::Timeout;
+        return out;
+    } catch (const PolicyError &e) {
+        // A broker fronting the cloud host refused admission
+        // (quota/rate/overload). Non-retryable: the verdict is
+        // deterministic until capacity frees or virtual time passes.
+        out.failure = std::string("deployment refused by policy: ") +
+                      e.what();
+        out.failureClass = net::FailureClass::Policy;
         return out;
     } catch (const NetError &e) {
         out.failure = std::string("RA transport failure: ") + e.what();

@@ -14,7 +14,9 @@
 #include "common/serde.hpp"
 #include "crypto/random.hpp"
 #include "manufacturer/manufacturer.hpp"
+#include "salus/broker.hpp"
 #include "salus/messages.hpp"
+#include "salus/scenario.hpp"
 #include "salus/sm_logic.hpp"
 #include "salus/testbed.hpp"
 #include "tee/local_attest.hpp"
@@ -545,6 +547,73 @@ TEST(Fuzz, BurstRegisterSweepNeverWedgesTheFabric)
     EXPECT_EQ(tb.userApp().secureRead(0x08), 7u);
 }
 
+TEST(Fuzz, BrokerRequestDecodeNeverCrashesOrFalselyAccepts)
+{
+    crypto::CtrDrbg rng(uint64_t(6001));
+    core::BrokerRequest valid;
+    valid.kind = core::BrokerRequest::Kind::SubmitOp;
+    valid.tenant = 2;
+    valid.session = 3;
+    valid.op = {true, 0x10, 0x1234};
+    Bytes wire = valid.serialize();
+
+    for (int i = 0; i < 400; ++i) {
+        Bytes bad = corrupt(wire, rng);
+        if (rng.below(4) == 0)
+            bad.resize(rng.below(bad.size() + 1));
+        try {
+            core::BrokerRequest back =
+                core::BrokerRequest::deserialize(bad);
+            // Accepted garbage must still decode to a sane request: a
+            // defined kind, never a truncated/oversized frame.
+            EXPECT_GE(uint8_t(back.kind), 1);
+            EXPECT_LE(uint8_t(back.kind), 3);
+        } catch (const SalusError &) {
+            // typed rejection — the expected outcome
+        }
+    }
+    // Pure-noise frames of every small length.
+    for (size_t len = 0; len < 40; ++len) {
+        Bytes noise = rng.bytes(len);
+        try {
+            (void)core::BrokerRequest::deserialize(noise);
+        } catch (const SalusError &) {
+        }
+    }
+}
+
+TEST(Fuzz, ScenarioParserNeverCrashesOnMangledCampaigns)
+{
+    crypto::CtrDrbg rng(uint64_t(6002));
+    const std::string seedFile =
+        "[scenario]\nname = fuzz\nseed = 3\nsweeps = 8\n"
+        "[broker]\nmax_total_queued_ops = 64\n"
+        "[tenant a]\nweight = 2\npattern = flood\nops_per_sweep = 4\n"
+        "[fault]\nkind = seu\npartition = 0\nbit = 2567\n"
+        "[action]\nkind = rekey\nat_sweep = 2\n"
+        "[expect]\ncompleted_min = 1\n";
+
+    for (int i = 0; i < 400; ++i) {
+        Bytes mangled = corrupt(
+            ByteView(reinterpret_cast<const uint8_t *>(seedFile.data()),
+                     seedFile.size()),
+            rng);
+        if (rng.below(4) == 0)
+            mangled.resize(rng.below(mangled.size() + 1));
+        std::string text(mangled.begin(), mangled.end());
+        try {
+            core::Scenario sc = core::parseScenario(text);
+            // A parse that survives mangling must still be in-bounds
+            // (the validator runs inside parseScenario).
+            EXPECT_GE(sc.sweeps, 1u);
+            EXPECT_LE(sc.devices, 16u);
+            EXPECT_LE(sc.tenants.size(), 16u);
+        } catch (const SalusError &) {
+            // ScenarioError — typo-level strictness is the contract
+        }
+    }
+}
+
 // ---- libFuzzer entry points -----------------------------------------
 // The CI fuzz-smoke job builds one fuzz_<entry> binary per function
 // below (see the SALUS_FUZZERS option in tests/CMakeLists.txt and
@@ -634,6 +703,27 @@ salus_fuzz_placement_state(const uint8_t *data, size_t size)
 {
     try {
         (void)core::Placement::deserializeState(ByteView(data, size));
+    } catch (const SalusError &) {
+    }
+    return 0;
+}
+
+extern "C" int
+salus_fuzz_broker_request(const uint8_t *data, size_t size)
+{
+    try {
+        (void)core::BrokerRequest::deserialize(ByteView(data, size));
+    } catch (const SalusError &) {
+    }
+    return 0;
+}
+
+extern "C" int
+salus_fuzz_scenario_file(const uint8_t *data, size_t size)
+{
+    std::string text(reinterpret_cast<const char *>(data), size);
+    try {
+        (void)core::parseScenario(text);
     } catch (const SalusError &) {
     }
     return 0;

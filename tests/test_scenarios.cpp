@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Scenario-engine soak tests: every gallery campaign under
+ * scenarios/ must pass its own [expect] invariants AND be
+ * byte-identical across two same-seed runs (obs trace + metrics
+ * dump). An inline campaign proves that a brand-new chaos
+ * composition needs only a text file — no C++. Parser error paths
+ * round out the strict-INI contract (typos fail loudly).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "salus/scenario.hpp"
+
+using namespace salus;
+using namespace salus::core;
+
+#ifndef SALUS_SCENARIO_DIR
+#define SALUS_SCENARIO_DIR "scenarios"
+#endif
+
+namespace {
+
+/** Runs a campaign twice and enforces pass + byte determinism. */
+void
+runTwiceAndCheck(const Scenario &sc)
+{
+    ScenarioOutcome first = runScenario(sc);
+    EXPECT_TRUE(first.deployOk) << sc.name << ": deployment failed";
+    for (const std::string &v : first.violations)
+        ADD_FAILURE() << sc.name << ": " << v;
+    EXPECT_TRUE(first.passed());
+
+    ScenarioOutcome second = runScenario(sc);
+    // Same seed, same file: the full observability record must match
+    // byte for byte — this is the determinism contract campaigns are
+    // debugged and triaged against.
+    EXPECT_EQ(first.traceJson, second.traceJson)
+        << sc.name << ": trace diverged between same-seed runs";
+    EXPECT_EQ(first.metricsText, second.metricsText)
+        << sc.name << ": metrics diverged between same-seed runs";
+    EXPECT_EQ(first.completed, second.completed);
+    EXPECT_EQ(first.clockEnd, second.clockEnd);
+}
+
+std::string
+galleryPath(const char *file)
+{
+    return std::string(SALUS_SCENARIO_DIR) + "/" + file;
+}
+
+} // namespace
+
+// ------------------------------------------------------- gallery runs
+
+TEST(ScenarioGallery, NoisyNeighbourPassesAndIsDeterministic)
+{
+    runTwiceAndCheck(parseScenarioFile(galleryPath("noisy_neighbour.scn")));
+}
+
+TEST(ScenarioGallery, SeuStormPassesAndIsDeterministic)
+{
+    runTwiceAndCheck(parseScenarioFile(galleryPath("seu_storm.scn")));
+}
+
+TEST(ScenarioGallery, MassRekeyPassesAndIsDeterministic)
+{
+    runTwiceAndCheck(parseScenarioFile(galleryPath("mass_rekey.scn")));
+}
+
+TEST(ScenarioGallery, BrokerOverloadShedsAndRecovers)
+{
+    Scenario sc = parseScenarioFile(galleryPath("broker_overload.scn"));
+    ScenarioOutcome out = runScenario(sc);
+    EXPECT_TRUE(out.passed());
+    for (const std::string &v : out.violations)
+        ADD_FAILURE() << v;
+    // The overload campaign's defining arc, beyond its own [expect]
+    // block: someone was shed, nobody stayed shed.
+    EXPECT_GT(out.shedRejected, 0u);
+    EXPECT_EQ(out.shedLevelEnd, 0u);
+    runTwiceAndCheck(sc);
+}
+
+// -------------------------------------- campaigns are data, not C++
+
+TEST(ScenarioEngine, InlineTextCampaignRunsWithoutAnyNewCode)
+{
+    // A composition no gallery file exercises (packet loss + delay on
+    // a bursty two-tenant mix), built purely from text: the proof
+    // that new chaos campaigns are data.
+    const std::string text = R"(
+[scenario]
+name = inline-smoke
+seed = 2024
+devices = 1
+sweeps = 12
+poll_every = 3
+
+[tenant fast]
+weight = 2
+max_queued_ops = 64
+pattern = flood
+ops_per_sweep = 16
+
+[tenant slow]
+weight = 1
+max_queued_ops = 64
+pattern = burst
+ops_per_sweep = 8
+burst_on = 2
+burst_off = 2
+
+[fault]
+kind = delay_rpc
+probability = 0.2
+delay_us = 150
+
+[expect]
+completed_min = 100
+no_starvation = 1
+)";
+    Scenario sc = parseScenario(text);
+    EXPECT_EQ(sc.name, "inline-smoke");
+    EXPECT_EQ(sc.tenants.size(), 2u);
+    ASSERT_EQ(sc.faults.size(), 1u);
+    EXPECT_EQ(sc.faults[0].kind, "delay_rpc");
+    runTwiceAndCheck(sc);
+}
+
+TEST(ScenarioEngine, ExpectViolationsAreReportedNotThrown)
+{
+    const std::string text = R"(
+[scenario]
+name = unreachable-bar
+seed = 5
+sweeps = 4
+
+[tenant t]
+pattern = trickle
+ops_per_sweep = 2
+
+[expect]
+completed_min = 1000000
+)";
+    ScenarioOutcome out = runScenario(parseScenario(text));
+    EXPECT_TRUE(out.deployOk);
+    EXPECT_FALSE(out.passed());
+    ASSERT_EQ(out.violations.size(), 1u);
+    EXPECT_NE(out.violations[0].find("completed"), std::string::npos);
+}
+
+// ------------------------------------------------ strict-INI parsing
+
+TEST(ScenarioParser, UnknownKeysAndSectionsAreErrors)
+{
+    EXPECT_THROW(parseScenario("[scenario]\nname = x\nbogus_key = 1\n"),
+                 ScenarioError);
+    EXPECT_THROW(parseScenario("[scenario]\nname = x\n[warp_drive]\n"),
+                 ScenarioError);
+    EXPECT_THROW(
+        parseScenario("[scenario]\nname = x\n[tenant a]\nvelocity = 9\n"),
+        ScenarioError);
+}
+
+TEST(ScenarioParser, MalformedValuesAreErrorsWithLineNumbers)
+{
+    try {
+        parseScenario("[scenario]\nname = x\nsweeps = banana\n");
+        FAIL() << "expected ScenarioError";
+    } catch (const ScenarioError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos);
+    }
+    // Out-of-bounds values are rejected even when numerically valid.
+    EXPECT_THROW(parseScenario("[scenario]\nname = x\ndevices = 99\n"),
+                 ScenarioError);
+    EXPECT_THROW(parseScenario("[scenario]\nname = x\nsweeps = 0\n"),
+                 ScenarioError);
+    // Probabilities live in [0, 1].
+    EXPECT_THROW(parseScenario("[scenario]\nname = x\n[fault]\n"
+                               "kind = drop_rpc\nprobability = 1.5\n"),
+                 ScenarioError);
+}
+
+TEST(ScenarioParser, StructuralMistakesAreErrors)
+{
+    // Missing [scenario] section entirely.
+    EXPECT_THROW(parseScenario("[tenant a]\npattern = idle\n"),
+                 ScenarioError);
+    // Key before any section header.
+    EXPECT_THROW(parseScenario("name = x\n[scenario]\n"), ScenarioError);
+    // Duplicate tenant names would make stats ambiguous.
+    EXPECT_THROW(parseScenario("[scenario]\nname = x\n"
+                               "[tenant a]\n[tenant a]\n"),
+                 ScenarioError);
+    // Unknown fault kind / traffic pattern.
+    EXPECT_THROW(parseScenario("[scenario]\nname = x\n[fault]\n"
+                               "kind = gamma_rays\n"),
+                 ScenarioError);
+    EXPECT_THROW(parseScenario("[scenario]\nname = x\n[tenant a]\n"
+                               "pattern = sideways\n"),
+                 ScenarioError);
+    // replay action requires the malicious shell to be enabled.
+    EXPECT_THROW(parseScenario("[scenario]\nname = x\n[action]\n"
+                               "kind = replay\nat_sweep = 1\n"),
+                 ScenarioError);
+}
+
+TEST(ScenarioParser, GalleryFilesParseCleanlyFromDisk)
+{
+    const char *files[] = {"noisy_neighbour.scn", "seu_storm.scn",
+                           "mass_rekey.scn", "broker_overload.scn"};
+    for (const char *f : files) {
+        Scenario fromDisk = parseScenarioFile(galleryPath(f));
+        EXPECT_FALSE(fromDisk.name.empty()) << f;
+        EXPECT_FALSE(fromDisk.tenants.empty()) << f;
+    }
+    EXPECT_THROW(parseScenarioFile(galleryPath("missing.scn")),
+                 ScenarioError);
+}

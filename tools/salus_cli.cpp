@@ -27,6 +27,7 @@
 #include "obs/trace.hpp"
 #include "salus/boot_report.hpp"
 #include "salus/salus.hpp"
+#include "salus/scenario.hpp"
 
 using namespace salus;
 using namespace salus::core;
@@ -256,6 +257,92 @@ cmdWorkload(const std::vector<std::string> &args)
 }
 
 int
+cmdRunScenario(const std::vector<std::string> &args)
+{
+    if (args.empty()) {
+        std::printf("scenario file required\n");
+        return 2;
+    }
+    bool once = false;
+    for (size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--once")
+            once = true;
+    }
+
+    Scenario sc;
+    try {
+        sc = parseScenarioFile(args[0]);
+    } catch (const SalusError &e) {
+        std::printf("parse error: %s\n", e.what());
+        return 2;
+    }
+
+    std::printf("scenario '%s': seed %llu, %u device(s), %u sweeps, "
+                "%zu tenant(s)\n",
+                sc.name.c_str(),
+                static_cast<unsigned long long>(sc.seed), sc.devices,
+                sc.sweeps, sc.tenants.size());
+
+    ScenarioOutcome out = runScenario(sc);
+    // Determinism is part of the contract: unless --once, the
+    // campaign runs twice and the obs artifacts must byte-match.
+    bool identical = true;
+    if (!once) {
+        ScenarioOutcome again = runScenario(sc);
+        identical = out.traceJson == again.traceJson &&
+                    out.metricsText == again.metricsText;
+    }
+
+    std::printf("  %-12s %10s %10s %8s %8s %8s\n", "tenant",
+                "admitted", "completed", "quota", "rate", "shed");
+    for (const auto &[name, ts] : out.tenants)
+        std::printf("  %-12s %10llu %10llu %8llu %8llu %8llu\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(ts.admitted),
+                    static_cast<unsigned long long>(ts.completed),
+                    static_cast<unsigned long long>(ts.quotaRejected),
+                    static_cast<unsigned long long>(ts.rateRejected),
+                    static_cast<unsigned long long>(ts.shedRejected));
+    std::printf("completed %llu, failovers %llu, SEUs %llu, max sweeps "
+                "waited %llu, shed level %zu, virtual end %s\n",
+                static_cast<unsigned long long>(out.completed),
+                static_cast<unsigned long long>(out.failovers),
+                static_cast<unsigned long long>(out.seusInjected),
+                static_cast<unsigned long long>(out.maxSweepsWaited),
+                out.shedLevelEnd,
+                sim::formatNanos(out.clockEnd).c_str());
+
+    if (!g_traceOut.empty()) {
+        std::FILE *f = std::fopen(g_traceOut.c_str(), "wb");
+        if (f) {
+            std::fwrite(out.traceJson.data(), 1, out.traceJson.size(),
+                        f);
+            std::fclose(f);
+            std::printf("trace: %s\n", g_traceOut.c_str());
+        }
+    }
+    if (!g_metricsOut.empty()) {
+        std::FILE *f = std::fopen(g_metricsOut.c_str(), "wb");
+        if (f) {
+            std::fwrite(out.metricsText.data(), 1,
+                        out.metricsText.size(), f);
+            std::fclose(f);
+            std::printf("metrics: %s\n", g_metricsOut.c_str());
+        }
+    }
+
+    for (const std::string &v : out.violations)
+        std::printf("VIOLATION: %s\n", v.c_str());
+    if (!identical)
+        std::printf("VIOLATION: same-seed reruns diverged (trace or "
+                    "metrics not byte-identical)\n");
+    bool ok = out.passed() && identical;
+    std::printf("scenario '%s': %s\n", sc.name.c_str(),
+                ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}
+
+int
 cmdInspect()
 {
     fpga::DeviceModelInfo model = fpga::u200ScaledModel();
@@ -290,6 +377,10 @@ usage()
         "revoke\n"
         "  workload <name> [--scale PCT]     run one Table 4 workload "
         "in all modes\n"
+        "  run-scenario FILE [--once]        run a declarative chaos "
+        "campaign\n"
+        "        (docs/SCENARIOS.md; default runs twice and checks "
+        "byte-identical traces)\n"
         "  inspect                           device + workload "
         "inventory\n\n"
         "global options:\n"
@@ -330,6 +421,8 @@ main(int argc, char **argv)
         return cmdAttack(args);
     if (cmd == "workload")
         return cmdWorkload(args);
+    if (cmd == "run-scenario")
+        return cmdRunScenario(args);
     if (cmd == "inspect")
         return cmdInspect();
     usage();
