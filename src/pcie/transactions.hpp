@@ -39,6 +39,21 @@ struct DmaTxn
     size_t length = 0;
 };
 
+/**
+ * One sealed-descriptor doorbell on the pipelined DMA plane. The host
+ * stages the encoded descriptor in device DRAM with a posted DMA
+ * write, then rings the SM logic's doorbell register with the staging
+ * address; acks come back as a cumulative, MAC'd (seq, tag) pair. All
+ * fields cross the malicious shell — integrity lives entirely in the
+ * descriptor's own MAC, never in this envelope.
+ */
+struct DmaDescriptorTxn
+{
+    uint64_t seq = 0;         ///< descriptor sequence number
+    uint64_t stagingAddr = 0; ///< where the sealed bytes were staged
+    size_t encodedLength = 0; ///< sealed descriptor size in bytes
+};
+
 } // namespace salus::pcie
 
 #endif // SALUS_PCIE_TRANSACTIONS_HPP

@@ -1,0 +1,381 @@
+#include "salus/dma_channel.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+
+#include "common/serde.hpp"
+#include "crypto/aes_ctr.hpp"
+#include "crypto/ct.hpp"
+#include "crypto/hmac.hpp"
+#include "obs/trace.hpp"
+
+namespace salus::core::dmachan {
+
+namespace {
+
+constexpr uint32_t kDmaMagic = 0x53444d41;     // "SDMA"
+constexpr uint32_t kDmaRespMagic = 0x53444d52; // "SDMR"
+constexpr uint8_t kDmaVersion = 1;
+
+/** Builds the 16-byte CTR counter block for a direction + counter. */
+Bytes
+counterBlock(const char label[8], uint64_t ctr)
+{
+    Bytes block(16);
+    std::memcpy(block.data(), label, 8);
+    storeLe64(block.data() + 8, ctr);
+    return block;
+}
+
+bool
+macEqual(uint64_t a, uint64_t b)
+{
+    uint8_t ab[8], bb[8];
+    storeLe64(ab, a);
+    storeLe64(bb, b);
+    return crypto::ctEqual(ByteView(ab, 8), ByteView(bb, 8));
+}
+
+uint64_t
+truncatedHmac(ByteView macKey, ByteView msg)
+{
+    Bytes tag = crypto::hmacSha256(macKey, msg);
+    return loadLe64(tag.data());
+}
+
+} // namespace
+
+size_t
+DmaDescriptor::sgBytes() const
+{
+    size_t total = 0;
+    for (const DmaSgEntry &e : sg)
+        total += e.len;
+    return total;
+}
+
+size_t
+dmaCtrBlocks(size_t bytes)
+{
+    return (bytes + kDmaBlock - 1) / kDmaBlock;
+}
+
+void
+cryptDmaPayload(ByteView aesKey, bool read, uint64_t ctrBase,
+                uint8_t *data, size_t len)
+{
+    if (len == 0)
+        return;
+    crypto::AesCtr cipher(
+        aesKey,
+        counterBlock(read ? "SDMAREAD" : "SDMAWRIT", ctrBase));
+    cipher.crypt(data, len);
+}
+
+uint64_t
+descriptorMac(ByteView macKey, ByteView encodedSansMac)
+{
+    return truncatedHmac(macKey, encodedSansMac);
+}
+
+Bytes
+encodeDescriptor(ByteView macKey, const DmaDescriptor &d)
+{
+    size_t encodedLen = kDmaHeaderBytes +
+                        d.sg.size() * kDmaSgEntryBytes +
+                        d.payload.size() + 8;
+    BinaryWriter w;
+    w.writeU32(kDmaMagic);
+    w.writeU8(kDmaVersion);
+    uint8_t flags = 0;
+    if (d.read)
+        flags |= kDmaFlagRead;
+    if (d.sync)
+        flags |= kDmaFlagSync;
+    w.writeU8(flags);
+    w.writeU16(uint16_t(d.sg.size()));
+    w.writeU32(d.sessionId);
+    w.writeU32(uint32_t(encodedLen));
+    w.writeU64(d.seq);
+    w.writeU64(d.ctrBase);
+    w.writeU64(d.respAddr);
+    for (const DmaSgEntry &e : d.sg) {
+        w.writeU64(e.addr);
+        w.writeU32(e.len);
+    }
+    w.writeRaw(d.payload);
+    uint64_t mac = descriptorMac(macKey, w.data());
+    w.writeU64(mac);
+    return w.take();
+}
+
+DmaDescriptor
+decodeDescriptor(ByteView encoded)
+{
+    BinaryReader r(encoded);
+    if (r.readU32() != kDmaMagic)
+        throw SerdeError("dma descriptor: bad magic");
+    if (r.readU8() != kDmaVersion)
+        throw SerdeError("dma descriptor: unsupported version");
+    uint8_t flags = r.readU8();
+    if (flags & ~uint8_t(kDmaFlagRead | kDmaFlagSync))
+        throw SerdeError("dma descriptor: unknown flags");
+    uint16_t sgCount = r.readU16();
+    if (sgCount == 0 || sgCount > kDmaMaxSg)
+        throw SerdeError("dma descriptor: sg count out of range");
+
+    DmaDescriptor d;
+    d.read = (flags & kDmaFlagRead) != 0;
+    d.sync = (flags & kDmaFlagSync) != 0;
+    d.sessionId = r.readU32();
+    uint32_t encodedLen = r.readU32();
+    if (encodedLen != encoded.size())
+        throw SerdeError("dma descriptor: length mismatch");
+    d.seq = r.readU64();
+    if (d.seq >= kDmaMaxSeq)
+        throw SerdeError("dma descriptor: sequence out of range");
+    d.ctrBase = r.readU64();
+    d.respAddr = r.readU64();
+    d.sg.reserve(sgCount);
+    for (uint16_t i = 0; i < sgCount; ++i) {
+        DmaSgEntry e;
+        e.addr = r.readU64();
+        e.len = r.readU32();
+        if (e.len == 0)
+            throw SerdeError("dma descriptor: empty sg entry");
+        d.sg.push_back(e);
+    }
+    if (d.sgBytes() > kDmaMaxPayload)
+        throw SerdeError("dma descriptor: payload over limit");
+    size_t payloadLen = d.read ? 0 : d.sgBytes();
+    if (r.remaining() != payloadLen + 8)
+        throw SerdeError("dma descriptor: payload length mismatch");
+    d.payload = r.readRaw(payloadLen);
+    d.mac = r.readU64();
+    return d;
+}
+
+bool
+verifyDescriptorMac(ByteView macKey, ByteView encoded)
+{
+    if (encoded.size() < kDmaHeaderBytes + 8)
+        return false;
+    uint64_t expect = descriptorMac(
+        macKey, ByteView(encoded.data(), encoded.size() - 8));
+    uint64_t got = loadLe64(encoded.data() + encoded.size() - 8);
+    return macEqual(expect, got);
+}
+
+Bytes
+sealReadResponse(ByteView aesKey, ByteView macKey, uint32_t sessionId,
+                 uint64_t seq, uint64_t ctrBase, ByteView plain)
+{
+    BinaryWriter w;
+    w.writeU32(kDmaRespMagic);
+    w.writeU32(sessionId);
+    w.writeU32(uint32_t(plain.size()));
+    w.writeU64(seq);
+    w.writeU64(ctrBase);
+    Bytes ct(plain.begin(), plain.end());
+    cryptDmaPayload(aesKey, true, ctrBase, ct.data(), ct.size());
+    w.writeRaw(ct);
+    uint64_t mac = truncatedHmac(macKey, w.data());
+    w.writeU64(mac);
+    return w.take();
+}
+
+std::optional<Bytes>
+openReadResponse(ByteView aesKey, ByteView macKey, uint32_t sessionId,
+                 uint64_t seq, uint64_t ctrBase, ByteView blob)
+{
+    if (blob.size() < kDmaRespHeaderBytes + 8)
+        return std::nullopt;
+    BinaryReader r(blob);
+    if (r.readU32() != kDmaRespMagic)
+        return std::nullopt;
+    if (r.readU32() != sessionId)
+        return std::nullopt;
+    uint32_t len = r.readU32();
+    if (r.readU64() != seq || r.readU64() != ctrBase)
+        return std::nullopt;
+    if (len > kDmaMaxPayload || r.remaining() != size_t(len) + 8)
+        return std::nullopt;
+    uint64_t expect =
+        truncatedHmac(macKey, ByteView(blob.data(), blob.size() - 8));
+    uint64_t got = loadLe64(blob.data() + blob.size() - 8);
+    if (!macEqual(expect, got))
+        return std::nullopt;
+    Bytes plain = r.readRaw(len);
+    cryptDmaPayload(aesKey, true, ctrBase, plain.data(), plain.size());
+    return plain;
+}
+
+uint64_t
+ackMac(ByteView macKey, uint32_t sessionId, uint64_t ackSeq)
+{
+    Bytes msg(16);
+    storeLe32(msg.data(), sessionId);
+    storeLe64(msg.data() + 4, ackSeq);
+    std::memcpy(msg.data() + 12, "dack", 4);
+    return truncatedHmac(macKey, msg);
+}
+
+// ---- Sliding-window engine -------------------------------------------
+
+DmaWindowEngine::DmaWindowEngine(DmaWindowHooks hooks, Options opts)
+    : hooks_(std::move(hooks)), opts_(opts)
+{
+    opts_.window = std::clamp<size_t>(opts_.window, 1, kDmaMaxWindow);
+    if (opts_.maxAttempts == 0)
+        opts_.maxAttempts = 1;
+}
+
+void
+DmaWindowEngine::spendCrypto(sim::Nanos cost, DmaTransferReport &report)
+{
+    if (cost <= 0)
+        return;
+    // Double-buffered keystream precompute: transport time already
+    // spent on the clock has bought us budget to hide crypto behind.
+    sim::Nanos hidden = std::min(cost, overlapBudget_);
+    overlapBudget_ -= hidden;
+    report.hiddenCryptoNanos += hidden;
+    sim::Nanos exposed = cost - hidden;
+    if (exposed > 0) {
+        hooks_.sim.spend(phases::kDmaCrypto, exposed);
+        report.cryptoNanos += exposed;
+    }
+}
+
+void
+DmaWindowEngine::spendTransport(sim::Nanos cost,
+                                DmaTransferReport &report)
+{
+    if (cost <= 0)
+        return;
+    hooks_.sim.spend(phases::kDmaTransport, cost);
+    report.transportNanos += cost;
+    overlapBudget_ = std::min(overlapBudget_ + cost, overlapCap_);
+}
+
+DmaTransferReport
+DmaWindowEngine::run(const std::vector<DmaDescriptorWork> &work)
+{
+    DmaTransferReport report;
+    overlapBudget_ = 0;
+    overlapCap_ = 0;
+
+    const sim::CostModel *cost = hooks_.sim.cost;
+    uint64_t totalBytes = 0;
+    for (const DmaDescriptorWork &w : work) {
+        totalBytes += w.payloadBytes;
+        if (cost)
+            overlapCap_ = std::max(
+                overlapCap_, 2 * cost->dmaCrypto(w.payloadBytes));
+    }
+    obs::Span span(obs::Category::Channel, "dma_transfer", totalBytes);
+
+    auto now = [&]() -> sim::Nanos {
+        return hooks_.sim.clock ? hooks_.sim.clock->now()
+                                : sim::Nanos(0);
+    };
+    auto wireTime = [&](size_t bytes) -> sim::Nanos {
+        return cost ? sim::transferTime(cost->pcieBandwidth, bytes)
+                    : sim::Nanos(0);
+    };
+    // The ack for a descriptor is believable one RTT after its last
+    // wire byte; gathers additionally wait for the response payload
+    // to cross back.
+    auto ackLatency = [&](const DmaDescriptorWork &w) -> sim::Nanos {
+        if (!cost)
+            return 0;
+        return cost->pcieRtt +
+               (w.read ? wireTime(w.payloadBytes) : sim::Nanos(0));
+    };
+    auto sealCost = [&](const DmaDescriptorWork &w) -> sim::Nanos {
+        return cost ? cost->dmaCrypto(w.read ? 0 : w.payloadBytes)
+                    : sim::Nanos(0);
+    };
+
+    std::deque<InFlight> inflight;
+
+    // Stalls on the window's oldest descriptor, believes whatever the
+    // (MAC-verified) cumulative ack says, and retransmits the cached
+    // ciphertext when the front turns out to be lost or rejected.
+    auto waitFront = [&]() -> bool {
+        sim::Nanos due = inflight.front().ackDue;
+        sim::Nanos t = now();
+        spendTransport(due > t ? due - t : 0, report);
+        uint64_t ackSeq = 0;
+        if (!hooks_.readAck || !hooks_.readAck(ackSeq)) {
+            report.status = 0xf9; // forged/unreadable ack
+            return false;
+        }
+        bool popped = false;
+        while (!inflight.empty() && inflight.front().ackDue <= now() &&
+               inflight.front().seq < ackSeq) {
+            const DmaDescriptorWork &w = work[inflight.front().workIndex];
+            if (w.read) {
+                // The response blob is decrypted as it lands.
+                spendCrypto(cost ? cost->dmaCrypto(w.payloadBytes)
+                                 : sim::Nanos(0),
+                            report);
+            }
+            if (w.complete && !w.complete()) {
+                report.status = 0xfb; // forged read response
+                return false;
+            }
+            inflight.pop_front();
+            popped = true;
+        }
+        if (!popped) {
+            InFlight &f = inflight.front();
+            if (f.attempts >= opts_.maxAttempts) {
+                report.status = 0xf8; // retransmits exhausted
+                return false;
+            }
+            ++f.attempts;
+            ++report.retransmits;
+            obs::count("dma.retransmits");
+            spendTransport(wireTime(f.encoded.size()), report);
+            if (hooks_.deliver)
+                hooks_.deliver(f.seq, f.encoded);
+            f.ackDue = now() + ackLatency(work[f.workIndex]);
+        }
+        obs::observe("dma.window_depth", inflight.size());
+        return true;
+    };
+
+    for (size_t i = 0; i < work.size(); ++i) {
+        const DmaDescriptorWork &w = work[i];
+        spendCrypto(sealCost(w), report);
+        Bytes encoded = w.seal ? w.seal() : Bytes();
+
+        while (inflight.size() >= opts_.window)
+            if (!waitFront())
+                return report;
+
+        spendTransport(wireTime(encoded.size()), report);
+        if (hooks_.deliver)
+            hooks_.deliver(w.seq, encoded);
+        InFlight f;
+        f.seq = w.seq;
+        f.workIndex = i;
+        f.encoded = std::move(encoded);
+        f.ackDue = now() + ackLatency(w);
+        inflight.push_back(std::move(f));
+        report.maxInFlight = std::max(report.maxInFlight,
+                                      uint32_t(inflight.size()));
+        obs::observe("dma.window_depth", inflight.size());
+        ++report.descriptors;
+        report.bytes += w.payloadBytes;
+    }
+    while (!inflight.empty())
+        if (!waitFront())
+            return report;
+    obs::count("dma.transfers");
+    return report;
+}
+
+} // namespace salus::core::dmachan

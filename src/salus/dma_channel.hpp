@@ -1,0 +1,255 @@
+/**
+ * @file
+ * The bulk-data side of the paper's memory channel: AES-CTR-encrypted
+ * DMA descriptors with scatter-gather lists, sealed with one truncated
+ * HMAC each, pushed through a sliding-window protocol so crypto for
+ * descriptor N overlaps transport for descriptor N-1.
+ *
+ * Wire format ("SDMA" v1, little-endian):
+ *
+ *   offset  size  field
+ *        0     4  magic 0x53444d41 ("SDMA")
+ *        4     1  version (1)
+ *        5     1  flags: bit0 = read (gather), bit1 = sync
+ *        6     2  sgCount
+ *        8     4  sessionId (fabric session slot)
+ *       12     4  encodedLen (whole descriptor incl. trailing MAC)
+ *       16     8  seq       (per-slot descriptor sequence number)
+ *       24     8  ctrBase   (must equal seq * kDmaCtrStride)
+ *       32     8  respAddr  (reads: DRAM address for the sealed reply)
+ *       40  12*n  sg entries (u64 addr, u32 len)
+ *         +  ...  payload ciphertext (writes; absent for reads)
+ *         +    8  mac = truncated HMAC over every preceding byte
+ *
+ * Replay resistance comes from binding the AES counter stride to the
+ * sequence number: ctrBase MUST equal seq * kDmaCtrStride, the MAC
+ * covers both, the fabric applies each seq at most once and its
+ * cumulative ack only ever moves forward. Counter strides across
+ * applied descriptors are therefore strictly increasing, and a
+ * replayed descriptor is dead on arrival whatever the interleaving.
+ * Retransmits resend the *identical* ciphertext (no keystream reuse).
+ *
+ * The sync flag (MAC-covered) lets the host re-synchronise the
+ * fabric's expected sequence forward after a crash-recovery gap; the
+ * fabric only ever accepts a forward jump, so a replayed sync
+ * descriptor cannot rewind the window.
+ */
+
+#ifndef SALUS_SALUS_DMA_CHANNEL_HPP
+#define SALUS_SALUS_DMA_CHANNEL_HPP
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "salus/sim_hooks.hpp"
+
+namespace salus::core::dmachan {
+
+/** AES block size — the unit the counter stride is denominated in. */
+constexpr size_t kDmaBlock = 16;
+/** Most scatter-gather entries one descriptor may carry. */
+constexpr size_t kDmaMaxSg = 64;
+/** Most payload bytes one descriptor may carry. */
+constexpr size_t kDmaMaxPayload = size_t(1) << 20;
+/** Counter blocks reserved per sequence number (1 MiB / 16 B). Every
+ *  descriptor's ctrBase is seq * this, which both pins the keystream
+ *  to the sequence number and keeps strides disjoint. */
+constexpr uint64_t kDmaCtrStride = kDmaMaxPayload / kDmaBlock;
+/** Largest sliding window either end will entertain (fabric reorder
+ *  buffer bound == host in-flight bound). */
+constexpr size_t kDmaMaxWindow = 16;
+/** Sequence numbers above this would overflow the counter stride. */
+constexpr uint64_t kDmaMaxSeq = uint64_t(1) << 40;
+
+/** Descriptor flag bits. */
+constexpr uint8_t kDmaFlagRead = 0x01;
+constexpr uint8_t kDmaFlagSync = 0x02;
+
+/** Fixed wire-format sizes (shared by host, fabric and fuzzers). */
+constexpr size_t kDmaHeaderBytes = 40;
+constexpr size_t kDmaSgEntryBytes = 12;
+constexpr size_t kDmaRespHeaderBytes = 28;
+/** Read-response blob size for a given gather length. */
+constexpr size_t kDmaRespOverhead = kDmaRespHeaderBytes + 8;
+/** Upper bound on any encoded descriptor. */
+constexpr size_t kDmaMaxEncoded = kDmaHeaderBytes +
+                                  kDmaMaxSg * kDmaSgEntryBytes +
+                                  kDmaMaxPayload + 8;
+
+/** One scatter-gather element (device-DRAM address + length). */
+struct DmaSgEntry
+{
+    uint64_t addr = 0;
+    uint32_t len = 0;
+};
+
+/** A decoded (but still payload-encrypted) DMA descriptor. */
+struct DmaDescriptor
+{
+    bool read = false;
+    bool sync = false;
+    uint32_t sessionId = 0;
+    uint64_t seq = 0;
+    uint64_t ctrBase = 0;
+    uint64_t respAddr = 0;
+    std::vector<DmaSgEntry> sg;
+    Bytes payload; ///< ciphertext (writes), empty (reads)
+    uint64_t mac = 0;
+
+    /** Total bytes named by the scatter-gather list. */
+    size_t sgBytes() const;
+};
+
+/** Counter blocks a payload of `bytes` consumes. */
+size_t dmaCtrBlocks(size_t bytes);
+
+/** En/decrypts a DMA payload in place under the direction-separated
+ *  CTR labels ("SDMAWRIT" host->device, "SDMAREAD" device->host). */
+void cryptDmaPayload(ByteView aesKey, bool read, uint64_t ctrBase,
+                     uint8_t *data, size_t len);
+
+/** Truncated HMAC over the encoded descriptor minus its MAC field. */
+uint64_t descriptorMac(ByteView macKey, ByteView encodedSansMac);
+
+/** Serializes a descriptor (payload must already be ciphertext) and
+ *  computes its MAC. */
+Bytes encodeDescriptor(ByteView macKey, const DmaDescriptor &d);
+
+/**
+ * Parses an encoded descriptor, validating magic, version, bounds and
+ * internal length consistency. Does NOT check the MAC (the fabric
+ * does that against its slot key).
+ * @throws SerdeError on any malformed input.
+ */
+DmaDescriptor decodeDescriptor(ByteView encoded);
+
+/** Constant-time MAC check of an encoded descriptor. */
+bool verifyDescriptorMac(ByteView macKey, ByteView encoded);
+
+// ---- Read responses --------------------------------------------------
+//
+// The fabric answers a gather descriptor by sealing the collected
+// bytes into a response blob at the descriptor's respAddr: "SDMR"
+// magic, sessionId, seq, ctrBase echoed from the request, payload
+// encrypted under the "SDMAREAD" label at the same stride, one
+// truncated HMAC over everything before it.
+
+/** Seals a read-response blob (fabric side). */
+Bytes sealReadResponse(ByteView aesKey, ByteView macKey,
+                       uint32_t sessionId, uint64_t seq,
+                       uint64_t ctrBase, ByteView plain);
+
+/** Verifies and decrypts a read-response blob (host side); empty
+ *  optional = forged or mismatched. */
+std::optional<Bytes> openReadResponse(ByteView aesKey, ByteView macKey,
+                                      uint32_t sessionId, uint64_t seq,
+                                      uint64_t ctrBase, ByteView blob);
+
+/** Cumulative-ack MAC: truncated HMAC over sessionId || ackSeq ||
+ *  "dack". `ackSeq` is the lowest sequence number NOT yet applied, so
+ *  a fresh slot acks 0 and the value only ever grows. */
+uint64_t ackMac(ByteView macKey, uint32_t sessionId, uint64_t ackSeq);
+
+// ---- Sliding-window engine -------------------------------------------
+
+/** Outcome of one windowed transfer. */
+struct DmaTransferReport
+{
+    /** 0 ok; 0xf8 retransmits exhausted; 0xf9 forged ack;
+     *  0xfb forged read response. */
+    uint8_t status = 0;
+    uint64_t bytes = 0;        ///< payload bytes moved
+    uint32_t descriptors = 0;  ///< descriptors delivered (first sends)
+    uint32_t retransmits = 0;  ///< extra sends after loss/rejection
+    uint32_t maxInFlight = 0;  ///< window-occupancy high-water mark
+    sim::Nanos cryptoNanos = 0;       ///< exposed (clock-visible) crypto
+    sim::Nanos hiddenCryptoNanos = 0; ///< precompute hidden behind transport
+    sim::Nanos transportNanos = 0;    ///< wire time + window/ack stalls
+
+    /** Fraction of total crypto hidden behind transport. */
+    double overlapFraction() const
+    {
+        sim::Nanos total = cryptoNanos + hiddenCryptoNanos;
+        return total > 0 ? double(hiddenCryptoNanos) / double(total)
+                         : 0.0;
+    }
+};
+
+/** One descriptor's worth of work for the engine. */
+struct DmaDescriptorWork
+{
+    uint64_t seq = 0;
+    size_t payloadBytes = 0;
+    bool read = false;
+    /** Seals the descriptor; called once, the ciphertext is cached
+     *  verbatim for retransmits. */
+    std::function<Bytes()> seal;
+    /** Reads only: fetch + verify + decrypt the response once the
+     *  descriptor is acked. False = forged response (abort 0xfb). */
+    std::function<bool()> complete;
+};
+
+/** Environment the engine drives. All transport is *posted* (the
+ *  hooks spend no virtual time); the engine itself charges wire time,
+ *  window stalls and exposed crypto, which is what makes the
+ *  crypto/transport overlap explicit in the phase totals. */
+struct DmaWindowHooks
+{
+    SimHooks sim;
+    /** Stages + doorbells one sealed descriptor (fault fabric lives
+     *  behind this hook; it must pass the injector a copy, since the
+     *  engine retransmits the cached original). */
+    std::function<void(uint64_t seq, const Bytes &encoded)> deliver;
+    /** MAC-verified cumulative ack readback. False = forged ack. */
+    std::function<bool(uint64_t &ackSeq)> readAck;
+};
+
+/**
+ * Sliding-window transfer engine. Keeps up to `window` sealed
+ * descriptors in flight; while descriptor N-1 is on the wire or
+ * waiting for its ack, the keystream precompute for descriptor N runs
+ * "for free" against an overlap budget accrued from transport time
+ * (double buffering: the budget is capped at two descriptors' worth
+ * of crypto). Lost, reordered or rejected descriptors are recovered
+ * by cumulative-ack-driven retransmission of the identical
+ * ciphertext, bounded by `maxAttempts` per descriptor.
+ */
+class DmaWindowEngine
+{
+  public:
+    struct Options
+    {
+        size_t window = 8;        ///< clamped to [1, kDmaMaxWindow]
+        uint32_t maxAttempts = 8; ///< sends per descriptor before 0xf8
+    };
+
+    DmaWindowEngine(DmaWindowHooks hooks, Options opts);
+
+    /** Runs one transfer; `work` must be in ascending seq order. */
+    DmaTransferReport run(const std::vector<DmaDescriptorWork> &work);
+
+  private:
+    struct InFlight
+    {
+        uint64_t seq = 0;
+        size_t workIndex = 0;
+        Bytes encoded;
+        sim::Nanos ackDue = 0;
+        uint32_t attempts = 1;
+    };
+
+    void spendCrypto(sim::Nanos cost, DmaTransferReport &report);
+    void spendTransport(sim::Nanos cost, DmaTransferReport &report);
+
+    DmaWindowHooks hooks_;
+    Options opts_;
+    sim::Nanos overlapBudget_ = 0;
+    sim::Nanos overlapCap_ = 0;
+};
+
+} // namespace salus::core::dmachan
+
+#endif // SALUS_SALUS_DMA_CHANNEL_HPP

@@ -82,6 +82,7 @@ SmJournal::serialize() const
         w.writeBytes(d.keySession);
         w.writeU64(d.ctrBase);
         w.writeU64(d.ctrReserve);
+        w.writeU64(d.dmaSeqReserve);
         w.writeU8(d.havePendingRekey);
         w.writeBytes(d.pendingRekeyMacKey);
         w.writeU64(d.pendingRekeyNonce);
@@ -91,6 +92,7 @@ SmJournal::serialize() const
             w.writeBytes(s.keySession);
             w.writeU64(s.openNonce);
             w.writeU64(s.ctrReserve);
+            w.writeU64(s.dmaSeqReserve);
         }
     }
     w.writeU32(activeDevice);
@@ -137,6 +139,7 @@ SmJournal::deserialize(ByteView data)
             throw SerdeError("bad secret sizes in journal");
         d.ctrBase = r.readU64();
         d.ctrReserve = r.readU64();
+        d.dmaSeqReserve = r.readU64();
         d.havePendingRekey = r.readU8();
         if (d.havePendingRekey > 1)
             throw SerdeError("bad journal flag");
@@ -151,6 +154,7 @@ SmJournal::deserialize(ByteView data)
                 throw SerdeError("bad session-key size in journal");
             s.openNonce = r.readU64();
             s.ctrReserve = r.readU64();
+            s.dmaSeqReserve = r.readU64();
             d.sessions.push_back(std::move(s));
         }
         j.devices.push_back(std::move(d));

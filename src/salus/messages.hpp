@@ -66,7 +66,8 @@ struct SmJournalSession
     uint32_t slot = 0;
     Bytes keySession; ///< 48 bytes (AES + MAC keys)
     uint64_t openNonce = 0;
-    uint64_t ctrReserve = 0; ///< write-ahead per-slot counter bound
+    uint64_t ctrReserve = 0;    ///< write-ahead per-slot counter bound
+    uint64_t dmaSeqReserve = 0; ///< write-ahead DMA sequence bound
 };
 
 /** One device's durable deployment record. */
@@ -81,6 +82,7 @@ struct SmJournalDevice
     Bytes keySession;     ///< 48 bytes when haveSecrets
     uint64_t ctrBase = 0;
     uint64_t ctrReserve = 0; ///< write-ahead session-counter reservation
+    uint64_t dmaSeqReserve = 0; ///< write-ahead DMA sequence reservation
     uint8_t havePendingRekey = 0;
     Bytes pendingRekeyMacKey;
     uint64_t pendingRekeyNonce = 0;

@@ -7,6 +7,7 @@
 
 #include "fpga/ip.hpp"
 #include "obs/trace.hpp"
+#include "salus/dma_channel.hpp"
 
 namespace salus::core {
 
@@ -184,13 +185,17 @@ applyActionKey(ScenarioAction &a, const std::string &key,
                const std::string &value)
 {
     if (key == "kind") {
-        if (value != "rekey" && value != "replay")
+        if (value != "rekey" && value != "replay" && value != "dma")
             throw ScenarioError("unknown action kind '" + value + "'");
         a.kind = value;
     } else if (key == "at_sweep")
         a.atSweep = parseU32(key, value);
     else if (key == "every_sweeps")
         a.everySweeps = parseU32(key, value);
+    else if (key == "bytes")
+        a.bytes = parseU64(key, value);
+    else if (key == "window")
+        a.window = parseU32(key, value);
     else
         throw ScenarioError("unknown [action] key '" + key + "'");
 }
@@ -215,6 +220,8 @@ applyExpectKey(ScenarioExpect &e, const std::string &key,
         e.noStarvation = parseBool(key, value);
     else if (key == "failovers_max")
         e.failoversMax = parseU64(key, value);
+    else if (key == "dma_bytes_min")
+        e.dmaBytesMin = parseU64(key, value);
     else
         throw ScenarioError("unknown [expect] key '" + key + "'");
 }
@@ -249,6 +256,16 @@ validate(const Scenario &sc)
         if (a.kind == "replay" && !sc.maliciousShell)
             throw ScenarioError(
                 "replay action needs malicious_shell = 1");
+        if (a.kind == "dma") {
+            if (a.bytes < 1 || a.bytes > (uint64_t(1) << 20))
+                throw ScenarioError(
+                    "dma action: bytes must be in [1, 1048576]");
+            if (a.window < 1 || a.window > dmachan::kDmaMaxWindow)
+                throw ScenarioError("dma action: window must be in [1," +
+                                    std::to_string(
+                                        dmachan::kDmaMaxWindow) +
+                                    "]");
+        }
     }
     if (sc.broker.maxTotalQueuedOps < 1)
         throw ScenarioError("max_total_queued_ops must be >= 1");
@@ -318,7 +335,13 @@ ScenarioFault::toRule() const
             throw ScenarioError(
                 "heartbeat_loss needs an explicit device");
         rule = sim::FaultRule::heartbeatLoss(device, probability);
-    } else
+    } else if (kind == "dma_drop")
+        rule = sim::FaultRule::dropDma(probability);
+    else if (kind == "dma_corrupt")
+        rule = sim::FaultRule::corruptDma(probability);
+    else if (kind == "dma_reorder")
+        rule = sim::FaultRule::reorderDma(probability);
+    else
         throw ScenarioError("unknown fault kind '" + kind + "'");
 
     if (!from.empty() || !to.empty() || !method.empty())
@@ -538,6 +561,37 @@ runScenario(const Scenario &scenario)
                         tb.smApp().rekeySession();
                     else if (a.kind == "replay" && tb.maliciousShell())
                         tb.maliciousShell()->replayRecordedSmWrites();
+                    else if (a.kind == "dma") {
+                        // Bulk transfer through the secure DMA lane on
+                        // the first open session; the job rides the
+                        // scheduler's sweep, so faults armed on the
+                        // memory channel exercise the window protocol.
+                        uint32_t slot = 0;
+                        bool haveSlot = false;
+                        for (const auto &sessions : tenantSessions)
+                            if (!sessions.empty()) {
+                                slot = sessions.front();
+                                haveSlot = true;
+                                break;
+                            }
+                        if (!haveSlot)
+                            continue;
+                        BatchScheduler::DmaJob job;
+                        job.addr = 0x10000;
+                        job.windowSize = a.window;
+                        job.data.resize(a.bytes);
+                        for (size_t i = 0; i < job.data.size(); ++i)
+                            job.data[i] =
+                                uint8_t(sweep * 131 + i * 7 + 5);
+                        job.done =
+                            [&out](const dmachan::DmaTransferReport
+                                       &report) {
+                                ++out.dmaJobs;
+                                if (report.status == 0)
+                                    out.dmaBytes += report.bytes;
+                            };
+                        tb.scheduler().submitDma(slot, std::move(job));
+                    }
                 }
 
                 for (size_t ti = 0; ti < scenario.tenants.size(); ++ti) {
@@ -648,6 +702,7 @@ runScenario(const Scenario &scenario)
             atLeast("shed_rejected", out.shedRejected,
                     e.shedRejectedMin);
             atLeast("seus_injected", out.seusInjected, e.seusMin);
+            atLeast("dma_bytes", out.dmaBytes, e.dmaBytesMin);
             if (e.recoveredFromShed && out.shedLevelEnd != 0)
                 out.violations.push_back(
                     "shed level still " +

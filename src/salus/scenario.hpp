@@ -64,7 +64,8 @@ struct ScenarioFault
 {
     /** drop_rpc | corrupt_rpc | duplicate_rpc | reorder_rpc |
      *  delay_rpc | reg_fault | bitstream_load_fail | seu |
-     *  device_dead | heartbeat_loss */
+     *  device_dead | heartbeat_loss | dma_drop | dma_corrupt |
+     *  dma_reorder */
     std::string kind;
     double probability = 1.0;
     std::string from, to, method; ///< RPC site narrowing
@@ -83,11 +84,15 @@ struct ScenarioFault
 struct ScenarioAction
 {
     /** rekey (SM session re-key) | replay (malicious shell replays
-     *  recorded SM-window writes; needs malicious_shell = 1). */
+     *  recorded SM-window writes; needs malicious_shell = 1) | dma
+     *  (submit one bulk transfer through the secure DMA lane). */
     std::string kind;
     uint32_t atSweep = 0;
     /** 0 = fire once at atSweep; else every N sweeps from atSweep. */
     uint32_t everySweeps = 0;
+    /** dma action: payload size and sliding-window depth. */
+    uint64_t bytes = 64 * 1024;
+    uint32_t window = 8;
 
     bool firesAt(uint32_t sweep) const
     {
@@ -115,6 +120,8 @@ struct ScenarioExpect
     bool noStarvation = true;
     /** Upper bound on failover events; ~0 = unchecked. */
     uint64_t failoversMax = ~uint64_t(0);
+    /** Payload bytes the DMA plane must have delivered (status 0). */
+    uint64_t dmaBytesMin = 0;
 };
 
 /** A parsed campaign. */
@@ -148,6 +155,8 @@ struct ScenarioOutcome
     uint64_t failovers = 0;
     uint64_t seusInjected = 0;
     uint64_t maxSweepsWaited = 0;
+    uint64_t dmaJobs = 0;  ///< DMA jobs completed (any status)
+    uint64_t dmaBytes = 0; ///< payload bytes delivered with status 0
     size_t shedLevelEnd = 0;
     sim::Nanos clockEnd = 0;
     /** (tenant name, stats) in registration order. */

@@ -86,6 +86,69 @@ BatchScheduler::submit(uint32_t session, const regchan::RegOp &op,
     return Submit::Accepted;
 }
 
+void
+BatchScheduler::setDmaDispatch(DmaDispatch dispatch)
+{
+    dmaDispatch_ = std::move(dispatch);
+}
+
+BatchScheduler::Submit
+BatchScheduler::submitDma(uint32_t session, DmaJob job)
+{
+    auto it = sessions_.find(session);
+    if (it == sessions_.end())
+        return Submit::UnknownSession;
+    Session &s = it->second;
+    if (!dmaDispatch_ ||
+        s.dmaQueue.size() >= config_.dmaQueueCapacity) {
+        ++stats_.rejectedBackpressure;
+        ++s.stats.rejectedBackpressure;
+        obs::count("scheduler.dma_backpressure");
+        countSession(session, "dma_backpressure");
+        return Submit::Backpressure;
+    }
+    s.dmaQueue.push_back(std::move(job));
+    ++stats_.submitted;
+    ++s.stats.submitted;
+    return Submit::Accepted;
+}
+
+size_t
+BatchScheduler::dispatchDmaJob(uint32_t id, Session &s)
+{
+    if (s.dmaQueue.empty() || !dmaDispatch_)
+        return 0;
+    obs::Span slice(obs::Category::Scheduler, "dma_slice",
+                    uint64_t(id));
+    dmachan::DmaTransferReport report;
+    try {
+        report = dmaDispatch_(id, s.dmaQueue.front());
+    } catch (const FailoverError &) {
+        // Same contract as a failed-over burst: the in-flight job
+        // gets the typed status (never blind-retried), queued jobs
+        // survive for the next sweep against the new device.
+        DmaJob job = std::move(s.dmaQueue.front());
+        s.dmaQueue.pop_front();
+        report.status = kBatchStatusFailedOver;
+        if (job.done)
+            job.done(report);
+        ++stats_.dmaJobs;
+        ++s.stats.dmaJobs;
+        throw;
+    }
+    DmaJob job = std::move(s.dmaQueue.front());
+    s.dmaQueue.pop_front();
+    ++stats_.dmaJobs;
+    ++s.stats.dmaJobs;
+    stats_.dmaBytes += report.bytes;
+    s.stats.dmaBytes += report.bytes;
+    obs::count("scheduler.dma_jobs");
+    countSession(id, "dma_jobs");
+    if (job.done)
+        job.done(report);
+    return 1;
+}
+
 size_t
 BatchScheduler::dispatchSlice(uint32_t id, Session &s)
 {
@@ -226,6 +289,13 @@ BatchScheduler::pumpOnce()
             // Still refused: the ops stay queued for the next sweep.
         }
     }
+
+    // Bulk lane: one DMA job per backlogged session per sweep, after
+    // every register slice — register traffic is never stuck behind a
+    // megabyte transfer, and a session's bulk queue still advances
+    // every sweep.
+    for (uint32_t id : order)
+        completed += dispatchDmaJob(id, sessions_.at(id));
     return completed;
 }
 
@@ -269,7 +339,7 @@ BatchScheduler::totalQueued() const
 {
     size_t total = 0;
     for (const auto &[id, s] : sessions_)
-        total += s.queue.size();
+        total += s.queue.size() + s.dmaQueue.size();
     return total;
 }
 

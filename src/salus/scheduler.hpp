@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/errors.hpp"
+#include "salus/dma_channel.hpp"
 #include "salus/reg_channel.hpp"
 #include "sim/clock.hpp"
 
@@ -71,6 +72,10 @@ class BatchScheduler
     {
         /** Ops a session may hold queued before submit() refuses. */
         size_t queueCapacity = 256;
+        /** Bulk DMA jobs a session may hold queued before submitDma()
+         *  refuses (each job can be megabytes, so the bound is much
+         *  tighter than the register-op queue's). */
+        size_t dmaQueueCapacity = 8;
         /** Op credits one WEIGHT UNIT earns per sweep (so a session's
          *  per-sweep quantum is weight * maxBatchOps). */
         size_t maxBatchOps = 32;
@@ -92,6 +97,20 @@ class BatchScheduler
     using Dispatch = std::function<std::vector<regchan::BatchResult>(
         uint32_t, const std::vector<regchan::RegOp> &)>;
 
+    /** One bulk transfer through the secure DMA plane. */
+    struct DmaJob
+    {
+        uint64_t addr = 0; ///< device-DRAM destination
+        Bytes data;        ///< payload to move
+        size_t windowSize = 8;
+        std::function<void(const dmachan::DmaTransferReport &)> done;
+    };
+    /** DMA dispatch: (session slot, job) -> transfer report. May throw
+     *  FailoverError (supervisor-guarded path). */
+    using DmaDispatch =
+        std::function<dmachan::DmaTransferReport(uint32_t,
+                                                 const DmaJob &)>;
+
     struct Stats
     {
         uint64_t submitted = 0;
@@ -102,6 +121,8 @@ class BatchScheduler
         uint64_t dispatchBackpressure = 0; ///< slices refused downstream
         uint64_t retriedSlices = 0; ///< end-of-sweep retries attempted
         size_t maxDepth = 0; ///< deepest any session queue ever got
+        uint64_t dmaJobs = 0;  ///< DMA transfers dispatched
+        uint64_t dmaBytes = 0; ///< payload bytes moved over DMA
     };
 
     /** Per-session counters (noisy-neighbour visibility: which tenant
@@ -128,6 +149,8 @@ class BatchScheduler
         /** Virtual duration of the last dispatched slice (needs
          *  Config::clock; 0 otherwise). */
         uint64_t sliceNanosLast = 0;
+        uint64_t dmaJobs = 0;  ///< DMA transfers dispatched
+        uint64_t dmaBytes = 0; ///< payload bytes moved over DMA
     };
 
     explicit BatchScheduler(Dispatch dispatch);
@@ -148,6 +171,13 @@ class BatchScheduler
     Submit submit(uint32_t session, const regchan::RegOp &op,
                   Completion done);
 
+    /** Installs the DMA dispatch path; submitDma() refuses with
+     *  Backpressure until one is set. */
+    void setDmaDispatch(DmaDispatch dispatch);
+    /** Enqueues one bulk DMA job; `job.done` fires with the transfer
+     *  report when its sweep dispatches it. */
+    Submit submitDma(uint32_t session, DmaJob job);
+
     /**
      * One weighted sweep: every backlogged session earns its quantum
      * (weight * maxBatchOps op credits, plus any burst-cap carry) and
@@ -155,6 +185,12 @@ class BatchScheduler
      * between sweeps so no session wins every tie. A slice refused
      * with DispatchBackpressure keeps its queue intact and is retried
      * exactly once after every other session's slice completes.
+     *
+     * After the register slices, every backlogged session dispatches
+     * at most ONE queued DMA job — bulk transfers ride the same sweep
+     * without starving register traffic (which always goes first) and
+     * without being starved (every sweep services one job per
+     * session).
      * Returns 0 immediately while the scheduler is quiesced.
      * @return ops completed (including failed-over ones).
      * @throws FailoverError after completing in-flight ops with
@@ -198,6 +234,7 @@ class BatchScheduler
     struct Session
     {
         std::deque<Pending> queue;
+        std::deque<DmaJob> dmaQueue;
         uint32_t weight = 1;
         /** DRR op credits left from earlier sweeps (nonzero only when
          *  the burst cap — not queue shortage — cut a slice short). */
@@ -209,12 +246,17 @@ class BatchScheduler
      *  FailoverError completes in-flight ops and propagates;
      *  DispatchBackpressure leaves the queue intact and propagates. */
     size_t dispatchSlice(uint32_t id, Session &s);
+    /** Dispatches one queued DMA job for `id`. @return jobs (0/1).
+     *  FailoverError completes the job with a failed-over report and
+     *  propagates. */
+    size_t dispatchDmaJob(uint32_t id, Session &s);
 
     /** Mirrors a per-session counter into the metrics registry. */
     static void countSession(uint32_t id, const char *counter,
                              uint64_t delta = 1);
 
     Dispatch dispatch_;
+    DmaDispatch dmaDispatch_;
     Config config_;
     /** Ordered by session id; the sweep rotates over this map. */
     std::map<uint32_t, Session> sessions_;

@@ -63,6 +63,11 @@ inline const char *const kClAuth = "CL Authentication";
 // Steady-state secure channel breakdown (throughput bench legend).
 inline const char *const kChanCrypto = "Channel Crypto";
 inline const char *const kChanTransport = "Channel Transport";
+// Bulk DMA data plane breakdown (dma-throughput bench legend). Crypto
+// covers only the *exposed* seal time; keystream precompute hidden
+// behind transport is accounted inside the transport stalls.
+inline const char *const kDmaCrypto = "DMA Crypto";
+inline const char *const kDmaTransport = "DMA Transport";
 } // namespace phases
 
 } // namespace salus::core

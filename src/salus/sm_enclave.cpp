@@ -1,6 +1,7 @@
 #include "salus/sm_enclave.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "bitstream/encryptor.hpp"
 #include "bitstream/manipulator.hpp"
@@ -28,6 +29,77 @@ const char *const kJournalCounterId = "salus-sm-journal";
  *  strides amortise commits; a crash skips at most this many counter
  *  values (the fabric only requires strict increase). */
 constexpr uint64_t kCtrReserveStride = 64;
+
+// ---- Secure DMA plane: device-DRAM layout ----------------------------
+//
+// Descriptors are staged into a ring of DRAM slots indexed by
+// seq % kDmaMaxWindow; the doorbell consumes a slot synchronously, so
+// slot reuse after kDmaMaxWindow sequence numbers can never clobber an
+// unconsumed descriptor. Read responses land in a second ring the host
+// drains before the window admits seq + kDmaMaxWindow.
+
+constexpr uint64_t kDmaStagingBase = 0x200000;
+constexpr uint64_t kDmaStagingStride = 0x14000;
+constexpr uint64_t kDmaRespBase = 0x340000;
+constexpr uint64_t kDmaRespStride = 0xc000;
+/** Per-descriptor payload caps keeping an encoded write descriptor
+ *  inside one staging slot and a sealed read response inside one
+ *  response slot. */
+constexpr size_t kDmaWriteChunkCap = 64 * 1024;
+constexpr size_t kDmaReadChunkCap = 32 * 1024;
+static_assert(dmachan::kDmaHeaderBytes +
+                      dmachan::kDmaMaxSg * dmachan::kDmaSgEntryBytes +
+                      kDmaWriteChunkCap + 8 <=
+                  kDmaStagingStride,
+              "encoded write descriptor must fit one staging slot");
+static_assert(kDmaReadChunkCap + dmachan::kDmaRespOverhead <=
+                  kDmaRespStride,
+              "sealed read response must fit one response slot");
+
+/** One descriptor's chunk of a transfer: its slice of the flattened
+ *  data buffer plus the scatter-gather entries it covers. */
+struct DmaChunk
+{
+    std::vector<dmachan::DmaSgEntry> sg;
+    size_t bytes = 0;
+    size_t dataOff = 0;
+};
+
+/** Splits a scatter-gather list into per-descriptor chunks of at most
+ *  `chunkBytes` payload and kDmaMaxSg entries, splitting oversized
+ *  entries across descriptors. */
+std::vector<DmaChunk>
+chunkSgList(const std::vector<dmachan::DmaSgEntry> &sg,
+            size_t chunkBytes)
+{
+    std::vector<DmaChunk> chunks;
+    DmaChunk cur;
+    size_t off = 0;
+    auto flush = [&]() {
+        if (!cur.sg.empty())
+            chunks.push_back(std::move(cur));
+        cur = DmaChunk{};
+    };
+    for (const dmachan::DmaSgEntry &e : sg) {
+        uint64_t addr = e.addr;
+        size_t left = e.len;
+        while (left > 0) {
+            if (cur.sg.size() >= dmachan::kDmaMaxSg ||
+                cur.bytes >= chunkBytes)
+                flush();
+            if (cur.sg.empty())
+                cur.dataOff = off;
+            size_t take = std::min(left, chunkBytes - cur.bytes);
+            cur.sg.push_back({addr, uint32_t(take)});
+            cur.bytes += take;
+            addr += take;
+            left -= take;
+            off += take;
+        }
+    }
+    flush();
+    return chunks;
+}
 
 } // namespace
 
@@ -1043,6 +1115,259 @@ SmEnclaveApp::secureRegBatchOnce(uint32_t slot, uint64_t ctrBase,
     return 0;
 }
 
+// ---- Bulk data plane (sealed DMA descriptors) ------------------------
+
+uint64_t
+SmEnclaveApp::reserveDmaSeqSpan(uint32_t slot, uint64_t n)
+{
+    if (slot == 0) {
+        uint64_t base = dmaSeq_;
+        if (dmaSeq_ + n > dmaSeqReserve_ && deps_.storeJournal) {
+            // Write-ahead, same contract as nextSessionCtr(): the
+            // journal's bound always covers every sequence number the
+            // fabric may have seen, so recovery resumes past it and a
+            // seq (and with it a keystream stride) is never re-issued.
+            dmaSeqReserve_ = dmaSeq_ + n + kCtrReserveStride;
+            commitJournal();
+        }
+        dmaSeq_ += n;
+        return base;
+    }
+    FabricSession &s = extraSessions_.at(slot);
+    uint64_t base = s.dmaSeq;
+    if (s.dmaSeq + n > s.dmaSeqReserve && deps_.storeJournal) {
+        s.dmaSeqReserve = s.dmaSeq + n + kCtrReserveStride;
+        commitJournal();
+    }
+    s.dmaSeq += n;
+    return base;
+}
+
+dmachan::DmaTransferReport
+SmEnclaveApp::dmaWrite(uint32_t slot, uint64_t addr, ByteView data,
+                       const DmaOptions &opts)
+{
+    std::vector<dmachan::DmaSgEntry> sg;
+    if (!data.empty())
+        sg.push_back({addr, uint32_t(data.size())});
+    return dmaTransfer(slot, false, sg, data, nullptr, opts);
+}
+
+dmachan::DmaTransferReport
+SmEnclaveApp::dmaWriteSg(uint32_t slot,
+                         const std::vector<dmachan::DmaSgEntry> &sg,
+                         ByteView data, const DmaOptions &opts)
+{
+    return dmaTransfer(slot, false, sg, data, nullptr, opts);
+}
+
+dmachan::DmaTransferReport
+SmEnclaveApp::dmaRead(uint32_t slot, uint64_t addr, size_t len,
+                      Bytes &out, const DmaOptions &opts)
+{
+    std::vector<dmachan::DmaSgEntry> sg;
+    if (len > 0)
+        sg.push_back({addr, uint32_t(len)});
+    return dmaTransfer(slot, true, sg, ByteView(), &out, opts);
+}
+
+dmachan::DmaTransferReport
+SmEnclaveApp::dmaTransfer(uint32_t slot, bool read,
+                          const std::vector<dmachan::DmaSgEntry> &sg,
+                          ByteView data, Bytes *out,
+                          const DmaOptions &opts)
+{
+    dmachan::DmaTransferReport report;
+    size_t total = 0;
+    for (const dmachan::DmaSgEntry &e : sg)
+        total += e.len;
+    if (total == 0)
+        return report; // empty transfer, trivially ok
+    if (!read && data.size() != total) {
+        report.status = 0xfd;
+        return report;
+    }
+    if (!haveSecrets_ || !status_.ok() || slot >= kSmMaxSessions ||
+        (slot != 0 && !ensureFabricSession(slot))) {
+        report.status = 0xfd; // no attested CL behind the channel
+        return report;
+    }
+
+    ByteView aesKey;
+    ByteView macKey;
+    if (slot == 0) {
+        aesKey = secrets_.sessionAesKey();
+        macKey = secrets_.sessionMacKey();
+    } else {
+        const FabricSession &s = extraSessions_.at(slot);
+        aesKey = ByteView(s.keySession).subspan(0, 16);
+        macKey = ByteView(s.keySession).subspan(16, 32);
+    }
+
+    size_t chunkBytes =
+        std::clamp<size_t>(opts.descriptorBytes, dmachan::kDmaBlock,
+                           read ? kDmaReadChunkCap : kDmaWriteChunkCap);
+    std::vector<DmaChunk> chunks = chunkSgList(sg, chunkBytes);
+    uint64_t seqBase = reserveDmaSeqSpan(slot, chunks.size());
+    if (out)
+        out->assign(total, 0);
+
+    shell::Shell &sh = activeShell();
+    std::vector<dmachan::DmaDescriptorWork> work;
+    work.reserve(chunks.size());
+    for (size_t i = 0; i < chunks.size(); ++i) {
+        const DmaChunk &c = chunks[i];
+        uint64_t seq = seqBase + i;
+        uint64_t ctrBase = seq * dmachan::kDmaCtrStride;
+        uint64_t respAddr =
+            kDmaRespBase +
+            (seq % dmachan::kDmaMaxWindow) * kDmaRespStride;
+        bool sync = i == 0; // re-synchronises the fabric's window
+        dmachan::DmaDescriptorWork w;
+        w.seq = seq;
+        w.payloadBytes = c.bytes;
+        w.read = read;
+        w.seal = [aesKey, macKey, slot, read, sync, seq, ctrBase,
+                  respAddr, &c, data]() -> Bytes {
+            dmachan::DmaDescriptor d;
+            d.read = read;
+            d.sync = sync;
+            d.sessionId = slot;
+            d.seq = seq;
+            d.ctrBase = ctrBase;
+            d.respAddr = read ? respAddr : 0;
+            d.sg = c.sg;
+            if (!read) {
+                d.payload.assign(data.begin() + long(c.dataOff),
+                                 data.begin() +
+                                     long(c.dataOff + c.bytes));
+                dmachan::cryptDmaPayload(aesKey, false, ctrBase,
+                                         d.payload.data(),
+                                         d.payload.size());
+            }
+            Bytes encoded = dmachan::encodeDescriptor(macKey, d);
+            secureZero(d.payload);
+            return encoded;
+        };
+        if (read) {
+            size_t bytes = c.bytes;
+            size_t dataOff = c.dataOff;
+            w.complete = [aesKey, macKey, slot, seq, ctrBase, respAddr,
+                          bytes, dataOff, out, &sh]() -> bool {
+                Bytes blob;
+                try {
+                    blob = sh.dmaPostedRead(
+                        respAddr, bytes + dmachan::kDmaRespOverhead);
+                } catch (const SalusError &) {
+                    return false;
+                }
+                auto plain = dmachan::openReadResponse(
+                    aesKey, macKey, slot, seq, ctrBase, blob);
+                if (!plain || plain->size() != bytes)
+                    return false;
+                std::copy(plain->begin(), plain->end(),
+                          out->begin() + long(dataOff));
+                secureZero(*plain);
+                return true;
+            };
+        }
+        work.push_back(std::move(w));
+    }
+
+    // Stages one sealed descriptor into its DRAM slot and rings the
+    // doorbell (posted: the engine owns all time attribution).
+    auto stage = [&sh](uint64_t seq, const Bytes &encoded) {
+        uint64_t addr =
+            kDmaStagingBase +
+            (seq % dmachan::kDmaMaxWindow) * kDmaStagingStride;
+        sh.dmaPostedWrite(addr, encoded);
+        sh.dmaPostedRegWrite(pcie::Window::SmSecure, kSmRegIn0, addr);
+        sh.dmaPostedRegWrite(pcie::Window::SmSecure, kSmRegIn1,
+                             encoded.size());
+        sh.dmaPostedRegWrite(pcie::Window::SmSecure, kSmRegCmd,
+                             kSmCmdDmaDoorbell);
+    };
+
+    // Reorder stash: a reorder fault holds one descriptor back until
+    // the next delivery event, so it arrives behind a later sequence
+    // number and exercises the fabric's reorder buffer.
+    struct DeliverState
+    {
+        bool haveStash = false;
+        uint64_t stashSeq = 0;
+        Bytes stash;
+    };
+    auto state = std::make_shared<DeliverState>();
+
+    dmachan::DmaWindowHooks hooks;
+    hooks.sim = deps_.sim;
+    hooks.deliver = [this, state, stage](uint64_t seq,
+                                         const Bytes &encoded) {
+        auto flushStash = [&]() {
+            if (!state->haveStash)
+                return;
+            state->haveStash = false;
+            Bytes held = std::move(state->stash);
+            stage(state->stashSeq, held);
+        };
+        // The injector mutates its copy; the engine keeps the cached
+        // original for retransmits.
+        Bytes copy = encoded;
+        if (deps_.fault) {
+            sim::DmaFault f =
+                deps_.fault->onDmaDescriptor(activeDevice_, seq, copy);
+            if (f.drop) {
+                flushStash();
+                return;
+            }
+            if (f.reorder) {
+                flushStash();
+                state->stash = std::move(copy);
+                state->stashSeq = seq;
+                state->haveStash = true;
+                return;
+            }
+        }
+        stage(seq, copy);
+        flushStash();
+    };
+    hooks.readAck = [&sh, slot, macKey](uint64_t &ackSeq) -> bool {
+        sh.dmaPostedRegWrite(pcie::Window::SmSecure, kSmRegIn0, slot);
+        sh.dmaPostedRegWrite(pcie::Window::SmSecure, kSmRegCmd,
+                             kSmCmdDmaAck);
+        if (sh.dmaPostedRegRead(pcie::Window::SmSecure, kSmRegStatus) !=
+            kSmStatusOk)
+            return false;
+        uint64_t seq =
+            sh.dmaPostedRegRead(pcie::Window::SmSecure, kSmRegOut0);
+        uint64_t mac =
+            sh.dmaPostedRegRead(pcie::Window::SmSecure, kSmRegOut1);
+        if (mac != dmachan::ackMac(macKey, slot, seq))
+            return false;
+        ackSeq = seq;
+        return true;
+    };
+
+    dmachan::DmaWindowEngine::Options engineOpts;
+    engineOpts.window = opts.windowSize;
+    engineOpts.maxAttempts = opts.maxAttempts;
+    dmachan::DmaWindowEngine engine(std::move(hooks), engineOpts);
+    report = engine.run(work);
+    obs::count("dma.bytes", report.bytes);
+
+    if (report.status == 0xf8 && deps_.onDeviceFailure) {
+        // Every send of some descriptor was lost or rejected — the
+        // same supervisor cue as an exhausted register channel.
+        ErrorContext ctx;
+        ctx.from = deps_.selfEndpoint;
+        ctx.to = "device-" + std::to_string(activeDevice_);
+        ctx.method = "dmaTransfer";
+        ctx.attempt = int(opts.maxAttempts);
+        deps_.onDeviceFailure(activeDevice_, ctx);
+    }
+    return report;
+}
+
 // ---- Fleet supervision ----------------------------------------------
 
 SmEnclaveApp::HeartbeatResult
@@ -1226,6 +1551,10 @@ SmEnclaveApp::retireCurrentSecrets()
     haveSecrets_ = false;
     sessionCtr_ = 0;
     ctrReserve_ = 0;
+    // Fresh keys mean a fresh keystream space, so the DMA sequence
+    // space restarts with them (the fabric's window resets on open).
+    dmaSeq_ = 0;
+    dmaSeqReserve_ = 0;
 }
 
 uint64_t
@@ -1268,6 +1597,7 @@ SmEnclaveApp::buildJournal() const
                 d.keySession = secrets_.keySession;
                 d.ctrBase = secrets_.ctrBase;
                 d.ctrReserve = ctrReserve_;
+                d.dmaSeqReserve = dmaSeqReserve_;
                 if (havePendingRekey_) {
                     d.havePendingRekey = 1;
                     d.pendingRekeyMacKey = pendingRekeyMacKey_;
@@ -1279,6 +1609,7 @@ SmEnclaveApp::buildJournal() const
                     js.keySession = s.keySession;
                     js.openNonce = s.openNonce;
                     js.ctrReserve = s.reserve;
+                    js.dmaSeqReserve = s.dmaSeqReserve;
                     d.sessions.push_back(std::move(js));
                 }
             }
@@ -1417,6 +1748,11 @@ SmEnclaveApp::rehydrate()
             // Resume PAST the reservation: counters inside it may
             // already have hit the fabric before the crash.
             sessionCtr_ = std::max(d.ctrBase, d.ctrReserve);
+            // Same for the DMA sequence space: the next transfer's
+            // sync descriptor jumps the fabric's window forward over
+            // whatever part of the reservation was never used.
+            dmaSeqReserve_ = d.dmaSeqReserve;
+            dmaSeq_ = d.dmaSeqReserve;
             if (d.havePendingRekey) {
                 pendingRekeyMacKey_ = d.pendingRekeyMacKey;
                 pendingRekeyNonce_ = d.pendingRekeyNonce;
@@ -1433,6 +1769,8 @@ SmEnclaveApp::rehydrate()
                 // Resume PAST the reservation: counters inside it may
                 // already have hit the fabric before the crash.
                 fs.ctr = s.ctrReserve;
+                fs.dmaSeqReserve = s.dmaSeqReserve;
+                fs.dmaSeq = s.dmaSeqReserve;
                 extraSessions_[s.slot] = std::move(fs);
             }
         }

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "salus/dma_channel.hpp"
 #include "salus/messages.hpp"
 #include "salus/placement.hpp"
 #include "salus/reg_channel.hpp"
@@ -104,6 +105,17 @@ struct SmEnclaveDeps
     std::function<void(uint32_t, const ErrorContext &)> onDeviceFailure;
 };
 
+/** Tuning knobs for one windowed DMA transfer. */
+struct SmDmaOptions
+{
+    size_t windowSize = 8; ///< descriptors kept in flight
+    /** Payload bytes per descriptor. Writes are capped so an encoded
+     *  descriptor fits one staging slot; reads so the sealed response
+     *  fits one response slot. */
+    size_t descriptorBytes = 64 * 1024;
+    uint32_t maxAttempts = 8; ///< sends per descriptor before 0xf8
+};
+
 /** The SM enclave program. */
 class SmEnclaveApp : public tee::Enclave
 {
@@ -160,6 +172,33 @@ class SmEnclaveApp : public tee::Enclave
      */
     std::vector<regchan::BatchResult>
     secureRegBatch(uint32_t slot, const std::vector<regchan::RegOp> &ops);
+
+    // ---- Bulk data plane (sealed DMA descriptors) --------------------
+    using DmaOptions = SmDmaOptions;
+
+    /**
+     * Moves `data` into device DRAM at `addr` through the sliding-
+     * window secure DMA plane: the payload is chunked into AES-CTR-
+     * encrypted, HMAC-sealed descriptors whose counter stride is bound
+     * to the per-slot sequence number, so replay is impossible and
+     * retransmits resend identical ciphertext. Report statuses: 0 ok,
+     * 0xfd no attested CL behind the channel, 0xf8 retransmits
+     * exhausted, 0xf9 forged ack, 0xfb forged read response.
+     */
+    dmachan::DmaTransferReport dmaWrite(uint32_t slot, uint64_t addr,
+                                        ByteView data,
+                                        const DmaOptions &opts = {});
+    /** Scatter variant: `data` is scattered across `sg` in order. */
+    dmachan::DmaTransferReport
+    dmaWriteSg(uint32_t slot,
+               const std::vector<dmachan::DmaSgEntry> &sg, ByteView data,
+               const DmaOptions &opts = {});
+    /** Gathers `len` bytes from device DRAM at `addr` into `out`;
+     *  responses come back sealed under the read-direction keystream
+     *  and are rejected wholesale on any MAC mismatch. */
+    dmachan::DmaTransferReport dmaRead(uint32_t slot, uint64_t addr,
+                                       size_t len, Bytes &out,
+                                       const DmaOptions &opts = {});
 
     // ---- Extensions beyond the paper's prototype ---------------------
     /**
@@ -307,6 +346,8 @@ class SmEnclaveApp : public tee::Enclave
         uint64_t openNonce = 0; ///< nonce the slot was opened with
         uint64_t ctr = 0;       ///< last counter handed out
         uint64_t reserve = 0;   ///< write-ahead journal reservation
+        uint64_t dmaSeq = 0;    ///< next DMA descriptor sequence
+        uint64_t dmaSeqReserve = 0; ///< write-ahead DMA seq bound
     };
 
     Bytes handlePlainRequest(uint32_t peer, ByteView plain);
@@ -324,6 +365,15 @@ class SmEnclaveApp : public tee::Enclave
     uint8_t secureRegBatchOnce(uint32_t slot, uint64_t ctrBase,
                                const std::vector<regchan::RegOp> &ops,
                                std::vector<regchan::BatchResult> &out);
+    /** Reserves n DMA descriptor sequence numbers on the slot,
+     *  extending the journal's write-ahead reservation first when
+     *  needed. @return the first sequence number of the span. */
+    uint64_t reserveDmaSeqSpan(uint32_t slot, uint64_t n);
+    /** The shared windowed-transfer driver behind dmaWrite/dmaRead. */
+    dmachan::DmaTransferReport
+    dmaTransfer(uint32_t slot, bool read,
+                const std::vector<dmachan::DmaSgEntry> &sg,
+                ByteView data, Bytes *out, const DmaOptions &opts);
     /** The bounded-attempt secure-boot loop (graceful degradation):
      *  retries transport-class failures with backoff, stops on
      *  security rejections, and redeploys after failed loads or
@@ -372,6 +422,9 @@ class SmEnclaveApp : public tee::Enclave
     ClSecrets secrets_;
     bool haveSecrets_ = false;
     uint64_t sessionCtr_ = 0;
+    /** Base-session DMA descriptor sequence space (slot 0). */
+    uint64_t dmaSeq_ = 0;
+    uint64_t dmaSeqReserve_ = 0;
     ClBootStatus status_;
     /** Set when a re-key command's completion was lost: the fabric
      *  may have rolled its keys while we kept the old ones. Holds the

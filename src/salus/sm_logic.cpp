@@ -10,7 +10,7 @@ namespace salus::core {
 SmLogic::SmLogic(const netlist::Cell &cell,
                  const netlist::Netlist &design,
                  const fpga::FabricServices &services)
-    : dna_(services.dna.value)
+    : dna_(services.dna.value), dram_(services.dram)
 {
     // The params blob wired in by the CL builder names our secret
     // BRAMs and our downstream accelerator.
@@ -92,6 +92,12 @@ SmLogic::readRegister(uint32_t addr)
         return statBatchRejected_;
       case kSmRegStatBatchOps:
         return statBatchOps_;
+      case kSmRegStatDmaOk:
+        return statDmaOk_;
+      case kSmRegStatDmaRejected:
+        return statDmaRejected_;
+      case kSmRegStatDmaBytes:
+        return statDmaBytes_;
       case kSmRegStatSessionsOpen: {
         uint64_t open = 0;
         for (const auto &s : sessions_)
@@ -174,6 +180,12 @@ SmLogic::execute(uint64_t cmd)
         break;
       case kSmCmdHeartbeat:
         doHeartbeat();
+        break;
+      case kSmCmdDmaDoorbell:
+        doDmaDoorbell();
+        break;
+      case kSmCmdDmaAck:
+        doDmaAck();
         break;
       default:
         status_ = kSmStatusRejected;
@@ -402,9 +414,154 @@ SmLogic::doOpenSession()
     slot.lastCtr = 0;
     slot.openNonce = nonce;
     slot.open = true;
+    // Fresh keys mean a fresh DMA sequence space for the slot.
+    slot.dmaExpectedSeq = 0;
+    slot.dmaBuffer.clear();
 
     out_[0] = slotId;
     out_[1] = nonce + 1;
+    status_ = kSmStatusOk;
+}
+
+void
+SmLogic::doDmaDoorbell()
+{
+    uint64_t addr = in_[0];
+    uint64_t len = in_[1];
+
+    auto reject = [&] {
+        ++statDmaRejected_;
+        status_ = kSmStatusRejected;
+    };
+
+    if (!dram_ || len < dmachan::kDmaHeaderBytes + 8 ||
+        len > dmachan::kDmaMaxEncoded) {
+        reject();
+        return;
+    }
+    Bytes encoded;
+    try {
+        encoded = dram_->read(addr, size_t(len));
+    } catch (const DeviceError &) {
+        reject();
+        return;
+    }
+    dmachan::DmaDescriptor d;
+    try {
+        d = dmachan::decodeDescriptor(encoded);
+    } catch (const SerdeError &) {
+        reject();
+        return;
+    }
+    if (d.sessionId >= kSmMaxSessions || !sessions_[d.sessionId].open) {
+        reject();
+        return;
+    }
+    SessionSlot &slot = sessions_[d.sessionId];
+    // Fail closed on the MAC before looking at anything else the
+    // descriptor claims; a forged descriptor never mutates state.
+    if (!dmachan::verifyDescriptorMac(slot.macKey, encoded)) {
+        reject();
+        return;
+    }
+    // The counter stride is pinned to the sequence number, so strides
+    // across applied descriptors are strictly increasing and a replay
+    // can never line up a fresh keystream.
+    if (d.ctrBase != d.seq * dmachan::kDmaCtrStride) {
+        reject();
+        return;
+    }
+    // Validate every target range now so applying can never fail
+    // half-way through a scatter.
+    for (const dmachan::DmaSgEntry &e : d.sg) {
+        if (e.addr > dram_->size() || e.len > dram_->size() - e.addr) {
+            reject();
+            return;
+        }
+    }
+    if (d.read) {
+        size_t respLen = d.sgBytes() + dmachan::kDmaRespOverhead;
+        if (d.respAddr > dram_->size() ||
+            respLen > dram_->size() - d.respAddr) {
+            reject();
+            return;
+        }
+    }
+    // Sync only ever jumps the window forward: a replayed sync
+    // descriptor (old seq) cannot rewind it.
+    if (d.sync) {
+        if (d.seq < slot.dmaExpectedSeq) {
+            reject();
+            return;
+        }
+        slot.dmaExpectedSeq = d.seq;
+        slot.dmaBuffer.clear();
+    }
+    if (d.seq < slot.dmaExpectedSeq ||                       // replayed
+        d.seq >= slot.dmaExpectedSeq + dmachan::kDmaMaxWindow ||
+        slot.dmaBuffer.count(d.seq) != 0) {                  // duplicate
+        reject();
+        return;
+    }
+    slot.dmaBuffer.emplace(d.seq, std::move(d));
+    // Apply the in-order prefix; anything still out of order stays
+    // buffered until the missing descriptor is retransmitted.
+    for (auto it = slot.dmaBuffer.find(slot.dmaExpectedSeq);
+         it != slot.dmaBuffer.end();
+         it = slot.dmaBuffer.find(slot.dmaExpectedSeq)) {
+        applyDmaDescriptor(slot, it->second.sessionId, it->second);
+        slot.dmaBuffer.erase(it);
+        ++slot.dmaExpectedSeq;
+    }
+    ++statDmaOk_;
+    out_[0] = slot.dmaExpectedSeq;
+    status_ = kSmStatusOk;
+}
+
+void
+SmLogic::applyDmaDescriptor(SessionSlot &slot, uint32_t slotId,
+                            dmachan::DmaDescriptor &d)
+{
+    if (d.read) {
+        Bytes plain;
+        plain.reserve(d.sgBytes());
+        for (const dmachan::DmaSgEntry &e : d.sg) {
+            Bytes part = dram_->read(e.addr, e.len);
+            plain.insert(plain.end(), part.begin(), part.end());
+        }
+        Bytes blob = dmachan::sealReadResponse(
+            slot.aesKey, slot.macKey, slotId, d.seq, d.ctrBase, plain);
+        dram_->write(d.respAddr, blob);
+        secureZero(plain);
+        statDmaBytes_ += d.sgBytes();
+    } else {
+        dmachan::cryptDmaPayload(slot.aesKey, /*read=*/false, d.ctrBase,
+                                 d.payload.data(), d.payload.size());
+        size_t off = 0;
+        for (const dmachan::DmaSgEntry &e : d.sg) {
+            dram_->write(e.addr,
+                         ByteView(d.payload.data() + off, e.len));
+            off += e.len;
+        }
+        statDmaBytes_ += d.payload.size();
+        secureZero(d.payload);
+    }
+}
+
+void
+SmLogic::doDmaAck()
+{
+    uint64_t slotId = in_[0];
+    if (slotId >= kSmMaxSessions || !sessions_[slotId].open) {
+        ++statDmaRejected_;
+        status_ = kSmStatusRejected;
+        return;
+    }
+    const SessionSlot &slot = sessions_[slotId];
+    out_[0] = slot.dmaExpectedSeq;
+    out_[1] = dmachan::ackMac(slot.macKey,
+                              static_cast<uint32_t>(slotId),
+                              slot.dmaExpectedSeq);
     status_ = kSmStatusOk;
 }
 

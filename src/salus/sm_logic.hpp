@@ -27,8 +27,11 @@
 #define SALUS_SALUS_SM_LOGIC_HPP
 
 #include <array>
+#include <map>
 
 #include "fpga/device.hpp"
+#include "fpga/dram.hpp"
+#include "salus/dma_channel.hpp"
 #include "salus/reg_channel.hpp"
 
 namespace salus::core {
@@ -67,6 +70,13 @@ constexpr uint64_t kSmCmdSecureBatch = 5;
 /** Open a derived session slot (extension): IN0 = slot, IN1 = open
  *  nonce, IN3 = MAC under the base session's MAC key. */
 constexpr uint64_t kSmCmdOpenSession = 6;
+/** Sealed-DMA-descriptor doorbell (bulk data plane): IN0 = DRAM
+ *  staging address of the encoded descriptor, IN1 = encoded length.
+ *  OUT0 = the slot's cumulative ack after processing. */
+constexpr uint64_t kSmCmdDmaDoorbell = 7;
+/** Cumulative DMA ack readback: IN0 = session slot; OUT0 = lowest
+ *  sequence number not yet applied, OUT1 = its MAC. */
+constexpr uint64_t kSmCmdDmaAck = 8;
 
 /** Session slots the fabric multiplexes (slot 0 = injected base). */
 constexpr uint32_t kSmMaxSessions = 8;
@@ -82,6 +92,9 @@ constexpr uint32_t kSmRegStatBatchOk = 0xb0;
 constexpr uint32_t kSmRegStatBatchRejected = 0xb8;
 constexpr uint32_t kSmRegStatBatchOps = 0xc0;
 constexpr uint32_t kSmRegStatSessionsOpen = 0xc8;
+constexpr uint32_t kSmRegStatDmaOk = 0xd0;
+constexpr uint32_t kSmRegStatDmaRejected = 0xd8;
+constexpr uint32_t kSmRegStatDmaBytes = 0xe0;
 
 /** STATUS values. */
 constexpr uint64_t kSmStatusIdle = 0;
@@ -114,6 +127,12 @@ class SmLogic : public fpga::IpBehavior
         Bytes macKey;
         uint64_t lastCtr = 0;
         uint64_t openNonce = 0; ///< strictly increasing per slot
+        /** DMA plane: lowest sequence number not yet applied — also
+         *  the cumulative ack value the host reads back. */
+        uint64_t dmaExpectedSeq = 0;
+        /** Bounded reorder buffer for out-of-order but in-window
+         *  descriptors (<= dmachan::kDmaMaxWindow entries). */
+        std::map<uint64_t, dmachan::DmaDescriptor> dmaBuffer;
     };
 
     void execute(uint64_t cmd);
@@ -123,6 +142,10 @@ class SmLogic : public fpga::IpBehavior
     void doOpenSession();
     void doRekey();
     void doHeartbeat();
+    void doDmaDoorbell();
+    void doDmaAck();
+    void applyDmaDescriptor(SessionSlot &slot, uint32_t slotId,
+                            dmachan::DmaDescriptor &d);
     uint64_t executeOp(const regchan::RegOp &op, uint8_t &opStatus);
 
     // Secrets as configured in BRAM (bitstream-manipulated values).
@@ -132,6 +155,7 @@ class SmLogic : public fpga::IpBehavior
     std::string accelPath_;
     fpga::IpBehavior *accel_ = nullptr;
     uint64_t dna_ = 0;
+    fpga::DeviceDram *dram_ = nullptr; ///< DMA descriptor staging
 
     uint64_t status_ = kSmStatusIdle;
     uint64_t in_[4] = {};
@@ -152,6 +176,9 @@ class SmLogic : public fpga::IpBehavior
     uint64_t statBatchOk_ = 0;
     uint64_t statBatchRejected_ = 0;
     uint64_t statBatchOps_ = 0;
+    uint64_t statDmaOk_ = 0;
+    uint64_t statDmaRejected_ = 0;
+    uint64_t statDmaBytes_ = 0;
 };
 
 } // namespace salus::core

@@ -302,6 +302,25 @@ Testbed::scheduler()
                 return results;
             },
             cfg);
+        scheduler_->setDmaDispatch(
+            [this](uint32_t slot, const BatchScheduler::DmaJob &job) {
+                dmachan::DmaTransferReport report;
+                SmEnclaveApp::DmaOptions opts;
+                opts.windowSize = job.windowSize;
+                // Exhausted retransmits, forged acks and a missing
+                // attested CL feed the same circuit breaker as the
+                // register channel.
+                supervisor_->guardedOp(
+                    [&] {
+                        report = smApp_->dmaWrite(slot, job.addr,
+                                                  job.data, opts);
+                        return report.status != 0xfd &&
+                               report.status != 0xf8 &&
+                               report.status != 0xf9;
+                    },
+                    "dmaWrite");
+                return report;
+            });
         scheduler_->addSession(0);
         for (size_t i = 0; i < extraUsers_.size(); ++i)
             scheduler_->addSession(uint32_t(i + 1));

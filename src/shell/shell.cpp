@@ -153,4 +153,40 @@ Shell::dmaRead(uint64_t addr, size_t len)
     return device_.dram().read(addr, len);
 }
 
+void
+Shell::dmaPostedWrite(uint64_t addr, ByteView data)
+{
+    obs::count("shell.dma_bytes_to_device", data.size());
+    stats_.dmaBytesToDevice += data.size();
+    device_.dram().write(addr, data);
+}
+
+Bytes
+Shell::dmaPostedRead(uint64_t addr, size_t len)
+{
+    obs::count("shell.dma_bytes_from_device", len);
+    stats_.dmaBytesFromDevice += len;
+    return device_.dram().read(addr, len);
+}
+
+void
+Shell::dmaPostedRegWrite(pcie::Window window, uint32_t addr,
+                         uint64_t data)
+{
+    ++stats_.registerWrites;
+    obs::count("shell.register_writes");
+    fpga::IpBehavior *target = route(window);
+    if (target)
+        target->writeRegister(addr, data);
+}
+
+uint64_t
+Shell::dmaPostedRegRead(pcie::Window window, uint32_t addr)
+{
+    ++stats_.registerReads;
+    obs::count("shell.register_reads");
+    fpga::IpBehavior *target = route(window);
+    return target ? target->readRegister(addr) : 0;
+}
+
 } // namespace salus::shell

@@ -65,6 +65,27 @@ class Shell
     virtual Bytes dmaRead(uint64_t addr, size_t len);
 
     /**
+     * Posted (zero-clock) DMA and doorbell primitives for the
+     * pipelined data plane. The window engine owns all time
+     * attribution for these paths — it charges wire time and stalls
+     * itself so crypto/transport overlap is modelled explicitly —
+     * and faults on this plane are descriptor-granularity
+     * (FaultInjector::onDmaDescriptor), not per-TLP, so the posted
+     * paths never consult the register fault hook.
+     */
+    virtual void dmaPostedWrite(uint64_t addr, ByteView data);
+
+    /** Posted counterpart of dmaRead: no clock spend, no RTT. */
+    virtual Bytes dmaPostedRead(uint64_t addr, size_t len);
+
+    /** Posted doorbell register write (engine charges the time). */
+    virtual void dmaPostedRegWrite(pcie::Window window, uint32_t addr,
+                                   uint64_t data);
+
+    /** Posted completion/ack register read (engine charges the time). */
+    virtual uint64_t dmaPostedRegRead(pcie::Window window, uint32_t addr);
+
+    /**
      * Runs one frame-ECC scrub pass over this shell's partition (the
      * SEM IP the recovery path leans on) and charges the pass time.
      * @throws DeviceError when the partition has no configured frames.

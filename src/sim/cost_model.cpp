@@ -107,4 +107,12 @@ CostModel::batchCrypto(size_t ops) const
            Nanos(2 * ops) * channelMacPerBlock;
 }
 
+Nanos
+CostModel::dmaCrypto(size_t bytes) const
+{
+    // Bulk path: one fixed seal per descriptor, then keystream at the
+    // wide-datapath rate (the MAC pass rides the same sweep).
+    return dmaDescriptorSeal + transferTime(dmaCryptoBytesPerSec, bytes);
+}
+
 } // namespace salus::sim

@@ -95,6 +95,15 @@ struct CostModel
     /** Incremental HMAC cost per additional 16-byte payload block. */
     Nanos channelMacPerBlock = 60;
 
+    // ---- Secure DMA data plane -----------------------------------------
+    /** Bulk AES-CTR throughput of the pipelined DMA engines (wide
+     *  datapath + precomputed keystream, so much faster than the
+     *  per-block register-channel path). */
+    double dmaCryptoBytesPerSec = 4.0e9;
+    /** Fixed per-descriptor cost: header marshalling, scatter-gather
+     *  list encode and the truncated-HMAC seal. */
+    Nanos dmaDescriptorSeal = 2 * kUs;
+
     // ---- ShEF baseline (§6.3 comparison, boot 5.1 s) -------------------
     /** Bitstream hash/measurement on the embedded security kernel. */
     double shefMeasureBytesPerSec = 8e6;
@@ -132,6 +141,10 @@ struct CostModel
      *  one CTR block per op each way plus a single MAC pass over
      *  request and response payloads. */
     Nanos batchCrypto(size_t ops) const;
+
+    /** Host-side crypto for one sealed DMA descriptor carrying `bytes`
+     *  of payload: fixed seal cost plus bulk CTR keystream time. */
+    Nanos dmaCrypto(size_t bytes) const;
 };
 
 /** Per-byte transfer time helper. */

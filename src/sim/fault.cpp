@@ -63,6 +63,12 @@ faultKindName(FaultKind kind)
         return "heartbeat-loss";
       case FaultKind::SmCrash:
         return "sm-crash";
+      case FaultKind::DmaDrop:
+        return "dma-drop";
+      case FaultKind::DmaCorrupt:
+        return "dma-corrupt";
+      case FaultKind::DmaReorder:
+        return "dma-reorder";
     }
     return "?";
 }
@@ -172,6 +178,34 @@ FaultRule::smCrash(uint64_t step, bool afterPersist)
     r.crashStep = step;
     r.crashAfterPersist = afterPersist;
     r.maxCount = 1;
+    return r;
+}
+
+FaultRule
+FaultRule::dropDma(double p)
+{
+    FaultRule r;
+    r.kind = FaultKind::DmaDrop;
+    r.probability = p;
+    return r;
+}
+
+FaultRule
+FaultRule::corruptDma(double p, uint8_t mask)
+{
+    FaultRule r;
+    r.kind = FaultKind::DmaCorrupt;
+    r.probability = p;
+    r.corruptMask = mask;
+    return r;
+}
+
+FaultRule
+FaultRule::reorderDma(double p)
+{
+    FaultRule r;
+    r.kind = FaultKind::DmaReorder;
+    r.probability = p;
     return r;
 }
 
@@ -395,6 +429,57 @@ FaultInjector::onSmJournalWrite(uint64_t step, bool afterPersist)
         return true;
     }
     return false;
+}
+
+DmaFault
+FaultInjector::onDmaDescriptor(uint32_t deviceId, uint64_t seq,
+                               Bytes &encoded)
+{
+    DmaFault out;
+    const std::string site =
+        "device-" + std::to_string(deviceId) + " dma-seq-" +
+        std::to_string(seq);
+    for (size_t i = 0; i < plan_.rules.size(); ++i) {
+        FaultRule &r = plan_.rules[i];
+        switch (r.kind) {
+          case FaultKind::DmaDrop:
+          case FaultKind::DmaCorrupt:
+          case FaultKind::DmaReorder:
+            break;
+          default:
+            continue;
+        }
+        if (!deviceMatches(r, deviceId))
+            continue;
+        if (out.drop || out.reorder)
+            continue; // already terminal for this descriptor
+        if (!fires(i))
+            continue;
+        record(r, site);
+        switch (r.kind) {
+          case FaultKind::DmaDrop:
+            out.drop = true;
+            ++stats_.dmaDropped;
+            break;
+          case FaultKind::DmaCorrupt:
+            if (!encoded.empty()) {
+                size_t pos = size_t(splitmix64(rngState_) %
+                                    encoded.size());
+                encoded[pos] ^= r.corruptMask ? r.corruptMask
+                                              : uint8_t(0x01);
+                out.corrupt = true;
+                ++stats_.dmaCorrupted;
+            }
+            break;
+          case FaultKind::DmaReorder:
+            out.reorder = true;
+            ++stats_.dmaReordered;
+            break;
+          default:
+            break;
+        }
+    }
+    return out;
 }
 
 uint64_t

@@ -44,6 +44,9 @@ enum class FaultKind : uint8_t {
     DeviceDead,       ///< device bricked: all reg ops + loads fail from windowStart
     HeartbeatLoss,    ///< supervisor liveness probe lost in flight
     SmCrash,          ///< SM enclave dies at a given journal-write step
+    DmaDrop,          ///< DMA descriptor lost between host and fabric
+    DmaCorrupt,       ///< deterministic byte flip in a sealed descriptor
+    DmaReorder,       ///< descriptor held, delivered after its successor
 };
 
 const char *faultKindName(FaultKind kind);
@@ -100,6 +103,12 @@ struct FaultRule
     /** Kills the SM enclave at journal-write number `step`, either
      *  just before or just after the sealed blob hits storage. */
     static FaultRule smCrash(uint64_t step, bool afterPersist = false);
+    /** Eats a sealed DMA descriptor in flight with probability p. */
+    static FaultRule dropDma(double p);
+    /** Flips one byte of a sealed DMA descriptor with probability p. */
+    static FaultRule corruptDma(double p, uint8_t mask = 0x01);
+    /** Holds a DMA descriptor so it lands after its successor. */
+    static FaultRule reorderDma(double p);
 
     // ---- Fluent narrowing ---------------------------------------------
     FaultRule &on(std::string fromEp, std::string toEp,
@@ -138,12 +147,16 @@ struct FaultStats
     uint64_t deviceDeadOps = 0;   ///< txns/loads eaten by dead devices
     uint64_t heartbeatsLost = 0;
     uint64_t smCrashes = 0;
+    uint64_t dmaDropped = 0;
+    uint64_t dmaCorrupted = 0;
+    uint64_t dmaReordered = 0;
 
     uint64_t total() const
     {
         return rpcDropped + rpcCorrupted + rpcDuplicated + rpcDelayed +
                rpcReordered + regFaults + loadFailures + seusInjected +
-               deviceDeadOps + heartbeatsLost + smCrashes;
+               deviceDeadOps + heartbeatsLost + smCrashes + dmaDropped +
+               dmaCorrupted + dmaReordered;
     }
 };
 
@@ -156,6 +169,15 @@ struct RpcFault
     bool reorder = false;
     bool corrupted = false;
     Nanos delay = 0;
+};
+
+/** The injector's verdict on one sealed DMA descriptor in flight
+ *  (corruption has already been applied to the encoded bytes). */
+struct DmaFault
+{
+    bool drop = false;
+    bool corrupt = false;
+    bool reorder = false;
 };
 
 /** A pending configuration upset to apply. */
@@ -204,6 +226,13 @@ class FaultInjector
      *  pre-store and post-store crash points). True = the enclave
      *  dies here. */
     bool onSmJournalWrite(uint64_t step, bool afterPersist);
+
+    /** Consulted by the DMA window engine for every sealed descriptor
+     *  headed to `deviceId` (`seq` names it in the journal). May
+     *  mutate `encoded` (corruption). Consumes PRNG state in event
+     *  order, exactly like onRpc. */
+    DmaFault onDmaDescriptor(uint32_t deviceId, uint64_t seq,
+                             Bytes &encoded);
 
     /** Drains SEU rules whose window is open (each fires once per
      *  allowed count); the device applies them to its frames. An

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "bitstream/compiler.hpp"
 #include "bitstream/encryptor.hpp"
 #include "common/errors.hpp"
@@ -15,6 +17,7 @@
 #include "crypto/random.hpp"
 #include "manufacturer/manufacturer.hpp"
 #include "salus/broker.hpp"
+#include "salus/dma_channel.hpp"
 #include "salus/messages.hpp"
 #include "salus/scenario.hpp"
 #include "salus/sm_logic.hpp"
@@ -614,6 +617,52 @@ TEST(Fuzz, ScenarioParserNeverCrashesOnMangledCampaigns)
     }
 }
 
+TEST(Fuzz, DmaDescriptorDecodeNeverCrashesOrFalselyAccepts)
+{
+    crypto::CtrDrbg rng(uint64_t(6003));
+    Bytes aes = rng.bytes(16);
+    Bytes mac = rng.bytes(32);
+    core::dmachan::DmaDescriptor d;
+    d.sessionId = 1;
+    d.seq = 3;
+    d.ctrBase = 3 * core::dmachan::kDmaCtrStride;
+    d.sg = {{0x1000, 512}, {0x2000, 512}};
+    d.payload = rng.bytes(1024);
+    core::dmachan::cryptDmaPayload(aes, false, d.ctrBase,
+                                   d.payload.data(), d.payload.size());
+    Bytes valid = core::dmachan::encodeDescriptor(mac, d);
+
+    for (int i = 0; i < 400; ++i) {
+        Bytes bad = corrupt(valid, rng);
+        if (rng.below(4) == 0)
+            bad.resize(rng.below(bad.size() + 1));
+        if (bad == valid)
+            continue;
+        try {
+            core::dmachan::DmaDescriptor back =
+                core::dmachan::decodeDescriptor(bad);
+            // A parse that survives mangling stays inside the wire
+            // format's bounds — and NEVER carries a valid MAC.
+            EXPECT_LE(back.sg.size(), core::dmachan::kDmaMaxSg);
+            EXPECT_LE(back.payload.size(),
+                      core::dmachan::kDmaMaxPayload);
+            EXPECT_FALSE(core::dmachan::verifyDescriptorMac(mac, bad))
+                << "iteration " << i;
+        } catch (const SalusError &) {
+            // typed rejection — the expected outcome
+        }
+    }
+    for (size_t len = 0; len < 64; ++len) {
+        Bytes noise = rng.bytes(len);
+        try {
+            (void)core::dmachan::decodeDescriptor(noise);
+        } catch (const SalusError &) {
+        }
+    }
+    EXPECT_NO_THROW(core::dmachan::decodeDescriptor(valid));
+    EXPECT_TRUE(core::dmachan::verifyDescriptorMac(mac, valid));
+}
+
 // ---- libFuzzer entry points -----------------------------------------
 // The CI fuzz-smoke job builds one fuzz_<entry> binary per function
 // below (see the SALUS_FUZZERS option in tests/CMakeLists.txt and
@@ -726,5 +775,67 @@ salus_fuzz_scenario_file(const uint8_t *data, size_t size)
         (void)core::parseScenario(text);
     } catch (const SalusError &) {
     }
+    return 0;
+}
+
+extern "C" int
+salus_fuzz_dma_descriptor(const uint8_t *data, size_t size)
+{
+    static const Bytes mac(32, 0x77);
+    try {
+        (void)core::dmachan::decodeDescriptor(ByteView(data, size));
+        (void)core::dmachan::verifyDescriptorMac(mac,
+                                                 ByteView(data, size));
+    } catch (const SalusError &) {
+    }
+    return 0;
+}
+
+extern "C" int
+salus_fuzz_dma_window(const uint8_t *data, size_t size)
+{
+    // The fuzz input scripts a hostile fabric under the sliding-window
+    // engine: one byte per delivered descriptor decides drop/accept,
+    // one per ack readback decides forgery. Exhausted input reads as 0
+    // (always-drop, forged acks), so every run is bounded by the
+    // engine's attempt cap — the contract is termination with a typed
+    // report, never a hang.
+    size_t cursor = 0;
+    auto nextByte = [&]() -> uint8_t {
+        return cursor < size ? data[cursor++] : 0;
+    };
+    uint64_t applied = 0;
+    std::set<uint64_t> buffered;
+    core::dmachan::DmaWindowHooks hooks;
+    hooks.deliver = [&](uint64_t seq, const Bytes &) {
+        uint8_t b = nextByte();
+        if (b % 4 == 0 || seq < applied)
+            return; // lost on the wire / replay ignored
+        buffered.insert(seq);
+        while (buffered.count(applied)) {
+            buffered.erase(applied);
+            ++applied;
+        }
+    };
+    hooks.readAck = [&](uint64_t &ackSeq) {
+        if (nextByte() % 7 == 0)
+            return false; // forged ack
+        ackSeq = applied;
+        return true;
+    };
+    core::dmachan::DmaWindowEngine::Options opts;
+    opts.window = 1 + nextByte() % core::dmachan::kDmaMaxWindow;
+    opts.maxAttempts = 1 + nextByte() % 8;
+    std::vector<core::dmachan::DmaDescriptorWork> work;
+    size_t n = 1 + nextByte() % 32;
+    for (size_t i = 0; i < n; ++i) {
+        core::dmachan::DmaDescriptorWork w;
+        w.seq = i;
+        w.payloadBytes = 64;
+        w.seal = [i] { return Bytes(64, uint8_t(i)); };
+        work.push_back(std::move(w));
+    }
+    core::dmachan::DmaWindowEngine engine(hooks, opts);
+    (void)engine.run(work);
     return 0;
 }

@@ -15,9 +15,14 @@ dotted-path keys outside the gates section can be checked with
 
 Exit status: 0 all gates pass, 1 regression or malformed input.
 
+A gate present in the baseline but MISSING from the fresh JSON is a
+named failure (one per missing gate), never a pass: a bench that stops
+emitting a metric must not sail through the perf gate.
+
 --self-test degrades every baseline gate by 20% in memory and asserts
-the checker flags each one -- run in CI so a silently broken gate
-cannot pass.
+the checker flags each one, then deletes every gate from a synthetic
+current and asserts each deletion is flagged too -- run in CI so a
+silently broken gate cannot pass.
 
 Refreshing baselines (intentional perf change): rebuild, run the bench
 binaries, then either run with --update (rewrites the baseline's gate
@@ -73,11 +78,19 @@ def check_gate(name, base_value, cur_value, direction, threshold):
 
 
 def collect_gates(baseline, current, keys):
-    """Yields (name, base_value, cur_value, direction) for every gate."""
+    """Yields (name, base_value, cur_value, direction) for every gate.
+
+    A gate the current JSON no longer carries yields cur_value None so
+    the caller reports EVERY missing metric as a named failure instead
+    of aborting on the first one."""
     gates = baseline.get("gates", {})
     for name, raw in gates.items():
         base_value, direction = as_gate(raw)
-        cur_raw = dig(current, f"gates.{name}")
+        try:
+            cur_raw = dig(current, f"gates.{name}")
+        except KeyError:
+            yield name, base_value, None, direction
+            continue
         cur_value, _ = as_gate(cur_raw, direction)
         yield name, base_value, cur_value, direction
     for spec in keys:
@@ -85,7 +98,11 @@ def collect_gates(baseline, current, keys):
             raise ValueError(f"--key {spec!r}: expected path:direction")
         path, direction = spec.rsplit(":", 1)
         base_value, _ = as_gate(dig(baseline, path), direction)
-        cur_value, _ = as_gate(dig(current, path), direction)
+        try:
+            cur_value, _ = as_gate(dig(current, path), direction)
+        except KeyError:
+            yield path, base_value, None, direction
+            continue
         yield path, base_value, cur_value, direction
 
 
@@ -96,6 +113,15 @@ def run_checks(baseline, current, keys, threshold):
         baseline, current, keys
     ):
         checked += 1
+        if cur is None:
+            err = (
+                f"{name}: missing from current bench JSON "
+                f"(baseline {base:.3f})"
+            )
+            print(f"  [FAIL] {name} ({direction}): "
+                  f"baseline {base:.3f} -> MISSING")
+            failures.append(err)
+            continue
         err = check_gate(name, base, cur, direction, threshold)
         arrow = "FAIL" if err else "ok"
         print(
@@ -108,7 +134,8 @@ def run_checks(baseline, current, keys, threshold):
 
 
 def self_test(baseline, keys, threshold):
-    """Degrades every gate past the threshold and asserts detection."""
+    """Degrades every gate past the threshold and asserts detection,
+    then deletes every gate and asserts each deletion is flagged."""
     degrade = threshold + 0.05  # 20% at the default 15% threshold
     missed = []
     checked = 0
@@ -129,13 +156,26 @@ def self_test(baseline, keys, threshold):
     if not checked:
         print("self-test: no gates found", file=sys.stderr)
         return 1
+    # Deleted-metric case: a current JSON with an empty gates section
+    # must produce one named failure per baseline gate.
+    gutted = {
+        k: ({} if k == "gates" else v) for k, v in baseline.items()
+    }
+    deleted = 0
+    for name, _base, cur, _direction in collect_gates(
+        baseline, gutted, []
+    ):
+        if cur is not None:
+            missed.append(f"{name}: deletion NOT detected")
+        else:
+            deleted += 1
     if missed:
         for m in missed:
             print(f"self-test FAILED: {m}", file=sys.stderr)
         return 1
     print(
         f"self-test passed: {degrade:.0%} degradation detected on "
-        f"all {checked} gate(s)"
+        f"all {checked} gate(s), deletion detected on {deleted}"
     )
     return 0
 

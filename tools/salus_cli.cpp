@@ -17,6 +17,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -264,9 +265,16 @@ cmdRunScenario(const std::vector<std::string> &args)
         return 2;
     }
     bool once = false;
+    bool seedOverride = false;
+    uint64_t seed = 0;
     for (size_t i = 1; i < args.size(); ++i) {
-        if (args[i] == "--once")
+        if (args[i] == "--once") {
             once = true;
+        } else if (args[i] == "--seed" && i + 1 < args.size()) {
+            seedOverride = true;
+            seed = std::strtoull(args[i + 1].c_str(), nullptr, 0);
+            ++i;
+        }
     }
 
     Scenario sc;
@@ -276,6 +284,8 @@ cmdRunScenario(const std::vector<std::string> &args)
         std::printf("parse error: %s\n", e.what());
         return 2;
     }
+    if (seedOverride)
+        sc.seed = seed;
 
     std::printf("scenario '%s': seed %llu, %u device(s), %u sweeps, "
                 "%zu tenant(s)\n",
@@ -311,6 +321,10 @@ cmdRunScenario(const std::vector<std::string> &args)
                 static_cast<unsigned long long>(out.maxSweepsWaited),
                 out.shedLevelEnd,
                 sim::formatNanos(out.clockEnd).c_str());
+    if (out.dmaJobs)
+        std::printf("dma jobs %llu, dma bytes %llu\n",
+                    static_cast<unsigned long long>(out.dmaJobs),
+                    static_cast<unsigned long long>(out.dmaBytes));
 
     if (!g_traceOut.empty()) {
         std::FILE *f = std::fopen(g_traceOut.c_str(), "wb");
@@ -377,7 +391,8 @@ usage()
         "revoke\n"
         "  workload <name> [--scale PCT]     run one Table 4 workload "
         "in all modes\n"
-        "  run-scenario FILE [--once]        run a declarative chaos "
+        "  run-scenario FILE [--once] [--seed N]\n"
+        "                                    run a declarative chaos "
         "campaign\n"
         "        (docs/SCENARIOS.md; default runs twice and checks "
         "byte-identical traces)\n"
