@@ -1,155 +1,227 @@
 /**
  * @file
- * Microbenchmarks of the crypto substrate (google-benchmark). These
- * are the primitives on Salus's critical paths: AES-GCM (bitstream
- * encryption), SHA-256 (digest H), SipHash (SM logic MACs), AES-CTR
- * (memory/register channel), X25519/Ed25519 (attestation).
+ * Crypto hot-path microbench: measures real wall-clock MB/s for the
+ * primitives on Salus's data planes — AES-CTR (register/DMA channel),
+ * AES-GCM seal (bitstream + bulk data), SHA-256 (digests) — through
+ * the dispatch-selected backend AND the forced-scalar reference, and
+ * reports the speedup ratio per primitive/size.
+ *
+ * Doubles as a correctness-of-dispatch gate: with AES-NI detected the
+ * hardware path must beat scalar by >=5x (AES-CTR) and >=4x (AES-GCM)
+ * at 4 KiB, and with SHA-NI SHA-256 must beat scalar by >=2x at 1 MiB.
+ * Any violation exits non-zero.
+ *
+ * Results are published as hand-rolled JSON (BENCH_crypto_micro.json,
+ * or argv[1]) with a "gates" section consumed by
+ * tools/check_bench_regression.py. Only the fast-vs-scalar ratios are
+ * gated — they self-normalize across machine speeds, where absolute
+ * MB/s would flake on shared CI runners; the absolute numbers are
+ * still recorded in "points" for eyeballing.
  */
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
-#include "crypto/aes_cmac.hpp"
 #include "crypto/aes_ctr.hpp"
 #include "crypto/aes_gcm.hpp"
-#include "crypto/ed25519.hpp"
-#include "crypto/hmac.hpp"
+#include "crypto/backend.hpp"
 #include "crypto/random.hpp"
 #include "crypto/sha256.hpp"
-#include "crypto/sha512.hpp"
-#include "crypto/siphash.hpp"
-#include "crypto/x25519.hpp"
 
 using namespace salus;
 using namespace salus::crypto;
 
 namespace {
 
-Bytes
-testData(size_t n)
-{
-    CtrDrbg rng(uint64_t(n) * 31 + 7);
-    return rng.bytes(n);
-}
+int violations = 0;
 
 void
-BM_Sha256(benchmark::State &state)
+check(bool ok, const char *what)
 {
-    Bytes data = testData(size_t(state.range(0)));
-    for (auto _ : state)
-        benchmark::DoNotOptimize(Sha256::digest(data));
-    state.SetBytesProcessed(int64_t(state.iterations()) *
-                            state.range(0));
+    if (ok)
+        return;
+    ++violations;
+    std::printf("  VIOLATION: %s\n", what);
 }
-BENCHMARK(BM_Sha256)->Arg(1024)->Arg(1 << 20);
 
-void
-BM_Sha512(benchmark::State &state)
+/** Best-of-3 wall-clock throughput of fn (>=30 ms per round). */
+template <typename F>
+double
+throughputMBs(F &&fn, size_t bytesPerCall)
 {
-    Bytes data = testData(size_t(state.range(0)));
-    for (auto _ : state)
-        benchmark::DoNotOptimize(Sha512::digest(data));
-    state.SetBytesProcessed(int64_t(state.iterations()) *
-                            state.range(0));
+    using Clock = std::chrono::steady_clock;
+    fn(); // warm-up (key schedules, page faults)
+    double best = 0;
+    for (int round = 0; round < 3; ++round) {
+        size_t calls = 0;
+        auto start = Clock::now();
+        double secs = 0;
+        do {
+            fn();
+            ++calls;
+            secs = std::chrono::duration<double>(Clock::now() - start)
+                       .count();
+        } while (secs < 0.03);
+        best = std::max(best,
+                        double(bytesPerCall) * double(calls) / secs /
+                            1e6);
+    }
+    return best;
 }
-BENCHMARK(BM_Sha512)->Arg(1 << 20);
 
-void
-BM_AesGcmSeal(benchmark::State &state)
+struct Point
 {
-    Bytes data = testData(size_t(state.range(0)));
-    AesGcm gcm(testData(32));
-    Bytes iv = testData(12);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(gcm.seal(iv, ByteView(), data));
-    state.SetBytesProcessed(int64_t(state.iterations()) *
-                            state.range(0));
-}
-BENCHMARK(BM_AesGcmSeal)->Arg(1024)->Arg(1 << 20);
+    std::string primitive;
+    std::string gate; ///< JSON gate key for the speedup ratio.
+    size_t bytes = 0;
+    double fastMBs = 0;
+    double scalarMBs = 0;
+    double speedup = 0;
+};
 
-void
-BM_AesCtr(benchmark::State &state)
+/** Measures one primitive under dispatch and under forced scalar. */
+template <typename F>
+Point
+measure(const char *primitive, const char *gate, size_t bytes, F &&fn)
 {
-    Bytes data = testData(size_t(state.range(0)));
-    Bytes key = testData(32);
-    Bytes ctr = testData(16);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(aesCtrCrypt(key, ctr, data));
-    state.SetBytesProcessed(int64_t(state.iterations()) *
-                            state.range(0));
+    Point p;
+    p.primitive = primitive;
+    p.gate = gate;
+    p.bytes = bytes;
+    setForceScalar(false);
+    p.fastMBs = throughputMBs(fn, bytes);
+    setForceScalar(true);
+    p.scalarMBs = throughputMBs(fn, bytes);
+    setForceScalar(false);
+    p.speedup = p.scalarMBs > 0 ? p.fastMBs / p.scalarMBs : 0;
+    std::printf("%-10s %8zu B   %10.1f MB/s   %10.1f MB/s   %6.2fx\n",
+                p.primitive.c_str(), p.bytes, p.fastMBs, p.scalarMBs,
+                p.speedup);
+    return p;
 }
-BENCHMARK(BM_AesCtr)->Arg(1024)->Arg(1 << 20);
-
-void
-BM_AesCmac(benchmark::State &state)
-{
-    Bytes data = testData(size_t(state.range(0)));
-    Bytes key = testData(16);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(aesCmac(key, data));
-    state.SetBytesProcessed(int64_t(state.iterations()) *
-                            state.range(0));
-}
-BENCHMARK(BM_AesCmac)->Arg(1024);
-
-void
-BM_SipHash(benchmark::State &state)
-{
-    Bytes data = testData(size_t(state.range(0)));
-    Bytes key = testData(16);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(sipHash24(key, data));
-    state.SetBytesProcessed(int64_t(state.iterations()) *
-                            state.range(0));
-}
-BENCHMARK(BM_SipHash)->Arg(16)->Arg(1024);
-
-void
-BM_HmacSha256(benchmark::State &state)
-{
-    Bytes data = testData(size_t(state.range(0)));
-    Bytes key = testData(32);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(hmacSha256(key, data));
-    state.SetBytesProcessed(int64_t(state.iterations()) *
-                            state.range(0));
-}
-BENCHMARK(BM_HmacSha256)->Arg(24)->Arg(1024);
-
-void
-BM_X25519SharedSecret(benchmark::State &state)
-{
-    CtrDrbg rng(uint64_t(1));
-    X25519KeyPair a = x25519Generate(rng);
-    X25519KeyPair b = x25519Generate(rng);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(
-            x25519Shared(a.privateKey, b.publicKey));
-}
-BENCHMARK(BM_X25519SharedSecret);
-
-void
-BM_Ed25519Sign(benchmark::State &state)
-{
-    CtrDrbg rng(uint64_t(2));
-    Ed25519KeyPair kp = ed25519Generate(rng);
-    Bytes msg = testData(256);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(ed25519Sign(kp.seed, msg));
-}
-BENCHMARK(BM_Ed25519Sign);
-
-void
-BM_Ed25519Verify(benchmark::State &state)
-{
-    CtrDrbg rng(uint64_t(3));
-    Ed25519KeyPair kp = ed25519Generate(rng);
-    Bytes msg = testData(256);
-    Bytes sig = ed25519Sign(kp.seed, msg);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(ed25519Verify(kp.publicKey, msg, sig));
-}
-BENCHMARK(BM_Ed25519Verify);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::printf("\n=== Crypto hot-path microbench ===\n");
+    std::printf("backend: %s\n\n", backendSummary().c_str());
+    BackendInfo info = backendInfo();
+
+    CtrDrbg rng(uint64_t(0xbe9c4));
+    Bytes key = rng.bytes(32);
+    Bytes ctr = rng.bytes(16);
+    Bytes iv = rng.bytes(12);
+    AesGcm gcm(key);
+
+    std::printf("%-10s %10s   %15s   %15s   %7s\n", "primitive",
+                "size", "dispatch", "scalar", "speedup");
+    std::vector<Point> points;
+    for (size_t size : {size_t(4096), size_t(1) << 20}) {
+        Bytes data = rng.bytes(size);
+        const char *suffix = size == 4096 ? "4k" : "1m";
+        std::string ctrGate =
+            std::string("ctr_") + suffix + "_speedup_x";
+        std::string gcmGate =
+            std::string("gcm_") + suffix + "_speedup_x";
+        std::string shaGate =
+            std::string("sha_") + suffix + "_speedup_x";
+        points.push_back(measure("aes_ctr", ctrGate.c_str(), size,
+                                 [&] {
+                                     Bytes out =
+                                         aesCtrCrypt(key, ctr, data);
+                                 }));
+        points.push_back(measure("aes_gcm", gcmGate.c_str(), size,
+                                 [&] {
+                                     GcmSealed s = gcm.seal(
+                                         iv, ByteView(), data);
+                                 }));
+        points.push_back(measure("sha256", shaGate.c_str(), size,
+                                 [&] {
+                                     Bytes d = Sha256::digest(data);
+                                 }));
+    }
+
+    auto find = [&](const char *primitive, size_t bytes) -> Point & {
+        for (Point &p : points)
+            if (p.primitive == primitive && p.bytes == bytes)
+                return p;
+        static Point none;
+        return none;
+    };
+
+    // Hardware acceptance floors (only meaningful when the ISA
+    // extension is actually present; on scalar-only hosts both runs
+    // take the same path and the ratio sits at ~1x by construction).
+    if (info.aesni) {
+        check(find("aes_ctr", 4096).speedup >= 5.0,
+              "AES-CTR 4 KiB below the 5x hardware-vs-scalar floor");
+        check(find("aes_gcm", 4096).speedup >= 4.0,
+              "AES-GCM 4 KiB below the 4x hardware-vs-scalar floor");
+    } else {
+        std::printf("no AES-NI: skipping AES speedup floors\n");
+    }
+    if (info.shani) {
+        check(find("sha256", size_t(1) << 20).speedup >= 2.0,
+              "SHA-256 1 MiB below the 2x hardware-vs-scalar floor");
+    } else {
+        std::printf("no SHA-NI: skipping SHA speedup floor\n");
+    }
+    for (const Point &p : points) {
+        check(p.fastMBs > 1.0 && p.scalarMBs > 1.0,
+              "throughput below 1 MB/s sanity floor");
+    }
+
+    // ---- JSON artifact ----------------------------------------------
+    const char *outPath =
+        argc > 1 ? argv[1] : "BENCH_crypto_micro.json";
+    FILE *f = std::fopen(outPath, "w");
+    if (!f) {
+        std::printf("cannot open %s\n", outPath);
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"crypto_micro\",\n");
+    std::fprintf(f, "  \"backend\": \"%s\",\n",
+                 backendSummary().c_str());
+    std::fprintf(
+        f,
+        "  \"cpu\": {\"aesni\": %d, \"vaes\": %d, \"pclmul\": %d, "
+        "\"shani\": %d},\n",
+        info.aesni ? 1 : 0, info.vaes ? 1 : 0, info.pclmul ? 1 : 0,
+        info.shani ? 1 : 0);
+    std::fprintf(f, "  \"violations\": %d,\n", violations);
+    std::fprintf(f, "  \"points\": [\n");
+    for (size_t i = 0; i < points.size(); ++i) {
+        const Point &p = points[i];
+        std::fprintf(f,
+                     "    {\"primitive\": \"%s\", \"bytes\": %zu, "
+                     "\"fast_mb_s\": %.1f, \"scalar_mb_s\": %.1f, "
+                     "\"speedup_x\": %.2f}%s\n",
+                     p.primitive.c_str(), p.bytes, p.fastMBs,
+                     p.scalarMBs, p.speedup,
+                     i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"gates\": {\n");
+    for (size_t i = 0; i < points.size(); ++i) {
+        std::fprintf(f,
+                     "    \"%s\": {\"value\": %.2f, "
+                     "\"direction\": \"higher\"}%s\n",
+                     points[i].gate.c_str(), points[i].speedup,
+                     i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", outPath);
+
+    if (violations) {
+        std::printf("CRYPTO MICROBENCH FAILED: %d violation(s)\n",
+                    violations);
+        return 1;
+    }
+    std::printf("all crypto speedup floors passed\n");
+    return 0;
+}

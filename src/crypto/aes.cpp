@@ -1,6 +1,8 @@
 #include "crypto/aes.hpp"
 
 #include "common/errors.hpp"
+#include "crypto/backend.hpp"
+#include "crypto/backend_x86.hpp"
 
 namespace salus::crypto {
 
@@ -144,12 +146,18 @@ Aes::Aes(ByteView key)
         }
         roundKeys_[i] = roundKeys_[i - nk] ^ temp;
     }
+
+    // Cache the byte form once per key; the hardware backend loads
+    // round keys straight from it on every encrypt call.
+    for (int i = 0; i < nw; ++i)
+        storeBe32(roundKeyBytes_.data() + 4 * i, roundKeys_[i]);
 }
 
 Aes::~Aes()
 {
     secureZero(reinterpret_cast<uint8_t *>(roundKeys_.data()),
                roundKeys_.size() * sizeof(uint32_t));
+    secureZero(roundKeyBytes_.data(), roundKeyBytes_.size());
 }
 
 namespace {
@@ -197,6 +205,33 @@ invMixColumns(uint8_t s[16])
 
 void
 Aes::encryptBlock(const uint8_t in[16], uint8_t out[16]) const
+{
+#ifdef SALUS_CRYPTO_HAVE_X86_BACKEND
+    if (aesBackendActive()) {
+        x86::aesniEcbEncrypt(roundKeyBytes_.data(), rounds_, in, out,
+                             1, false);
+        return;
+    }
+#endif
+    encryptBlockScalar(in, out);
+}
+
+void
+Aes::encryptBlocks(const uint8_t *in, uint8_t *out, size_t n) const
+{
+#ifdef SALUS_CRYPTO_HAVE_X86_BACKEND
+    if (aesBackendActive()) {
+        x86::aesniEcbEncrypt(roundKeyBytes_.data(), rounds_, in, out,
+                             n, backendInfo().vaes);
+        return;
+    }
+#endif
+    for (size_t i = 0; i < n; ++i)
+        encryptBlockScalar(in + 16 * i, out + 16 * i);
+}
+
+void
+Aes::encryptBlockScalar(const uint8_t in[16], uint8_t out[16]) const
 {
     const uint32_t *rk = roundKeys_.data();
     uint32_t s0 = loadBe32(in) ^ rk[0];

@@ -41,6 +41,15 @@ class Aes
     /** Encrypts one 16-byte block (in and out may alias). */
     void encryptBlock(const uint8_t in[16], uint8_t out[16]) const;
 
+    /**
+     * Encrypts n independent 16-byte blocks (ECB; in and out may
+     * alias). This is the batched-dispatch entry every mode's hot
+     * path funnels through: with AES-NI/VAES active the blocks are
+     * pipelined 8/16-wide, otherwise they run through the scalar
+     * block function one by one.
+     */
+    void encryptBlocks(const uint8_t *in, uint8_t *out, size_t n) const;
+
     /** Decrypts one 16-byte block (in and out may alias). */
     void decryptBlock(const uint8_t in[16], uint8_t out[16]) const;
 
@@ -48,8 +57,15 @@ class Aes
     int rounds() const { return rounds_; }
 
   private:
+    void encryptBlockScalar(const uint8_t in[16],
+                            uint8_t out[16]) const;
+
     /** Round keys as 4-byte words, 4*(rounds+1) entries. */
     std::array<uint32_t, 60> roundKeys_{};
+    /** The same schedule serialized as bytes (FIPS-197 order) — the
+     *  form the AES-NI round instructions consume directly. Expanded
+     *  once at construction, cached for the object's lifetime. */
+    std::array<uint8_t, 240> roundKeyBytes_{};
     int rounds_;
 };
 

@@ -1,5 +1,6 @@
 #include "crypto/aes_ctr.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/errors.hpp"
@@ -33,29 +34,85 @@ addBe128(uint8_t ctr[16], uint64_t delta)
 } // namespace
 
 AesCtr::AesCtr(ByteView key, ByteView counterBlock)
-    : aes_(key), used_(kAesBlockSize)
+{
+    owned_.emplace(key);
+    aes_ = &*owned_;
+    init(counterBlock);
+}
+
+AesCtr::AesCtr(const Aes &aes, ByteView counterBlock) : aes_(&aes)
+{
+    init(counterBlock);
+}
+
+AesCtr::~AesCtr()
+{
+    secureZero(keystream_, sizeof(keystream_));
+}
+
+void
+AesCtr::init(ByteView counterBlock)
 {
     if (counterBlock.size() != kAesBlockSize)
         throw CryptoError("AES-CTR counter block must be 16 bytes");
     std::memcpy(counter0_, counterBlock.data(), kAesBlockSize);
     std::memcpy(counter_, counterBlock.data(), kAesBlockSize);
+    used_ = 0;
+    avail_ = 0;
 }
 
 void
-AesCtr::refill()
+AesCtr::refill(size_t wantBytes)
 {
-    aes_.encryptBlock(counter_, keystream_);
-    incrementBe128(counter_);
+    // Generate only as many blocks as the caller still needs (capped
+    // at the batch): single-op register messages stay one encrypt,
+    // bulk payloads get the full pipelined batch.
+    size_t blocks = std::min(
+        kBatchBlocks,
+        (wantBytes + kAesBlockSize - 1) / kAesBlockSize);
+    if (blocks == 0)
+        blocks = 1;
+    uint8_t counters[kBatchBlocks * kAesBlockSize];
+    for (size_t i = 0; i < blocks; ++i) {
+        std::memcpy(counters + i * kAesBlockSize, counter_,
+                    kAesBlockSize);
+        incrementBe128(counter_);
+    }
+    aes_->encryptBlocks(counters, keystream_, blocks);
     used_ = 0;
+    avail_ = blocks * kAesBlockSize;
 }
 
 void
 AesCtr::crypt(uint8_t *data, size_t len)
 {
-    for (size_t i = 0; i < len; ++i) {
-        if (used_ == kAesBlockSize)
-            refill();
-        data[i] ^= keystream_[used_++];
+    size_t i = 0;
+    while (i < len) {
+        if (used_ == avail_)
+            refill(len - i);
+        size_t chunk = std::min(avail_ - used_, len - i);
+        // Byte-granular head until the keystream cursor is 8-aligned
+        // (only ever non-empty after a partial-block previous call).
+        while ((used_ & 7) != 0 && chunk > 0) {
+            data[i++] ^= keystream_[used_++];
+            --chunk;
+        }
+        // Word-wise body: whole 64-bit lanes of keystream at a time.
+        while (chunk >= 8) {
+            uint64_t d, k;
+            std::memcpy(&d, data + i, 8);
+            std::memcpy(&k, keystream_ + used_, 8);
+            d ^= k;
+            std::memcpy(data + i, &d, 8);
+            i += 8;
+            used_ += 8;
+            chunk -= 8;
+        }
+        // Byte-granular tail.
+        while (chunk > 0) {
+            data[i++] ^= keystream_[used_++];
+            --chunk;
+        }
     }
 }
 
@@ -72,7 +129,8 @@ AesCtr::seekBlock(uint64_t blockIndex)
 {
     std::memcpy(counter_, counter0_, kAesBlockSize);
     addBe128(counter_, blockIndex);
-    used_ = kAesBlockSize;
+    used_ = 0;
+    avail_ = 0;
 }
 
 Bytes

@@ -5,12 +5,17 @@
  * This is the paper's memory-traffic cipher: the CL accelerators add an
  * AES-CTR engine at the memory interface (§6.4), and the SM secure
  * register channel encrypts payloads with it (§4.5).
+ *
+ * Keystream is generated in batches of up to eight blocks per refill
+ * (sized to the demand, so one-block register ops never over-generate)
+ * and XORed over the data word-wise; with the AES-NI/VAES backend
+ * active the batch is a single pipelined multi-block encrypt.
  */
 
 #ifndef SALUS_CRYPTO_AES_CTR_HPP
 #define SALUS_CRYPTO_AES_CTR_HPP
 
-#include <memory>
+#include <optional>
 
 #include "crypto/aes.hpp"
 
@@ -24,11 +29,24 @@ namespace salus::crypto {
 class AesCtr
 {
   public:
+    /** Keystream blocks generated per refill (matches the RegBatch
+     *  stride and the DMA double-buffer refill granularity). */
+    static constexpr size_t kBatchBlocks = 8;
+
     /**
      * @param key AES key, 16/24/32 bytes.
      * @param counterBlock initial 16-byte counter block.
      */
     AesCtr(ByteView key, ByteView counterBlock);
+
+    /**
+     * Borrows a caller-owned expanded key schedule instead of
+     * expanding the key again — the per-session fast path of the
+     * register and DMA channels. @p aes must outlive this object.
+     */
+    AesCtr(const Aes &aes, ByteView counterBlock);
+
+    ~AesCtr();
 
     /** XORs the keystream over data in place. */
     void crypt(uint8_t *data, size_t len);
@@ -40,13 +58,16 @@ class AesCtr
     void seekBlock(uint64_t blockIndex);
 
   private:
-    void refill();
+    void init(ByteView counterBlock);
+    void refill(size_t wantBytes);
 
-    Aes aes_;
+    std::optional<Aes> owned_;
+    const Aes *aes_;
     uint8_t counter0_[16];
     uint8_t counter_[16];
-    uint8_t keystream_[16];
+    uint8_t keystream_[kBatchBlocks * kAesBlockSize];
     size_t used_;
+    size_t avail_;
 };
 
 /** One-shot CTR transform. */

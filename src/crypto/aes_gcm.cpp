@@ -1,8 +1,12 @@
 #include "crypto/aes_gcm.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <optional>
 
 #include "common/errors.hpp"
+#include "crypto/backend.hpp"
+#include "crypto/backend_x86.hpp"
 #include "crypto/ct.hpp"
 
 namespace salus::crypto {
@@ -89,21 +93,42 @@ inc32(uint8_t ctr[16])
 
 } // namespace
 
-/** Streaming GHASH accumulator. */
+/** Streaming GHASH accumulator. With PCLMULQDQ active the blocks go
+ *  through the carry-less-multiply backend and the Shoup tables are
+ *  never built; the scalar tables are constructed lazily on the first
+ *  scalar multiply (they cost more than hashing a short message). */
 struct AesGcm::Ghash
 {
-    GhashTables tables;
+    uint64_t h0, h1;
+    std::optional<GhashTables> tables;
     uint64_t yh = 0, yl = 0;
 
-    Ghash(uint64_t h0, uint64_t h1) : tables(h0, h1) {}
+    Ghash(uint64_t h0In, uint64_t h1In) : h0(h0In), h1(h1In) {}
+
+    /** Absorbs n consecutive 16-byte blocks. */
+    void
+    blocks(const uint8_t *data, size_t n)
+    {
+#ifdef SALUS_CRYPTO_HAVE_X86_BACKEND
+        if (ghashBackendActive()) {
+            x86::pclmulGhashBlocks(yh, yl, data, n, h0, h1);
+            return;
+        }
+#endif
+        if (!tables)
+            tables.emplace(h0, h1);
+        for (size_t i = 0; i < n; ++i, data += 16) {
+            uint8_t x[16];
+            storeBe64(x, yh ^ loadBe64(data));
+            storeBe64(x + 8, yl ^ loadBe64(data + 8));
+            tables->mult(yh, yl, x);
+        }
+    }
 
     void
     block(const uint8_t b[16])
     {
-        uint8_t x[16];
-        storeBe64(x, yh ^ loadBe64(b));
-        storeBe64(x + 8, yl ^ loadBe64(b + 8));
-        tables.mult(yh, yl, x);
+        blocks(b, 1);
     }
 
     /** Absorbs data padded with zeros to a block boundary. */
@@ -111,8 +136,8 @@ struct AesGcm::Ghash
     absorbPadded(ByteView data)
     {
         size_t full = data.size() / 16;
-        for (size_t i = 0; i < full; ++i)
-            block(data.data() + 16 * i);
+        if (full)
+            blocks(data.data(), full);
         size_t rem = data.size() % 16;
         if (rem) {
             uint8_t last[16] = {};
@@ -165,20 +190,44 @@ AesGcm::deriveCounter0(ByteView iv, uint8_t j0[16]) const
 void
 AesGcm::ctrCrypt(const uint8_t j0[16], ByteView in, Bytes &out) const
 {
+    // Counter blocks are generated in batches and encrypted through
+    // the pipelined multi-block entry; the 32-bit wrapping inc32
+    // semantics of GCM are preserved by incrementing per block.
+    constexpr size_t kBatch = 32;
     uint8_t ctr[16];
     std::memcpy(ctr, j0, 16);
     out.resize(in.size());
     size_t off = 0;
-    uint8_t ks[16];
+    uint8_t counters[kBatch * 16];
+    uint8_t ks[kBatch * 16];
     while (off < in.size()) {
-        inc32(ctr);
-        aes_.encryptBlock(ctr, ks);
-        size_t n = std::min(size_t(16), in.size() - off);
-        for (size_t i = 0; i < n; ++i)
+        size_t blocks = std::min(
+            kBatch, (in.size() - off + size_t(15)) / 16);
+        for (size_t b = 0; b < blocks; ++b) {
+            inc32(ctr);
+            std::memcpy(counters + 16 * b, ctr, 16);
+        }
+        aes_.encryptBlocks(counters, ks, blocks);
+        size_t n = std::min(blocks * 16, in.size() - off);
+        size_t i = 0;
+        for (; i + 8 <= n; i += 8) {
+            uint64_t d, k;
+            std::memcpy(&d, in.data() + off + i, 8);
+            std::memcpy(&k, ks + i, 8);
+            d ^= k;
+            std::memcpy(out.data() + off + i, &d, 8);
+        }
+        for (; i < n; ++i)
             out[off + i] = uint8_t(in[off + i] ^ ks[i]);
         off += n;
     }
-    secureZero(ks, 16);
+    secureZero(ks, sizeof(ks));
+}
+
+void
+AesGcm::ctrCryptRaw(const uint8_t j0[16], ByteView in, Bytes &out) const
+{
+    ctrCrypt(j0, in, out);
 }
 
 GcmSealed

@@ -52,6 +52,16 @@ class AesGcm
     std::optional<Bytes> open(ByteView iv, ByteView aad,
                               ByteView ciphertext, ByteView tag) const;
 
+    /**
+     * White-box seam for counter-wrap KATs: runs the GCM CTR core
+     * against an explicit pre-increment counter block J0 (the keystream
+     * starts at inc32(J0)), which lets tests pin the 32-bit counter
+     * word right below its 2^32 wrap — unreachable through seal(),
+     * where J0 is derived from the IV.
+     */
+    void ctrCryptRaw(const uint8_t j0[16], ByteView in,
+                     Bytes &out) const;
+
   private:
     struct Ghash;
     void deriveCounter0(ByteView iv, uint8_t j0[16]) const;

@@ -1,0 +1,294 @@
+#include "crypto/backend_x86.hpp"
+
+#ifdef SALUS_CRYPTO_HAVE_X86_BACKEND
+
+#include <immintrin.h>
+
+namespace salus::crypto::x86 {
+
+namespace {
+
+// ---- AES-NI / VAES ----------------------------------------------------
+
+/** Loads the serialized round keys into xmm registers. AES-NI's
+ *  aesenc round matches FIPS-197 exactly when the round key bytes are
+ *  loaded as-is, which is precisely how Aes serializes its schedule
+ *  (big-endian words = the spec's byte order). */
+__attribute__((target("aes,sse2"))) inline void
+loadRoundKeys(const uint8_t *rk, int rounds, __m128i k[15])
+{
+    for (int r = 0; r <= rounds; ++r)
+        k[r] = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(rk + 16 * r));
+}
+
+/** 8-wide pipelined AES-NI ECB: the aesenc unit is fully pipelined,
+ *  so eight independent blocks in flight hide its latency. */
+__attribute__((target("aes,sse2"))) void
+ecbAesni(const uint8_t *rk, int rounds, const uint8_t *in,
+         uint8_t *out, size_t n)
+{
+    __m128i k[15];
+    loadRoundKeys(rk, rounds, k);
+    while (n >= 8) {
+        __m128i b[8];
+        for (int i = 0; i < 8; ++i) {
+            b[i] = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(in + 16 * i));
+            b[i] = _mm_xor_si128(b[i], k[0]);
+        }
+        for (int r = 1; r < rounds; ++r)
+            for (int i = 0; i < 8; ++i)
+                b[i] = _mm_aesenc_si128(b[i], k[r]);
+        for (int i = 0; i < 8; ++i) {
+            b[i] = _mm_aesenclast_si128(b[i], k[rounds]);
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(out + 16 * i),
+                             b[i]);
+        }
+        in += 128;
+        out += 128;
+        n -= 8;
+    }
+    while (n > 0) {
+        __m128i b = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(in));
+        b = _mm_xor_si128(b, k[0]);
+        for (int r = 1; r < rounds; ++r)
+            b = _mm_aesenc_si128(b, k[r]);
+        b = _mm_aesenclast_si128(b, k[rounds]);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out), b);
+        in += 16;
+        out += 16;
+        --n;
+    }
+}
+
+/** 16-wide VAES: two blocks per ymm register, eight registers in
+ *  flight. Only the bulk; the tail falls back to the 128-bit path. */
+__attribute__((target("vaes,avx2,aes"))) size_t
+ecbVaes(const uint8_t *rk, int rounds, const uint8_t *in, uint8_t *out,
+        size_t n)
+{
+    __m256i k[15];
+    for (int r = 0; r <= rounds; ++r)
+        k[r] = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(rk + 16 * r)));
+    size_t done = 0;
+    while (n - done >= 16) {
+        __m256i b[8];
+        for (int i = 0; i < 8; ++i) {
+            b[i] = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
+                in + done * 16 + 32 * i));
+            b[i] = _mm256_xor_si256(b[i], k[0]);
+        }
+        for (int r = 1; r < rounds; ++r)
+            for (int i = 0; i < 8; ++i)
+                b[i] = _mm256_aesenc_epi128(b[i], k[r]);
+        for (int i = 0; i < 8; ++i) {
+            b[i] = _mm256_aesenclast_epi128(b[i], k[rounds]);
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(
+                                    out + done * 16 + 32 * i),
+                                b[i]);
+        }
+        done += 16;
+    }
+    _mm256_zeroupper();
+    return done;
+}
+
+// ---- PCLMULQDQ GHASH --------------------------------------------------
+
+/**
+ * One GF(2^128) multiply in GHASH's representation. The scalar code
+ * (and this one) stores field elements as the two big-endian-loaded
+ * 64-bit halves, which makes the stored 128-bit integer the
+ * bit-reversal of the polynomial: bit j holds the coefficient of
+ * x^(127-j). The product of two bit-reversed polynomials is the
+ * bit-reversed 255-bit carry-less product shifted left by one, after
+ * which x^128..x^254 terms are folded twice through
+ * x^128 = x^7 + x^2 + x + 1 (the GCM polynomial).
+ */
+__attribute__((target("pclmul,sse4.1"))) inline void
+ghashMult(uint64_t &zh, uint64_t &zl, uint64_t hh, uint64_t hl)
+{
+    const __m128i a = _mm_set_epi64x(int64_t(zh), int64_t(zl));
+    const __m128i b = _mm_set_epi64x(int64_t(hh), int64_t(hl));
+
+    // Schoolbook 128x128 -> 255-bit carry-less product.
+    const __m128i ll = _mm_clmulepi64_si128(a, b, 0x00);
+    const __m128i hh2 = _mm_clmulepi64_si128(a, b, 0x11);
+    const __m128i lh = _mm_clmulepi64_si128(a, b, 0x10);
+    const __m128i hl2 = _mm_clmulepi64_si128(a, b, 0x01);
+    const __m128i mid = _mm_xor_si128(lh, hl2);
+
+    uint64_t p0 = uint64_t(_mm_cvtsi128_si64(ll));
+    uint64_t p1 = uint64_t(_mm_extract_epi64(ll, 1)) ^
+                  uint64_t(_mm_cvtsi128_si64(mid));
+    uint64_t p2 = uint64_t(_mm_cvtsi128_si64(hh2)) ^
+                  uint64_t(_mm_extract_epi64(mid, 1));
+    uint64_t p3 = uint64_t(_mm_extract_epi64(hh2, 1));
+
+    // Undo the bit-reversal's off-by-one: Q = P << 1 is the reversed
+    // 256-bit product C (q3:q2 = rev(C_lo), q1:q0 = rev(C_hi)).
+    uint64_t q0 = p0 << 1;
+    uint64_t q1 = (p1 << 1) | (p0 >> 63);
+    uint64_t q2 = (p2 << 1) | (p1 >> 63);
+    uint64_t q3 = (p3 << 1) | (p2 >> 63);
+
+    // Fold C_hi * (x^7 + x^2 + x + 1), truncated to degree <= 127:
+    // multiplying by x^s is a right shift by s in this representation.
+    uint64_t d1 = q1 ^ (q1 >> 1) ^ (q1 >> 2) ^ (q1 >> 7);
+    uint64_t d0 = q0 ^ ((q0 >> 1) | (q1 << 63)) ^
+                  ((q0 >> 2) | (q1 << 62)) ^ ((q0 >> 7) | (q1 << 57));
+
+    // Second fold: the first fold overflows x^127 by at most six
+    // terms e_m x^(128+m) (m = 0..5), with e_m = c_(121+m), plus
+    // c_126 riding on m = 0 from the x^2 term. c_(127-j) is bit j of
+    // q0, so all six live in q0's low bits.
+    unsigned e = 0;
+    for (int m = 0; m <= 5; ++m)
+        e |= unsigned((q0 >> (6 - m)) & 1) << m;
+    e ^= unsigned((q0 >> 1) & 1);
+    // F = E(x) * (x^7 + x^2 + x + 1), degree <= 12.
+    unsigned f = (e << 7) ^ (e << 2) ^ (e << 1) ^ e;
+    // rev(F): degree-d terms land on bit 127 - d, all in the top word.
+    uint64_t fh = 0;
+    for (int d = 0; d <= 12; ++d)
+        if ((f >> d) & 1)
+            fh |= uint64_t(1) << (63 - d);
+
+    zh = q3 ^ d1 ^ fh;
+    zl = q2 ^ d0;
+}
+
+__attribute__((target("pclmul,sse4.1"))) void
+ghashBlocks(uint64_t &yh, uint64_t &yl, const uint8_t *data, size_t n,
+            uint64_t h0, uint64_t h1)
+{
+    uint64_t zh = yh, zl = yl;
+    for (size_t i = 0; i < n; ++i, data += 16) {
+        // Big-endian load == the scalar representation.
+        uint64_t xh = 0, xl = 0;
+        for (int j = 0; j < 8; ++j) {
+            xh = (xh << 8) | data[j];
+            xl = (xl << 8) | data[8 + j];
+        }
+        zh ^= xh;
+        zl ^= xl;
+        ghashMult(zh, zl, h0, h1);
+    }
+    yh = zh;
+    yl = zl;
+}
+
+// ---- SHA-NI -----------------------------------------------------------
+
+alignas(16) const uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5,
+    0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+    0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3,
+    0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5,
+    0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+__attribute__((target("sha,ssse3,sse4.1"))) void
+sha256Compress(uint32_t state[8], const uint8_t *data, size_t n)
+{
+    const __m128i kSwap = _mm_set_epi64x(
+        int64_t(0x0c0d0e0f08090a0bULL), int64_t(0x0405060700010203ULL));
+
+    // Repack {a..h} into the sha256rnds2 operand order (ABEF/CDGH).
+    __m128i tmp =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(&state[0]));
+    __m128i s1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i *>(&state[4]));
+    tmp = _mm_shuffle_epi32(tmp, 0xB1);       // CDAB
+    s1 = _mm_shuffle_epi32(s1, 0x1B);         // EFGH
+    __m128i s0 = _mm_alignr_epi8(tmp, s1, 8); // ABEF
+    s1 = _mm_blend_epi16(s1, tmp, 0xF0);      // CDGH
+
+    while (n > 0) {
+        const __m128i save0 = s0;
+        const __m128i save1 = s1;
+        __m128i msg[4];
+        for (int g = 0; g < 16; ++g) {
+            __m128i m;
+            if (g < 4) {
+                m = _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(data + 16 * g));
+                m = _mm_shuffle_epi8(m, kSwap);
+                msg[g] = m;
+            } else {
+                // W[4g..4g+3] from the four previous vectors.
+                const __m128i x0 = msg[g % 4];
+                const __m128i x1 = msg[(g + 1) % 4];
+                const __m128i x2 = msg[(g + 2) % 4];
+                const __m128i x3 = msg[(g + 3) % 4];
+                m = _mm_sha256msg1_epu32(x0, x1);
+                m = _mm_add_epi32(m, _mm_alignr_epi8(x3, x2, 4));
+                m = _mm_sha256msg2_epu32(m, x3);
+                msg[g % 4] = m;
+            }
+            const __m128i wk = _mm_add_epi32(
+                m, _mm_load_si128(reinterpret_cast<const __m128i *>(
+                       kSha256K + 4 * g)));
+            s1 = _mm_sha256rnds2_epu32(s1, s0, wk);
+            s0 = _mm_sha256rnds2_epu32(s0, s1,
+                                       _mm_shuffle_epi32(wk, 0x0E));
+        }
+        s0 = _mm_add_epi32(s0, save0);
+        s1 = _mm_add_epi32(s1, save1);
+        data += 64;
+        --n;
+    }
+
+    tmp = _mm_shuffle_epi32(s0, 0x1B); // FEBA
+    s1 = _mm_shuffle_epi32(s1, 0xB1);  // DCHG
+    s0 = _mm_blend_epi16(tmp, s1, 0xF0);
+    s1 = _mm_alignr_epi8(s1, tmp, 8);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(&state[0]), s0);
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(&state[4]), s1);
+}
+
+} // namespace
+
+void
+aesniEcbEncrypt(const uint8_t *roundKeyBytes, int rounds,
+                const uint8_t *in, uint8_t *out, size_t n,
+                bool useVaes)
+{
+    size_t done = 0;
+    if (useVaes && n >= 16)
+        done = ecbVaes(roundKeyBytes, rounds, in, out, n);
+    if (done < n)
+        ecbAesni(roundKeyBytes, rounds, in + 16 * done,
+                 out + 16 * done, n - done);
+}
+
+void
+pclmulGhashBlocks(uint64_t &yh, uint64_t &yl, const uint8_t *data,
+                  size_t n, uint64_t h0, uint64_t h1)
+{
+    ghashBlocks(yh, yl, data, n, h0, h1);
+}
+
+void
+shaniSha256Compress(uint32_t state[8], const uint8_t *data, size_t n)
+{
+    sha256Compress(state, data, n);
+}
+
+} // namespace salus::crypto::x86
+
+#endif // SALUS_CRYPTO_HAVE_X86_BACKEND

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Raw x86-64 hardware crypto kernels (internal to src/crypto).
+ *
+ * Callers must gate every call on the matching backend predicate in
+ * crypto/backend.hpp — these functions execute AES-NI / VAES /
+ * PCLMULQDQ / SHA-NI instructions unconditionally and fault on CPUs
+ * without them. They are compiled with per-function target
+ * attributes, so the rest of the translation unit (and every other
+ * file) stays baseline-ISA clean.
+ *
+ * All kernels are bit-identical to the scalar reference paths; the
+ * differential fuzz entries and the forced-scalar CI run enforce it.
+ */
+
+#ifndef SALUS_CRYPTO_BACKEND_X86_HPP
+#define SALUS_CRYPTO_BACKEND_X86_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define SALUS_CRYPTO_HAVE_X86_BACKEND 1
+
+namespace salus::crypto::x86 {
+
+/**
+ * AES-NI ECB encryption of n independent 16-byte blocks (in and out
+ * may alias). roundKeyBytes holds the FIPS-197 round keys serialized
+ * as bytes, 16 * (rounds + 1) of them; rounds is 10/12/14. Blocks are
+ * pipelined 8-wide (the aesenc units on every AES-NI core overlap
+ * independent blocks), with a VAES+AVX2 16-wide path when useVaes.
+ */
+void aesniEcbEncrypt(const uint8_t *roundKeyBytes, int rounds,
+                     const uint8_t *in, uint8_t *out, size_t n,
+                     bool useVaes);
+
+/**
+ * GHASH: absorbs n 16-byte blocks into the accumulator (yh, yl) under
+ * hash key (h0, h1), all in the scalar code's representation (the
+ * big-endian-loaded halves of the field elements). PCLMULQDQ
+ * multiply + reflected reduction per block.
+ */
+void pclmulGhashBlocks(uint64_t &yh, uint64_t &yl, const uint8_t *data,
+                       size_t n, uint64_t h0, uint64_t h1);
+
+/**
+ * SHA-256: compresses n consecutive 64-byte blocks into state
+ * (the eight working variables a..h, natural order). SHA-NI.
+ */
+void shaniSha256Compress(uint32_t state[8], const uint8_t *data,
+                         size_t n);
+
+} // namespace salus::crypto::x86
+
+#endif // x86-64
+
+#endif // SALUS_CRYPTO_BACKEND_X86_HPP

@@ -1,6 +1,10 @@
 #include "crypto/sha256.hpp"
 
+#include <algorithm>
 #include <cstring>
+
+#include "crypto/backend.hpp"
+#include "crypto/backend_x86.hpp"
 
 namespace salus::crypto {
 
@@ -86,6 +90,21 @@ Sha256::compress(const uint8_t block[64])
     state_[7] += h;
 }
 
+/** Runs n consecutive 64-byte blocks through the dispatch-selected
+ *  compression function in one call. */
+void
+Sha256::compressMany(const uint8_t *blocks, size_t n)
+{
+#ifdef SALUS_CRYPTO_HAVE_X86_BACKEND
+    if (sha256BackendActive()) {
+        x86::shaniSha256Compress(state_.data(), blocks, n);
+        return;
+    }
+#endif
+    for (size_t i = 0; i < n; ++i)
+        compress(blocks + 64 * i);
+}
+
 void
 Sha256::update(ByteView data)
 {
@@ -99,13 +118,14 @@ Sha256::update(ByteView data)
         bufLen_ += take;
         off = take;
         if (bufLen_ == 64) {
-            compress(buf_);
+            compressMany(buf_, 1);
             bufLen_ = 0;
         }
     }
-    while (off + 64 <= data.size()) {
-        compress(data.data() + off);
-        off += 64;
+    size_t full = (data.size() - off) / 64;
+    if (full > 0) {
+        compressMany(data.data() + off, full);
+        off += full * 64;
     }
     if (off < data.size()) {
         std::memcpy(buf_ + bufLen_, data.data() + off, data.size() - off);

@@ -37,6 +37,7 @@ class Sha256
 
   private:
     void compress(const uint8_t block[64]);
+    void compressMany(const uint8_t *blocks, size_t n);
 
     std::array<uint32_t, 8> state_;
     uint8_t buf_[64];

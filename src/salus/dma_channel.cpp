@@ -62,15 +62,23 @@ dmaCtrBlocks(size_t bytes)
 }
 
 void
-cryptDmaPayload(ByteView aesKey, bool read, uint64_t ctrBase,
+cryptDmaPayload(const crypto::Aes &aes, bool read, uint64_t ctrBase,
                 uint8_t *data, size_t len)
 {
     if (len == 0)
         return;
     crypto::AesCtr cipher(
-        aesKey,
-        counterBlock(read ? "SDMAREAD" : "SDMAWRIT", ctrBase));
+        aes, counterBlock(read ? "SDMAREAD" : "SDMAWRIT", ctrBase));
     cipher.crypt(data, len);
+}
+
+void
+cryptDmaPayload(ByteView aesKey, bool read, uint64_t ctrBase,
+                uint8_t *data, size_t len)
+{
+    if (len == 0)
+        return;
+    cryptDmaPayload(crypto::Aes(aesKey), read, ctrBase, data, len);
 }
 
 uint64_t
@@ -168,8 +176,9 @@ verifyDescriptorMac(ByteView macKey, ByteView encoded)
 }
 
 Bytes
-sealReadResponse(ByteView aesKey, ByteView macKey, uint32_t sessionId,
-                 uint64_t seq, uint64_t ctrBase, ByteView plain)
+sealReadResponse(const crypto::Aes &aes, ByteView macKey,
+                 uint32_t sessionId, uint64_t seq, uint64_t ctrBase,
+                 ByteView plain)
 {
     BinaryWriter w;
     w.writeU32(kDmaRespMagic);
@@ -178,16 +187,25 @@ sealReadResponse(ByteView aesKey, ByteView macKey, uint32_t sessionId,
     w.writeU64(seq);
     w.writeU64(ctrBase);
     Bytes ct(plain.begin(), plain.end());
-    cryptDmaPayload(aesKey, true, ctrBase, ct.data(), ct.size());
+    cryptDmaPayload(aes, true, ctrBase, ct.data(), ct.size());
     w.writeRaw(ct);
     uint64_t mac = truncatedHmac(macKey, w.data());
     w.writeU64(mac);
     return w.take();
 }
 
+Bytes
+sealReadResponse(ByteView aesKey, ByteView macKey, uint32_t sessionId,
+                 uint64_t seq, uint64_t ctrBase, ByteView plain)
+{
+    return sealReadResponse(crypto::Aes(aesKey), macKey, sessionId, seq,
+                            ctrBase, plain);
+}
+
 std::optional<Bytes>
-openReadResponse(ByteView aesKey, ByteView macKey, uint32_t sessionId,
-                 uint64_t seq, uint64_t ctrBase, ByteView blob)
+openReadResponse(const crypto::Aes &aes, ByteView macKey,
+                 uint32_t sessionId, uint64_t seq, uint64_t ctrBase,
+                 ByteView blob)
 {
     if (blob.size() < kDmaRespHeaderBytes + 8)
         return std::nullopt;
@@ -207,8 +225,16 @@ openReadResponse(ByteView aesKey, ByteView macKey, uint32_t sessionId,
     if (!macEqual(expect, got))
         return std::nullopt;
     Bytes plain = r.readRaw(len);
-    cryptDmaPayload(aesKey, true, ctrBase, plain.data(), plain.size());
+    cryptDmaPayload(aes, true, ctrBase, plain.data(), plain.size());
     return plain;
+}
+
+std::optional<Bytes>
+openReadResponse(ByteView aesKey, ByteView macKey, uint32_t sessionId,
+                 uint64_t seq, uint64_t ctrBase, ByteView blob)
+{
+    return openReadResponse(crypto::Aes(aesKey), macKey, sessionId, seq,
+                            ctrBase, blob);
 }
 
 uint64_t

@@ -98,7 +98,7 @@ migrationTicketMac(ByteView keyAttest, uint32_t fromDevice,
 }
 
 SealedRegRequest
-sealRequest(ByteView aesKey, ByteView macKey, uint64_t ctr,
+sealRequest(const crypto::Aes &aes, ByteView macKey, uint64_t ctr,
             const RegOp &op)
 {
     uint8_t plain[16] = {};
@@ -106,7 +106,7 @@ sealRequest(ByteView aesKey, ByteView macKey, uint64_t ctr,
     storeLe32(plain + 1, op.addr);
     storeLe64(plain + 5, op.data);
 
-    crypto::AesCtr cipher(aesKey, counterBlock("SREGCHAN", ctr));
+    crypto::AesCtr cipher(aes, counterBlock("SREGCHAN", ctr));
     cipher.crypt(plain, 16);
 
     SealedRegRequest req;
@@ -117,8 +117,16 @@ sealRequest(ByteView aesKey, ByteView macKey, uint64_t ctr,
     return req;
 }
 
+SealedRegRequest
+sealRequest(ByteView aesKey, ByteView macKey, uint64_t ctr,
+            const RegOp &op)
+{
+    return sealRequest(crypto::Aes(aesKey), macKey, ctr, op);
+}
+
 std::optional<RegOp>
-openRequest(ByteView aesKey, ByteView macKey, const SealedRegRequest &req)
+openRequest(const crypto::Aes &aes, ByteView macKey,
+            const SealedRegRequest &req)
 {
     uint64_t expect =
         truncatedHmac(macKey, req.ctr, req.ct0, req.ct1, "req");
@@ -131,7 +139,7 @@ openRequest(ByteView aesKey, ByteView macKey, const SealedRegRequest &req)
     uint8_t buf[16];
     storeLe64(buf, req.ct0);
     storeLe64(buf + 8, req.ct1);
-    crypto::AesCtr cipher(aesKey, counterBlock("SREGCHAN", req.ctr));
+    crypto::AesCtr cipher(aes, counterBlock("SREGCHAN", req.ctr));
     cipher.crypt(buf, 16);
 
     RegOp op;
@@ -141,15 +149,21 @@ openRequest(ByteView aesKey, ByteView macKey, const SealedRegRequest &req)
     return op;
 }
 
+std::optional<RegOp>
+openRequest(ByteView aesKey, ByteView macKey, const SealedRegRequest &req)
+{
+    return openRequest(crypto::Aes(aesKey), macKey, req);
+}
+
 SealedRegResponse
-sealResponse(ByteView aesKey, ByteView macKey, uint64_t ctr,
+sealResponse(const crypto::Aes &aes, ByteView macKey, uint64_t ctr,
              uint8_t status, uint64_t data)
 {
     uint8_t plain[16] = {};
     plain[0] = status;
     storeLe64(plain + 1, data);
 
-    crypto::AesCtr cipher(aesKey, counterBlock("SRSPCHAN", ctr));
+    crypto::AesCtr cipher(aes, counterBlock("SRSPCHAN", ctr));
     cipher.crypt(plain, 16);
 
     SealedRegResponse rsp;
@@ -159,8 +173,15 @@ sealResponse(ByteView aesKey, ByteView macKey, uint64_t ctr,
     return rsp;
 }
 
+SealedRegResponse
+sealResponse(ByteView aesKey, ByteView macKey, uint64_t ctr,
+             uint8_t status, uint64_t data)
+{
+    return sealResponse(crypto::Aes(aesKey), macKey, ctr, status, data);
+}
+
 std::optional<std::pair<uint8_t, uint64_t>>
-openResponse(ByteView aesKey, ByteView macKey, uint64_t ctr,
+openResponse(const crypto::Aes &aes, ByteView macKey, uint64_t ctr,
              const SealedRegResponse &rsp)
 {
     uint64_t expect =
@@ -174,16 +195,23 @@ openResponse(ByteView aesKey, ByteView macKey, uint64_t ctr,
     uint8_t buf[16];
     storeLe64(buf, rsp.ct0);
     storeLe64(buf + 8, rsp.ct1);
-    crypto::AesCtr cipher(aesKey, counterBlock("SRSPCHAN", ctr));
+    crypto::AesCtr cipher(aes, counterBlock("SRSPCHAN", ctr));
     cipher.crypt(buf, 16);
 
     return std::make_pair(buf[0], loadLe64(buf + 1));
 }
 
+std::optional<std::pair<uint8_t, uint64_t>>
+openResponse(ByteView aesKey, ByteView macKey, uint64_t ctr,
+             const SealedRegResponse &rsp)
+{
+    return openResponse(crypto::Aes(aesKey), macKey, ctr, rsp);
+}
+
 // ---- Batched register bursts -----------------------------------------
 
 void
-cryptBatchBlock(ByteView aesKey, bool response, uint64_t ctr,
+cryptBatchBlock(const crypto::Aes &aes, bool response, uint64_t ctr,
                 uint8_t *block)
 {
     // Each op owns the one-block keystream at ("SREGBRST"/"SRSPBRST",
@@ -191,8 +219,15 @@ cryptBatchBlock(ByteView aesKey, bool response, uint64_t ctr,
     // ("SREGCHAN"/"SRSPCHAN"), so batch and single traffic can share
     // a session counter space without keystream reuse.
     crypto::AesCtr cipher(
-        aesKey, counterBlock(response ? "SRSPBRST" : "SREGBRST", ctr));
+        aes, counterBlock(response ? "SRSPBRST" : "SREGBRST", ctr));
     cipher.crypt(block, kRegBatchBlock);
+}
+
+void
+cryptBatchBlock(ByteView aesKey, bool response, uint64_t ctr,
+                uint8_t *block)
+{
+    cryptBatchBlock(crypto::Aes(aesKey), response, ctr, block);
 }
 
 void
@@ -276,7 +311,7 @@ macEqual(uint64_t expect, uint64_t got)
 } // namespace
 
 SealedRegBatch
-sealBatch(ByteView aesKey, ByteView macKey, uint32_t sessionId,
+sealBatch(const crypto::Aes &aes, ByteView macKey, uint32_t sessionId,
           uint64_t ctrBase, const std::vector<RegOp> &ops)
 {
     SealedRegBatch batch;
@@ -286,15 +321,24 @@ sealBatch(ByteView aesKey, ByteView macKey, uint32_t sessionId,
     for (size_t i = 0; i < ops.size(); ++i) {
         uint8_t *block = batch.payload.data() + i * kRegBatchBlock;
         encodeBatchOp(ops[i], block);
-        cryptBatchBlock(aesKey, false, ctrBase + i, block);
+        cryptBatchBlock(aes, false, ctrBase + i, block);
     }
     batch.mac =
         batchMac(macKey, sessionId, ctrBase, batch.payload, false);
     return batch;
 }
 
+SealedRegBatch
+sealBatch(ByteView aesKey, ByteView macKey, uint32_t sessionId,
+          uint64_t ctrBase, const std::vector<RegOp> &ops)
+{
+    return sealBatch(crypto::Aes(aesKey), macKey, sessionId, ctrBase,
+                     ops);
+}
+
 std::optional<std::vector<RegOp>>
-openBatch(ByteView aesKey, ByteView macKey, const SealedRegBatch &batch)
+openBatch(const crypto::Aes &aes, ByteView macKey,
+          const SealedRegBatch &batch)
 {
     if (!batchShapeOk(batch.payload.size(), batch.ctrBase))
         return std::nullopt;
@@ -308,15 +352,21 @@ openBatch(ByteView aesKey, ByteView macKey, const SealedRegBatch &batch)
         uint8_t block[kRegBatchBlock];
         std::memcpy(block, batch.payload.data() + i * kRegBatchBlock,
                     kRegBatchBlock);
-        cryptBatchBlock(aesKey, false, batch.ctrBase + i, block);
+        cryptBatchBlock(aes, false, batch.ctrBase + i, block);
         ops[i] = decodeBatchOp(block);
     }
     return ops;
 }
 
+std::optional<std::vector<RegOp>>
+openBatch(ByteView aesKey, ByteView macKey, const SealedRegBatch &batch)
+{
+    return openBatch(crypto::Aes(aesKey), macKey, batch);
+}
+
 SealedBatchResponse
-sealBatchResponse(ByteView aesKey, ByteView macKey, uint32_t sessionId,
-                  uint64_t ctrBase,
+sealBatchResponse(const crypto::Aes &aes, ByteView macKey,
+                  uint32_t sessionId, uint64_t ctrBase,
                   const std::vector<BatchResult> &results)
 {
     SealedBatchResponse rsp;
@@ -324,16 +374,25 @@ sealBatchResponse(ByteView aesKey, ByteView macKey, uint32_t sessionId,
     for (size_t i = 0; i < results.size(); ++i) {
         uint8_t *block = rsp.payload.data() + i * kRegBatchBlock;
         encodeBatchResult(results[i].status, results[i].data, block);
-        cryptBatchBlock(aesKey, true, ctrBase + i, block);
+        cryptBatchBlock(aes, true, ctrBase + i, block);
     }
     rsp.mac = batchMac(macKey, sessionId, ctrBase, rsp.payload, true);
     return rsp;
 }
 
+SealedBatchResponse
+sealBatchResponse(ByteView aesKey, ByteView macKey, uint32_t sessionId,
+                  uint64_t ctrBase,
+                  const std::vector<BatchResult> &results)
+{
+    return sealBatchResponse(crypto::Aes(aesKey), macKey, sessionId,
+                             ctrBase, results);
+}
+
 std::optional<std::vector<BatchResult>>
-openBatchResponse(ByteView aesKey, ByteView macKey, uint32_t sessionId,
-                  uint64_t ctrBase, size_t expectCount,
-                  const SealedBatchResponse &rsp)
+openBatchResponse(const crypto::Aes &aes, ByteView macKey,
+                  uint32_t sessionId, uint64_t ctrBase,
+                  size_t expectCount, const SealedBatchResponse &rsp)
 {
     if (rsp.count() != expectCount ||
         !batchShapeOk(rsp.payload.size(), ctrBase))
@@ -348,10 +407,19 @@ openBatchResponse(ByteView aesKey, ByteView macKey, uint32_t sessionId,
         uint8_t block[kRegBatchBlock];
         std::memcpy(block, rsp.payload.data() + i * kRegBatchBlock,
                     kRegBatchBlock);
-        cryptBatchBlock(aesKey, true, ctrBase + i, block);
+        cryptBatchBlock(aes, true, ctrBase + i, block);
         results[i] = decodeBatchResult(block);
     }
     return results;
+}
+
+std::optional<std::vector<BatchResult>>
+openBatchResponse(ByteView aesKey, ByteView macKey, uint32_t sessionId,
+                  uint64_t ctrBase, size_t expectCount,
+                  const SealedBatchResponse &rsp)
+{
+    return openBatchResponse(crypto::Aes(aesKey), macKey, sessionId,
+                             ctrBase, expectCount, rsp);
 }
 
 // ---- Multi-session key fan-out ---------------------------------------

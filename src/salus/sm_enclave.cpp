@@ -839,15 +839,29 @@ SmEnclaveApp::secureRegOp(const regchan::RegOp &op)
     return result;
 }
 
+const crypto::Aes &
+SmEnclaveApp::slotAes(uint32_t slot, ByteView aesKey)
+{
+    SlotAesCache &c = slotAesCache_[slot];
+    if (!c.aes || c.key.size() != aesKey.size() ||
+        !std::equal(c.key.begin(), c.key.end(), aesKey.begin())) {
+        secureZero(c.key);
+        c.key.assign(aesKey.begin(), aesKey.end());
+        c.aes = std::make_unique<crypto::Aes>(aesKey);
+    }
+    return *c.aes;
+}
+
 std::pair<uint8_t, uint64_t>
 SmEnclaveApp::secureRegOpOnce(const regchan::RegOp &op)
 {
     uint64_t ctr = nextSessionCtr();
+    const crypto::Aes &aes = slotAes(0, secrets_.sessionAesKey());
     regchan::SealedRegRequest req;
     {
         obs::Span crypto(obs::Category::Channel, "op_crypto");
-        req = regchan::sealRequest(secrets_.sessionAesKey(),
-                                   secrets_.sessionMacKey(), ctr, op);
+        req = regchan::sealRequest(aes, secrets_.sessionMacKey(), ctr,
+                                   op);
     }
 
     shell::Shell &sh = activeShell();
@@ -872,8 +886,8 @@ SmEnclaveApp::secureRegOpOnce(const regchan::RegOp &op)
     }
 
     obs::Span crypto(obs::Category::Channel, "op_crypto");
-    auto opened = regchan::openResponse(
-        secrets_.sessionAesKey(), secrets_.sessionMacKey(), ctr, rsp);
+    auto opened =
+        regchan::openResponse(aes, secrets_.sessionMacKey(), ctr, rsp);
     if (!opened) {
         obs::count("channel.rejects");
         return {0xfb, 0}; // response forged or corrupted
@@ -1047,6 +1061,7 @@ SmEnclaveApp::secureRegBatchOnce(uint32_t slot, uint64_t ctrBase,
         aesKey = ByteView(s.keySession).subspan(0, 16);
         macKey = ByteView(s.keySession).subspan(16, 32);
     }
+    const crypto::Aes &aes = slotAes(slot, aesKey);
 
     // Host-side crypto (seal + open) is one AES block per op each way
     // plus a single MAC pass per direction — the cost batching
@@ -1059,7 +1074,7 @@ SmEnclaveApp::secureRegBatchOnce(uint32_t slot, uint64_t ctrBase,
             deps_.sim.spend(phases::kChanCrypto,
                             deps_.sim.cost->batchCrypto(ops.size()));
         }
-        batch = regchan::sealBatch(aesKey, macKey, slot, ctrBase, ops);
+        batch = regchan::sealBatch(aes, macKey, slot, ctrBase, ops);
     }
 
     size_t nWords = batch.payload.size() / 8;
@@ -1105,8 +1120,8 @@ SmEnclaveApp::secureRegBatchOnce(uint32_t slot, uint64_t ctrBase,
 
     obs::Span crypto(obs::Category::Channel, "batch_crypto",
                      uint64_t(ops.size()));
-    auto opened = regchan::openBatchResponse(aesKey, macKey, slot,
-                                             ctrBase, ops.size(), rsp);
+    auto opened = regchan::openBatchResponse(aes, macKey, slot, ctrBase,
+                                             ops.size(), rsp);
     if (!opened) {
         obs::count("channel.rejects");
         return 0xfb; // response forged or corrupted
@@ -1203,6 +1218,9 @@ SmEnclaveApp::dmaTransfer(uint32_t slot, bool read,
         aesKey = ByteView(s.keySession).subspan(0, 16);
         macKey = ByteView(s.keySession).subspan(16, 32);
     }
+    // Sealing lambdas share the slot's cached schedule; the cache map
+    // entry outlives the window engine's run() below.
+    const crypto::Aes *aesCtx = &slotAes(slot, aesKey);
 
     size_t chunkBytes =
         std::clamp<size_t>(opts.descriptorBytes, dmachan::kDmaBlock,
@@ -1227,7 +1245,7 @@ SmEnclaveApp::dmaTransfer(uint32_t slot, bool read,
         w.seq = seq;
         w.payloadBytes = c.bytes;
         w.read = read;
-        w.seal = [aesKey, macKey, slot, read, sync, seq, ctrBase,
+        w.seal = [aesCtx, macKey, slot, read, sync, seq, ctrBase,
                   respAddr, &c, data]() -> Bytes {
             dmachan::DmaDescriptor d;
             d.read = read;
@@ -1241,7 +1259,7 @@ SmEnclaveApp::dmaTransfer(uint32_t slot, bool read,
                 d.payload.assign(data.begin() + long(c.dataOff),
                                  data.begin() +
                                      long(c.dataOff + c.bytes));
-                dmachan::cryptDmaPayload(aesKey, false, ctrBase,
+                dmachan::cryptDmaPayload(*aesCtx, false, ctrBase,
                                          d.payload.data(),
                                          d.payload.size());
             }
@@ -1252,7 +1270,7 @@ SmEnclaveApp::dmaTransfer(uint32_t slot, bool read,
         if (read) {
             size_t bytes = c.bytes;
             size_t dataOff = c.dataOff;
-            w.complete = [aesKey, macKey, slot, seq, ctrBase, respAddr,
+            w.complete = [aesCtx, macKey, slot, seq, ctrBase, respAddr,
                           bytes, dataOff, out, &sh]() -> bool {
                 Bytes blob;
                 try {
@@ -1262,7 +1280,7 @@ SmEnclaveApp::dmaTransfer(uint32_t slot, bool read,
                     return false;
                 }
                 auto plain = dmachan::openReadResponse(
-                    aesKey, macKey, slot, seq, ctrBase, blob);
+                    *aesCtx, macKey, slot, seq, ctrBase, blob);
                 if (!plain || plain->size() != bytes)
                     return false;
                 std::copy(plain->begin(), plain->end(),
@@ -1544,6 +1562,11 @@ SmEnclaveApp::retireCurrentSecrets()
     for (auto &[slot, s] : extraSessions_)
         secureZero(s.keySession);
     extraSessions_.clear();
+    // Cached schedules hold expansions of the retiring keys; drop them
+    // (Aes's destructor wipes the round keys).
+    for (auto &[slot, c] : slotAesCache_)
+        secureZero(c.key);
+    slotAesCache_.clear();
     if (!haveSecrets_)
         return;
     retiredFingerprints_.insert(secretsFingerprint());

@@ -365,6 +365,11 @@ class SmEnclaveApp : public tee::Enclave
     uint8_t secureRegBatchOnce(uint32_t slot, uint64_t ctrBase,
                                const std::vector<regchan::RegOp> &ops,
                                std::vector<regchan::BatchResult> &out);
+    /** Returns the slot's cached expanded AES schedule, rebuilding it
+     *  only when the key bytes differ from the cached copy (open,
+     *  re-key, failover and journal restore all change the bytes, so
+     *  the cache self-heals on every key-rolling path). */
+    const crypto::Aes &slotAes(uint32_t slot, ByteView aesKey);
     /** Reserves n DMA descriptor sequence numbers on the slot,
      *  extending the journal's write-ahead reservation first when
      *  needed. @return the first sequence number of the span. */
@@ -414,6 +419,14 @@ class SmEnclaveApp : public tee::Enclave
     std::vector<uint64_t> extraSeq_;
     /** Open derived fabric sessions, keyed by slot (>= 1). */
     std::map<uint32_t, FabricSession> extraSessions_;
+    /** Cached expanded AES schedules, one per session slot (see
+     *  slotAes()). */
+    struct SlotAesCache
+    {
+        Bytes key;
+        std::unique_ptr<crypto::Aes> aes;
+    };
+    std::map<uint32_t, SlotAesCache> slotAesCache_;
 
     ClMetadata metadata_;
     bool haveMetadata_ = false;

@@ -7,6 +7,14 @@
 
 namespace salus::core {
 
+void
+SmLogic::SessionSlot::setAesKey(Bytes key)
+{
+    secureZero(aesKey);
+    aesKey = std::move(key);
+    aesCtx = std::make_unique<crypto::Aes>(aesKey);
+}
+
 SmLogic::SmLogic(const netlist::Cell &cell,
                  const netlist::Netlist &design,
                  const fpga::FabricServices &services)
@@ -34,7 +42,7 @@ SmLogic::SmLogic(const netlist::Cell &cell,
     Bytes session = bramInit(keySessionPath, kKeySessionSize);
     SessionSlot &base = sessions_[0];
     base.open = true;
-    base.aesKey = sliceBytes(session, 0, 16);
+    base.setAesKey(sliceBytes(session, 0, 16));
     base.macKey = sliceBytes(session, 16, 32);
     Bytes ctr = bramInit(ctrSessionPath, kCtrSessionSize);
     base.lastCtr = loadLe64(ctr.data());
@@ -252,9 +260,8 @@ SmLogic::doRekey()
     }
     base.lastCtr = ctr;
     auto [aes, macKey] = regchan::deriveRekeyedKeys(base.macKey, nonce);
-    secureZero(base.aesKey);
+    base.setAesKey(std::move(aes));
     secureZero(base.macKey);
-    base.aesKey = std::move(aes);
     base.macKey = std::move(macKey);
     ++statRegOpOk_;
     status_ = kSmStatusOk;
@@ -292,7 +299,7 @@ SmLogic::doSecureReg()
         status_ = kSmStatusRejected;
         return;
     }
-    auto op = regchan::openRequest(base.aesKey, base.macKey, req);
+    auto op = regchan::openRequest(base.aes(), base.macKey, req);
     if (!op) {
         ++statRegOpRejected_;
         status_ = kSmStatusRejected;
@@ -304,7 +311,7 @@ SmLogic::doSecureReg()
     uint64_t data = executeOp(*op, opStatus);
 
     regchan::SealedRegResponse rsp = regchan::sealResponse(
-        base.aesKey, base.macKey, req.ctr, opStatus, data);
+        base.aes(), base.macKey, req.ctr, opStatus, data);
     out_[0] = rsp.ct0;
     out_[1] = rsp.ct1;
     out_[2] = rsp.mac;
@@ -357,7 +364,7 @@ SmLogic::doSecureBatch()
     burstOutPos_ = 0;
     for (uint64_t i = 0; i < count; ++i) {
         uint8_t *inBlock = burstIn_.data() + i * regchan::kRegBatchBlock;
-        regchan::cryptBatchBlock(slot.aesKey, /*response=*/false,
+        regchan::cryptBatchBlock(slot.aes(), /*response=*/false,
                                  ctrBase + i, inBlock);
         regchan::RegOp op = regchan::decodeBatchOp(inBlock);
         uint8_t opStatus = 0;
@@ -365,7 +372,7 @@ SmLogic::doSecureBatch()
         uint8_t *outBlock =
             burstOut_.data() + i * regchan::kRegBatchBlock;
         regchan::encodeBatchResult(opStatus, data, outBlock);
-        regchan::cryptBatchBlock(slot.aesKey, /*response=*/true,
+        regchan::cryptBatchBlock(slot.aes(), /*response=*/true,
                                  ctrBase + i, outBlock);
     }
     out_[0] = count;
@@ -406,9 +413,8 @@ SmLogic::doOpenSession()
     secureZero(baseBlock);
 
     SessionSlot &slot = sessions_[slotId];
-    secureZero(slot.aesKey);
+    slot.setAesKey(sliceBytes(derived, 0, 16));
     secureZero(slot.macKey);
-    slot.aesKey = sliceBytes(derived, 0, 16);
     slot.macKey = sliceBytes(derived, 16, 32);
     secureZero(derived);
     slot.lastCtr = 0;
@@ -530,12 +536,12 @@ SmLogic::applyDmaDescriptor(SessionSlot &slot, uint32_t slotId,
             plain.insert(plain.end(), part.begin(), part.end());
         }
         Bytes blob = dmachan::sealReadResponse(
-            slot.aesKey, slot.macKey, slotId, d.seq, d.ctrBase, plain);
+            slot.aes(), slot.macKey, slotId, d.seq, d.ctrBase, plain);
         dram_->write(d.respAddr, blob);
         secureZero(plain);
         statDmaBytes_ += d.sgBytes();
     } else {
-        dmachan::cryptDmaPayload(slot.aesKey, /*read=*/false, d.ctrBase,
+        dmachan::cryptDmaPayload(slot.aes(), /*read=*/false, d.ctrBase,
                                  d.payload.data(), d.payload.size());
         size_t off = 0;
         for (const dmachan::DmaSgEntry &e : d.sg) {

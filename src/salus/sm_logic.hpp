@@ -28,6 +28,7 @@
 
 #include <array>
 #include <map>
+#include <memory>
 
 #include "fpga/device.hpp"
 #include "fpga/dram.hpp"
@@ -125,6 +126,10 @@ class SmLogic : public fpga::IpBehavior
         bool open = false;
         Bytes aesKey;
         Bytes macKey;
+        /** Expanded AES key schedule, rebuilt only when the key
+         *  changes (construction, open-session, re-key) — every
+         *  register/DMA message reuses it instead of re-expanding. */
+        std::unique_ptr<crypto::Aes> aesCtx;
         uint64_t lastCtr = 0;
         uint64_t openNonce = 0; ///< strictly increasing per slot
         /** DMA plane: lowest sequence number not yet applied — also
@@ -133,6 +138,11 @@ class SmLogic : public fpga::IpBehavior
         /** Bounded reorder buffer for out-of-order but in-window
          *  descriptors (<= dmachan::kDmaMaxWindow entries). */
         std::map<uint64_t, dmachan::DmaDescriptor> dmaBuffer;
+
+        /** Installs a new AES key: zeroes the old one and rebuilds
+         *  the cached schedule. */
+        void setAesKey(Bytes key);
+        const crypto::Aes &aes() const { return *aesCtx; }
     };
 
     void execute(uint64_t cmd);
