@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Event-engine scale bench: sweeps the fleet simulation (sessions x
+ * devices) up to 10,000 sessions across 256 devices, measuring how
+ * many engine events the deterministic run loop dispatches per
+ * wall-clock second and how far virtual time advances. Every point
+ * must satisfy the fleet model's own invariants (all sessions finish,
+ * byte counts add up, per-lane busy span sums match the cost-model
+ * totals within 1%).
+ *
+ * Doubles as the determinism proof at scale: the largest point runs
+ * TWICE with the same seed and its trace + metrics artifacts must be
+ * byte-identical (also re-checked by CI's determinism-gate job, which
+ * runs the whole binary twice and diffs the exported files).
+ *
+ * Gates (self-enforced, exit non-zero on violation):
+ *   - >= 50k events/sec dispatch rate at every sweep point
+ *   - the 10k x 256 point completes in under 120 s of wall clock
+ *   - same-seed artifacts byte-identical at the largest point
+ *
+ * Results are published as hand-rolled JSON (BENCH_engine_scale.json,
+ * or argv[1]). Wall-clock-derived gates are deliberately NOT wired
+ * into the perf-regression baseline (they depend on runner hardware);
+ * the events/sec floor is conservative enough to flag only order-of-
+ * magnitude regressions.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "salus/fleet_sim.hpp"
+
+using namespace salus;
+using namespace salus::core;
+
+namespace {
+
+int violations = 0;
+
+void
+check(bool ok, const char *what)
+{
+    if (ok)
+        return;
+    ++violations;
+    std::printf("  VIOLATION: %s\n", what);
+}
+
+struct PointResult
+{
+    uint32_t sessions = 0;
+    uint32_t devices = 0;
+    double wallSecs = 0;
+    double eventsPerSec = 0;
+    uint64_t events = 0;
+    uint64_t maxQueued = 0;
+    double virtualMs = 0;
+    double regSpanMs = 0;
+    double dmaSpanMs = 0;
+    bool ok = false;
+};
+
+FleetSimConfig
+configFor(uint32_t sessions, uint32_t devices)
+{
+    FleetSimConfig cfg;
+    cfg.seed = 42;
+    cfg.sessions = sessions;
+    cfg.devices = devices;
+    return cfg;
+}
+
+PointResult
+runPoint(uint32_t sessions, uint32_t devices,
+         FleetSimReport *keep = nullptr)
+{
+    FleetSimConfig cfg = configFor(sessions, devices);
+    FleetSimReport report;
+    double secs =
+        bench::wallSeconds([&] { report = runFleetSim(cfg); });
+
+    PointResult r;
+    r.sessions = sessions;
+    r.devices = devices;
+    r.wallSecs = secs;
+    r.events = report.eventsDispatched;
+    r.eventsPerSec =
+        secs > 0 ? double(report.eventsDispatched) / secs : 0;
+    r.maxQueued = report.maxQueued;
+    r.virtualMs = bench::ms(report.virtualEnd);
+    r.regSpanMs = bench::ms(report.spanRegNanos);
+    r.dmaSpanMs = bench::ms(report.spanDmaNanos);
+    r.ok = report.ok;
+    for (const std::string &v : report.violations)
+        std::printf("  fleet violation (%ux%u): %s\n", sessions,
+                    devices, v.c_str());
+    if (keep)
+        *keep = std::move(report);
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Deterministic event engine: fleet scale sweep");
+
+    struct SweepPoint
+    {
+        uint32_t sessions;
+        uint32_t devices;
+    };
+    const SweepPoint kSweep[] = {{1000, 16}, {4000, 64}, {10000, 256}};
+
+    std::vector<PointResult> sweep;
+    std::printf("%-10s %-9s %-10s %-12s %-10s %-10s %s\n", "sessions",
+                "devices", "events", "events/sec", "wall(s)",
+                "queued", "virtual(ms)");
+    for (const SweepPoint &p : kSweep) {
+        PointResult r = runPoint(p.sessions, p.devices);
+        check(r.ok, "fleet invariants violated at sweep point");
+        std::printf("%-10u %-9u %-10llu %-12.0f %-10.2f %-10llu %.1f\n",
+                    r.sessions, r.devices,
+                    static_cast<unsigned long long>(r.events),
+                    r.eventsPerSec, r.wallSecs,
+                    static_cast<unsigned long long>(r.maxQueued),
+                    r.virtualMs);
+        check(r.eventsPerSec >= 50000.0,
+              "dispatch rate below the 50k events/sec floor");
+        sweep.push_back(r);
+    }
+
+    // ---- Determinism at scale: same seed, twice, byte-compared ------
+    FleetSimReport first;
+    FleetSimReport second;
+    PointResult big1 = runPoint(10000, 256, &first);
+    PointResult big2 = runPoint(10000, 256, &second);
+    check(big1.ok && big2.ok, "determinism rerun failed invariants");
+    check(big1.wallSecs < 120.0 && big2.wallSecs < 120.0,
+          "10k x 256 point exceeded the 120 s wall-clock ceiling");
+    bool identical = first.traceJson == second.traceJson &&
+                     first.metricsText == second.metricsText;
+    check(identical,
+          "same-seed fleet runs are not byte-identical at 10k x 256");
+    std::printf("\n10k x 256 determinism rerun: %llu events, "
+                "trace %zu bytes, metrics %zu bytes, identical=%s\n",
+                static_cast<unsigned long long>(
+                    first.eventsDispatched),
+                first.traceJson.size(), first.metricsText.size(),
+                identical ? "yes" : "NO");
+    std::printf("span sums vs cost model: reg %.1f/%.1f ms, dma "
+                "%.1f/%.1f ms (spans/expected)\n",
+                bench::ms(first.spanRegNanos),
+                bench::ms(first.expectedRegNanos),
+                bench::ms(first.spanDmaNanos),
+                bench::ms(first.expectedDmaNanos));
+
+    FILE *tf = std::fopen("TRACE_engine_scale.json", "w");
+    if (tf) {
+        std::fwrite(first.traceJson.data(), 1, first.traceJson.size(),
+                    tf);
+        std::fclose(tf);
+    }
+    FILE *mf = std::fopen("METRICS_engine_scale.txt", "w");
+    if (mf) {
+        std::fwrite(first.metricsText.data(), 1,
+                    first.metricsText.size(), mf);
+        std::fclose(mf);
+    }
+    check(tf != nullptr && mf != nullptr,
+          "cannot write trace/metrics artifacts");
+
+    // ---- JSON artifact ----------------------------------------------
+    const char *outPath =
+        argc > 1 ? argv[1] : "BENCH_engine_scale.json";
+    FILE *f = std::fopen(outPath, "w");
+    if (!f) {
+        std::printf("cannot open %s\n", outPath);
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"engine_scale\",\n");
+    std::fprintf(f, "  \"violations\": %d,\n", violations);
+    std::fprintf(f, "  \"deterministic\": %s,\n",
+                 identical ? "true" : "false");
+    std::fprintf(f, "  \"sweep\": [\n");
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        const PointResult &p = sweep[i];
+        std::fprintf(
+            f,
+            "    {\"sessions\": %u, \"devices\": %u, \"events\": %llu, "
+            "\"events_per_sec\": %.0f, \"wall_secs\": %.3f, "
+            "\"max_queued\": %llu, \"virtual_ms\": %.1f, "
+            "\"reg_span_ms\": %.1f, \"dma_span_ms\": %.1f}%s\n",
+            p.sessions, p.devices,
+            static_cast<unsigned long long>(p.events), p.eventsPerSec,
+            p.wallSecs, static_cast<unsigned long long>(p.maxQueued),
+            p.virtualMs, p.regSpanMs, p.dmaSpanMs,
+            i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", outPath);
+
+    if (violations) {
+        std::printf("ENGINE SCALE BENCH FAILED: %d violation(s)\n",
+                    violations);
+        return 1;
+    }
+    std::printf("all %zu sweep points passed\n", sweep.size());
+    return 0;
+}

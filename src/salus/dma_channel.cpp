@@ -90,9 +90,7 @@ descriptorMac(ByteView macKey, ByteView encodedSansMac)
 Bytes
 encodeDescriptor(ByteView macKey, const DmaDescriptor &d)
 {
-    size_t encodedLen = kDmaHeaderBytes +
-                        d.sg.size() * kDmaSgEntryBytes +
-                        d.payload.size() + 8;
+    size_t encodedLen = dmaEncodedSize(d.sg.size(), d.payload.size());
     BinaryWriter w;
     w.writeU32(kDmaMagic);
     w.writeU8(kDmaVersion);

@@ -80,6 +80,17 @@ constexpr size_t kDmaMaxEncoded = kDmaHeaderBytes +
                                   kDmaMaxSg * kDmaSgEntryBytes +
                                   kDmaMaxPayload + 8;
 
+/** Encoded wire size of a descriptor carrying `sgCount` entries and
+ *  `payloadBytes` of ciphertext (0 for gathers): header + sg list +
+ *  payload + trailing MAC. Shared by the real encoder and the
+ *  event-driven lane model so their wire-time math cannot drift. */
+constexpr size_t
+dmaEncodedSize(size_t sgCount, size_t payloadBytes)
+{
+    return kDmaHeaderBytes + sgCount * kDmaSgEntryBytes + payloadBytes +
+           8;
+}
+
 /** One scatter-gather element (device-DRAM address + length). */
 struct DmaSgEntry
 {

@@ -1,0 +1,300 @@
+#include "salus/fleet_sim.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "obs/trace.hpp"
+#include "salus/actors.hpp"
+#include "sim/engine.hpp"
+#include "sim/fault.hpp"
+
+namespace salus::core {
+
+namespace {
+
+/** Sealed register-burst record bytes per op on the wire (header +
+ *  payload + MAC slice of the burst encoding; a round figure keeps
+ *  the model's wire math legible). */
+constexpr size_t kRegOpWireBytes = 24;
+
+struct SessionActor;
+
+/**
+ * One FPGA device: a FIFO secure-register lane (burst crypto + PCIe
+ * round trip, tracked with coalesced "reg_busy" spans) plus an
+ * event-driven DMA lane. Both lanes keep LANE-LOCAL busy horizons, so
+ * devices progress concurrently on the shared virtual clock.
+ */
+struct DeviceActor final : sim::Actor
+{
+    static constexpr uint32_t kRegArrive = 1;
+    static constexpr uint32_t kDmaReq = 2;
+
+    const FleetSimConfig &cfg;
+    DmaLaneActor dmaLane;
+    uint32_t actorId = 0;
+    sim::Nanos regIdleUntil = 0;
+    sim::Nanos regBusyStart = 0;
+    bool regBusyOpen = false;
+    sim::Nanos expectedRegNanos = 0;
+    uint64_t regBursts = 0;
+
+    /** Filled in by runFleetSim once the session actors exist. */
+    const std::vector<uint32_t> *sessionActorIds = nullptr;
+
+    explicit DeviceActor(const FleetSimConfig &config)
+        : cfg(config), dmaLane(config.cost, "dma_busy")
+    {}
+
+    void attach(sim::Engine &engine)
+    {
+        actorId = engine.addActor(*this, "device");
+        dmaLane.attach(engine);
+    }
+
+    sim::Nanos burstServiceTime() const
+    {
+        return cfg.cost.batchCrypto(cfg.opsPerBurst) + cfg.cost.pcieRtt +
+               sim::transferTime(cfg.cost.pcieBandwidth,
+                                 cfg.opsPerBurst * kRegOpWireBytes);
+    }
+
+    void closeRegSpan()
+    {
+        if (!regBusyOpen)
+            return;
+        if (obs::TraceRecorder *rec = obs::tracer())
+            rec->completeSpan(obs::Category::Channel, "reg_busy",
+                              regBusyStart, regIdleUntil);
+        regBusyOpen = false;
+    }
+
+    void onEvent(sim::Engine &engine, const sim::Event &event) override;
+};
+
+/**
+ * One tenant session: `burstsPerSession` register bursts separated by
+ * seeded think time, then one windowed DMA transfer, then done.
+ */
+struct SessionActor final : sim::Actor
+{
+    static constexpr uint32_t kKick = 1;
+    static constexpr uint32_t kBurstDone = 2;
+    static constexpr uint32_t kDmaDone = 3;
+    static constexpr uint32_t kThinkOver = 4;
+
+    const FleetSimConfig &cfg;
+    uint32_t index = 0;
+    uint32_t actorId = 0;
+    uint32_t deviceActorId = 0;
+    uint32_t burstsDone = 0;
+    bool completed = false;
+    sim::Nanos kickedAt = 0;
+
+    SessionActor(const FleetSimConfig &config, uint32_t idx)
+        : cfg(config), index(idx)
+    {}
+
+    void attach(sim::Engine &engine)
+    {
+        actorId = engine.addActor(*this, "session");
+    }
+
+    sim::Nanos thinkTime(uint32_t burst) const
+    {
+        if (cfg.thinkMean <= 0)
+            return 0;
+        uint64_t state = cfg.seed ^ (uint64_t(index) << 20) ^ burst;
+        uint64_t draw = sim::splitmix64(state) %
+                        uint64_t(std::max<sim::Nanos>(cfg.thinkMean, 1));
+        return cfg.thinkMean / 2 + sim::Nanos(draw);
+    }
+
+    void sendBurst(sim::Engine &engine)
+    {
+        // The request crosses the host loopback to the SM's device
+        // lane; service time is charged by the device on arrival.
+        engine.post(engine.now() + cfg.cost.loopbackRtt,
+                    sim::kPriorityDefault, deviceActorId,
+                    DeviceActor::kRegArrive, index);
+    }
+
+    void onEvent(sim::Engine &engine, const sim::Event &event) override
+    {
+        switch (event.kind) {
+        case kKick:
+            kickedAt = engine.now();
+            sendBurst(engine);
+            break;
+        case kBurstDone:
+            ++burstsDone;
+            if (burstsDone < cfg.burstsPerSession) {
+                engine.post(engine.now() + thinkTime(burstsDone),
+                            sim::kPriorityDefault, actorId, kThinkOver,
+                            0);
+            } else {
+                engine.post(engine.now() + cfg.cost.loopbackRtt,
+                            sim::kPriorityBulk, deviceActorId,
+                            DeviceActor::kDmaReq, index);
+            }
+            break;
+        case kThinkOver:
+            sendBurst(engine);
+            break;
+        case kDmaDone:
+            completed = true;
+            obs::count("fleet.sessions_completed");
+            obs::observe("fleet.session_ns",
+                         uint64_t(engine.now() - kickedAt));
+            break;
+        default:
+            break;
+        }
+    }
+};
+
+void
+DeviceActor::onEvent(sim::Engine &engine, const sim::Event &event)
+{
+    const uint32_t session = uint32_t(event.a);
+    const uint32_t sessionActor = (*sessionActorIds)[session];
+    switch (event.kind) {
+    case kRegArrive: {
+        sim::Nanos svc = burstServiceTime();
+        sim::Nanos start = std::max(engine.now(), regIdleUntil);
+        if (regBusyOpen && start > regIdleUntil)
+            closeRegSpan();
+        if (!regBusyOpen) {
+            regBusyOpen = true;
+            regBusyStart = start;
+        }
+        regIdleUntil = start + svc;
+        expectedRegNanos += svc;
+        ++regBursts;
+        obs::count("fleet.reg_bursts");
+        obs::count("fleet.reg_ops", cfg.opsPerBurst);
+        // The burst completion reaches the session one loopback hop
+        // after the device finishes serving it.
+        engine.post(regIdleUntil + cfg.cost.loopbackRtt,
+                    sim::kPriorityDefault, sessionActor,
+                    SessionActor::kBurstDone, session);
+        break;
+    }
+    case kDmaReq: {
+        DmaLaneActor::Job job;
+        job.bytes = cfg.dmaBytesPerSession;
+        job.chunkBytes = cfg.dmaChunkBytes;
+        job.window = cfg.dmaWindow;
+        job.notifyActor = sessionActor;
+        job.notifyKind = SessionActor::kDmaDone;
+        job.notifyA = session;
+        dmaLane.submit(engine, job);
+        break;
+    }
+    default:
+        break;
+    }
+}
+
+} // namespace
+
+FleetSimReport
+runFleetSim(const FleetSimConfig &config)
+{
+    FleetSimReport report;
+    if (config.sessions == 0 || config.devices == 0) {
+        report.violations.push_back("fleet: empty session/device set");
+        return report;
+    }
+
+    sim::VirtualClock clock;
+    obs::TraceRecorder recorder(clock);
+    obs::MetricsRegistry metricsReg;
+    obs::ObsScope obsScope(&recorder, &metricsReg);
+
+    sim::Engine::Config engineCfg;
+    engineCfg.seed = config.seed;
+    engineCfg.seededTieBreak = config.seededTieBreak;
+    sim::Engine engine(clock, engineCfg);
+
+    std::vector<std::unique_ptr<DeviceActor>> devices;
+    devices.reserve(config.devices);
+    for (uint32_t d = 0; d < config.devices; ++d) {
+        devices.push_back(std::make_unique<DeviceActor>(config));
+        devices.back()->attach(engine);
+    }
+
+    std::vector<std::unique_ptr<SessionActor>> sessions;
+    std::vector<uint32_t> sessionActorIds(config.sessions, 0);
+    sessions.reserve(config.sessions);
+    for (uint32_t s = 0; s < config.sessions; ++s) {
+        sessions.push_back(std::make_unique<SessionActor>(config, s));
+        sessions.back()->deviceActorId =
+            devices[s % config.devices]->actorId;
+        sessions.back()->attach(engine);
+        sessionActorIds[s] = sessions.back()->actorId;
+    }
+    for (auto &dev : devices)
+        dev->sessionActorIds = &sessionActorIds;
+
+    // Kickoffs spread deterministically over the arrival window.
+    for (uint32_t s = 0; s < config.sessions; ++s) {
+        sim::Nanos at = sim::Nanos(
+            (uint64_t(config.arrivalSpread) * s) / config.sessions);
+        engine.post(at, sim::kPriorityDefault, sessionActorIds[s],
+                    SessionActor::kKick, s);
+    }
+
+    if (!engine.runUntilIdle(uint64_t(config.sessions) * 1000 +
+                             1000000)) {
+        report.violations.push_back("fleet: event budget exhausted");
+    }
+
+    for (auto &dev : devices) {
+        dev->closeRegSpan();
+        dev->dmaLane.flushSpans();
+        report.expectedRegNanos += dev->expectedRegNanos;
+        report.regBursts += dev->regBursts;
+        const DmaLaneActor::LaneStats &lane = dev->dmaLane.stats();
+        report.expectedDmaNanos +=
+            lane.cryptoNanos + lane.transportNanos;
+        report.dmaJobs += lane.jobs;
+        report.dmaBytes += lane.bytes;
+    }
+    for (auto &sess : sessions)
+        report.sessionsCompleted += sess->completed ? 1 : 0;
+    report.regOps =
+        report.regBursts * uint64_t(config.opsPerBurst);
+    report.eventsDispatched = engine.stats().dispatched;
+    report.maxQueued = engine.stats().maxQueued;
+    report.virtualEnd = clock.now();
+    report.spanRegNanos = recorder.namedTotal("reg_busy");
+    report.spanDmaNanos = recorder.namedTotal("dma_busy");
+
+    auto within1pct = [](sim::Nanos a, sim::Nanos b) {
+        sim::Nanos diff = a > b ? a - b : b - a;
+        sim::Nanos base = std::max<sim::Nanos>(std::max(a, b), 1);
+        return diff * 100 <= base;
+    };
+    if (report.sessionsCompleted != config.sessions)
+        report.violations.push_back("fleet: sessions did not finish");
+    if (report.regBursts !=
+        uint64_t(config.sessions) * config.burstsPerSession)
+        report.violations.push_back("fleet: burst count mismatch");
+    if (report.dmaBytes !=
+        uint64_t(config.sessions) * config.dmaBytesPerSession)
+        report.violations.push_back("fleet: dma byte count mismatch");
+    if (!within1pct(report.expectedRegNanos, report.spanRegNanos))
+        report.violations.push_back(
+            "fleet: reg span sum diverges from cost-model total");
+    if (!within1pct(report.expectedDmaNanos, report.spanDmaNanos))
+        report.violations.push_back(
+            "fleet: dma span sum diverges from cost-model total");
+    report.ok = report.violations.empty();
+
+    report.traceJson = recorder.chromeTraceJson();
+    report.metricsText = metricsReg.renderText();
+    return report;
+}
+
+} // namespace salus::core

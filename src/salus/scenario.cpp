@@ -7,7 +7,9 @@
 
 #include "fpga/ip.hpp"
 #include "obs/trace.hpp"
+#include "salus/actors.hpp"
 #include "salus/dma_channel.hpp"
+#include "sim/engine.hpp"
 
 namespace salus::core {
 
@@ -506,8 +508,267 @@ parseScenarioFile(const std::string &path)
     }
 }
 
+namespace {
+
+/**
+ * The per-sweep steps of a campaign, shared VERBATIM between the
+ * lockstep loop and the event-engine port so the two drivers cannot
+ * drift. Call order per sweep is actions -> submissions -> pump ->
+ * poll (when due); drain + harvest run after the last sweep.
+ */
+struct ScenarioExec
+{
+    const Scenario &sc;
+    Testbed &tb;
+    Broker &broker;
+    ScenarioOutcome &out;
+    std::vector<uint32_t> tenantIds;
+    std::vector<std::vector<uint32_t>> tenantSessions;
+
+    /** Tenants + sessions, in file order (determinism: ids are dense
+     *  and the sweep loop walks this fixed layout). */
+    void openTenants()
+    {
+        for (const ScenarioTenant &t : sc.tenants) {
+            uint32_t id = broker.registerTenant(t.name, t.policy);
+            tenantIds.push_back(id);
+            std::vector<uint32_t> sessions;
+            for (uint32_t i = 0; i < t.sessions; ++i) {
+                try {
+                    sessions.push_back(broker.openSession(id));
+                } catch (const PolicyError &) {
+                    // Session quota walls are a legitimate part of
+                    // a campaign; the tenant runs with fewer.
+                    break;
+                }
+            }
+            tenantSessions.push_back(std::move(sessions));
+        }
+    }
+
+    void actions(uint32_t sweep)
+    {
+        for (const ScenarioAction &a : sc.actions) {
+            if (!a.firesAt(sweep))
+                continue;
+            if (a.kind == "rekey")
+                tb.smApp().rekeySession();
+            else if (a.kind == "replay" && tb.maliciousShell())
+                tb.maliciousShell()->replayRecordedSmWrites();
+            else if (a.kind == "dma") {
+                // Bulk transfer through the secure DMA lane on
+                // the first open session; the job rides the
+                // scheduler's sweep, so faults armed on the
+                // memory channel exercise the window protocol.
+                uint32_t slot = 0;
+                bool haveSlot = false;
+                for (const auto &sessions : tenantSessions)
+                    if (!sessions.empty()) {
+                        slot = sessions.front();
+                        haveSlot = true;
+                        break;
+                    }
+                if (!haveSlot)
+                    continue;
+                BatchScheduler::DmaJob job;
+                job.addr = 0x10000;
+                job.windowSize = a.window;
+                job.data.resize(a.bytes);
+                for (size_t i = 0; i < job.data.size(); ++i)
+                    job.data[i] = uint8_t(sweep * 131 + i * 7 + 5);
+                ScenarioOutcome &res = out;
+                job.done =
+                    [&res](const dmachan::DmaTransferReport &report) {
+                        ++res.dmaJobs;
+                        if (report.status == 0)
+                            res.dmaBytes += report.bytes;
+                    };
+                tb.scheduler().submitDma(slot, std::move(job));
+            }
+        }
+    }
+
+    void submissions(uint32_t sweep)
+    {
+        for (size_t ti = 0; ti < sc.tenants.size(); ++ti) {
+            const ScenarioTenant &t = sc.tenants[ti];
+            const std::vector<uint32_t> &sessions = tenantSessions[ti];
+            if (sessions.empty() || !tenantActive(t, sweep))
+                continue;
+            uint32_t want =
+                t.pattern == "trickle"
+                    ? std::max<uint32_t>(1, t.opsPerSweep / 4)
+                    : t.opsPerSweep;
+            for (uint32_t i = 0; i < want; ++i) {
+                regchan::RegOp op;
+                op.isWrite = true;
+                op.addr = uint32_t(8 * ti);
+                op.data = (uint64_t(sweep) << 16) | i;
+                try {
+                    broker.submit(tenantIds[ti],
+                                  sessions[i % sessions.size()], op);
+                } catch (const Overloaded &) {
+                    break; // shed: the whole sweep is refused
+                } catch (const RateLimited &) {
+                    break; // bucket dry until time passes
+                } catch (const QuotaExceeded &) {
+                    // Per-session wall; other sessions may
+                    // still have room.
+                }
+            }
+        }
+    }
+
+    size_t pump()
+    {
+        try {
+            size_t done = broker.pump();
+            out.completed += done;
+            return done;
+        } catch (const FailoverError &) {
+            ++out.failovers;
+            return 0;
+        }
+    }
+
+    bool pollDue(uint32_t sweep) const
+    {
+        return sc.pollEvery && (sweep + 1) % sc.pollEvery == 0;
+    }
+
+    /** Drain (failover-tolerant, bounded). */
+    void drain()
+    {
+        for (int attempt = 0; attempt < 4; ++attempt) {
+            try {
+                out.completed += broker.drainAll();
+                break;
+            } catch (const FailoverError &) {
+                ++out.failovers;
+            }
+        }
+    }
+
+    void harvest()
+    {
+        uint64_t totalW = tb.scheduler().totalWeight();
+        for (size_t ti = 0; ti < sc.tenants.size(); ++ti) {
+            const TenantStats &ts = broker.tenantStats(tenantIds[ti]);
+            out.tenants.push_back({sc.tenants[ti].name, ts});
+            out.admitted += ts.admitted;
+            out.quotaRejected += ts.quotaRejected;
+            out.rateRejected += ts.rateRejected;
+            out.shedRejected += ts.shedRejected;
+            uint64_t w = sc.tenants[ti].policy.weight;
+            uint64_t bound =
+                std::max<uint64_t>(1, (totalW + w - 1) / w);
+            for (uint32_t s : tenantSessions[ti]) {
+                uint64_t waited =
+                    tb.scheduler().sessionStats(s).maxSweepsWaited;
+                out.maxSweepsWaited =
+                    std::max(out.maxSweepsWaited, waited);
+                if (sc.expect.noStarvation && waited > bound)
+                    out.violations.push_back(
+                        "starvation: tenant '" + sc.tenants[ti].name +
+                        "' session " + std::to_string(s) + " waited " +
+                        std::to_string(waited) + " sweeps (bound " +
+                        std::to_string(bound) + ")");
+            }
+        }
+        uint64_t completedAll = 0;
+        for (const auto &[name, ts] : out.tenants)
+            completedAll += ts.completed;
+        out.completed = completedAll;
+        out.shedLevelEnd = broker.shedLevel();
+        out.seusInjected = tb.faultInjector().stats().seusInjected;
+        out.clockEnd = tb.clock().now();
+
+        const ScenarioExpect &e = sc.expect;
+        auto atLeast = [&](const char *what, uint64_t got,
+                          uint64_t min) {
+            if (got < min)
+                out.violations.push_back(
+                    std::string(what) + ": got " + std::to_string(got) +
+                    ", expected >= " + std::to_string(min));
+        };
+        atLeast("completed", out.completed, e.completedMin);
+        atLeast("quota_rejected", out.quotaRejected,
+                e.quotaRejectedMin);
+        atLeast("rate_rejected", out.rateRejected, e.rateRejectedMin);
+        atLeast("shed_rejected", out.shedRejected, e.shedRejectedMin);
+        atLeast("seus_injected", out.seusInjected, e.seusMin);
+        atLeast("dma_bytes", out.dmaBytes, e.dmaBytesMin);
+        if (e.recoveredFromShed && out.shedLevelEnd != 0)
+            out.violations.push_back(
+                "shed level still " + std::to_string(out.shedLevelEnd) +
+                " after drain");
+        if (out.failovers > e.failoversMax)
+            out.violations.push_back(
+                "failovers: got " + std::to_string(out.failovers) +
+                ", expected <= " + std::to_string(e.failoversMax));
+    }
+};
+
+/**
+ * Drives the sweep loop as an engine event chain. Each sweep event
+ * runs actions + submissions inline, then posts the broker pump, the
+ * supervisor poll (when due) and the next sweep AT THE SAME INSTANT:
+ * FIFO tie-breaking dispatches them in post order, replaying the
+ * lockstep call sequence exactly — which is what makes the engine
+ * port trace-identical to runScenario (the determinism gate and the
+ * engine regression test both diff the artifacts).
+ */
+struct SweepActor final : sim::Actor
+{
+    static constexpr uint32_t kSweep = 1;
+
+    ScenarioExec &exec;
+    SchedulerPumpActor &pump;
+    SupervisorPollActor &poll;
+    uint32_t actorId = 0;
+
+    SweepActor(ScenarioExec &e, SchedulerPumpActor &pumpActor,
+               SupervisorPollActor &pollActor)
+        : exec(e), pump(pumpActor), poll(pollActor)
+    {}
+
+    void onEvent(sim::Engine &engine, const sim::Event &event) override
+    {
+        if (event.kind != kSweep)
+            return;
+        uint32_t sweep = uint32_t(event.a);
+        exec.actions(sweep);
+        exec.submissions(sweep);
+        engine.postNow(pump.actorId(), SchedulerPumpActor::kSweep);
+        if (exec.pollDue(sweep))
+            engine.postNow(poll.actorId(), SupervisorPollActor::kPoll);
+        if (sweep + 1 < exec.sc.sweeps)
+            engine.postNow(actorId, kSweep, sweep + 1);
+    }
+};
+
+void
+runSweepsOnEngine(ScenarioExec &exec)
+{
+    sim::Engine &engine = exec.tb.engine();
+    SchedulerPumpActor pump([&exec] { return exec.pump(); });
+    pump.attach(engine, "broker.pump");
+    SupervisorPollActor poll(exec.tb.supervisor(),
+                             [&exec] { ++exec.out.failovers; });
+    poll.attach(engine, "supervisor.poll");
+    SweepActor sweeps(exec, pump, poll);
+    sweeps.actorId = engine.addActor(sweeps, "scenario.sweeps");
+
+    if (exec.sc.sweeps > 0)
+        engine.postNow(sweeps.actorId, SweepActor::kSweep, 0);
+    // Each sweep event posts at most 3 others; the budget is a
+    // runaway backstop, not a schedule.
+    if (!engine.runUntilIdle(uint64_t(exec.sc.sweeps) * 4 + 16))
+        exec.out.violations.push_back("engine: event budget exhausted");
+}
+
 ScenarioOutcome
-runScenario(const Scenario &scenario)
+runScenarioImpl(const Scenario &scenario, bool onEngine)
 {
     ScenarioOutcome out;
 
@@ -531,192 +792,48 @@ runScenario(const Scenario &scenario)
             out.violations.push_back("deployment failed");
         } else {
             Broker broker(tb, scenario.broker);
+            ScenarioExec exec{scenario, tb, broker, out, {}, {}};
+            exec.openTenants();
 
-            // Tenants + sessions, in file order (determinism: ids are
-            // dense and the sweep loop walks this fixed layout).
-            std::vector<uint32_t> tenantIds;
-            std::vector<std::vector<uint32_t>> tenantSessions;
-            for (const ScenarioTenant &t : scenario.tenants) {
-                uint32_t id = broker.registerTenant(t.name, t.policy);
-                tenantIds.push_back(id);
-                std::vector<uint32_t> sessions;
-                for (uint32_t i = 0; i < t.sessions; ++i) {
-                    try {
-                        sessions.push_back(broker.openSession(id));
-                    } catch (const PolicyError &) {
-                        // Session quota walls are a legitimate part of
-                        // a campaign; the tenant runs with fewer.
-                        break;
-                    }
-                }
-                tenantSessions.push_back(std::move(sessions));
-            }
-
-            // ---- Sweep loop -------------------------------------
-            for (uint32_t sweep = 0; sweep < scenario.sweeps; ++sweep) {
-                for (const ScenarioAction &a : scenario.actions) {
-                    if (!a.firesAt(sweep))
-                        continue;
-                    if (a.kind == "rekey")
-                        tb.smApp().rekeySession();
-                    else if (a.kind == "replay" && tb.maliciousShell())
-                        tb.maliciousShell()->replayRecordedSmWrites();
-                    else if (a.kind == "dma") {
-                        // Bulk transfer through the secure DMA lane on
-                        // the first open session; the job rides the
-                        // scheduler's sweep, so faults armed on the
-                        // memory channel exercise the window protocol.
-                        uint32_t slot = 0;
-                        bool haveSlot = false;
-                        for (const auto &sessions : tenantSessions)
-                            if (!sessions.empty()) {
-                                slot = sessions.front();
-                                haveSlot = true;
-                                break;
-                            }
-                        if (!haveSlot)
-                            continue;
-                        BatchScheduler::DmaJob job;
-                        job.addr = 0x10000;
-                        job.windowSize = a.window;
-                        job.data.resize(a.bytes);
-                        for (size_t i = 0; i < job.data.size(); ++i)
-                            job.data[i] =
-                                uint8_t(sweep * 131 + i * 7 + 5);
-                        job.done =
-                            [&out](const dmachan::DmaTransferReport
-                                       &report) {
-                                ++out.dmaJobs;
-                                if (report.status == 0)
-                                    out.dmaBytes += report.bytes;
-                            };
-                        tb.scheduler().submitDma(slot, std::move(job));
-                    }
-                }
-
-                for (size_t ti = 0; ti < scenario.tenants.size(); ++ti) {
-                    const ScenarioTenant &t = scenario.tenants[ti];
-                    const std::vector<uint32_t> &sessions =
-                        tenantSessions[ti];
-                    if (sessions.empty() || !tenantActive(t, sweep))
-                        continue;
-                    uint32_t want =
-                        t.pattern == "trickle"
-                            ? std::max<uint32_t>(1, t.opsPerSweep / 4)
-                            : t.opsPerSweep;
-                    for (uint32_t i = 0; i < want; ++i) {
-                        regchan::RegOp op;
-                        op.isWrite = true;
-                        op.addr = uint32_t(8 * ti);
-                        op.data = (uint64_t(sweep) << 16) | i;
+            if (onEngine) {
+                runSweepsOnEngine(exec);
+            } else {
+                for (uint32_t sweep = 0; sweep < scenario.sweeps;
+                     ++sweep) {
+                    exec.actions(sweep);
+                    exec.submissions(sweep);
+                    exec.pump();
+                    if (exec.pollDue(sweep)) {
                         try {
-                            broker.submit(tenantIds[ti],
-                                          sessions[i % sessions.size()],
-                                          op);
-                        } catch (const Overloaded &) {
-                            break; // shed: the whole sweep is refused
-                        } catch (const RateLimited &) {
-                            break; // bucket dry until time passes
-                        } catch (const QuotaExceeded &) {
-                            // Per-session wall; other sessions may
-                            // still have room.
+                            tb.supervisor().pollOnce();
+                        } catch (const SalusError &) {
+                            ++out.failovers;
                         }
                     }
                 }
-
-                try {
-                    out.completed += broker.pump();
-                } catch (const FailoverError &) {
-                    ++out.failovers;
-                }
-                if (scenario.pollEvery &&
-                    (sweep + 1) % scenario.pollEvery == 0) {
-                    try {
-                        tb.supervisor().pollOnce();
-                    } catch (const SalusError &) {
-                        ++out.failovers;
-                    }
-                }
             }
 
-            // ---- Drain (failover-tolerant, bounded) --------------
-            for (int attempt = 0; attempt < 4; ++attempt) {
-                try {
-                    out.completed += broker.drainAll();
-                    break;
-                } catch (const FailoverError &) {
-                    ++out.failovers;
-                }
-            }
-
-            // ---- Harvest ----------------------------------------
-            uint64_t totalW = tb.scheduler().totalWeight();
-            for (size_t ti = 0; ti < scenario.tenants.size(); ++ti) {
-                const TenantStats &ts =
-                    broker.tenantStats(tenantIds[ti]);
-                out.tenants.push_back({scenario.tenants[ti].name, ts});
-                out.admitted += ts.admitted;
-                out.quotaRejected += ts.quotaRejected;
-                out.rateRejected += ts.rateRejected;
-                out.shedRejected += ts.shedRejected;
-                uint64_t w = scenario.tenants[ti].policy.weight;
-                uint64_t bound = std::max<uint64_t>(1, (totalW + w - 1) / w);
-                for (uint32_t s : tenantSessions[ti]) {
-                    uint64_t waited =
-                        tb.scheduler().sessionStats(s).maxSweepsWaited;
-                    out.maxSweepsWaited =
-                        std::max(out.maxSweepsWaited, waited);
-                    if (scenario.expect.noStarvation && waited > bound)
-                        out.violations.push_back(
-                            "starvation: tenant '" +
-                            scenario.tenants[ti].name + "' session " +
-                            std::to_string(s) + " waited " +
-                            std::to_string(waited) +
-                            " sweeps (bound " + std::to_string(bound) +
-                            ")");
-                }
-            }
-            uint64_t completedAll = 0;
-            for (const auto &[name, ts] : out.tenants)
-                completedAll += ts.completed;
-            out.completed = completedAll;
-            out.shedLevelEnd = broker.shedLevel();
-            out.seusInjected = tb.faultInjector().stats().seusInjected;
-            out.clockEnd = tb.clock().now();
-
-            // ---- Expectations -----------------------------------
-            const ScenarioExpect &e = scenario.expect;
-            auto atLeast = [&](const char *what, uint64_t got,
-                              uint64_t min) {
-                if (got < min)
-                    out.violations.push_back(
-                        std::string(what) + ": got " +
-                        std::to_string(got) + ", expected >= " +
-                        std::to_string(min));
-            };
-            atLeast("completed", out.completed, e.completedMin);
-            atLeast("quota_rejected", out.quotaRejected,
-                    e.quotaRejectedMin);
-            atLeast("rate_rejected", out.rateRejected,
-                    e.rateRejectedMin);
-            atLeast("shed_rejected", out.shedRejected,
-                    e.shedRejectedMin);
-            atLeast("seus_injected", out.seusInjected, e.seusMin);
-            atLeast("dma_bytes", out.dmaBytes, e.dmaBytesMin);
-            if (e.recoveredFromShed && out.shedLevelEnd != 0)
-                out.violations.push_back(
-                    "shed level still " +
-                    std::to_string(out.shedLevelEnd) + " after drain");
-            if (out.failovers > e.failoversMax)
-                out.violations.push_back(
-                    "failovers: got " + std::to_string(out.failovers) +
-                    ", expected <= " +
-                    std::to_string(e.failoversMax));
+            exec.drain();
+            exec.harvest();
         }
     }
     out.traceJson = recorder.chromeTraceJson();
     out.metricsText = metricsReg.renderText();
     return out;
+}
+
+} // namespace
+
+ScenarioOutcome
+runScenario(const Scenario &scenario)
+{
+    return runScenarioImpl(scenario, false);
+}
+
+ScenarioOutcome
+runScenarioOnEngine(const Scenario &scenario)
+{
+    return runScenarioImpl(scenario, true);
 }
 
 } // namespace salus::core

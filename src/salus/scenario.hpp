@@ -181,6 +181,15 @@ Scenario parseScenarioFile(const std::string &path);
  *  invariant evaluation). Deterministic per (file, seed). */
 ScenarioOutcome runScenario(const Scenario &scenario);
 
+/**
+ * Runs one campaign with the sweep loop dispatched on the
+ * deterministic event engine (sim::Engine, FIFO tie-breaking) instead
+ * of the inline lockstep loop. Replays the exact lockstep call order,
+ * so the artifacts are byte-identical to runScenario's — CI's
+ * determinism gate diffs the two on every scenario in the gallery.
+ */
+ScenarioOutcome runScenarioOnEngine(const Scenario &scenario);
+
 } // namespace salus::core
 
 #endif // SALUS_SALUS_SCENARIO_HPP

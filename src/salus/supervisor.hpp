@@ -206,6 +206,10 @@ class FleetSupervisor
     }
     uint64_t polls() const { return polls_; }
 
+    /** Watchdog probe cadence — event-driven drivers schedule their
+     *  poll events at this period instead of calling runFor(). */
+    sim::Nanos probePeriod() const { return deps_.probePeriod; }
+
   private:
     void maybeFailover();
 

@@ -270,6 +270,17 @@ Testbed::userApp(uint32_t peer)
     return *extraUsers_.at(peer - 1);
 }
 
+sim::Engine &
+Testbed::engine()
+{
+    if (!engine_) {
+        sim::Engine::Config cfg;
+        cfg.seed = config_.rngSeed;
+        engine_ = std::make_unique<sim::Engine>(clock_, cfg);
+    }
+    return *engine_;
+}
+
 BatchScheduler &
 Testbed::scheduler()
 {

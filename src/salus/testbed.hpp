@@ -27,6 +27,7 @@
 #include "salus/user_client.hpp"
 #include "salus/user_enclave.hpp"
 #include "shell/attacks.hpp"
+#include "sim/engine.hpp"
 
 namespace salus::core {
 
@@ -163,6 +164,14 @@ class Testbed
     BatchScheduler &scheduler();
     crypto::RandomSource &rng() { return *rng_; }
 
+    /**
+     * The deterministic event engine over this testbed's clock,
+     * lazily built (seeded from the testbed's rngSeed; FIFO
+     * tie-breaking, so engine-driven runs replay lockstep call order
+     * exactly). Event-driven drivers register their actors here.
+     */
+    sim::Engine &engine();
+
     /** The published CL artifacts (mutable so tests can tamper). */
     Bytes &storedBitstream() { return storedBitstream_; }
     ClMetadata &metadata() { return metadata_; }
@@ -244,6 +253,7 @@ class Testbed
     std::vector<std::unique_ptr<UserEnclaveApp>> extraUsers_;
     std::unique_ptr<BatchScheduler> scheduler_;
     std::unique_ptr<FleetSupervisor> supervisor_;
+    std::unique_ptr<sim::Engine> engine_;
 
     Bytes storedBitstream_;
     ClMetadata metadata_;

@@ -265,11 +265,14 @@ cmdRunScenario(const std::vector<std::string> &args)
         return 2;
     }
     bool once = false;
+    bool onEngine = false;
     bool seedOverride = false;
     uint64_t seed = 0;
     for (size_t i = 1; i < args.size(); ++i) {
         if (args[i] == "--once") {
             once = true;
+        } else if (args[i] == "--engine") {
+            onEngine = true;
         } else if (args[i] == "--seed" && i + 1 < args.size()) {
             seedOverride = true;
             seed = std::strtoull(args[i + 1].c_str(), nullptr, 0);
@@ -293,12 +296,14 @@ cmdRunScenario(const std::vector<std::string> &args)
                 static_cast<unsigned long long>(sc.seed), sc.devices,
                 sc.sweeps, sc.tenants.size());
 
-    ScenarioOutcome out = runScenario(sc);
+    ScenarioOutcome out =
+        onEngine ? runScenarioOnEngine(sc) : runScenario(sc);
     // Determinism is part of the contract: unless --once, the
     // campaign runs twice and the obs artifacts must byte-match.
     bool identical = true;
     if (!once) {
-        ScenarioOutcome again = runScenario(sc);
+        ScenarioOutcome again =
+            onEngine ? runScenarioOnEngine(sc) : runScenario(sc);
         identical = out.traceJson == again.traceJson &&
                     out.metricsText == again.metricsText;
     }
@@ -391,7 +396,7 @@ usage()
         "revoke\n"
         "  workload <name> [--scale PCT]     run one Table 4 workload "
         "in all modes\n"
-        "  run-scenario FILE [--once] [--seed N]\n"
+        "  run-scenario FILE [--once] [--seed N] [--engine]\n"
         "                                    run a declarative chaos "
         "campaign\n"
         "        (docs/SCENARIOS.md; default runs twice and checks "
